@@ -1,0 +1,63 @@
+// Comparison with a hardware feedback scheme: FDP (feedback-directed
+// prefetching, the paper's reference [20]) adjusts each core's streamer
+// degree from observed prefetch accuracy — a knob stock Intel parts do
+// not expose, which is why the paper's CMM works with on/off throttling
+// and CAT instead. The simulator has both, so we can ask how much of
+// CMM's benefit a per-core hardware feedback loop would capture.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/fdp.hpp"
+#include "sim/multicore_system.hpp"
+
+namespace {
+
+using namespace cmm;
+
+std::vector<double> run_fdp(const workloads::WorkloadMix& mix, const analysis::RunParams& p) {
+  sim::MulticoreSystem sys(p.machine);
+  workloads::attach_mix(sys, mix, p.seed);
+  core::FdpController fdp(sys);
+  fdp.run(p.run_cycles);
+  std::vector<double> ipcs;
+  for (CoreId c = 0; c < sys.num_cores(); ++c) ipcs.push_back(sys.pmu().core(c).ipc());
+  return ipcs;
+}
+
+}  // namespace
+
+int main() {
+  const auto env = bench::BenchEnv::from_env();
+  bench::print_preamble(env, "Ablation/FDP",
+                        "hardware per-core accuracy feedback vs software CMM");
+
+  analysis::Table table({"workload", "policy", "hm_ipc vs baseline", "worst-case"});
+  for (const auto category : {workloads::MixCategory::PrefAgg, workloads::MixCategory::PrefUnfri}) {
+    const auto mix =
+        workloads::make_mixes(category, 1, env.params.machine.num_cores, env.params.seed)
+            .front();
+    auto base_pol = analysis::make_policy("baseline", env.params.detector());
+    const auto base = analysis::run_mix(mix, *base_pol, env.params);
+    const double base_hm = analysis::harmonic_mean(base.ipcs());
+
+    const auto fdp_ipcs = run_fdp(mix, env.params);
+    table.add_row({mix.name, "fdp (hw)",
+                   analysis::Table::fmt(base_hm > 0
+                                            ? analysis::harmonic_mean(fdp_ipcs) / base_hm
+                                            : 0),
+                   analysis::Table::fmt(analysis::worst_case_speedup(fdp_ipcs, base.ipcs()))});
+
+    for (const std::string policy : {"pt", "cmm_a"}) {
+      auto pol = analysis::make_policy(policy, env.params.detector());
+      const auto run = analysis::run_mix(mix, *pol, env.params);
+      table.add_row({mix.name, policy,
+                     analysis::Table::fmt(base_hm > 0
+                                              ? analysis::harmonic_mean(run.ipcs()) / base_hm
+                                              : 0),
+                     analysis::Table::fmt(
+                         analysis::worst_case_speedup(run.ipcs(), base.ipcs()))});
+    }
+  }
+  table.print(std::cout);
+  return 0;
+}

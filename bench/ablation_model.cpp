@@ -1,0 +1,67 @@
+// Ablation: the two model ingredients DESIGN.md calls load-bearing —
+// prefetch timeliness (`ready_at` in-flight fills) and the
+// utilisation-dependent DRAM queueing delay. Each is switched off in
+// turn and the headline experiment (baseline vs CMM-a on a Pref Agg
+// mix) re-run: without queueing there is no bandwidth contention to
+// manage, and with instant prefetch fills prefetching becomes a free
+// lunch — both flatten the effects the paper depends on.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace cmm;
+
+struct Variant {
+  std::string name;
+  bool instant_fills;
+  bool queueing;
+  bool inclusive = false;
+  bool writebacks = false;
+};
+
+}  // namespace
+
+int main() {
+  const auto env = bench::BenchEnv::from_env();
+  bench::print_preamble(env, "Ablation/model",
+                        "timeliness + bandwidth-queueing knobs, baseline vs cmm_a");
+
+  const auto mix = workloads::make_mixes(workloads::MixCategory::PrefAgg, 1,
+                                         env.params.machine.num_cores, env.params.seed)
+                       .front();
+
+  const std::vector<Variant> variants{
+      {"paper model", false, true},
+      {"instant prefetch fills", true, true},
+      {"no bandwidth queueing", false, false},
+      {"+ inclusive LLC", false, true, true, false},
+      {"+ DRAM writebacks", false, true, false, true},
+  };
+
+  analysis::Table table({"model variant", "baseline hm_ipc", "cmm_a hm_ipc", "cmm_a gain",
+                         "baseline BW GB/s"});
+  for (const auto& v : variants) {
+    analysis::RunParams params = env.params;
+    params.machine.instant_prefetch_fills = v.instant_fills;
+    params.machine.bandwidth_queueing = v.queueing;
+    params.machine.inclusive_llc = v.inclusive;
+    params.machine.model_writebacks = v.writebacks;
+
+    auto base_pol = analysis::make_policy("baseline", params.detector());
+    const auto base = analysis::run_mix(mix, *base_pol, params);
+    auto cmm_pol = analysis::make_policy("cmm_a", params.detector());
+    const auto cmm = analysis::run_mix(mix, *cmm_pol, params);
+
+    const auto base_ipcs = base.ipcs();
+    const auto cmm_ipcs = cmm.ipcs();
+    const double base_hm = analysis::harmonic_mean(base_ipcs);
+    const double cmm_hm = analysis::harmonic_mean(cmm_ipcs);
+    table.add_row({v.name, analysis::Table::fmt(base_hm), analysis::Table::fmt(cmm_hm),
+                   analysis::Table::fmt(base_hm > 0 ? cmm_hm / base_hm : 0, 3),
+                   analysis::Table::fmt(base.total_gbs(), 1)});
+  }
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Ablation: the paper's 1.5x partition-sizing rule ("a partition size
+// of 1.5 times the size of the Agg set works well", Sec. III-B3),
+// swept from 0.5 to 2.5 ways per Agg core under CMM-a.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/policy_cmm.hpp"
+
+int main() {
+  using namespace cmm;
+  const auto env = bench::BenchEnv::from_env();
+  bench::print_preamble(env, "Ablation/partition-scale",
+                        "CMM-a normalized hm_ipc vs ways-per-Agg-core");
+
+  const auto mixes = workloads::make_mixes(workloads::MixCategory::PrefAgg, 2,
+                                           env.params.machine.num_cores, env.params.seed);
+
+  analysis::Table table({"workload", "scale 0.5", "scale 1.0", "scale 1.5 (paper)",
+                         "scale 2.0", "scale 2.5"});
+  for (const auto& mix : mixes) {
+    auto base_pol = analysis::make_policy("baseline", env.params.detector());
+    const auto base = analysis::run_mix(mix, *base_pol, env.params);
+    const double base_hm = analysis::harmonic_mean(base.ipcs());
+
+    std::vector<std::string> row{mix.name};
+    for (const double scale : {0.5, 1.0, 1.5, 2.0, 2.5}) {
+      core::CmmPolicy::Options opts;
+      opts.detector = env.params.detector();
+      opts.partition_scale = scale;
+      core::CmmPolicy policy(opts);
+      const auto run = analysis::run_mix(mix, policy, env.params);
+      const double hm = analysis::harmonic_mean(run.ipcs());
+      row.push_back(analysis::Table::fmt(base_hm > 0 ? hm / base_hm : 0, 3));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,113 @@
+#include "bench_common.hpp"
+
+#include <cstdlib>
+#include <iostream>
+
+namespace cmm::bench {
+
+namespace {
+
+std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  return static_cast<std::uint64_t>(std::strtoull(value, nullptr, 10));
+}
+
+}  // namespace
+
+BenchEnv BenchEnv::from_env() {
+  BenchEnv env;
+  const auto scale = static_cast<unsigned>(env_u64("CMM_BENCH_SCALE", 16));
+  env.params.machine =
+      scale <= 1 ? sim::MachineConfig::broadwell_ep() : sim::MachineConfig::scaled(scale);
+  env.params.run_cycles = env_u64("CMM_BENCH_CYCLES", 8'000'000);
+  env.params.warmup_cycles = 3'000'000;
+  env.params.seed = env_u64("CMM_BENCH_SEED", 42);
+  env.params.epochs.execution_epoch = 1'500'000;
+  env.params.epochs.sampling_interval = 40'000;
+  env.mixes_per_category = static_cast<unsigned>(env_u64("CMM_BENCH_MIXES", 3));
+  return env;
+}
+
+std::vector<workloads::WorkloadMix> BenchEnv::workloads() const {
+  return workloads::paper_workloads(params.machine.num_cores, params.seed, mixes_per_category);
+}
+
+MixEvaluator::MixEvaluator(BenchEnv env) : env_(std::move(env)) {}
+
+const analysis::RunResult& MixEvaluator::run(const workloads::WorkloadMix& mix,
+                                             const std::string& policy) {
+  const std::string key = mix.name + "/" + policy;
+  if (const auto it = cache_.find(key); it != cache_.end()) return it->second;
+  auto pol = analysis::make_policy(policy, env_.params.detector());
+  auto result = analysis::run_mix(mix, *pol, env_.params);
+  return cache_.emplace(key, std::move(result)).first->second;
+}
+
+double MixEvaluator::alone_ipc(const std::string& benchmark) {
+  if (const auto it = alone_.find(benchmark); it != alone_.end()) return it->second;
+  const double ipc =
+      analysis::run_solo(benchmark, env_.params, /*prefetch_on=*/true).cores.front().ipc;
+  alone_[benchmark] = ipc;
+  return ipc;
+}
+
+double MixEvaluator::hs(const analysis::RunResult& result) {
+  std::vector<double> together;
+  std::vector<double> alone;
+  for (const auto& core : result.cores) {
+    together.push_back(core.ipc);
+    alone.push_back(alone_ipc(core.benchmark));
+  }
+  return analysis::harmonic_speedup(together, alone);
+}
+
+double MixEvaluator::normalized_hs(const workloads::WorkloadMix& mix, const std::string& policy) {
+  const double base = hs(run(mix, "baseline"));
+  const double value = hs(run(mix, policy));
+  return base > 0.0 ? value / base : 0.0;
+}
+
+double MixEvaluator::normalized_ws(const workloads::WorkloadMix& mix, const std::string& policy) {
+  return analysis::weighted_speedup(run(mix, policy).ipcs(), run(mix, "baseline").ipcs());
+}
+
+double MixEvaluator::worst_case(const workloads::WorkloadMix& mix, const std::string& policy) {
+  return analysis::worst_case_speedup(run(mix, policy).ipcs(), run(mix, "baseline").ipcs());
+}
+
+double MixEvaluator::normalized_bw(const workloads::WorkloadMix& mix, const std::string& policy) {
+  const double base = run(mix, "baseline").total_gbs();
+  const double value = run(mix, policy).total_gbs();
+  return base > 0.0 ? value / base : 0.0;
+}
+
+double MixEvaluator::normalized_stalls(const workloads::WorkloadMix& mix,
+                                       const std::string& policy) {
+  const double base = static_cast<double>(run(mix, "baseline").total_stalls());
+  const double value = static_cast<double>(run(mix, policy).total_stalls());
+  return base > 0.0 ? value / base : 0.0;
+}
+
+void print_preamble(const BenchEnv& env, const std::string& figure, const std::string& what) {
+  const auto& m = env.params.machine;
+  std::cout << "== " << figure << ": " << what << " ==\n"
+            << "machine: " << m.num_cores << " cores, LLC " << m.llc.size_bytes / 1024 << " KB/"
+            << m.llc.ways << "w, L2 " << m.l2.size_bytes / 1024 << " KB, L1 "
+            << m.l1d.size_bytes / 1024 << " KB | run " << env.params.run_cycles << " cycles, "
+            << env.mixes_per_category << " mixes/category, seed " << env.params.seed << "\n"
+            << "(scale with CMM_BENCH_SCALE / CMM_BENCH_CYCLES / CMM_BENCH_MIXES)\n\n";
+}
+
+double category_mean(MixEvaluator& eval, const std::vector<workloads::WorkloadMix>& mixes,
+                     workloads::MixCategory category, const std::string& policy,
+                     double (MixEvaluator::*metric)(const workloads::WorkloadMix&,
+                                                    const std::string&)) {
+  std::vector<double> values;
+  for (const auto& mix : mixes) {
+    if (mix.category == category) values.push_back((eval.*metric)(mix, policy));
+  }
+  return analysis::mean(values);
+}
+
+}  // namespace cmm::bench

@@ -1,0 +1,81 @@
+// Shared machinery for the per-figure bench binaries: environment-
+// controlled run parameters, a memoizing mix runner (baseline + each
+// mechanism), and the normalized-metric helpers the paper's figures
+// report.
+//
+// Environment knobs (all optional):
+//   CMM_BENCH_SCALE   LLC capacity divisor for the simulated machine
+//                     (default 16; 1 = the paper's full 20 MB LLC)
+//   CMM_BENCH_CYCLES  simulated cycles per workload run (default 8e6)
+//   CMM_BENCH_MIXES   workloads per category (default 3; paper uses 10)
+//   CMM_BENCH_SEED    workload/mix RNG seed (default 42)
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/run_harness.hpp"
+#include "analysis/speedup_metrics.hpp"
+#include "analysis/table.hpp"
+#include "workloads/workload_mix.hpp"
+
+namespace cmm::bench {
+
+struct BenchEnv {
+  analysis::RunParams params;
+  unsigned mixes_per_category = 3;
+
+  static BenchEnv from_env();
+
+  /// The evaluation workloads in paper presentation order (Fri, Agg,
+  /// Unfri, NoAgg).
+  std::vector<workloads::WorkloadMix> workloads() const;
+};
+
+/// Memoizing runner: each (mix, policy) pair is simulated once per
+/// process; the baseline run and alone-IPC table are shared across
+/// figures within one binary.
+class MixEvaluator {
+ public:
+  explicit MixEvaluator(BenchEnv env);
+
+  const analysis::RunResult& run(const workloads::WorkloadMix& mix, const std::string& policy);
+
+  double alone_ipc(const std::string& benchmark);
+
+  /// HS(policy) / HS(baseline) for one mix.
+  double normalized_hs(const workloads::WorkloadMix& mix, const std::string& policy);
+
+  /// Normalized weighted speedup over the baseline run.
+  double normalized_ws(const workloads::WorkloadMix& mix, const std::string& policy);
+
+  /// Worst per-application speedup vs baseline.
+  double worst_case(const workloads::WorkloadMix& mix, const std::string& policy);
+
+  /// Total DRAM bandwidth relative to baseline.
+  double normalized_bw(const workloads::WorkloadMix& mix, const std::string& policy);
+
+  /// Sum of per-core STALLS_L2_PENDING relative to baseline.
+  double normalized_stalls(const workloads::WorkloadMix& mix, const std::string& policy);
+
+  const BenchEnv& env() const noexcept { return env_; }
+
+ private:
+  double hs(const analysis::RunResult& result);
+
+  BenchEnv env_;
+  std::map<std::string, analysis::RunResult> cache_;
+  std::map<std::string, double> alone_;
+};
+
+/// Print the standard figure preamble (machine + parameters).
+void print_preamble(const BenchEnv& env, const std::string& figure, const std::string& what);
+
+/// Mean of a metric over the mixes of one category.
+double category_mean(MixEvaluator& eval, const std::vector<workloads::WorkloadMix>& mixes,
+                     workloads::MixCategory category, const std::string& policy,
+                     double (MixEvaluator::*metric)(const workloads::WorkloadMix&,
+                                                    const std::string&));
+
+}  // namespace cmm::bench

@@ -1,0 +1,28 @@
+// Fig. 1: memory bandwidth consumption per benchmark, prefetching off
+// (demand) vs on (demand + prefetch delta). The paper's shape: the
+// demand-intensive streamers draw ~4 GB/s demand BW and gain >80 % from
+// prefetching.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace cmm;
+  const auto env = bench::BenchEnv::from_env();
+  bench::print_preamble(env, "Fig 1", "memory bandwidth with and without prefetching");
+
+  analysis::RunParams params = env.params;
+  analysis::Table table(
+      {"benchmark", "demand GB/s (pf off)", "total GB/s (pf on)", "increase %"});
+  for (const auto& spec : workloads::benchmark_suite()) {
+    const auto off = analysis::run_solo(spec.name, params, false);
+    const auto on = analysis::run_solo(spec.name, params, true);
+    const double bw_off = off.cores.front().total_gbs();
+    const double bw_on = on.cores.front().total_gbs();
+    const double gain = bw_off > 0 ? 100.0 * (bw_on - bw_off) / bw_off : 0.0;
+    table.add_row({spec.name, analysis::Table::fmt(off.cores.front().demand_gbs, 2),
+                   analysis::Table::fmt(bw_on, 2), analysis::Table::fmt(gain, 1)});
+  }
+  table.print(std::cout);
+  return 0;
+}

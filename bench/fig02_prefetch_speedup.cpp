@@ -1,0 +1,24 @@
+// Fig. 2: per-benchmark IPC speedup from prefetching (solo runs).
+// Paper shape: libquantum/bwaves/wrf/GemsFDTD-likes gain 50 %+; the
+// Rand Access micro-benchmark *loses* (~25 % in the paper).
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace cmm;
+  const auto env = bench::BenchEnv::from_env();
+  bench::print_preamble(env, "Fig 2", "IPC speedup from prefetching (solo)");
+
+  analysis::Table table({"benchmark", "ipc pf off", "ipc pf on", "speedup"});
+  for (const auto& spec : workloads::benchmark_suite()) {
+    const auto off = analysis::run_solo(spec.name, env.params, false);
+    const auto on = analysis::run_solo(spec.name, env.params, true);
+    const double s =
+        off.cores.front().ipc > 0 ? on.cores.front().ipc / off.cores.front().ipc : 0.0;
+    table.add_row({spec.name, analysis::Table::fmt(off.cores.front().ipc),
+                   analysis::Table::fmt(on.cores.front().ipc), analysis::Table::fmt(s, 2)});
+  }
+  table.print(std::cout);
+  return 0;
+}

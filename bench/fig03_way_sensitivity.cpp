@@ -1,0 +1,43 @@
+// Fig. 3: per-benchmark IPC as a function of allocated LLC ways
+// (prefetching on). Paper shape: prefetch-aggressive/friendly programs
+// reach 90 % of peak with <= 2 ways; LLC-sensitive programs need >= 8
+// ways for 80 %.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace cmm;
+  const auto env = bench::BenchEnv::from_env();
+  bench::print_preamble(env, "Fig 3", "IPC vs number of LLC ways (prefetch on)");
+
+  const unsigned total_ways = env.params.machine.llc.ways;
+  std::vector<std::string> headers{"benchmark"};
+  for (unsigned w = 1; w <= total_ways; ++w) headers.push_back("w" + std::to_string(w));
+  headers.push_back("w80");
+  headers.push_back("w90");
+  analysis::Table table(headers);
+
+  for (const auto& spec : workloads::benchmark_suite()) {
+    std::vector<double> ipc(total_ways + 1, 0.0);
+    double best = 0.0;
+    for (unsigned w = 1; w <= total_ways; ++w) {
+      ipc[w] = analysis::run_solo(spec.name, env.params, true, w).cores.front().ipc;
+      best = std::max(best, ipc[w]);
+    }
+    unsigned w80 = 0;
+    unsigned w90 = 0;
+    std::vector<std::string> row{spec.name};
+    for (unsigned w = 1; w <= total_ways; ++w) {
+      row.push_back(analysis::Table::fmt(best > 0 ? ipc[w] / best : 0.0, 2));
+      if (w80 == 0 && ipc[w] >= 0.8 * best) w80 = w;
+      if (w90 == 0 && ipc[w] >= 0.9 * best) w90 = w;
+    }
+    row.push_back(std::to_string(w80));
+    row.push_back(std::to_string(w90));
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+  std::cout << "\n(values are IPC normalized to the benchmark's best across ways)\n";
+  return 0;
+}

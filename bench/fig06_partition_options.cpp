@@ -1,0 +1,55 @@
+// Fig. 6: the partition options (a)-(d) of the coordinated back-end.
+// The paper's figure is a diagram; this bench runs each CMM variant on
+// one Pref Agg workload and prints the way masks and throttling it
+// actually chose, plus the Dunn fallback on a Pref No Agg workload
+// (option d).
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/epoch_driver.hpp"
+#include "sim/multicore_system.hpp"
+
+namespace {
+
+void show(const cmm::bench::BenchEnv& env, const cmm::workloads::WorkloadMix& mix,
+          const std::string& policy) {
+  using namespace cmm;
+  sim::MulticoreSystem system(env.params.machine);
+  workloads::attach_mix(system, mix, env.params.seed);
+  auto pol = analysis::make_policy(policy, env.params.detector());
+  core::EpochDriver driver(system, *pol, env.params.epochs);
+  driver.run(env.params.run_cycles);
+
+  std::cout << "-- " << policy << " on " << mix.name << " --\n";
+  analysis::Table table({"core", "benchmark", "way mask", "ways", "prefetchers"});
+  for (CoreId c = 0; c < system.num_cores(); ++c) {
+    const WayMask mask = system.cat().core_mask(c);
+    char hex[16];
+    std::snprintf(hex, sizeof hex, "0x%05x", mask);
+    table.add_row({std::to_string(c), mix.benchmarks[c], hex,
+                   std::to_string(popcount(mask)),
+                   system.core(c).prefetch_msr().all_enabled() ? "on" : "throttled"});
+  }
+  table.print(std::cout);
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main() {
+  using namespace cmm;
+  const auto env = bench::BenchEnv::from_env();
+  bench::print_preamble(env, "Fig 6", "partition options chosen by CMM-a/b/c (+Dunn fallback)");
+
+  const auto agg_mix = workloads::make_mixes(workloads::MixCategory::PrefAgg, 1,
+                                             env.params.machine.num_cores, env.params.seed)
+                           .front();
+  for (const std::string policy : {"cmm_a", "cmm_b", "cmm_c"}) show(env, agg_mix, policy);
+
+  const auto quiet_mix = workloads::make_mixes(workloads::MixCategory::PrefNoAgg, 1,
+                                               env.params.machine.num_cores, env.params.seed)
+                             .front();
+  std::cout << "option (d): empty Agg set falls back to the Dunn partitioner\n";
+  show(env, quiet_mix, "cmm_a");
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Fig. 7: normalized HS and WS of Prefetch Throttling (PT) vs the
+// baseline across all workloads, with per-category means. Paper shape:
+// Pref Unfri gains most, then Pref Agg; Pref No Agg gains nothing.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace cmm;
+  auto env = bench::BenchEnv::from_env();
+  bench::print_preamble(env, "Fig 7", "normalized HS and WS of PT");
+
+  bench::MixEvaluator eval(env);
+  const auto mixes = env.workloads();
+
+  analysis::Table table({"workload", "HS/HS_base", "WS"});
+  for (const auto& mix : mixes) {
+    table.add_row({mix.name, analysis::Table::fmt(eval.normalized_hs(mix, "pt")),
+                   analysis::Table::fmt(eval.normalized_ws(mix, "pt"))});
+  }
+  table.print(std::cout);
+
+  std::cout << "\ncategory means:\n";
+  analysis::Table means({"category", "HS/HS_base", "WS"});
+  for (const auto category :
+       {workloads::MixCategory::PrefFri, workloads::MixCategory::PrefAgg,
+        workloads::MixCategory::PrefUnfri, workloads::MixCategory::PrefNoAgg}) {
+    means.add_row({std::string(workloads::to_string(category)),
+                   analysis::Table::fmt(bench::category_mean(
+                       eval, mixes, category, "pt", &bench::MixEvaluator::normalized_hs)),
+                   analysis::Table::fmt(bench::category_mean(
+                       eval, mixes, category, "pt", &bench::MixEvaluator::normalized_ws))});
+  }
+  means.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,28 @@
+// Fig. 8: the lowest normalized per-application IPC within each
+// workload under PT. Paper shape: at least one application loses >20 %
+// in ~80 % of workloads (the cost of throttling prefetch-friendly
+// programs).
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace cmm;
+  auto env = bench::BenchEnv::from_env();
+  bench::print_preamble(env, "Fig 8", "lowest normalized IPC per workload under PT");
+
+  bench::MixEvaluator eval(env);
+  const auto mixes = env.workloads();
+
+  unsigned degraded = 0;
+  analysis::Table table({"workload", "worst-case speedup"});
+  for (const auto& mix : mixes) {
+    const double wc = eval.worst_case(mix, "pt");
+    if (wc < 0.8) ++degraded;
+    table.add_row({mix.name, analysis::Table::fmt(wc)});
+  }
+  table.print(std::cout);
+  std::cout << "\nworkloads with an application degraded >20%: " << degraded << "/"
+            << mixes.size() << "\n";
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Fig. 9: normalized HS and WS of the cache-partitioning mechanisms —
+// the Dunn baseline (Selfa et al.) vs Pref-CP vs Pref-CP2. Paper shape:
+// the prefetch-aware partitioners beat prefetch-blind Dunn clearly.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace cmm;
+  auto env = bench::BenchEnv::from_env();
+  bench::print_preamble(env, "Fig 9", "normalized HS and WS: Dunn vs Pref-CP vs Pref-CP2");
+
+  bench::MixEvaluator eval(env);
+  const auto mixes = env.workloads();
+  const std::vector<std::string> policies{"dunn", "pref_cp", "pref_cp2"};
+
+  analysis::Table table({"workload", "dunn HS", "pref_cp HS", "pref_cp2 HS", "dunn WS",
+                         "pref_cp WS", "pref_cp2 WS"});
+  for (const auto& mix : mixes) {
+    std::vector<std::string> row{mix.name};
+    for (const auto& p : policies) row.push_back(analysis::Table::fmt(eval.normalized_hs(mix, p)));
+    for (const auto& p : policies) row.push_back(analysis::Table::fmt(eval.normalized_ws(mix, p)));
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+
+  std::cout << "\ncategory mean HS/HS_base:\n";
+  analysis::Table means({"category", "dunn", "pref_cp", "pref_cp2"});
+  for (const auto category :
+       {workloads::MixCategory::PrefFri, workloads::MixCategory::PrefAgg,
+        workloads::MixCategory::PrefUnfri, workloads::MixCategory::PrefNoAgg}) {
+    std::vector<std::string> row{std::string(workloads::to_string(category))};
+    for (const auto& p : policies) {
+      row.push_back(analysis::Table::fmt(
+          bench::category_mean(eval, mixes, category, p, &bench::MixEvaluator::normalized_hs)));
+    }
+    means.add_row(std::move(row));
+  }
+  means.print(std::cout);
+  return 0;
+}

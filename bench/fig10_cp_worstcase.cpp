@@ -1,0 +1,23 @@
+// Fig. 10: worst-case per-application speedup under the CP mechanisms.
+// Paper shape: Pref-CP / Pref-CP2 have a higher worst case than Dunn.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace cmm;
+  auto env = bench::BenchEnv::from_env();
+  bench::print_preamble(env, "Fig 10", "worst-case speedup: Dunn vs Pref-CP vs Pref-CP2");
+
+  bench::MixEvaluator eval(env);
+  const auto mixes = env.workloads();
+
+  analysis::Table table({"workload", "dunn", "pref_cp", "pref_cp2"});
+  for (const auto& mix : mixes) {
+    table.add_row({mix.name, analysis::Table::fmt(eval.worst_case(mix, "dunn")),
+                   analysis::Table::fmt(eval.worst_case(mix, "pref_cp")),
+                   analysis::Table::fmt(eval.worst_case(mix, "pref_cp2"))});
+  }
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Fig. 11: normalized HS and WS of the coordinated mechanisms CMM-a/b/c.
+// Paper shape: a and c beat b on Pref Agg / Pref Unfri (CMM-b leaves
+// unfriendly cores the whole LLC, so their demand interference stays).
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace cmm;
+  auto env = bench::BenchEnv::from_env();
+  bench::print_preamble(env, "Fig 11", "normalized HS and WS: CMM-a/b/c");
+
+  bench::MixEvaluator eval(env);
+  const auto mixes = env.workloads();
+  const std::vector<std::string> policies{"cmm_a", "cmm_b", "cmm_c"};
+
+  analysis::Table table(
+      {"workload", "cmm_a HS", "cmm_b HS", "cmm_c HS", "cmm_a WS", "cmm_b WS", "cmm_c WS"});
+  for (const auto& mix : mixes) {
+    std::vector<std::string> row{mix.name};
+    for (const auto& p : policies) row.push_back(analysis::Table::fmt(eval.normalized_hs(mix, p)));
+    for (const auto& p : policies) row.push_back(analysis::Table::fmt(eval.normalized_ws(mix, p)));
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+
+  std::cout << "\ncategory mean HS/HS_base:\n";
+  analysis::Table means({"category", "cmm_a", "cmm_b", "cmm_c"});
+  for (const auto category :
+       {workloads::MixCategory::PrefFri, workloads::MixCategory::PrefAgg,
+        workloads::MixCategory::PrefUnfri, workloads::MixCategory::PrefNoAgg}) {
+    std::vector<std::string> row{std::string(workloads::to_string(category))};
+    for (const auto& p : policies) {
+      row.push_back(analysis::Table::fmt(
+          bench::category_mean(eval, mixes, category, p, &bench::MixEvaluator::normalized_hs)));
+    }
+    means.add_row(std::move(row));
+  }
+  means.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Fig. 12: worst-case per-application speedup under CMM-a/b/c. Paper
+// shape: every workload keeps >= 0.8, most >= 0.9 — no individual
+// application is sacrificed.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace cmm;
+  auto env = bench::BenchEnv::from_env();
+  bench::print_preamble(env, "Fig 12", "worst-case speedup: CMM-a/b/c");
+
+  bench::MixEvaluator eval(env);
+  const auto mixes = env.workloads();
+
+  unsigned above80 = 0;
+  unsigned above90 = 0;
+  analysis::Table table({"workload", "cmm_a", "cmm_b", "cmm_c"});
+  for (const auto& mix : mixes) {
+    const double a = eval.worst_case(mix, "cmm_a");
+    const double b = eval.worst_case(mix, "cmm_b");
+    const double c = eval.worst_case(mix, "cmm_c");
+    const double lo = std::min({a, b, c});
+    if (lo >= 0.8) ++above80;
+    if (lo >= 0.9) ++above90;
+    table.add_row({mix.name, analysis::Table::fmt(a), analysis::Table::fmt(b),
+                   analysis::Table::fmt(c)});
+  }
+  table.print(std::cout);
+  std::cout << "\nworkloads with worst-case >= 0.8 under all variants: " << above80 << "/"
+            << mixes.size() << "  (>= 0.9: " << above90 << ")\n";
+  return 0;
+}

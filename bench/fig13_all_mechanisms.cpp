@@ -1,0 +1,46 @@
+// Fig. 13: all seven mechanisms side by side (category mean normalized
+// HS). Paper shape: Pref Agg and Pref Unfri categories benefit most;
+// CMM-a/c lead overall.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace cmm;
+  auto env = bench::BenchEnv::from_env();
+  bench::print_preamble(env, "Fig 13", "category mean normalized HS, all 7 mechanisms");
+
+  bench::MixEvaluator eval(env);
+  const auto mixes = env.workloads();
+  const auto policies = analysis::mechanism_names();
+
+  std::vector<std::string> headers{"category"};
+  for (const auto& p : policies) headers.push_back(p);
+  analysis::Table table(headers);
+  for (const auto category :
+       {workloads::MixCategory::PrefFri, workloads::MixCategory::PrefAgg,
+        workloads::MixCategory::PrefUnfri, workloads::MixCategory::PrefNoAgg}) {
+    std::vector<std::string> row{std::string(workloads::to_string(category))};
+    for (const auto& p : policies) {
+      row.push_back(analysis::Table::fmt(
+          bench::category_mean(eval, mixes, category, p, &bench::MixEvaluator::normalized_hs)));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+
+  std::cout << "\ncategory mean normalized WS:\n";
+  analysis::Table ws(headers);
+  for (const auto category :
+       {workloads::MixCategory::PrefFri, workloads::MixCategory::PrefAgg,
+        workloads::MixCategory::PrefUnfri, workloads::MixCategory::PrefNoAgg}) {
+    std::vector<std::string> row{std::string(workloads::to_string(category))};
+    for (const auto& p : policies) {
+      row.push_back(analysis::Table::fmt(
+          bench::category_mean(eval, mixes, category, p, &bench::MixEvaluator::normalized_ws)));
+    }
+    ws.add_row(std::move(row));
+  }
+  ws.print(std::cout);
+  return 0;
+}

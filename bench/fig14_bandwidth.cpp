@@ -1,0 +1,43 @@
+// Fig. 14: memory bandwidth of each mechanism normalized to the
+// baseline. Paper shape: PT consumes the least (it outright disables
+// prefetchers); CP alone does not reduce prefetch memory traffic;
+// CMM-a/c sit between.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace cmm;
+  auto env = bench::BenchEnv::from_env();
+  bench::print_preamble(env, "Fig 14", "normalized memory bandwidth, all 7 mechanisms");
+
+  bench::MixEvaluator eval(env);
+  const auto mixes = env.workloads();
+  const auto policies = analysis::mechanism_names();
+
+  std::vector<std::string> headers{"workload"};
+  for (const auto& p : policies) headers.push_back(p);
+  analysis::Table table(headers);
+  for (const auto& mix : mixes) {
+    std::vector<std::string> row{mix.name};
+    for (const auto& p : policies)
+      row.push_back(analysis::Table::fmt(eval.normalized_bw(mix, p)));
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+
+  std::cout << "\ncategory means:\n";
+  analysis::Table means(headers);
+  for (const auto category :
+       {workloads::MixCategory::PrefFri, workloads::MixCategory::PrefAgg,
+        workloads::MixCategory::PrefUnfri, workloads::MixCategory::PrefNoAgg}) {
+    std::vector<std::string> row{std::string(workloads::to_string(category))};
+    for (const auto& p : policies) {
+      row.push_back(analysis::Table::fmt(
+          bench::category_mean(eval, mixes, category, p, &bench::MixEvaluator::normalized_bw)));
+    }
+    means.add_row(std::move(row));
+  }
+  means.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,96 @@
+// google-benchmark micro benches for the substrate itself: cache access
+// throughput, prefetcher observation cost, k-means, full-system
+// simulation rate, and the PT-search ablation (exhaustive vs
+// group-level) that motivates the paper's k-means grouping.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "core/kmeans.hpp"
+#include "core/policy.hpp"
+#include "sim/cache.hpp"
+#include "sim/multicore_system.hpp"
+#include "workloads/benchmark_specs.hpp"
+#include "workloads/workload_mix.hpp"
+
+namespace {
+
+using namespace cmm;
+
+void BM_CacheAccessHit(benchmark::State& state) {
+  sim::SetAssocCache cache(sim::CacheGeometry{32 * 1024, 8, 64});
+  for (Addr line = 0; line < 64; ++line)
+    cache.fill(line, AccessType::DemandLoad, 0, 0, ~WayMask{0});
+  Addr line = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.access(line, AccessType::DemandLoad, 0));
+    line = (line + 1) % 64;
+  }
+}
+BENCHMARK(BM_CacheAccessHit);
+
+void BM_CacheFillEvict(benchmark::State& state) {
+  sim::SetAssocCache cache(sim::CacheGeometry{32 * 1024, 8, 64});
+  Addr line = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.fill(line++, AccessType::DemandLoad, 0, 0, ~WayMask{0}));
+  }
+}
+BENCHMARK(BM_CacheFillEvict);
+
+void BM_CacheFillMasked(benchmark::State& state) {
+  sim::SetAssocCache cache(sim::CacheGeometry{20 * 1024 * 1024 / 16, 20, 64});
+  const WayMask mask = contiguous_mask(0, static_cast<unsigned>(state.range(0)));
+  Addr line = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.fill(line++, AccessType::Prefetch, 0, 0, mask));
+  }
+}
+BENCHMARK(BM_CacheFillMasked)->Arg(2)->Arg(6)->Arg(20);
+
+void BM_StreamerObserve(benchmark::State& state) {
+  sim::StreamerPrefetcher streamer;
+  std::vector<Addr> out;
+  Addr line = 0;
+  for (auto _ : state) {
+    out.clear();
+    streamer.observe({line++, 1, true}, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_StreamerObserve);
+
+void BM_KMeans1D(benchmark::State& state) {
+  Rng rng(7);
+  std::vector<double> values(static_cast<std::size_t>(state.range(0)));
+  for (auto& v : values) v = rng.next_double() * 1e8;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::kmeans_1d(values, 3));
+  }
+}
+BENCHMARK(BM_KMeans1D)->Arg(8)->Arg(64);
+
+void BM_SystemSimulation(benchmark::State& state) {
+  const auto cfg = sim::MachineConfig::scaled(16);
+  sim::MulticoreSystem system(cfg);
+  const auto mixes = workloads::make_mixes(workloads::MixCategory::PrefAgg, 1, cfg.num_cores, 7);
+  workloads::attach_mix(system, mixes.front(), 42);
+  for (auto _ : state) {
+    system.run(10'000);
+  }
+  state.SetItemsProcessed(state.iterations() * 10'000 * cfg.num_cores);
+}
+BENCHMARK(BM_SystemSimulation)->Unit(benchmark::kMillisecond);
+
+// Ablation: size of the throttle search space — exhaustive 2^n vs the
+// paper's k-means group-level 2^k. This is the scalability argument of
+// Sec. III-B1 made concrete.
+void BM_ThrottleSearchSpace(benchmark::State& state) {
+  const auto n = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::throttle_combinations(n));
+  }
+  state.counters["combos"] = static_cast<double>(1ULL << n);
+}
+BENCHMARK(BM_ThrottleSearchSpace)->Arg(3)->Arg(8)->Arg(10);
+
+}  // namespace

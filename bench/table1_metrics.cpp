@@ -1,0 +1,40 @@
+// Table I: the seven PMU-derived metrics (M-1..M-7), computed per core
+// for one Pref Agg workload over a profiling sample — the inputs the
+// CMM front-end works from.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/metrics.hpp"
+#include "hw/pmu_reader.hpp"
+#include "sim/multicore_system.hpp"
+
+int main() {
+  using namespace cmm;
+  const auto env = bench::BenchEnv::from_env();
+  bench::print_preamble(env, "Table I", "per-core metric values on a Pref Agg workload");
+
+  const auto mixes = workloads::make_mixes(workloads::MixCategory::PrefAgg, 1,
+                                           env.params.machine.num_cores, env.params.seed);
+  const auto& mix = mixes.front();
+
+  sim::MulticoreSystem system(env.params.machine);
+  workloads::attach_mix(system, mix, env.params.seed);
+  system.run(2'000'000);  // warm, all prefetchers on (baseline state)
+  const auto before = system.pmu().snapshot();
+  system.run(200'000);
+  const auto deltas = hw::pmu_delta(system.pmu().snapshot(), before);
+  const auto metrics = core::compute_all_metrics(deltas, env.params.machine.freq_ghz);
+
+  analysis::Table table({"core", "benchmark", "M-1 l2->llc", "M-2 pref_frac", "M-3 PTR(M/s)",
+                         "M-4 PGA", "M-5 PMR", "M-6 PPM", "M-7 LLC_PT(GB/s)", "ipc"});
+  for (CoreId c = 0; c < metrics.size(); ++c) {
+    const auto& m = metrics[c];
+    table.add_row({std::to_string(c), mix.benchmarks[c], analysis::Table::fmt(m.l2_llc_traffic, 0),
+                   analysis::Table::fmt(m.l2_pref_miss_frac), analysis::Table::fmt(m.l2_ptr / 1e6, 1),
+                   analysis::Table::fmt(m.pga, 2), analysis::Table::fmt(m.l2_pmr, 2),
+                   analysis::Table::fmt(m.l2_ppm, 2), analysis::Table::fmt(m.llc_pt / 1e9, 2),
+                   analysis::Table::fmt(m.ipc, 3)});
+  }
+  table.print(std::cout);
+  return 0;
+}

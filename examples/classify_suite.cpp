@@ -1,0 +1,41 @@
+// classify_suite: characterise every benchmark in the synthetic suite
+// the way the paper characterises SPEC CPU2006 (Sec. IV-B, Figs 1-3)
+// and print the measured class against the spec's expectation.
+//
+// Usage: classify_suite [scale_divisor] [run_cycles]
+#include <cstdlib>
+#include <iostream>
+
+#include "analysis/run_harness.hpp"
+#include "analysis/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cmm;
+
+  unsigned scale = argc > 1 ? static_cast<unsigned>(std::atoi(argv[1])) : 8;
+  analysis::RunParams params;
+  params.machine = sim::MachineConfig::scaled(scale);
+  if (argc > 2) params.run_cycles = static_cast<Cycle>(std::atoll(argv[2]));
+
+  std::cout << "Machine: LLC " << params.machine.llc.size_bytes / 1024 << " KB / "
+            << params.machine.llc.ways << " ways, L2 " << params.machine.l2.size_bytes / 1024
+            << " KB, L1 " << params.machine.l1d.size_bytes / 1024 << " KB\n\n";
+
+  analysis::Table table({"benchmark", "dBW(GB/s)", "bwGain%", "pfSpeedup", "w80", "w90",
+                         "agg", "fri", "llc", "expected"});
+
+  for (const auto& spec : workloads::benchmark_suite()) {
+    const auto c = analysis::classify_benchmark(spec.name, params);
+    std::string expected;
+    expected += spec.expect_prefetch_aggressive ? 'A' : '-';
+    expected += spec.expect_prefetch_friendly ? 'F' : '-';
+    expected += spec.expect_llc_sensitive ? 'S' : '-';
+    table.add_row({c.name, analysis::Table::fmt(c.demand_gbs, 2),
+                   analysis::Table::fmt(100.0 * c.bw_gain, 1),
+                   analysis::Table::fmt(c.prefetch_speedup, 2), std::to_string(c.ways_for_80pct),
+                   std::to_string(c.ways_for_90pct), c.prefetch_aggressive ? "A" : "-",
+                   c.prefetch_friendly ? "F" : "-", c.llc_sensitive ? "S" : "-", expected});
+  }
+  table.print(std::cout);
+  return 0;
+}

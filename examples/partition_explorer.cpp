@@ -1,0 +1,47 @@
+// partition_explorer: interactively explore CAT way partitioning for a
+// single benchmark — the experiment behind the paper's Fig. 3 and its
+// 1.5x partition-sizing rule.
+//
+// Usage: partition_explorer [benchmark] [scale_divisor]
+// Prints the benchmark's IPC across every LLC way allocation, and the
+// sizing rule's choice for Agg sets of 1..8 cores.
+#include <cstdlib>
+#include <iostream>
+
+#include "analysis/run_harness.hpp"
+#include "analysis/table.hpp"
+#include "core/policy.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cmm;
+
+  const std::string benchmark = argc > 1 ? argv[1] : "soplex";
+  analysis::RunParams params;
+  if (argc > 2) params.machine = sim::MachineConfig::scaled(
+      static_cast<unsigned>(std::atoi(argv[2])));
+
+  const unsigned ways = params.machine.llc.ways;
+  std::cout << "way sensitivity of '" << benchmark << "' (prefetch on, LLC "
+            << params.machine.llc.size_bytes / 1024 << " KB / " << ways << " ways)\n\n";
+
+  analysis::Table table({"ways", "IPC", "relative to max"});
+  std::vector<double> ipc(ways + 1, 0.0);
+  double best = 0.0;
+  for (unsigned w = 1; w <= ways; ++w) {
+    ipc[w] = analysis::run_solo(benchmark, params, true, w).cores.front().ipc;
+    best = std::max(best, ipc[w]);
+  }
+  for (unsigned w = 1; w <= ways; ++w) {
+    table.add_row({std::to_string(w), analysis::Table::fmt(ipc[w]),
+                   analysis::Table::fmt(best > 0 ? ipc[w] / best : 0, 2)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\npaper partition-sizing rule (1.5 ways per Agg core):\n";
+  analysis::Table rule({"|Agg set|", "partition ways"});
+  for (unsigned n = 1; n <= 8; ++n) {
+    rule.add_row({std::to_string(n), std::to_string(core::partition_ways_for(n, ways))});
+  }
+  rule.print(std::cout);
+  return 0;
+}

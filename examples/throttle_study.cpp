@@ -1,0 +1,42 @@
+// throttle_study: what pure prefetch throttling costs the victims it
+// throttles. Runs a prefetch-friendly-heavy workload under PT and under
+// CMM-a and contrasts the system gain with the worst individual
+// application's loss — the motivation for coordinating throttling with
+// partitioning (paper Secs. III-B1 and V-A).
+#include <iostream>
+
+#include "analysis/run_harness.hpp"
+#include "analysis/speedup_metrics.hpp"
+#include "analysis/table.hpp"
+
+int main() {
+  using namespace cmm;
+
+  analysis::RunParams params;
+  params.run_cycles = 8'000'000;
+  params.epochs.execution_epoch = 1'500'000;
+  params.epochs.sampling_interval = 40'000;
+
+  const auto mixes = workloads::make_mixes(workloads::MixCategory::PrefFri, 3,
+                                           params.machine.num_cores, params.seed);
+
+  analysis::Table table({"workload", "policy", "WS vs baseline", "worst-case app speedup"});
+  for (const auto& mix : mixes) {
+    auto base_pol = analysis::make_policy("baseline", params.detector());
+    const auto baseline = analysis::run_mix(mix, *base_pol, params);
+    for (const std::string policy : {"pt", "cmm_a"}) {
+      auto pol = analysis::make_policy(policy, params.detector());
+      const auto result = analysis::run_mix(mix, *pol, params);
+      table.add_row({mix.name, policy,
+                     analysis::Table::fmt(
+                         analysis::weighted_speedup(result.ipcs(), baseline.ipcs())),
+                     analysis::Table::fmt(
+                         analysis::worst_case_speedup(result.ipcs(), baseline.ipcs()))});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nPT trades one application's prefetching away for the others;\n"
+               "CMM keeps the friendly cores' prefetchers on inside a small\n"
+               "partition, so its worst case stays near 1.0.\n";
+  return 0;
+}

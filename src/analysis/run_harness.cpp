@@ -1,0 +1,185 @@
+#include "analysis/run_harness.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/bitmask.hpp"
+#include "core/policy_baseline.hpp"
+#include "core/policy_cmm.hpp"
+#include "core/policy_cp.hpp"
+#include "core/policy_dunn.hpp"
+#include "core/policy_pt.hpp"
+#include "sim/multicore_system.hpp"
+
+namespace cmm::analysis {
+
+namespace {
+
+double to_gbs(std::uint64_t bytes, Cycle cycles, double freq_ghz) {
+  if (cycles == 0) return 0.0;
+  const double seconds = static_cast<double>(cycles) / (freq_ghz * 1e9);
+  return static_cast<double>(bytes) / seconds / 1e9;
+}
+
+CoreRunStats make_stats(const std::string& benchmark, const sim::PmuCounters& delta,
+                        double freq_ghz) {
+  CoreRunStats s;
+  s.benchmark = benchmark;
+  s.counters = delta;
+  s.ipc = delta.ipc();
+  s.demand_gbs = to_gbs(delta.dram_demand_bytes, delta.cycles, freq_ghz);
+  s.prefetch_gbs = to_gbs(delta.dram_prefetch_bytes, delta.cycles, freq_ghz);
+  s.stalls_l2_pending = delta.stalls_l2_pending;
+  return s;
+}
+
+}  // namespace
+
+std::vector<double> RunResult::ipcs() const {
+  std::vector<double> v;
+  v.reserve(cores.size());
+  for (const auto& c : cores) v.push_back(c.ipc);
+  return v;
+}
+
+double RunResult::total_gbs() const {
+  double sum = 0.0;
+  for (const auto& c : cores) sum += c.total_gbs();
+  return sum;
+}
+
+std::uint64_t RunResult::total_stalls() const {
+  std::uint64_t sum = 0;
+  for (const auto& c : cores) sum += c.stalls_l2_pending;
+  return sum;
+}
+
+RunResult run_solo(const std::string& benchmark, const RunParams& params, bool prefetch_on,
+                   unsigned ways) {
+  sim::MachineConfig machine = params.machine;
+  machine.num_cores = 1;
+
+  sim::MulticoreSystem system(machine);
+  system.core(0).prefetch_msr().set_all(prefetch_on);
+  if (ways > 0 && ways < machine.llc.ways) {
+    system.cat().set_cbm(0, contiguous_mask(0, ways));
+    system.cat().assign_core(0, 0);
+  }
+  system.set_op_source(0, workloads::make_op_source(benchmark, machine, 0, params.seed));
+
+  system.run(params.warmup_cycles);
+  const auto before = system.pmu().snapshot();
+  system.run(params.run_cycles);
+  const auto after = system.pmu().snapshot();
+
+  RunResult result;
+  result.measured_cycles = params.run_cycles;
+  result.cores.push_back(
+      make_stats(benchmark, after[0].delta_since(before[0]), machine.freq_ghz));
+  return result;
+}
+
+RunResult run_mix(const workloads::WorkloadMix& mix, core::Policy& policy,
+                  const RunParams& params) {
+  sim::MulticoreSystem system(params.machine);
+  workloads::attach_mix(system, mix, params.seed);
+
+  core::EpochDriver driver(system, policy, params.epochs);
+  driver.run(params.run_cycles);
+
+  RunResult result;
+  const auto& exec = driver.execution_counters();
+  for (CoreId c = 0; c < exec.size(); ++c) {
+    result.cores.push_back(make_stats(mix.benchmarks[c], exec[c], params.machine.freq_ghz));
+    result.measured_cycles = std::max<Cycle>(result.measured_cycles, exec[c].cycles);
+  }
+  return result;
+}
+
+std::vector<std::string> mechanism_names() {
+  return {"pt", "dunn", "pref_cp", "pref_cp2", "cmm_a", "cmm_b", "cmm_c"};
+}
+
+std::unique_ptr<core::Policy> make_policy(const std::string& name,
+                                          const core::DetectorConfig& detector) {
+  using namespace cmm::core;
+  if (name == "baseline") return std::make_unique<BaselinePolicy>();
+  if (name == "pt") {
+    PtPolicy::Options o;
+    o.detector = detector;
+    return std::make_unique<PtPolicy>(o);
+  }
+  if (name == "dunn") {
+    DunnPolicy::Options o;
+    o.freq_ghz = detector.freq_ghz;
+    return std::make_unique<DunnPolicy>(o);
+  }
+  if (name == "pref_cp" || name == "pref_cp2") {
+    CpPolicy::Options o;
+    o.detector = detector;
+    o.variant = (name == "pref_cp") ? CpVariant::PrefCp : CpVariant::PrefCp2;
+    return std::make_unique<CpPolicy>(o);
+  }
+  if (name == "cmm_a" || name == "cmm_b" || name == "cmm_c") {
+    CmmPolicy::Options o;
+    o.detector = detector;
+    o.variant = (name == "cmm_a")   ? CmmVariant::A
+                : (name == "cmm_b") ? CmmVariant::B
+                                    : CmmVariant::C;
+    return std::make_unique<CmmPolicy>(o);
+  }
+  throw std::invalid_argument("unknown policy: " + name);
+}
+
+std::map<std::string, double> compute_alone_ipcs(const std::vector<std::string>& benchmarks,
+                                                 const RunParams& params) {
+  std::map<std::string, double> table;
+  for (const auto& name : benchmarks) {
+    if (table.contains(name)) continue;
+    table[name] = run_solo(name, params, /*prefetch_on=*/true).cores.front().ipc;
+  }
+  return table;
+}
+
+BenchmarkClassification classify_benchmark(const std::string& name, const RunParams& params,
+                                           const ClassifierThresholds& thresholds) {
+  BenchmarkClassification c;
+  c.name = name;
+
+  const RunResult off = run_solo(name, params, /*prefetch_on=*/false);
+  const RunResult on = run_solo(name, params, /*prefetch_on=*/true);
+
+  const double bw_off = off.cores.front().total_gbs();
+  const double bw_on = on.cores.front().total_gbs();
+  c.demand_gbs = off.cores.front().demand_gbs;
+  c.bw_gain = bw_off > 0.0 ? (bw_on - bw_off) / bw_off : 0.0;
+  const double ipc_off = off.cores.front().ipc;
+  c.prefetch_speedup = ipc_off > 0.0 ? on.cores.front().ipc / ipc_off : 0.0;
+
+  // Way sweep (prefetch on), paper Fig. 3 — on a coarse grid; the
+  // dedicated fig03 bench sweeps every way count.
+  const unsigned total_ways = params.machine.llc.ways;
+  std::vector<unsigned> grid;
+  for (const unsigned w : {1U, 2U, 3U, 4U, 6U, 8U, 10U, 12U, 16U, 20U}) {
+    if (w <= total_ways) grid.push_back(w);
+  }
+  if (grid.empty() || grid.back() != total_ways) grid.push_back(total_ways);
+  std::vector<double> ipc_at(grid.size(), 0.0);
+  double best = 0.0;
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    ipc_at[i] = run_solo(name, params, true, grid[i]).cores.front().ipc;
+    best = std::max(best, ipc_at[i]);
+  }
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    if (c.ways_for_80pct == 0 && ipc_at[i] >= 0.8 * best) c.ways_for_80pct = grid[i];
+    if (c.ways_for_90pct == 0 && ipc_at[i] >= 0.9 * best) c.ways_for_90pct = grid[i];
+  }
+
+  c.prefetch_aggressive =
+      c.demand_gbs > thresholds.demand_gbs_min && c.bw_gain > thresholds.bw_gain_min;
+  c.prefetch_friendly = c.prefetch_speedup > thresholds.friendly_speedup_min;
+  c.llc_sensitive = c.ways_for_80pct >= thresholds.sensitive_ways_min;
+  return c;
+}
+
+}  // namespace cmm::analysis

@@ -1,0 +1,110 @@
+// Evaluation harness: solo characterisation runs (Figs 1-3), policy
+// runs over workload mixes (Figs 7-15), the alone-IPC table HS needs,
+// and the paper's offline benchmark classifier (Sec. IV-B criteria).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/epoch_driver.hpp"
+#include "core/policy.hpp"
+#include "sim/machine_config.hpp"
+#include "workloads/benchmark_specs.hpp"
+#include "workloads/workload_mix.hpp"
+
+namespace cmm::analysis {
+
+struct RunParams {
+  sim::MachineConfig machine = sim::MachineConfig::scaled(16);
+  Cycle warmup_cycles = 3'000'000;
+  Cycle run_cycles = 4'000'000;
+  core::EpochConfig epochs{};
+  std::uint64_t seed = 42;
+
+  /// Detector tuned to this machine (freq for per-second thresholds).
+  core::DetectorConfig detector() const {
+    core::DetectorConfig d;
+    d.freq_ghz = machine.freq_ghz;
+    return d;
+  }
+};
+
+struct CoreRunStats {
+  std::string benchmark;
+  double ipc = 0.0;
+  double demand_gbs = 0.0;    // DRAM demand bandwidth
+  double prefetch_gbs = 0.0;  // DRAM prefetch bandwidth
+  double total_gbs() const noexcept { return demand_gbs + prefetch_gbs; }
+  std::uint64_t stalls_l2_pending = 0;
+  sim::PmuCounters counters;  // deltas over the measured span
+};
+
+struct RunResult {
+  std::vector<CoreRunStats> cores;
+  Cycle measured_cycles = 0;
+
+  std::vector<double> ipcs() const;
+  double total_gbs() const;
+  std::uint64_t total_stalls() const;
+};
+
+/// Run one benchmark alone on a single-core machine derived from
+/// `params.machine` (same caches/latencies/bandwidth). `ways` limits
+/// the LLC allocation mask (0 = all ways). `prefetch_on` gates all four
+/// prefetchers.
+RunResult run_solo(const std::string& benchmark, const RunParams& params, bool prefetch_on,
+                   unsigned ways = 0);
+
+/// Run a full mix under a policy via the EpochDriver. Reported stats
+/// cover execution epochs only.
+RunResult run_mix(const workloads::WorkloadMix& mix, core::Policy& policy,
+                  const RunParams& params);
+
+// ----------------------------------------------------------- policies
+
+/// The evaluated mechanisms, paper order: pt, dunn, pref_cp, pref_cp2,
+/// cmm_a, cmm_b, cmm_c ("baseline" also resolvable).
+std::vector<std::string> mechanism_names();
+
+/// Factory by name; throws std::invalid_argument for unknown names.
+std::unique_ptr<core::Policy> make_policy(const std::string& name,
+                                          const core::DetectorConfig& detector);
+
+// --------------------------------------------------------- alone IPCs
+
+/// IPC of each benchmark running alone (baseline config), keyed by
+/// name. Computed once per (machine, seed); used by HS.
+std::map<std::string, double> compute_alone_ipcs(const std::vector<std::string>& benchmarks,
+                                                 const RunParams& params);
+
+// ------------------------------------------------------ classification
+
+/// Measured classification of one benchmark per the paper's Sec. IV-B
+/// criteria, derived from solo runs.
+struct BenchmarkClassification {
+  std::string name;
+  double demand_gbs = 0.0;        // solo, prefetch off
+  double bw_gain = 0.0;           // (BW_pf_on - BW_pf_off) / BW_pf_off
+  double prefetch_speedup = 0.0;  // IPC_on / IPC_off
+  unsigned ways_for_80pct = 0;    // min ways reaching 80 % of best IPC
+  unsigned ways_for_90pct = 0;
+  bool prefetch_aggressive = false;
+  bool prefetch_friendly = false;
+  bool llc_sensitive = false;
+};
+
+struct ClassifierThresholds {
+  double demand_gbs_min = 1.5;      // paper: demand BW > 1500 MB/s
+  double bw_gain_min = 0.5;         // paper: prefetch BW increase > 50 %
+  double friendly_speedup_min = 1.3;  // paper Sec. IV-B: IPC gain > 30 %
+  unsigned sensitive_ways_min = 8;  // needs >= 8 ways for 80 % of peak
+};
+
+BenchmarkClassification classify_benchmark(const std::string& name, const RunParams& params,
+                                           const ClassifierThresholds& thresholds = {});
+
+}  // namespace cmm::analysis

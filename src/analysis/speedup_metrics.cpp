@@ -1,0 +1,62 @@
+#include "analysis/speedup_metrics.hpp"
+
+namespace cmm::analysis {
+
+double harmonic_speedup(std::span<const double> ipc_together, std::span<const double> ipc_alone) {
+  if (ipc_together.empty() || ipc_together.size() != ipc_alone.size()) return 0.0;
+  double denom = 0.0;
+  for (std::size_t i = 0; i < ipc_together.size(); ++i) {
+    if (ipc_together[i] <= 0.0 || ipc_alone[i] <= 0.0) return 0.0;
+    denom += ipc_alone[i] / ipc_together[i];
+  }
+  return static_cast<double>(ipc_together.size()) / denom;
+}
+
+double antt(std::span<const double> ipc_together, std::span<const double> ipc_alone) {
+  const double hs = harmonic_speedup(ipc_together, ipc_alone);
+  return hs > 0.0 ? 1.0 / hs : 0.0;
+}
+
+double weighted_speedup(std::span<const double> ipc_x, std::span<const double> ipc_baseline) {
+  if (ipc_x.empty() || ipc_x.size() != ipc_baseline.size()) return 0.0;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < ipc_x.size(); ++i) {
+    if (ipc_baseline[i] <= 0.0) return 0.0;
+    sum += ipc_x[i] / ipc_baseline[i];
+  }
+  return sum / static_cast<double>(ipc_x.size());
+}
+
+double worst_case_speedup(std::span<const double> ipc_x, std::span<const double> ipc_baseline) {
+  if (ipc_x.empty() || ipc_x.size() != ipc_baseline.size()) return 0.0;
+  double worst = 0.0;
+  bool first = true;
+  for (std::size_t i = 0; i < ipc_x.size(); ++i) {
+    if (ipc_baseline[i] <= 0.0) return 0.0;
+    const double ratio = ipc_x[i] / ipc_baseline[i];
+    if (first || ratio < worst) {
+      worst = ratio;
+      first = false;
+    }
+  }
+  return worst;
+}
+
+double harmonic_mean(std::span<const double> values) {
+  if (values.empty()) return 0.0;
+  double denom = 0.0;
+  for (const double v : values) {
+    if (v <= 0.0) return 0.0;
+    denom += 1.0 / v;
+  }
+  return static_cast<double>(values.size()) / denom;
+}
+
+double mean(std::span<const double> values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (const double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+}  // namespace cmm::analysis

@@ -1,0 +1,34 @@
+// System-level performance/fairness metrics (paper Sec. IV-C, after
+// Eyerman & Eeckhout): harmonic speedup (HS), normalized weighted
+// speedup over baseline (WS), ANTT, and the worst-case per-application
+// speedup used in Figs 8/10/12.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace cmm::analysis {
+
+/// HS = N / sum_i(IPC_alone_i / IPC_together_i). Considers both
+/// throughput and fairness; 1/HS is the average normalized turnaround
+/// time. Returns 0 on empty/invalid input.
+double harmonic_speedup(std::span<const double> ipc_together, std::span<const double> ipc_alone);
+
+/// ANTT = 1 / HS.
+double antt(std::span<const double> ipc_together, std::span<const double> ipc_alone);
+
+/// Normalized weighted speedup of mechanism x over the baseline run of
+/// the same workload: (1/N) * sum_i(IPC_x_i / IPC_baseline_i).
+double weighted_speedup(std::span<const double> ipc_x, std::span<const double> ipc_baseline);
+
+/// min_i(IPC_x_i / IPC_baseline_i): the worst-case application speedup
+/// within one workload (Figs 8, 10, 12).
+double worst_case_speedup(std::span<const double> ipc_x, std::span<const double> ipc_baseline);
+
+/// Harmonic mean of raw IPCs (the paper's online hm_ipc proxy).
+double harmonic_mean(std::span<const double> values);
+
+/// Arithmetic mean helper for category aggregation.
+double mean(std::span<const double> values);
+
+}  // namespace cmm::analysis

@@ -1,0 +1,33 @@
+// Minimal fixed-width table / CSV emitter for the bench harness output
+// (the "same rows/series the paper reports").
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace cmm::analysis {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Formatting helpers.
+  static std::string fmt(double value, int precision = 3);
+
+  /// Fixed-width human-readable rendering.
+  void print(std::ostream& os) const;
+
+  /// RFC-4180-ish CSV (no quoting needed for our cell contents).
+  void print_csv(std::ostream& os) const;
+
+  std::size_t num_rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace cmm::analysis

@@ -1,0 +1,33 @@
+// Helpers for way-allocation bitmasks (Intel CAT capacity bitmasks).
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace cmm {
+
+/// Mask with `count` contiguous set bits starting at bit `lo`.
+constexpr WayMask contiguous_mask(unsigned lo, unsigned count) noexcept {
+  if (count == 0) return 0;
+  if (count >= 32) return ~WayMask{0} << lo;
+  return ((WayMask{1} << count) - 1U) << lo;
+}
+
+/// Mask covering all `ways` ways.
+constexpr WayMask full_mask(unsigned ways) noexcept {
+  return contiguous_mask(0, ways);
+}
+
+constexpr unsigned popcount(WayMask m) noexcept { return static_cast<unsigned>(std::popcount(m)); }
+
+/// Real CAT requires capacity bitmasks to be non-empty and contiguous.
+constexpr bool is_valid_cat_mask(WayMask m, unsigned total_ways) noexcept {
+  if (m == 0) return false;
+  if (total_ways < 32 && (m >> total_ways) != 0) return false;
+  const WayMask shifted = m >> std::countr_zero(m);
+  return (shifted & (shifted + 1)) == 0;  // contiguous ones
+}
+
+}  // namespace cmm

@@ -1,0 +1,39 @@
+// Small, fast, deterministic PRNG (xoshiro256**). The simulator is
+// single-threaded per run; every stochastic component owns its own Rng
+// seeded from the run seed so results are reproducible and components
+// are statistically independent.
+#pragma once
+
+#include <cstdint>
+#include <array>
+
+namespace cmm {
+
+class Rng {
+ public:
+  /// Seeds the four 64-bit lanes from a single seed via splitmix64.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+  /// Uniform 64-bit value.
+  std::uint64_t next() noexcept;
+
+  /// Uniform value in [0, bound). bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound) noexcept;
+
+  /// Uniform double in [0, 1).
+  double next_double() noexcept;
+
+  /// Bernoulli draw with probability p (clamped to [0,1]).
+  bool next_bool(double p) noexcept;
+
+  /// Derive an independent child generator (for per-component seeding).
+  Rng split() noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> s_;
+};
+
+/// splitmix64 step, exposed for seeding utilities and tests.
+std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+}  // namespace cmm

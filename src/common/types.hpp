@@ -1,0 +1,43 @@
+// Fundamental value types shared by every subsystem.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <limits>
+
+namespace cmm {
+
+/// Byte address in the simulated physical address space.
+using Addr = std::uint64_t;
+
+/// Simulated core clock cycles.
+using Cycle = std::uint64_t;
+
+/// Logical core index within the simulated socket.
+using CoreId = std::uint32_t;
+
+/// Synthetic instruction-pointer identifier used by the IP-stride
+/// prefetcher (address streams tag each reference with the id of the
+/// static "load instruction" that produced it).
+using IpId = std::uint32_t;
+
+/// Bitmask over LLC ways (bit i set => way i usable). Matches the CAT
+/// capacity-bitmask register width comfortably: real CAT masks are at
+/// most 20 bits on Broadwell-EP.
+using WayMask = std::uint32_t;
+
+inline constexpr CoreId kInvalidCore = std::numeric_limits<CoreId>::max();
+inline constexpr Addr kLineShiftDefault = 6;  // 64-byte lines
+
+/// Classification of a request as it moves through the hierarchy.
+enum class AccessType : std::uint8_t {
+  DemandLoad,
+  DemandStore,
+  Prefetch,
+};
+
+constexpr bool is_demand(AccessType t) noexcept {
+  return t != AccessType::Prefetch;
+}
+
+}  // namespace cmm

@@ -1,0 +1,45 @@
+#include "core/detector.hpp"
+
+namespace cmm::core {
+
+std::vector<CoreId> detect_aggressive(const std::vector<CoreMetrics>& metrics,
+                                      const DetectorConfig& cfg) {
+  std::vector<CoreId> agg;
+  if (metrics.empty()) return agg;
+
+  double mean_pga = 0.0;
+  for (const auto& m : metrics) mean_pga += m.pga;
+  mean_pga /= static_cast<double>(metrics.size());
+
+  for (CoreId c = 0; c < metrics.size(); ++c) {
+    const CoreMetrics& m = metrics[c];
+    // Step 1: prefetch generation ability above the cross-core mean.
+    if (m.pga < cfg.pga_floor || m.pga < cfg.pga_rel_mean * mean_pga) continue;
+    // Step 2: drop high-L2-locality prefetching (hits absorbed by L2).
+    if (m.l2_pmr < cfg.pmr_threshold) continue;
+    // Step 3: require real prefetch bandwidth pressure on the LLC.
+    if (m.l2_ptr < cfg.ptr_threshold_per_sec) continue;
+    agg.push_back(c);
+  }
+  return agg;
+}
+
+std::vector<bool> classify_friendly(const std::vector<CoreId>& agg_set,
+                                    const std::vector<double>& ipc_on,
+                                    const std::vector<double>& ipc_off,
+                                    const DetectorConfig& cfg) {
+  std::vector<bool> friendly(agg_set.size(), false);
+  for (std::size_t i = 0; i < agg_set.size(); ++i) {
+    const CoreId c = agg_set[i];
+    const double off = ipc_off.at(c);
+    const double on = ipc_on.at(c);
+    if (off <= 0.0) {
+      friendly[i] = on > 0.0;  // ran only with prefetching: treat as friendly
+      continue;
+    }
+    friendly[i] = (on / off) >= cfg.friendly_speedup;
+  }
+  return friendly;
+}
+
+}  // namespace cmm::core

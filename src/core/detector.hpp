@@ -1,0 +1,55 @@
+// CMM front-end (paper Sec. III-A, Fig. 5): identify the set of
+// prefetch-aggressive cores from one interval's Table-I metrics, and
+// classify Agg cores into prefetch friendly / unfriendly from the
+// two-interval speedup probe (Sec. III-B1).
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "core/metrics.hpp"
+
+namespace cmm::core {
+
+struct DetectorConfig {
+  // Core frequency used to turn cycle counts into per-second rates for
+  // the M-3/M-7 thresholds. Must match the machine being monitored.
+  double freq_ghz = 2.1;
+
+  // Step 1: a core is potentially aggressive if its PGA (M-4) exceeds
+  // `pga_rel_mean` times the all-core mean PGA (the paper compares
+  // against the mean; a factor below 1 keeps moderately aggressive
+  // cores visible when one core saturates the metric).
+  double pga_rel_mean = 0.4;
+  // ...and exceeds an absolute floor — at least as many L2 prefetches
+  // as demand requests — so quiet or adjacent-only cores (pointer
+  // chasers whose sole prefetch is the buddy line) are not flagged.
+  double pga_floor = 1.0;
+
+  // Step 2: filter out cores whose prefetches mostly hit L2 (high
+  // locality): keep only cores with L2 PMR (M-5) >= this threshold
+  // (paper suggests ~70%).
+  double pmr_threshold = 0.7;
+
+  // Step 3: keep only cores whose prefetch pressure on the LLC, L2 PTR
+  // (M-3, prefetch misses per second), exceeds this rate.
+  double ptr_threshold_per_sec = 20e6;
+
+  // Friendliness: IPC(prefetch on) / IPC(prefetch off) >= this =>
+  // prefetch friendly (paper suggests ~1.5).
+  double friendly_speedup = 1.5;
+};
+
+/// Fig. 5 pipeline. Returns core ids in ascending order.
+std::vector<CoreId> detect_aggressive(const std::vector<CoreMetrics>& metrics,
+                                      const DetectorConfig& cfg);
+
+/// Split `agg_set` into friendly cores using the on/off IPC probe:
+/// `ipc_on[i]`, `ipc_off[i]` indexed by core id. Returns a parallel
+/// vector of flags for agg_set members (true = prefetch friendly).
+std::vector<bool> classify_friendly(const std::vector<CoreId>& agg_set,
+                                    const std::vector<double>& ipc_on,
+                                    const std::vector<double>& ipc_off,
+                                    const DetectorConfig& cfg);
+
+}  // namespace cmm::core

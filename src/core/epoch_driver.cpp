@@ -1,0 +1,77 @@
+#include "core/epoch_driver.hpp"
+
+namespace cmm::core {
+
+EpochDriver::EpochDriver(sim::MulticoreSystem& system, Policy& policy, const EpochConfig& cfg)
+    : system_(system),
+      policy_(policy),
+      cfg_(cfg),
+      msr_(system),
+      prefetch_(msr_),
+      cat_(system),
+      pmu_(system) {
+  exec_accum_.assign(system.num_cores(), sim::PmuCounters{});
+}
+
+void EpochDriver::apply(const ResourceConfig& cfg) {
+  for (CoreId c = 0; c < cfg.prefetch_on.size(); ++c) {
+    prefetch_.set_core_prefetchers(c, cfg.prefetch_on[c]);
+  }
+  cat_.apply(cfg.way_masks);
+}
+
+std::vector<sim::PmuCounters> EpochDriver::run_span(Cycle span) {
+  const auto before = pmu_.read_all();
+  system_.run(span);
+  return hw::pmu_delta(pmu_.read_all(), before);
+}
+
+void EpochDriver::run(Cycle total_cycles) {
+  if (!started_) {
+    apply(policy_.initial_config(system_.num_cores(), system_.cat().llc_ways()));
+    started_ = true;
+  }
+
+  const Cycle end = system_.now() + total_cycles;
+  while (system_.now() < end) {
+    // ---- Execution epoch ----
+    const Cycle exec_len = std::min<Cycle>(cfg_.execution_epoch, end - system_.now());
+    log_.push_back({EpochLogEntry::Kind::Execution, system_.now(), exec_len,
+                    ResourceConfig{}});  // config recorded below once known cheaply
+    const auto epoch_delta = run_span(exec_len);
+    for (CoreId c = 0; c < epoch_delta.size(); ++c) {
+      auto& acc = exec_accum_[c];
+      const auto& d = epoch_delta[c];
+      acc.cycles += d.cycles;
+      acc.instructions += d.instructions;
+      acc.l2_pref_req += d.l2_pref_req;
+      acc.l2_pref_miss += d.l2_pref_miss;
+      acc.l2_dm_req += d.l2_dm_req;
+      acc.l2_dm_miss += d.l2_dm_miss;
+      acc.l3_load_miss += d.l3_load_miss;
+      acc.stalls_l2_pending += d.stalls_l2_pending;
+      acc.dram_demand_bytes += d.dram_demand_bytes;
+      acc.dram_prefetch_bytes += d.dram_prefetch_bytes;
+    }
+    if (system_.now() >= end) break;
+
+    // ---- Profiling epoch ----
+    policy_.begin_profiling(epoch_delta);
+    unsigned samples = 0;
+    while (samples < cfg_.max_samples_per_epoch && system_.now() < end) {
+      const auto request = policy_.next_sample();
+      if (!request.has_value()) break;
+      apply(*request);
+      const Cycle len = std::min<Cycle>(cfg_.sampling_interval, end - system_.now());
+      log_.push_back({EpochLogEntry::Kind::Sample, system_.now(), len, *request});
+      SampleStats stats;
+      stats.config = *request;
+      stats.per_core = run_span(len);
+      policy_.report_sample(stats);
+      ++samples;
+    }
+    apply(policy_.final_config());
+  }
+}
+
+}  // namespace cmm::core

@@ -1,0 +1,70 @@
+#include "core/fdp.hpp"
+
+#include <algorithm>
+
+namespace cmm::core {
+
+const std::vector<unsigned>& FdpController::ladder() {
+  static const std::vector<unsigned> kLadder{1, 2, 4, 8, 16};
+  return kLadder;
+}
+
+FdpController::FdpController(sim::MulticoreSystem& system)
+    : FdpController(system, Options{}) {}
+
+FdpController::FdpController(sim::MulticoreSystem& system, const Options& opts)
+    : system_(system),
+      opts_(opts),
+      ladder_pos_(system.num_cores(), 2),  // start mid-ladder (degree 4)
+      snapshots_(system.num_cores()),
+      last_accuracy_(system.num_cores(), 0.0),
+      until_next_(opts.interval) {
+  for (CoreId c = 0; c < system_.num_cores(); ++c) {
+    system_.core(c).streamer().set_degree(ladder()[ladder_pos_[c]]);
+    const auto& stats = system_.core(c).l2().stats();
+    snapshots_[c] = {stats.prefetched_lines_used, stats.prefetched_lines_evicted_unused};
+  }
+}
+
+unsigned FdpController::degree(CoreId core) const {
+  return ladder()[ladder_pos_.at(core)];
+}
+
+void FdpController::adjust() {
+  for (CoreId c = 0; c < system_.num_cores(); ++c) {
+    const auto& stats = system_.core(c).l2().stats();
+    const std::uint64_t used = stats.prefetched_lines_used - snapshots_[c].used;
+    const std::uint64_t wasted =
+        stats.prefetched_lines_evicted_unused - snapshots_[c].evicted_unused;
+    snapshots_[c] = {stats.prefetched_lines_used, stats.prefetched_lines_evicted_unused};
+
+    const std::uint64_t total = used + wasted;
+    if (total < 16) continue;  // not enough evidence this interval
+    const double accuracy = static_cast<double>(used) / static_cast<double>(total);
+    last_accuracy_[c] = accuracy;
+
+    if (accuracy >= opts_.high_accuracy) {
+      ladder_pos_[c] = std::min<unsigned>(ladder_pos_[c] + 1,
+                                          static_cast<unsigned>(ladder().size()) - 1);
+    } else if (accuracy < opts_.low_accuracy) {
+      ladder_pos_[c] = ladder_pos_[c] > 0 ? ladder_pos_[c] - 1 : 0;
+    }
+    system_.core(c).streamer().set_degree(ladder()[ladder_pos_[c]]);
+  }
+}
+
+void FdpController::run(Cycle cycles) {
+  Cycle remaining = cycles;
+  while (remaining > 0) {
+    const Cycle step = std::min(remaining, until_next_);
+    system_.run(step);
+    remaining -= step;
+    until_next_ -= step;
+    if (until_next_ == 0) {
+      adjust();
+      until_next_ = opts_.interval;
+    }
+  }
+}
+
+}  // namespace cmm::core

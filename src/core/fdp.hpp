@@ -1,0 +1,62 @@
+// Feedback-Directed Prefetching baseline (Srinath et al., HPCA 2007 —
+// reference [20] of the paper). FDP is a *hardware* proposal: each
+// core's prefetcher aggressiveness (streamer degree) is periodically
+// adjusted from observed prefetch accuracy. It cannot be built on a
+// stock Intel machine (no accuracy counters, no degree knob — exactly
+// the gap the paper's Sec. I points out), but the simulator exposes
+// both, so the library includes it as a microarchitectural comparison
+// point for the software-only CMM mechanisms.
+//
+// Simplification vs the original: the original also folds in lateness
+// and pollution feedback; this model uses accuracy alone, which is the
+// dominant term for the degree decision.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "sim/multicore_system.hpp"
+
+namespace cmm::core {
+
+class FdpController {
+ public:
+  struct Options {
+    Cycle interval = 100'000;   // adjustment period
+    double high_accuracy = 0.75;  // above: step aggressiveness up
+    double low_accuracy = 0.40;   // below: step it down
+  };
+
+  explicit FdpController(sim::MulticoreSystem& system);
+  FdpController(sim::MulticoreSystem& system, const Options& opts);
+
+  /// Advance the machine by `cycles`, adjusting each core's streamer
+  /// degree once per interval.
+  void run(Cycle cycles);
+
+  /// Current degree ladder position of a core.
+  unsigned degree(CoreId core) const;
+
+  /// Accuracy observed for `core` in the last completed interval.
+  double last_accuracy(CoreId core) const { return last_accuracy_.at(core); }
+
+  /// The degree ladder (the original uses 5 aggressiveness levels).
+  static const std::vector<unsigned>& ladder();
+
+ private:
+  struct L2PrefSnapshot {
+    std::uint64_t used = 0;
+    std::uint64_t evicted_unused = 0;
+  };
+
+  void adjust();
+
+  sim::MulticoreSystem& system_;
+  Options opts_;
+  std::vector<unsigned> ladder_pos_;
+  std::vector<L2PrefSnapshot> snapshots_;
+  std::vector<double> last_accuracy_;
+  Cycle until_next_ = 0;
+};
+
+}  // namespace cmm::core

@@ -1,0 +1,125 @@
+#include "core/kmeans.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+namespace cmm::core {
+
+KMeansResult kmeans_1d(const std::vector<double>& values, unsigned k, unsigned max_iters) {
+  KMeansResult r;
+  if (values.empty()) return r;
+  k = std::max(1U, std::min<unsigned>(k, static_cast<unsigned>(values.size())));
+  r.k = k;
+  r.assignment.assign(values.size(), 0);
+  r.centroids.assign(k, 0.0);
+
+  // Quantile initialisation over the sorted values: deterministic and
+  // robust to skewed distributions.
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  for (unsigned c = 0; c < k; ++c) {
+    const std::size_t idx = (sorted.size() - 1) * (2 * c + 1) / (2 * k);
+    r.centroids[c] = sorted[idx];
+  }
+
+  std::vector<double> sums(k);
+  std::vector<std::size_t> counts(k);
+  for (unsigned iter = 0; iter < max_iters; ++iter) {
+    bool changed = false;
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      unsigned best = 0;
+      double best_d = std::numeric_limits<double>::infinity();
+      for (unsigned c = 0; c < k; ++c) {
+        const double d = std::abs(values[i] - r.centroids[c]);
+        if (d < best_d) {
+          best_d = d;
+          best = c;
+        }
+      }
+      if (r.assignment[i] != best) {
+        r.assignment[i] = best;
+        changed = true;
+      }
+    }
+    std::fill(sums.begin(), sums.end(), 0.0);
+    std::fill(counts.begin(), counts.end(), 0);
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      sums[r.assignment[i]] += values[i];
+      ++counts[r.assignment[i]];
+    }
+    for (unsigned c = 0; c < k; ++c) {
+      if (counts[c] > 0) r.centroids[c] = sums[c] / static_cast<double>(counts[c]);
+    }
+    if (!changed) break;
+  }
+
+  // Relabel clusters so centroid order is ascending (stable contract
+  // for callers that map "higher cluster" to "more resource").
+  std::vector<unsigned> order(k);
+  std::iota(order.begin(), order.end(), 0U);
+  std::sort(order.begin(), order.end(),
+            [&](unsigned a, unsigned b) { return r.centroids[a] < r.centroids[b]; });
+  std::vector<unsigned> rank(k);
+  for (unsigned pos = 0; pos < k; ++pos) rank[order[pos]] = pos;
+  std::vector<double> new_centroids(k);
+  for (unsigned c = 0; c < k; ++c) new_centroids[rank[c]] = r.centroids[c];
+  r.centroids = std::move(new_centroids);
+  for (auto& a : r.assignment) a = rank[a];
+  return r;
+}
+
+double dunn_index(const std::vector<double>& values, const KMeansResult& clustering) {
+  const unsigned k = clustering.k;
+  if (k < 2 || values.size() != clustering.assignment.size()) return 0.0;
+
+  std::vector<double> lo(k, std::numeric_limits<double>::infinity());
+  std::vector<double> hi(k, -std::numeric_limits<double>::infinity());
+  std::vector<bool> seen(k, false);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const unsigned c = clustering.assignment[i];
+    lo[c] = std::min(lo[c], values[i]);
+    hi[c] = std::max(hi[c], values[i]);
+    seen[c] = true;
+  }
+
+  double max_diameter = 0.0;
+  for (unsigned c = 0; c < k; ++c) {
+    if (seen[c]) max_diameter = std::max(max_diameter, hi[c] - lo[c]);
+  }
+
+  // 1-D clusters from k-means are interval-separated; min inter-cluster
+  // distance is the smallest gap between consecutive (occupied)
+  // clusters ordered by centroid.
+  double min_gap = std::numeric_limits<double>::infinity();
+  int prev = -1;
+  for (unsigned c = 0; c < k; ++c) {
+    if (!seen[c]) continue;
+    if (prev >= 0) {
+      const double gap = lo[c] - hi[static_cast<unsigned>(prev)];
+      min_gap = std::min(min_gap, std::max(gap, 0.0));
+    }
+    prev = static_cast<int>(c);
+  }
+  if (!std::isfinite(min_gap)) return 0.0;
+  if (max_diameter == 0.0) return min_gap > 0.0 ? std::numeric_limits<double>::infinity() : 0.0;
+  return min_gap / max_diameter;
+}
+
+KMeansResult best_kmeans_by_dunn(const std::vector<double>& values, unsigned k_min,
+                                 unsigned k_max) {
+  KMeansResult best = kmeans_1d(values, k_min);
+  double best_score = dunn_index(values, best);
+  for (unsigned k = k_min + 1; k <= k_max; ++k) {
+    KMeansResult cand = kmeans_1d(values, k);
+    const double score = dunn_index(values, cand);
+    if (score > best_score) {
+      best_score = score;
+      best = std::move(cand);
+    }
+  }
+  return best;
+}
+
+}  // namespace cmm::core

@@ -1,0 +1,32 @@
+// 1-D K-means (Lloyd's algorithm) and the Dunn validity index. Used by
+// the PT back-end to group Agg cores by L2 PTR (paper Sec. III-B1) and
+// by the reimplementation of Selfa et al.'s "Dunn" partitioner, which
+// picks the cluster count maximising the Dunn index over the cores'
+// STALLS_L2_PENDING values.
+#pragma once
+
+#include <vector>
+
+namespace cmm::core {
+
+struct KMeansResult {
+  std::vector<unsigned> assignment;  // values.size() entries in [0, k)
+  std::vector<double> centroids;     // k entries, ascending
+  unsigned k = 0;
+};
+
+/// Cluster `values` into `k` groups. k is clamped to [1, values.size()].
+/// Deterministic: centroids initialised on the value range quantiles.
+KMeansResult kmeans_1d(const std::vector<double>& values, unsigned k, unsigned max_iters = 64);
+
+/// Dunn index: min inter-cluster distance / max intra-cluster diameter.
+/// Higher is better-separated. Returns 0 for degenerate clusterings
+/// (k < 2 or an all-singleton diameter of zero with zero separation).
+double dunn_index(const std::vector<double>& values, const KMeansResult& clustering);
+
+/// Convenience: try k in [k_min, k_max], return the clustering with the
+/// best Dunn index (falls back to k_min if all are degenerate).
+KMeansResult best_kmeans_by_dunn(const std::vector<double>& values, unsigned k_min,
+                                 unsigned k_max);
+
+}  // namespace cmm::core

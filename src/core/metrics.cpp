@@ -1,0 +1,60 @@
+#include "core/metrics.hpp"
+
+#include <algorithm>
+
+namespace cmm::core {
+
+namespace {
+double ratio(double num, double den) noexcept { return den > 0.0 ? num / den : 0.0; }
+}  // namespace
+
+CoreMetrics compute_metrics(const sim::PmuCounters& d, double freq_ghz) {
+  CoreMetrics m;
+  const auto pref_miss = static_cast<double>(d.l2_pref_miss);
+  const auto dm_miss = static_cast<double>(d.l2_dm_miss);
+  const auto pref_req = static_cast<double>(d.l2_pref_req);
+  const auto dm_req = static_cast<double>(d.l2_dm_req);
+  const double seconds = ratio(static_cast<double>(d.cycles), freq_ghz * 1e9);
+
+  m.l2_llc_traffic = pref_miss + dm_miss;
+  m.l2_pref_miss_frac = ratio(pref_miss, m.l2_llc_traffic);
+  m.l2_ptr = seconds > 0.0 ? pref_miss / seconds : 0.0;
+  // A core whose L1 prefetchers absorb all demand can reach L2 with
+  // prefetch requests only; its generation ability is then "all
+  // prefetch", not zero. The ratio saturates at 16 so one such core
+  // cannot blow up the cross-core mean the detector compares against.
+  constexpr double kPgaCap = 16.0;
+  m.pga = dm_req > 0.0 ? std::min(pref_req / dm_req, kPgaCap) : (pref_req > 0.0 ? kPgaCap : 0.0);
+  m.l2_pmr = ratio(pref_miss, pref_req);
+  m.l2_ppm = ratio(pref_req, dm_miss);
+
+  const double total_bytes =
+      static_cast<double>(d.dram_demand_bytes) + static_cast<double>(d.dram_prefetch_bytes);
+  const double pref_bytes_approx = total_bytes - static_cast<double>(d.l3_load_miss) * 64.0;
+  m.llc_pt = seconds > 0.0 ? (pref_bytes_approx > 0.0 ? pref_bytes_approx / seconds : 0.0) : 0.0;
+
+  m.ipc = d.ipc();
+  m.stalls_l2_pending = static_cast<double>(d.stalls_l2_pending);
+  return m;
+}
+
+std::vector<CoreMetrics> compute_all_metrics(const std::vector<sim::PmuCounters>& deltas,
+                                             double freq_ghz) {
+  std::vector<CoreMetrics> out;
+  out.reserve(deltas.size());
+  for (const auto& d : deltas) out.push_back(compute_metrics(d, freq_ghz));
+  return out;
+}
+
+double hm_ipc(const std::vector<sim::PmuCounters>& deltas) {
+  if (deltas.empty()) return 0.0;
+  double denom = 0.0;
+  for (const auto& d : deltas) {
+    const double ipc = d.ipc();
+    if (ipc <= 0.0) return 0.0;  // a stalled core makes the HM zero
+    denom += 1.0 / ipc;
+  }
+  return static_cast<double>(deltas.size()) / denom;
+}
+
+}  // namespace cmm::core

@@ -1,0 +1,45 @@
+// Table I of the paper: the seven PMU-derived metrics the CMM front-end
+// uses, computed from one interval's per-core counter deltas.
+#pragma once
+
+#include <vector>
+
+#include "sim/pmu.hpp"
+
+namespace cmm::core {
+
+struct CoreMetrics {
+  // M-1: L2->LLC traffic = L2 pref miss + L2 dm miss (requests).
+  double l2_llc_traffic = 0.0;
+  // M-2: fraction of that traffic that is prefetch.
+  double l2_pref_miss_frac = 0.0;
+  // M-3 (L2 PTR): L2 prefetch misses per second — prefetch bandwidth
+  // pressure on the LLC.
+  double l2_ptr = 0.0;
+  // M-4 (PGA): L2 pref req / L2 dm req — prefetch generation ability.
+  double pga = 0.0;
+  // M-5 (L2 PMR): L2 pref miss / L2 pref req — prefetch L2 locality.
+  double l2_pmr = 0.0;
+  // M-6 (L2 PPM): L2 pref req / L2 dm miss — prefetches per demand miss
+  // (the SPAC classification metric; kept for comparison).
+  double l2_ppm = 0.0;
+  // M-7 (LLC PT): approximate LLC->memory prefetch bandwidth,
+  // total DRAM bytes minus L3 load misses * line size, per second.
+  double llc_pt = 0.0;
+
+  double ipc = 0.0;
+  double stalls_l2_pending = 0.0;  // raw cycle count for Dunn clustering
+};
+
+/// Metrics for one core over one interval. `freq_ghz` converts cycle
+/// counts into per-second rates (M-3, M-7).
+CoreMetrics compute_metrics(const sim::PmuCounters& delta, double freq_ghz);
+
+std::vector<CoreMetrics> compute_all_metrics(const std::vector<sim::PmuCounters>& deltas,
+                                             double freq_ghz);
+
+/// Harmonic mean of per-core IPCs: the paper's hm_ipc proxy for
+/// 1/ANTT used to rank sampled configurations (Sec. III-B1).
+double hm_ipc(const std::vector<sim::PmuCounters>& deltas);
+
+}  // namespace cmm::core

@@ -1,0 +1,62 @@
+#include "core/policy.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/kmeans.hpp"
+#include "core/metrics.hpp"
+
+namespace cmm::core {
+
+ResourceConfig ResourceConfig::baseline(unsigned cores, unsigned ways) {
+  ResourceConfig cfg;
+  cfg.prefetch_on.assign(cores, true);
+  cfg.way_masks.assign(cores, full_mask(ways));
+  return cfg;
+}
+
+unsigned partition_ways_for(unsigned n_cores, unsigned total_ways, double scale) {
+  if (total_ways <= 1) return 1;
+  const auto ways = static_cast<unsigned>(std::lround(scale * static_cast<double>(n_cores)));
+  return std::clamp(ways, 1U, total_ways - 1);
+}
+
+double sample_objective_value(SampleObjective objective,
+                              const std::vector<sim::PmuCounters>& deltas) {
+  switch (objective) {
+    case SampleObjective::HmIpc:
+      return hm_ipc(deltas);
+    case SampleObjective::SumIpc: {
+      double sum = 0.0;
+      for (const auto& d : deltas) sum += d.ipc();
+      return sum;
+    }
+  }
+  return 0.0;
+}
+
+std::vector<std::vector<bool>> throttle_combinations(unsigned n) {
+  std::vector<std::vector<bool>> combos;
+  if (n == 0) return combos;
+  const std::uint64_t total = 1ULL << n;
+  combos.reserve(total);
+  combos.emplace_back(n, true);   // all on (probe interval 1)
+  combos.emplace_back(n, false);  // all off (probe interval 2)
+  for (std::uint64_t bits = 1; bits + 1 < total; ++bits) {
+    std::vector<bool> combo(n);
+    for (unsigned i = 0; i < n; ++i) combo[i] = ((bits >> i) & 1ULL) != 0;
+    combos.push_back(std::move(combo));
+  }
+  return combos;
+}
+
+std::vector<unsigned> group_by_ptr(const std::vector<CoreId>& agg_set,
+                                   const std::vector<CoreMetrics>& metrics, unsigned max_groups) {
+  std::vector<double> ptr_values;
+  ptr_values.reserve(agg_set.size());
+  for (const CoreId c : agg_set) ptr_values.push_back(metrics.at(c).l2_ptr);
+  const KMeansResult r = kmeans_1d(ptr_values, max_groups);
+  return r.assignment;
+}
+
+}  // namespace cmm::core

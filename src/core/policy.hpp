@@ -1,0 +1,91 @@
+// Back-end policy interface (paper Sec. III-B). The EpochDriver runs
+// the Fig. 4 schedule: after every execution epoch it hands the policy
+// the epoch's PMU deltas, then runs the sampling intervals the policy
+// requests one at a time (each with its own resource configuration),
+// and finally applies the policy's chosen configuration to the next
+// execution epoch.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/bitmask.hpp"
+#include "common/types.hpp"
+#include "core/detector.hpp"
+#include "sim/pmu.hpp"
+
+namespace cmm::core {
+
+/// One resource allocation across the machine: per-core prefetcher
+/// enable (the paper's PT treats the four prefetchers per core as one
+/// unit) and per-core LLC way masks (CAT).
+struct ResourceConfig {
+  std::vector<bool> prefetch_on;
+  std::vector<WayMask> way_masks;
+
+  static ResourceConfig baseline(unsigned cores, unsigned ways);
+  bool operator==(const ResourceConfig&) const = default;
+};
+
+/// Result of one sampling interval.
+struct SampleStats {
+  ResourceConfig config;
+  std::vector<sim::PmuCounters> per_core;  // deltas over the interval
+};
+
+class Policy {
+ public:
+  virtual ~Policy() = default;
+
+  virtual std::string_view name() const noexcept = 0;
+
+  /// Configuration for the very first execution epoch.
+  virtual ResourceConfig initial_config(unsigned cores, unsigned ways) = 0;
+
+  /// Called at the end of an execution epoch with its PMU deltas.
+  virtual void begin_profiling(const std::vector<sim::PmuCounters>& epoch_delta) = 0;
+
+  /// Next sampling interval's configuration; nullopt ends profiling.
+  virtual std::optional<ResourceConfig> next_sample() = 0;
+
+  /// Stats of the interval just issued by next_sample().
+  virtual void report_sample(const SampleStats& stats) = 0;
+
+  /// Configuration for the next execution epoch.
+  virtual ResourceConfig final_config() = 0;
+};
+
+// ---------------------------------------------------------------------
+// Shared helpers for back-end implementations.
+
+/// The paper's partition-size rule: a partition holding `n` cores gets
+/// round(scale * n) ways (paper: scale = 1.5, determined
+/// experimentally), clamped to [1, total_ways - 1] so the neutral cores
+/// always keep at least one way of head room.
+unsigned partition_ways_for(unsigned n_cores, unsigned total_ways, double scale = 1.5);
+
+/// Objective used to rank sampled configurations. The paper uses the
+/// harmonic mean of core IPCs (an ANTT proxy); the arithmetic-sum
+/// alternative optimises raw throughput and ignores fairness — exposed
+/// for the ablation bench.
+enum class SampleObjective : std::uint8_t { HmIpc, SumIpc };
+
+/// Evaluate one sampling interval under the chosen objective.
+double sample_objective_value(SampleObjective objective,
+                              const std::vector<sim::PmuCounters>& deltas);
+
+/// All 2^n on/off combinations over `n` entities, all-on first,
+/// all-off second, then the mixed ones — so the two probe intervals
+/// the detection needs double as search candidates.
+std::vector<std::vector<bool>> throttle_combinations(unsigned n);
+
+/// Group Agg cores by L2 PTR via 1-D k-means into at most `max_groups`
+/// groups (paper: group-level throttling for large Agg sets). Returns
+/// group index per agg_set member.
+std::vector<unsigned> group_by_ptr(const std::vector<CoreId>& agg_set,
+                                   const std::vector<CoreMetrics>& metrics, unsigned max_groups);
+
+}  // namespace cmm::core

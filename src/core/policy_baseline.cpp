@@ -1,0 +1,3 @@
+#include "core/policy_baseline.hpp"
+
+// Header-only policy; TU anchors the target.

@@ -1,0 +1,27 @@
+// Baseline: all prefetchers on, no partitioning, no profiling — the
+// paper's reference configuration.
+#pragma once
+
+#include "core/policy.hpp"
+
+namespace cmm::core {
+
+class BaselinePolicy final : public Policy {
+ public:
+  std::string_view name() const noexcept override { return "baseline"; }
+
+  ResourceConfig initial_config(unsigned cores, unsigned ways) override {
+    config_ = ResourceConfig::baseline(cores, ways);
+    return config_;
+  }
+
+  void begin_profiling(const std::vector<sim::PmuCounters>&) override {}
+  std::optional<ResourceConfig> next_sample() override { return std::nullopt; }
+  void report_sample(const SampleStats&) override {}
+  ResourceConfig final_config() override { return config_; }
+
+ private:
+  ResourceConfig config_;
+};
+
+}  // namespace cmm::core

@@ -1,0 +1,168 @@
+#include "core/policy_cmm.hpp"
+
+#include <algorithm>
+
+#include "core/metrics.hpp"
+#include "core/policy_cp.hpp"
+#include "core/policy_dunn.hpp"
+
+namespace cmm::core {
+
+std::string_view to_string(CmmVariant v) noexcept {
+  switch (v) {
+    case CmmVariant::A: return "cmm_a";
+    case CmmVariant::B: return "cmm_b";
+    case CmmVariant::C: return "cmm_c";
+  }
+  return "cmm";
+}
+
+ResourceConfig CmmPolicy::initial_config(unsigned cores, unsigned ways) {
+  cores_ = cores;
+  ways_ = ways;
+  current_ = ResourceConfig::baseline(cores, ways);
+  return current_;
+}
+
+void CmmPolicy::begin_profiling(const std::vector<sim::PmuCounters>& epoch_delta) {
+  epoch_stalls_.clear();
+  epoch_stalls_.reserve(epoch_delta.size());
+  for (const auto& d : epoch_delta)
+    epoch_stalls_.push_back(static_cast<double>(d.stalls_l2_pending));
+  phase_ = Phase::ProbeOn;
+  agg_set_.clear();
+  friendly_cores_.clear();
+  unfriendly_cores_.clear();
+  ipc_on_.assign(cores_, 0.0);
+  ipc_off_.assign(cores_, 0.0);
+  probe_metrics_.clear();
+  partition_masks_.assign(cores_, full_mask(ways_));
+  groups_.clear();
+  combos_.clear();
+  combo_hm_.clear();
+  next_combo_ = 0;
+  num_groups_ = 0;
+}
+
+std::vector<WayMask> CmmPolicy::build_partition_masks() const {
+  switch (opts_.variant) {
+    case CmmVariant::A:
+      return masks_small_partition(agg_set_, cores_, ways_, opts_.partition_scale);
+    case CmmVariant::B:
+      return masks_small_partition(friendly_cores_, cores_, ways_, opts_.partition_scale);
+    case CmmVariant::C:
+      return masks_two_partitions(friendly_cores_, unfriendly_cores_, cores_, ways_,
+                                  opts_.partition_scale);
+  }
+  return std::vector<WayMask>(cores_, full_mask(ways_));
+}
+
+ResourceConfig CmmPolicy::throttle_config(const std::vector<bool>& combo) const {
+  ResourceConfig cfg;
+  cfg.prefetch_on.assign(cores_, true);
+  cfg.way_masks = partition_masks_;
+  for (std::size_t i = 0; i < unfriendly_cores_.size(); ++i) {
+    cfg.prefetch_on[unfriendly_cores_[i]] = combo.at(groups_[i]);
+  }
+  return cfg;
+}
+
+std::optional<ResourceConfig> CmmPolicy::next_sample() {
+  // Probes toggle only prefetchers; the partition currently in force
+  // stays applied so the probe does not flush protected LLC state.
+  switch (phase_) {
+    case Phase::ProbeOn: {
+      ResourceConfig cfg = current_;
+      cfg.prefetch_on.assign(cores_, true);
+      return cfg;
+    }
+    case Phase::ProbeOff: {
+      ResourceConfig cfg = current_;
+      cfg.prefetch_on.assign(cores_, true);
+      for (const CoreId c : agg_set_) cfg.prefetch_on[c] = false;
+      return cfg;
+    }
+    case Phase::ThrottleSearch:
+      if (next_combo_ < combos_.size()) return throttle_config(combos_[next_combo_]);
+      return std::nullopt;
+    case Phase::Done:
+      return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+void CmmPolicy::report_sample(const SampleStats& stats) {
+  switch (phase_) {
+    case Phase::ProbeOn: {
+      probe_metrics_ = compute_all_metrics(stats.per_core, opts_.detector.freq_ghz);
+      agg_set_ = detect_aggressive(probe_metrics_, opts_.detector);
+      for (CoreId c = 0; c < cores_; ++c) ipc_on_[c] = stats.per_core[c].ipc();
+
+      if (agg_set_.empty()) {
+        // Fig. 6(d): no aggressive cores — throttling is meaningless;
+        // fall back to the Dunn clustering partitioner, fed with the
+        // full execution epoch's stall counts (as the original does).
+        partition_masks_ =
+            dunn_allocate(epoch_stalls_, cores_, ways_, opts_.dunn_k_min, opts_.dunn_k_max);
+        phase_ = Phase::Done;
+      } else {
+        phase_ = Phase::ProbeOff;
+      }
+      return;
+    }
+    case Phase::ProbeOff: {
+      for (CoreId c = 0; c < cores_; ++c) ipc_off_[c] = stats.per_core[c].ipc();
+      const std::vector<bool> friendly =
+          classify_friendly(agg_set_, ipc_on_, ipc_off_, opts_.detector);
+      for (std::size_t i = 0; i < agg_set_.size(); ++i) {
+        (friendly[i] ? friendly_cores_ : unfriendly_cores_).push_back(agg_set_[i]);
+      }
+      partition_masks_ = build_partition_masks();
+
+      if (unfriendly_cores_.empty()) {
+        phase_ = Phase::Done;  // nothing to throttle: CP only
+        return;
+      }
+      if (unfriendly_cores_.size() <= opts_.max_exhaustive) {
+        groups_.resize(unfriendly_cores_.size());
+        for (unsigned i = 0; i < groups_.size(); ++i) groups_[i] = i;
+        num_groups_ = static_cast<unsigned>(unfriendly_cores_.size());
+      } else {
+        groups_ = group_by_ptr(unfriendly_cores_, probe_metrics_, opts_.max_groups);
+        num_groups_ = *std::max_element(groups_.begin(), groups_.end()) + 1;
+      }
+      combos_ = throttle_combinations(num_groups_);
+      next_combo_ = 0;
+      phase_ = Phase::ThrottleSearch;
+      return;
+    }
+    case Phase::ThrottleSearch: {
+      combo_hm_.push_back(sample_objective_value(opts_.objective, stats.per_core));
+      ++next_combo_;
+      if (next_combo_ >= combos_.size()) phase_ = Phase::Done;
+      return;
+    }
+    case Phase::Done:
+      return;
+  }
+}
+
+ResourceConfig CmmPolicy::final_config() {
+  phase_ = Phase::Done;
+  ResourceConfig cfg;
+  cfg.prefetch_on.assign(cores_, true);
+  cfg.way_masks = partition_masks_;
+
+  if (!combo_hm_.empty() && !combos_.empty()) {
+    const std::size_t measured = std::min(combo_hm_.size(), combos_.size());
+    std::size_t best = 0;
+    for (std::size_t k = 1; k < measured; ++k) {
+      if (combo_hm_[k] > combo_hm_[best]) best = k;
+    }
+    cfg = throttle_config(combos_[best]);
+  }
+  current_ = cfg;
+  return current_;
+}
+
+}  // namespace cmm::core

@@ -1,0 +1,93 @@
+// Coordinated multi-resource management (paper Sec. III-B3): cache
+// partitioning first, then group-level prefetch throttling of the
+// prefetch-*unfriendly* cores inside the partition. Three partition
+// options (paper Fig. 6):
+//
+//   CMM-a: whole Agg set -> one small partition
+//   CMM-b: only prefetch-friendly cores -> small partition
+//          (unfriendly cores keep the full cache but get throttled)
+//   CMM-c: friendly -> partition 1, unfriendly -> partition 2
+//
+// Prefetch-friendly cores always keep their prefetchers ON — they live
+// on prefetching, not on LLC space. Only unfriendly cores are throttle
+// candidates, searched group-level by hm_ipc over sampling intervals
+// *with the partition masks already applied* (the coordination).
+//
+// Fig. 6(d): an empty Agg set degenerates to the Dunn partitioner.
+#pragma once
+
+#include "core/policy.hpp"
+
+namespace cmm::core {
+
+enum class CmmVariant : std::uint8_t { A, B, C };
+
+std::string_view to_string(CmmVariant v) noexcept;
+
+class CmmPolicy final : public Policy {
+ public:
+  struct Options {
+    DetectorConfig detector{};
+    CmmVariant variant = CmmVariant::A;
+    unsigned max_exhaustive = 3;
+    unsigned max_groups = 3;
+    unsigned dunn_k_min = 2;
+    unsigned dunn_k_max = 4;
+    double partition_scale = 1.5;  // ways per partitioned core
+    SampleObjective objective = SampleObjective::HmIpc;
+  };
+
+  CmmPolicy() = default;
+  explicit CmmPolicy(const Options& opts) : opts_(opts) {}
+
+  std::string_view name() const noexcept override {
+    switch (opts_.variant) {
+      case CmmVariant::A: return "cmm_a";
+      case CmmVariant::B: return "cmm_b";
+      case CmmVariant::C: return "cmm_c";
+    }
+    return "cmm";
+  }
+
+  ResourceConfig initial_config(unsigned cores, unsigned ways) override;
+  void begin_profiling(const std::vector<sim::PmuCounters>& epoch_delta) override;
+  std::optional<ResourceConfig> next_sample() override;
+  void report_sample(const SampleStats& stats) override;
+  ResourceConfig final_config() override;
+
+  const std::vector<CoreId>& agg_set() const noexcept { return agg_set_; }
+  const std::vector<CoreId>& friendly_cores() const noexcept { return friendly_cores_; }
+  const std::vector<CoreId>& unfriendly_cores() const noexcept { return unfriendly_cores_; }
+  /// Partition masks chosen this round (introspection / fig06 bench).
+  const std::vector<WayMask>& partition_masks() const noexcept { return partition_masks_; }
+
+ private:
+  enum class Phase : std::uint8_t { ProbeOn, ProbeOff, ThrottleSearch, Done };
+
+  std::vector<WayMask> build_partition_masks() const;
+  ResourceConfig throttle_config(const std::vector<bool>& combo) const;
+
+  Options opts_;
+  unsigned cores_ = 0;
+  unsigned ways_ = 0;
+
+  Phase phase_ = Phase::Done;
+  std::vector<CoreId> agg_set_;
+  std::vector<CoreId> friendly_cores_;
+  std::vector<CoreId> unfriendly_cores_;
+  std::vector<double> ipc_on_;
+  std::vector<double> ipc_off_;
+  std::vector<CoreMetrics> probe_metrics_;
+  std::vector<double> epoch_stalls_;  // for the Fig. 6(d) Dunn fallback
+
+  std::vector<WayMask> partition_masks_;
+  std::vector<unsigned> groups_;  // group per unfriendly core
+  unsigned num_groups_ = 0;
+  std::vector<std::vector<bool>> combos_;
+  std::size_t next_combo_ = 0;
+  std::vector<double> combo_hm_;
+
+  ResourceConfig current_;
+};
+
+}  // namespace cmm::core

@@ -1,0 +1,119 @@
+#include "core/policy_cp.hpp"
+
+#include <algorithm>
+
+#include "core/metrics.hpp"
+
+namespace cmm::core {
+
+std::vector<WayMask> masks_small_partition(const std::vector<CoreId>& agg, unsigned cores,
+                                           unsigned ways, double scale) {
+  std::vector<WayMask> masks(cores, full_mask(ways));
+  if (agg.empty()) return masks;
+  const unsigned part = partition_ways_for(static_cast<unsigned>(agg.size()), ways, scale);
+  const WayMask small = contiguous_mask(0, part);
+  for (const CoreId c : agg) masks.at(c) = small;
+  return masks;
+}
+
+std::vector<WayMask> masks_two_partitions(const std::vector<CoreId>& first,
+                                          const std::vector<CoreId>& second, unsigned cores,
+                                          unsigned ways, double scale) {
+  std::vector<WayMask> masks(cores, full_mask(ways));
+  unsigned w1 = first.empty()
+                    ? 0
+                    : partition_ways_for(static_cast<unsigned>(first.size()), ways, scale);
+  unsigned w2 = second.empty()
+                    ? 0
+                    : partition_ways_for(static_cast<unsigned>(second.size()), ways, scale);
+  // Keep both partitions inside the cache with at least one way left
+  // over; shrink the larger request first when they do not fit.
+  while (w1 + w2 >= ways && (w1 > 1 || w2 > 1)) {
+    if (w1 >= w2 && w1 > 1) {
+      --w1;
+    } else if (w2 > 1) {
+      --w2;
+    }
+  }
+  if (w1 > 0) {
+    const WayMask m1 = contiguous_mask(0, w1);
+    for (const CoreId c : first) masks.at(c) = m1;
+  }
+  if (w2 > 0) {
+    const WayMask m2 = contiguous_mask(w1, w2);
+    for (const CoreId c : second) masks.at(c) = m2;
+  }
+  return masks;
+}
+
+ResourceConfig CpPolicy::initial_config(unsigned cores, unsigned ways) {
+  cores_ = cores;
+  ways_ = ways;
+  current_ = ResourceConfig::baseline(cores, ways);
+  return current_;
+}
+
+void CpPolicy::begin_profiling(const std::vector<sim::PmuCounters>&) {
+  probe_index_ = 0;
+  agg_set_.clear();
+  friendly_.clear();
+  ipc_on_.assign(cores_, 0.0);
+  ipc_off_.assign(cores_, 0.0);
+}
+
+std::optional<ResourceConfig> CpPolicy::next_sample() {
+  // Probes toggle only the prefetchers; the current partition stays in
+  // place (resetting the masks for the probe would let aggressive cores
+  // flush the LLC state the partition has been protecting).
+  if (probe_index_ == 0) {
+    // Probe 1: prefetchers all on.
+    ResourceConfig cfg = current_;
+    cfg.prefetch_on.assign(cores_, true);
+    return cfg;
+  }
+  if (probe_index_ == 1 && !agg_set_.empty()) {
+    // Probe 2: Agg prefetchers off (usefulness detection).
+    ResourceConfig cfg = current_;
+    cfg.prefetch_on.assign(cores_, true);
+    for (const CoreId c : agg_set_) cfg.prefetch_on[c] = false;
+    return cfg;
+  }
+  return std::nullopt;
+}
+
+void CpPolicy::report_sample(const SampleStats& stats) {
+  if (probe_index_ == 0) {
+    const auto metrics = compute_all_metrics(stats.per_core, opts_.detector.freq_ghz);
+    agg_set_ = detect_aggressive(metrics, opts_.detector);
+    for (CoreId c = 0; c < cores_; ++c) ipc_on_[c] = stats.per_core[c].ipc();
+    probe_index_ = agg_set_.empty() ? 2 : 1;
+    return;
+  }
+  if (probe_index_ == 1) {
+    for (CoreId c = 0; c < cores_; ++c) ipc_off_[c] = stats.per_core[c].ipc();
+    friendly_ = classify_friendly(agg_set_, ipc_on_, ipc_off_, opts_.detector);
+    probe_index_ = 2;
+  }
+}
+
+ResourceConfig CpPolicy::final_config() {
+  ResourceConfig cfg = ResourceConfig::baseline(cores_, ways_);  // prefetchers stay on
+  if (agg_set_.empty()) {
+    current_ = cfg;
+    return current_;
+  }
+  if (opts_.variant == CpVariant::PrefCp) {
+    cfg.way_masks = masks_small_partition(agg_set_, cores_, ways_, opts_.partition_scale);
+  } else {
+    std::vector<CoreId> fri;
+    std::vector<CoreId> unfri;
+    for (std::size_t i = 0; i < agg_set_.size(); ++i) {
+      (friendly_.size() > i && friendly_[i] ? fri : unfri).push_back(agg_set_[i]);
+    }
+    cfg.way_masks = masks_two_partitions(fri, unfri, cores_, ways_, opts_.partition_scale);
+  }
+  current_ = cfg;
+  return current_;
+}
+
+}  // namespace cmm::core

@@ -1,0 +1,68 @@
+// Cache-partitioning back-ends (paper Sec. III-B2). Two plans:
+//
+//   Pref-CP : put the whole Agg set into one small partition
+//             (round(1.5 x |Agg|) ways); neutral cores keep the full
+//             cache (overlapping CAT masks). Prefetchers stay on.
+//   Pref-CP2: split the Agg set into prefetch-friendly and unfriendly
+//             subsets and give each its own small partition.
+//
+// CP needs only the two probe intervals (all-on, Agg-off) to detect the
+// Agg set and prefetch usefulness.
+#pragma once
+
+#include "core/policy.hpp"
+
+namespace cmm::core {
+
+enum class CpVariant : std::uint8_t { PrefCp, PrefCp2 };
+
+class CpPolicy final : public Policy {
+ public:
+  struct Options {
+    DetectorConfig detector{};
+    CpVariant variant = CpVariant::PrefCp;
+    double partition_scale = 1.5;  // ways per Agg core (paper rule)
+  };
+
+  CpPolicy() = default;
+  explicit CpPolicy(const Options& opts) : opts_(opts) {}
+
+  std::string_view name() const noexcept override {
+    return opts_.variant == CpVariant::PrefCp ? "pref_cp" : "pref_cp2";
+  }
+
+  ResourceConfig initial_config(unsigned cores, unsigned ways) override;
+  void begin_profiling(const std::vector<sim::PmuCounters>& epoch_delta) override;
+  std::optional<ResourceConfig> next_sample() override;
+  void report_sample(const SampleStats& stats) override;
+  ResourceConfig final_config() override;
+
+  const std::vector<CoreId>& agg_set() const noexcept { return agg_set_; }
+  const std::vector<bool>& friendly_flags() const noexcept { return friendly_; }
+
+ private:
+  Options opts_;
+  unsigned cores_ = 0;
+  unsigned ways_ = 0;
+
+  unsigned probe_index_ = 0;  // 0: all-on issued next; 1: agg-off; 2: done
+  std::vector<CoreId> agg_set_;
+  std::vector<bool> friendly_;
+  std::vector<double> ipc_on_;
+  std::vector<double> ipc_off_;
+
+  ResourceConfig current_;
+};
+
+/// Mask construction shared with the CMM policy: `agg` cores get a
+/// small low-end partition, everyone else the full mask.
+std::vector<WayMask> masks_small_partition(const std::vector<CoreId>& agg, unsigned cores,
+                                           unsigned ways, double scale = 1.5);
+
+/// Two disjoint small partitions at the low end: `first` cores in ways
+/// [0, w1), `second` cores in [w1, w1+w2); everyone else full mask.
+std::vector<WayMask> masks_two_partitions(const std::vector<CoreId>& first,
+                                          const std::vector<CoreId>& second, unsigned cores,
+                                          unsigned ways, double scale = 1.5);
+
+}  // namespace cmm::core

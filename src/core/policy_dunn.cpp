@@ -1,0 +1,79 @@
+#include "core/policy_dunn.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/kmeans.hpp"
+
+namespace cmm::core {
+
+std::vector<WayMask> dunn_nested_masks(const std::vector<unsigned>& assignment,
+                                       const std::vector<double>& stalls, unsigned num_clusters,
+                                       unsigned cores, unsigned ways) {
+  std::vector<WayMask> masks(cores, full_mask(ways));
+  if (num_clusters < 2 || assignment.size() != cores) return masks;
+
+  // Mean stalls per cluster.
+  std::vector<double> sum(num_clusters, 0.0);
+  std::vector<unsigned> count(num_clusters, 0);
+  for (unsigned c = 0; c < cores; ++c) {
+    sum[assignment[c]] += stalls[c];
+    ++count[assignment[c]];
+  }
+  double total_mean = 0.0;
+  std::vector<double> mean(num_clusters, 0.0);
+  for (unsigned g = 0; g < num_clusters; ++g) {
+    mean[g] = count[g] ? sum[g] / count[g] : 0.0;
+    total_mean += mean[g];
+  }
+  if (total_mean <= 0.0) return masks;
+
+  // Clusters ordered by mean stalls ascending; nested allocation:
+  // cluster at rank r gets the low w_r ways, with w monotone in its
+  // cumulative stall share and the top cluster getting everything.
+  std::vector<unsigned> order(num_clusters);
+  for (unsigned g = 0; g < num_clusters; ++g) order[g] = g;
+  std::sort(order.begin(), order.end(), [&](unsigned a, unsigned b) { return mean[a] < mean[b]; });
+
+  std::vector<unsigned> ways_for(num_clusters, ways);
+  double cum = 0.0;
+  for (unsigned r = 0; r + 1 < num_clusters; ++r) {
+    cum += mean[order[r]];
+    auto w = static_cast<unsigned>(std::lround(static_cast<double>(ways) * cum / total_mean));
+    w = std::clamp(w, r + 1, ways - (num_clusters - 1 - r));  // strictly nested, >=1
+    ways_for[order[r]] = w;
+  }
+  // Enforce monotonicity after rounding.
+  for (unsigned r = 1; r + 1 < num_clusters; ++r) {
+    ways_for[order[r]] = std::max(ways_for[order[r]], ways_for[order[r - 1]]);
+  }
+
+  for (unsigned c = 0; c < cores; ++c) masks[c] = contiguous_mask(0, ways_for[assignment[c]]);
+  return masks;
+}
+
+std::vector<WayMask> dunn_allocate(const std::vector<double>& stalls, unsigned cores,
+                                   unsigned ways, unsigned k_min, unsigned k_max) {
+  const KMeansResult clustering =
+      best_kmeans_by_dunn(stalls, std::max(2U, k_min), std::max(k_min, k_max));
+  return dunn_nested_masks(clustering.assignment, stalls, clustering.k, cores, ways);
+}
+
+ResourceConfig DunnPolicy::initial_config(unsigned cores, unsigned ways) {
+  cores_ = cores;
+  ways_ = ways;
+  current_ = ResourceConfig::baseline(cores, ways);
+  return current_;
+}
+
+void DunnPolicy::begin_profiling(const std::vector<sim::PmuCounters>& epoch_delta) {
+  std::vector<double> stalls;
+  stalls.reserve(epoch_delta.size());
+  for (const auto& d : epoch_delta) stalls.push_back(static_cast<double>(d.stalls_l2_pending));
+
+  ResourceConfig cfg = ResourceConfig::baseline(cores_, ways_);  // prefetchers untouched
+  cfg.way_masks = dunn_allocate(stalls, cores_, ways_, opts_.k_min, opts_.k_max);
+  current_ = cfg;
+}
+
+}  // namespace cmm::core

@@ -1,0 +1,55 @@
+// Reimplementation of the comparison baseline "Dunn" (Selfa et al.,
+// "Application clustering policies to address system fairness with
+// Intel's Cache Allocation Technology", PACT 2017), as described in the
+// paper's Sec. V-B: cores are clustered by their STALLS_L2_PENDING
+// counts (k chosen by the Dunn validity index), and clusters receive
+// *nested, partially overlapping* way partitions — a cluster with
+// higher average stalls gets more ways.
+//
+// Dunn needs no sampling intervals: it works from execution-epoch PMU
+// statistics alone.
+#pragma once
+
+#include "core/policy.hpp"
+
+namespace cmm::core {
+
+class DunnPolicy final : public Policy {
+ public:
+  struct Options {
+    unsigned k_min = 2;
+    unsigned k_max = 4;
+    double freq_ghz = 2.1;
+  };
+
+  DunnPolicy() = default;
+  explicit DunnPolicy(const Options& opts) : opts_(opts) {}
+
+  std::string_view name() const noexcept override { return "dunn"; }
+
+  ResourceConfig initial_config(unsigned cores, unsigned ways) override;
+  void begin_profiling(const std::vector<sim::PmuCounters>& epoch_delta) override;
+  std::optional<ResourceConfig> next_sample() override { return std::nullopt; }
+  void report_sample(const SampleStats&) override {}
+  ResourceConfig final_config() override { return current_; }
+
+ private:
+  Options opts_;
+  unsigned cores_ = 0;
+  unsigned ways_ = 0;
+  ResourceConfig current_;
+};
+
+/// The nested-mask construction, exposed for CMM's empty-Agg fallback
+/// and for tests: cluster assignment (ascending by stalls) -> per-core
+/// masks where cluster i gets the low w_i ways, w monotone in the
+/// cluster's mean stalls, and the hottest cluster the full cache.
+std::vector<WayMask> dunn_nested_masks(const std::vector<unsigned>& assignment,
+                                       const std::vector<double>& stalls, unsigned num_clusters,
+                                       unsigned cores, unsigned ways);
+
+/// Full Dunn allocation from epoch stalls: cluster + nested masks.
+std::vector<WayMask> dunn_allocate(const std::vector<double>& stalls, unsigned cores,
+                                   unsigned ways, unsigned k_min, unsigned k_max);
+
+}  // namespace cmm::core

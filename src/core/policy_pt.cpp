@@ -1,0 +1,100 @@
+#include "core/policy_pt.hpp"
+
+#include <algorithm>
+
+#include "core/metrics.hpp"
+
+namespace cmm::core {
+
+ResourceConfig PtPolicy::initial_config(unsigned cores, unsigned ways) {
+  cores_ = cores;
+  ways_ = ways;
+  current_ = ResourceConfig::baseline(cores, ways);
+  return current_;
+}
+
+void PtPolicy::begin_profiling(const std::vector<sim::PmuCounters>&) {
+  // Detection runs on interval-0 stats (prefetchers all on), not on the
+  // execution epoch, whose configuration may have had prefetchers off.
+  agg_set_.clear();
+  groups_.clear();
+  combos_.clear();
+  sample_hm_.clear();
+  ipc_on_.assign(cores_, 0.0);
+  ipc_off_.assign(cores_, 0.0);
+  next_combo_ = 0;
+  num_groups_ = 0;
+  profiling_ = true;
+}
+
+ResourceConfig PtPolicy::combo_config(const std::vector<bool>& combo) const {
+  ResourceConfig cfg = ResourceConfig::baseline(cores_, ways_);
+  for (std::size_t i = 0; i < agg_set_.size(); ++i) {
+    cfg.prefetch_on[agg_set_[i]] = combo.at(groups_[i]);
+  }
+  return cfg;
+}
+
+std::optional<ResourceConfig> PtPolicy::next_sample() {
+  if (!profiling_) return std::nullopt;
+
+  if (sample_hm_.empty()) {
+    // Interval 0: everything on.
+    return ResourceConfig::baseline(cores_, ways_);
+  }
+  if (combos_.empty()) return std::nullopt;  // empty Agg set: done after probe
+  if (next_combo_ >= combos_.size()) return std::nullopt;
+  return combo_config(combos_[next_combo_]);
+}
+
+void PtPolicy::report_sample(const SampleStats& stats) {
+  const double hm = sample_objective_value(opts_.objective, stats.per_core);
+
+  if (sample_hm_.empty()) {
+    // Interval 0 results: run detection, build the search space.
+    const auto metrics = compute_all_metrics(stats.per_core, opts_.detector.freq_ghz);
+    agg_set_ = detect_aggressive(metrics, opts_.detector);
+    for (CoreId c = 0; c < cores_; ++c) ipc_on_[c] = stats.per_core[c].ipc();
+
+    if (!agg_set_.empty()) {
+      if (agg_set_.size() <= opts_.max_exhaustive) {
+        groups_.resize(agg_set_.size());
+        for (unsigned i = 0; i < groups_.size(); ++i) groups_[i] = i;
+        num_groups_ = static_cast<unsigned>(agg_set_.size());
+      } else {
+        groups_ = group_by_ptr(agg_set_, metrics, opts_.max_groups);
+        num_groups_ = *std::max_element(groups_.begin(), groups_.end()) + 1;
+      }
+      combos_ = throttle_combinations(num_groups_);
+      // Interval 0 already measured combo 0 (all on).
+      next_combo_ = 1;
+    }
+    sample_hm_.push_back(hm);
+    return;
+  }
+
+  if (sample_hm_.size() == 1) {
+    // Interval 1 (all Agg prefetchers off): friendliness probe.
+    for (CoreId c = 0; c < cores_; ++c) ipc_off_[c] = stats.per_core[c].ipc();
+  }
+  sample_hm_.push_back(hm);
+  ++next_combo_;
+}
+
+ResourceConfig PtPolicy::final_config() {
+  profiling_ = false;
+  if (agg_set_.empty() || combos_.empty() || sample_hm_.empty()) {
+    current_ = ResourceConfig::baseline(cores_, ways_);
+    return current_;
+  }
+  // sample_hm_[k] corresponds to combos_[k] (interval 0 == combo 0).
+  const std::size_t measured = std::min(sample_hm_.size(), combos_.size());
+  std::size_t best = 0;
+  for (std::size_t k = 1; k < measured; ++k) {
+    if (sample_hm_[k] > sample_hm_[best]) best = k;
+  }
+  current_ = combo_config(combos_[best]);
+  return current_;
+}
+
+}  // namespace cmm::core

@@ -1,0 +1,64 @@
+// Prefetch Throttling back-end (paper Sec. III-B1).
+//
+// Profiling protocol per epoch:
+//   interval 0: all prefetchers ON (collect detection stats — some may
+//               have been off during the last execution epoch)
+//   interval 1: Agg-set prefetchers OFF (friendliness probe)
+//   intervals 2..: remaining on/off combinations over the Agg cores —
+//               exhaustive when |Agg| <= max_exhaustive, otherwise
+//               group-level via k-means clustering on L2 PTR into at
+//               most `max_groups` groups.
+// The combination with the highest hm_ipc (the paper's 1/ANTT proxy)
+// wins and is applied for the next execution epoch.
+#pragma once
+
+#include "core/policy.hpp"
+
+namespace cmm::core {
+
+class PtPolicy final : public Policy {
+ public:
+  struct Options {
+    DetectorConfig detector{};
+    unsigned max_exhaustive = 3;  // |Agg| above this switches to groups
+    unsigned max_groups = 3;
+    SampleObjective objective = SampleObjective::HmIpc;
+  };
+
+  PtPolicy() = default;
+  explicit PtPolicy(const Options& opts) : opts_(opts) {}
+
+  std::string_view name() const noexcept override { return "pt"; }
+
+  ResourceConfig initial_config(unsigned cores, unsigned ways) override;
+  void begin_profiling(const std::vector<sim::PmuCounters>& epoch_delta) override;
+  std::optional<ResourceConfig> next_sample() override;
+  void report_sample(const SampleStats& stats) override;
+  ResourceConfig final_config() override;
+
+  /// Introspection for tests and the detection-trace bench.
+  const std::vector<CoreId>& agg_set() const noexcept { return agg_set_; }
+  const std::vector<unsigned>& groups() const noexcept { return groups_; }
+
+ private:
+  ResourceConfig combo_config(const std::vector<bool>& combo) const;
+
+  Options opts_;
+  unsigned cores_ = 0;
+  unsigned ways_ = 0;
+
+  std::vector<CoreId> agg_set_;
+  std::vector<unsigned> groups_;    // group id per agg member
+  unsigned num_groups_ = 0;
+  std::vector<std::vector<bool>> combos_;  // over groups
+  std::size_t next_combo_ = 0;
+  bool profiling_ = false;
+
+  std::vector<double> sample_hm_;   // hm_ipc per sampled combo
+  std::vector<double> ipc_on_;      // per core, interval 0
+  std::vector<double> ipc_off_;     // per core, interval 1
+
+  ResourceConfig current_;
+};
+
+}  // namespace cmm::core

@@ -1,0 +1,39 @@
+#include "hw/cat_controller.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/bitmask.hpp"
+
+namespace cmm::hw {
+
+void SimCatController::apply(const std::vector<WayMask>& per_core_masks) {
+  sim::CatModel& cat = system_->cat();
+  if (per_core_masks.size() != system_->num_cores())
+    throw std::invalid_argument("SimCatController: one mask per core required");
+
+  // Deduplicate masks into COS slots, like pqos allocating CLOSes.
+  std::vector<WayMask> distinct;
+  for (const WayMask m : per_core_masks) {
+    if (std::find(distinct.begin(), distinct.end(), m) == distinct.end()) distinct.push_back(m);
+  }
+  if (distinct.size() > cat.num_cos())
+    throw std::invalid_argument("SimCatController: more distinct masks than COS");
+
+  for (unsigned cos = 0; cos < distinct.size(); ++cos) cat.set_cbm(cos, distinct[cos]);
+  for (CoreId c = 0; c < per_core_masks.size(); ++c) {
+    const auto it = std::find(distinct.begin(), distinct.end(), per_core_masks[c]);
+    cat.assign_core(c, static_cast<unsigned>(it - distinct.begin()));
+  }
+}
+
+std::vector<WayMask> SimCatController::current() const {
+  const sim::CatModel& cat = system_->cat();
+  std::vector<WayMask> masks(system_->num_cores());
+  for (CoreId c = 0; c < masks.size(); ++c) masks[c] = cat.core_mask(c);
+  return masks;
+}
+
+void SimCatController::reset() { system_->cat().reset(); }
+
+}  // namespace cmm::hw

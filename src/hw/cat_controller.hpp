@@ -1,0 +1,47 @@
+// CAT programming interface (libpqos equivalent). The controller
+// expresses partitions as per-core way masks; the implementation maps
+// cores onto classes of service. The simulated implementation drives
+// sim::CatModel with a trivial COS assignment (one COS per distinct
+// mask), which is exactly how pqos' "OS interface" allocates CLOSes.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "sim/multicore_system.hpp"
+
+namespace cmm::hw {
+
+class CatController {
+ public:
+  virtual ~CatController() = default;
+
+  /// Apply one way mask per core (size must equal core count). Masks
+  /// must satisfy CAT constraints (non-empty, contiguous).
+  virtual void apply(const std::vector<WayMask>& per_core_masks) = 0;
+
+  /// Current mask of each core.
+  virtual std::vector<WayMask> current() const = 0;
+
+  /// Remove all partitioning (full mask everywhere).
+  virtual void reset() = 0;
+
+  virtual unsigned llc_ways() const = 0;
+  virtual unsigned num_cores() const = 0;
+};
+
+class SimCatController final : public CatController {
+ public:
+  explicit SimCatController(sim::MulticoreSystem& system) : system_(&system) {}
+
+  void apply(const std::vector<WayMask>& per_core_masks) override;
+  std::vector<WayMask> current() const override;
+  void reset() override;
+  unsigned llc_ways() const override { return system_->cat().llc_ways(); }
+  unsigned num_cores() const override { return system_->num_cores(); }
+
+ private:
+  sim::MulticoreSystem* system_;
+};
+
+}  // namespace cmm::hw

@@ -1,0 +1,45 @@
+#include "hw/msr_device.hpp"
+
+#include <stdexcept>
+
+#include "sim/prefetch_msr.hpp"
+
+namespace cmm::hw {
+
+std::uint64_t SimMsrDevice::read(CoreId core, std::uint32_t msr) const {
+  if (msr != sim::kMsrMiscFeatureControl)
+    throw std::invalid_argument("SimMsrDevice: unmodelled MSR");
+  return system_->core(core).prefetch_msr().read();
+}
+
+void SimMsrDevice::write(CoreId core, std::uint32_t msr, std::uint64_t value) {
+  if (msr != sim::kMsrMiscFeatureControl)
+    throw std::invalid_argument("SimMsrDevice: unmodelled MSR");
+  system_->core(core).prefetch_msr().write(value);
+}
+
+void PrefetchControl::set_core_prefetchers(CoreId core, bool on) {
+  msr_->write(core, sim::kMsrMiscFeatureControl, on ? 0x0ULL : 0xFULL);
+}
+
+bool PrefetchControl::core_prefetchers_on(CoreId core) const {
+  return msr_->read(core, sim::kMsrMiscFeatureControl) == 0;
+}
+
+void PrefetchControl::set_prefetcher(CoreId core, sim::PrefetcherKind kind, bool on) {
+  std::uint64_t v = msr_->read(core, sim::kMsrMiscFeatureControl);
+  const std::uint64_t bit = 1ULL << static_cast<unsigned>(kind);
+  v = on ? (v & ~bit) : (v | bit);
+  msr_->write(core, sim::kMsrMiscFeatureControl, v);
+}
+
+bool PrefetchControl::prefetcher_on(CoreId core, sim::PrefetcherKind kind) const {
+  const std::uint64_t v = msr_->read(core, sim::kMsrMiscFeatureControl);
+  return ((v >> static_cast<unsigned>(kind)) & 1ULL) == 0;
+}
+
+void PrefetchControl::enable_all() {
+  for (CoreId c = 0; c < msr_->num_cores(); ++c) set_core_prefetchers(c, true);
+}
+
+}  // namespace cmm::hw

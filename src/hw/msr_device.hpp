@@ -1,0 +1,68 @@
+// Hardware-abstraction layer: the CMM controller (src/core) is written
+// exclusively against these interfaces, mirroring the paper's kernel
+// module which touched hardware only through MSR writes, PMU reads, and
+// CAT MSRs. Porting to a real Intel machine means implementing:
+//
+//   MsrDevice     -> pread/pwrite on /dev/cpu/<n>/msr (or wrmsr IPIs in
+//                    a kernel module), register 0x1A4
+//   PmuReader     -> perf_event_open or raw PMC programming
+//   CatController -> libpqos (or IA32_L3_MASK_n + IA32_PQR_ASSOC MSRs)
+//
+// The simulated implementations below bind the interfaces to
+// sim::MulticoreSystem.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+#include "sim/multicore_system.hpp"
+
+namespace cmm::hw {
+
+/// Per-logical-CPU model-specific-register access.
+class MsrDevice {
+ public:
+  virtual ~MsrDevice() = default;
+  virtual std::uint64_t read(CoreId core, std::uint32_t msr) const = 0;
+  virtual void write(CoreId core, std::uint32_t msr, std::uint64_t value) = 0;
+  virtual unsigned num_cores() const = 0;
+};
+
+/// MsrDevice bound to the simulator. Only MSR 0x1A4 is modelled; other
+/// registers throw, which is also what a real driver does for
+/// unimplemented addresses (#GP).
+class SimMsrDevice final : public MsrDevice {
+ public:
+  explicit SimMsrDevice(sim::MulticoreSystem& system) : system_(&system) {}
+
+  std::uint64_t read(CoreId core, std::uint32_t msr) const override;
+  void write(CoreId core, std::uint32_t msr, std::uint64_t value) override;
+  unsigned num_cores() const override { return system_->num_cores(); }
+
+ private:
+  sim::MulticoreSystem* system_;
+};
+
+/// Convenience wrapper over the prefetcher-control register: the unit
+/// the paper's back-end manipulates ("all four prefetchers per core are
+/// either on or off").
+class PrefetchControl {
+ public:
+  explicit PrefetchControl(MsrDevice& msr) : msr_(&msr) {}
+
+  void set_core_prefetchers(CoreId core, bool on);
+  bool core_prefetchers_on(CoreId core) const;
+
+  void set_prefetcher(CoreId core, sim::PrefetcherKind kind, bool on);
+  bool prefetcher_on(CoreId core, sim::PrefetcherKind kind) const;
+
+  /// Re-enable everything (baseline state).
+  void enable_all();
+
+  unsigned num_cores() const { return msr_->num_cores(); }
+
+ private:
+  MsrDevice* msr_;
+};
+
+}  // namespace cmm::hw

@@ -1,0 +1,15 @@
+#include "hw/pmu_reader.hpp"
+
+#include <stdexcept>
+
+namespace cmm::hw {
+
+std::vector<sim::PmuCounters> pmu_delta(const std::vector<sim::PmuCounters>& now,
+                                        const std::vector<sim::PmuCounters>& earlier) {
+  if (now.size() != earlier.size()) throw std::invalid_argument("pmu_delta: size mismatch");
+  std::vector<sim::PmuCounters> d(now.size());
+  for (std::size_t i = 0; i < now.size(); ++i) d[i] = now[i].delta_since(earlier[i]);
+  return d;
+}
+
+}  // namespace cmm::hw

@@ -1,0 +1,40 @@
+// PMU sampling interface. A real port reads the events of Table I via
+// perf_event_open (or PMI handlers, as the paper's kernel module does);
+// the simulated implementation snapshots sim::Pmu.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "sim/multicore_system.hpp"
+#include "sim/pmu.hpp"
+
+namespace cmm::hw {
+
+class PmuReader {
+ public:
+  virtual ~PmuReader() = default;
+
+  /// Current cumulative counter values for every core.
+  virtual std::vector<sim::PmuCounters> read_all() const = 0;
+
+  virtual unsigned num_cores() const = 0;
+};
+
+class SimPmuReader final : public PmuReader {
+ public:
+  explicit SimPmuReader(const sim::MulticoreSystem& system) : system_(&system) {}
+
+  std::vector<sim::PmuCounters> read_all() const override { return system_->pmu().snapshot(); }
+  unsigned num_cores() const override { return system_->num_cores(); }
+
+ private:
+  const sim::MulticoreSystem* system_;
+};
+
+/// Per-core deltas between two PMU snapshots (an epoch or a sampling
+/// interval).
+std::vector<sim::PmuCounters> pmu_delta(const std::vector<sim::PmuCounters>& now,
+                                        const std::vector<sim::PmuCounters>& earlier);
+
+}  // namespace cmm::hw

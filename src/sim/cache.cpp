@@ -1,0 +1,172 @@
+#include "sim/cache.hpp"
+
+#include <cassert>
+#include <limits>
+
+namespace cmm::sim {
+
+SetAssocCache::SetAssocCache(const CacheGeometry& geom)
+    : geom_(geom),
+      num_sets_(static_cast<std::uint32_t>(geom.num_sets())),
+      ways_(geom.ways),
+      lines_(static_cast<std::size_t>(num_sets_) * ways_) {
+  assert(num_sets_ > 0 && (num_sets_ & (num_sets_ - 1)) == 0);
+}
+
+SetAssocCache::Line* SetAssocCache::find(Addr line_addr) {
+  const std::uint32_t set = set_index(line_addr);
+  const Addr tag = line_addr >> 0;  // full line address stored as tag
+  Line* base = &lines_[static_cast<std::size_t>(set) * ways_];
+  for (std::uint32_t w = 0; w < ways_; ++w) {
+    if (base[w].valid && base[w].tag == tag) return &base[w];
+  }
+  return nullptr;
+}
+
+const SetAssocCache::Line* SetAssocCache::find(Addr line_addr) const {
+  return const_cast<SetAssocCache*>(this)->find(line_addr);
+}
+
+LookupResult SetAssocCache::access(Addr line_addr, AccessType type, Cycle now) {
+  const bool demand = is_demand(type);
+  if (demand) {
+    ++stats_.demand_accesses;
+  } else {
+    ++stats_.prefetch_accesses;
+  }
+
+  Line* line = find(line_addr);
+  if (line == nullptr) return LookupResult{};
+
+  LookupResult r;
+  r.hit = true;
+  r.ready_at = line->ready_at;
+  if (demand) {
+    ++stats_.demand_hits;
+    if (line->prefetched && !line->pf_used) {
+      line->pf_used = true;
+      ++stats_.prefetched_lines_used;
+      r.first_use_of_prefetch = true;
+    }
+    // The first demand waiter absorbs any in-flight fill latency: it is
+    // charged once (via r.ready_at) and the line is resident afterwards.
+    line->ready_at = now;
+    if (type == AccessType::DemandStore) line->dirty = true;
+  } else {
+    ++stats_.prefetch_hits;
+    // A prefetch request consuming a prefetched line still counts as a
+    // use for accuracy accounting (an L1 prefetch picking up a streamer
+    // fill from L2 does deliver the data to the core)...
+    if (line->prefetched && !line->pf_used) {
+      line->pf_used = true;
+      ++stats_.prefetched_lines_used;
+      r.first_use_of_prefetch = true;
+    }
+    // ...but prefetch hits do not promote replacement state: a
+    // prefetcher re-walking resident data must not keep lines young
+    // forever (non-promoting prefetch hits, as in real LLC designs —
+    // without this, a wrapping stream pins its pre-partition footprint
+    // and CAT repartitioning never reclaims the ways).
+    return r;
+  }
+
+  touch(*line);
+  return r;
+}
+
+bool SetAssocCache::contains(Addr line_addr) const { return find(line_addr) != nullptr; }
+
+FillResult SetAssocCache::fill(Addr line_addr, AccessType type, [[maybe_unused]] Cycle now,
+                               Cycle ready_at, WayMask alloc_mask, CoreId owner) {
+  FillResult result;
+  if (alloc_mask == 0) return result;  // no allocatable ways: fill dropped
+
+  // Refill of a resident line (e.g. racing prefetch): refresh metadata.
+  if (Line* existing = find(line_addr); existing != nullptr) {
+    if (existing->ready_at > ready_at) existing->ready_at = ready_at;
+    if (type == AccessType::DemandStore) existing->dirty = true;
+    return result;
+  }
+
+  const std::uint32_t set = set_index(line_addr);
+  Line* base = &lines_[static_cast<std::size_t>(set) * ways_];
+
+  // Prefer an invalid way inside the mask.
+  std::uint32_t victim = ways_;
+  for (std::uint32_t w = 0; w < ways_; ++w) {
+    if (((alloc_mask >> w) & 1U) == 0) continue;
+    if (w >= ways_) break;
+    if (!base[w].valid) {
+      victim = w;
+      break;
+    }
+  }
+  // Otherwise evict the LRU (oldest-timestamp) line inside the mask.
+  if (victim == ways_) {
+    std::uint64_t oldest = std::numeric_limits<std::uint64_t>::max();
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+      if (((alloc_mask >> w) & 1U) == 0) continue;
+      if (base[w].last_used < oldest) {
+        oldest = base[w].last_used;
+        victim = w;
+      }
+    }
+    if (victim == ways_) return result;  // mask beyond associativity
+    Line& v = base[victim];
+    result.evicted_valid = true;
+    result.evicted_line = v.tag;
+    result.evicted_owner = v.owner;
+    result.evicted_dirty = v.dirty;
+    ++stats_.evictions;
+    if (v.prefetched && !v.pf_used) {
+      result.evicted_was_prefetched_unused = true;
+      ++stats_.prefetched_lines_evicted_unused;
+    }
+  }
+
+  Line& line = base[victim];
+  line.valid = true;
+  line.tag = line_addr;
+  line.ready_at = ready_at;
+  line.owner = owner;
+  line.prefetched = (type == AccessType::Prefetch);
+  line.pf_used = false;
+  line.dirty = (type == AccessType::DemandStore);
+  touch(line);
+  return result;
+}
+
+bool SetAssocCache::invalidate(Addr line_addr) {
+  Line* line = find(line_addr);
+  if (line == nullptr) return false;
+  if (line->prefetched && !line->pf_used) ++stats_.prefetched_lines_evicted_unused;
+  line->valid = false;
+  return true;
+}
+
+void SetAssocCache::flush() {
+  for (auto& line : lines_) line.valid = false;
+}
+
+std::vector<std::uint64_t> SetAssocCache::occupancy_by_owner(unsigned num_cores) const {
+  std::vector<std::uint64_t> counts(num_cores, 0);
+  for (const auto& line : lines_) {
+    if (line.valid && line.owner < num_cores) ++counts[line.owner];
+  }
+  return counts;
+}
+
+unsigned SetAssocCache::set_occupancy(std::uint32_t set) const {
+  return set_occupancy_in_mask(set, ~WayMask{0});
+}
+
+unsigned SetAssocCache::set_occupancy_in_mask(std::uint32_t set, WayMask mask) const {
+  unsigned n = 0;
+  const Line* base = &lines_[static_cast<std::size_t>(set) * ways_];
+  for (std::uint32_t w = 0; w < ways_; ++w) {
+    if (((mask >> w) & 1U) != 0 && base[w].valid) ++n;
+  }
+  return n;
+}
+
+}  // namespace cmm::sim

@@ -1,0 +1,132 @@
+// Set-associative cache with true-LRU replacement, way-restricted
+// allocation (Intel CAT semantics at the LLC), prefetched-line
+// bookkeeping for accuracy statistics, and a `ready_at` timestamp per
+// line so that demand hits on still-in-flight prefetches pay the
+// residual latency (prefetch timeliness).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitmask.hpp"
+#include "common/types.hpp"
+#include "sim/machine_config.hpp"
+
+namespace cmm::sim {
+
+/// Per-cache event counters. Separate demand/prefetch channels because
+/// every Table-I metric distinguishes them.
+struct CacheStats {
+  std::uint64_t demand_accesses = 0;
+  std::uint64_t demand_hits = 0;
+  std::uint64_t prefetch_accesses = 0;
+  std::uint64_t prefetch_hits = 0;
+
+  // Prefetch usefulness: lines brought in by a prefetch that were
+  // demand-touched at least once vs. evicted untouched.
+  std::uint64_t prefetched_lines_used = 0;
+  std::uint64_t prefetched_lines_evicted_unused = 0;
+
+  std::uint64_t evictions = 0;
+
+  std::uint64_t demand_misses() const noexcept { return demand_accesses - demand_hits; }
+  std::uint64_t prefetch_misses() const noexcept { return prefetch_accesses - prefetch_hits; }
+
+  /// Fraction of completed prefetched lines that were useful; NaN-free.
+  double prefetch_accuracy() const noexcept {
+    const std::uint64_t total = prefetched_lines_used + prefetched_lines_evicted_unused;
+    return total == 0 ? 0.0 : static_cast<double>(prefetched_lines_used) / static_cast<double>(total);
+  }
+
+  void reset() { *this = CacheStats{}; }
+};
+
+struct LookupResult {
+  bool hit = false;
+  /// For hits: cycle at which the line's data is available (fill time of
+  /// an in-flight prefetch). The caller pays max(0, ready_at - now)
+  /// residual cycles on top of the cache's access latency.
+  Cycle ready_at = 0;
+  /// For hits on a prefetched, never-demand-touched line: this access
+  /// just converted the prefetch to "useful".
+  bool first_use_of_prefetch = false;
+};
+
+struct FillResult {
+  bool evicted_valid = false;
+  Addr evicted_line = 0;            // line address of the victim, if any
+  bool evicted_was_prefetched_unused = false;
+  bool evicted_dirty = false;       // victim held modified data
+  CoreId evicted_owner = kInvalidCore;
+};
+
+class SetAssocCache {
+ public:
+  explicit SetAssocCache(const CacheGeometry& geom);
+
+  /// Probe + LRU update. `line_addr` is a *line* address (byte addr >>
+  /// line_shift). Demand hits mark prefetched lines as used.
+  LookupResult access(Addr line_addr, AccessType type, Cycle now);
+
+  /// Probe without LRU update or usefulness side effects.
+  bool contains(Addr line_addr) const;
+
+  /// Allocate `line_addr`, choosing the victim only among ways allowed
+  /// by `alloc_mask` (CAT). Invalid ways inside the mask are preferred;
+  /// otherwise the LRU way inside the mask is evicted. A full mask is
+  /// ordinary allocation. `ready_at` is the cycle the fill completes
+  /// (== now for demand fills that already waited on memory).
+  FillResult fill(Addr line_addr, AccessType type, Cycle now, Cycle ready_at,
+                  WayMask alloc_mask, CoreId owner = kInvalidCore);
+
+  /// Drop a line if present (used by tests and back-invalidation studies).
+  bool invalidate(Addr line_addr);
+
+  /// Invalidate everything; stats preserved.
+  void flush();
+
+  const CacheStats& stats() const noexcept { return stats_; }
+  CacheStats& mutable_stats() noexcept { return stats_; }
+  void reset_stats() { stats_.reset(); }
+
+  const CacheGeometry& geometry() const noexcept { return geom_; }
+  std::uint32_t num_sets() const noexcept { return num_sets_; }
+
+  /// Valid-line count per owning core (kInvalidCore-owned lines are
+  /// dropped). Diagnostic: shows who holds the cache.
+  std::vector<std::uint64_t> occupancy_by_owner(unsigned num_cores) const;
+
+  /// Number of valid lines currently in `set` (test/diagnostic use).
+  unsigned set_occupancy(std::uint32_t set) const;
+  /// Number of valid lines in `set` residing in ways covered by `mask`.
+  unsigned set_occupancy_in_mask(std::uint32_t set, WayMask mask) const;
+
+  std::uint32_t set_index(Addr line_addr) const noexcept {
+    return static_cast<std::uint32_t>(line_addr & (num_sets_ - 1));
+  }
+
+ private:
+  struct Line {
+    Addr tag = 0;
+    Cycle ready_at = 0;
+    std::uint64_t last_used = 0;  // global-tick timestamp (higher = newer)
+    CoreId owner = kInvalidCore;
+    bool valid = false;
+    bool prefetched = false;   // brought in by a prefetch...
+    bool pf_used = false;      // ...and demand-touched since
+    bool dirty = false;        // modified since fill (writeback needed)
+  };
+
+  Line* find(Addr line_addr);
+  const Line* find(Addr line_addr) const;
+  void touch(Line& line) noexcept { line.last_used = ++tick_; }
+
+  CacheGeometry geom_;
+  std::uint32_t num_sets_;
+  std::uint32_t ways_;
+  std::vector<Line> lines_;  // set-major: lines_[set * ways_ + way]
+  std::uint64_t tick_ = 0;   // LRU clock
+  CacheStats stats_;
+};
+
+}  // namespace cmm::sim

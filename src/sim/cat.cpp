@@ -1,0 +1,41 @@
+#include "sim/cat.hpp"
+
+namespace cmm::sim {
+
+CatModel::CatModel(unsigned num_cores, unsigned llc_ways, unsigned num_cos)
+    : llc_ways_(llc_ways), cbm_(num_cos, full_mask(llc_ways)), core_cos_(num_cores, 0) {
+  if (llc_ways == 0 || llc_ways > 32) throw std::invalid_argument("CatModel: bad way count");
+  if (num_cos == 0) throw std::invalid_argument("CatModel: need at least one COS");
+}
+
+void CatModel::set_cbm(unsigned cos, WayMask mask) {
+  if (cos >= cbm_.size()) throw std::invalid_argument("CatModel: COS out of range");
+  if (!is_valid_cat_mask(mask, llc_ways_))
+    throw std::invalid_argument("CatModel: CBM must be non-empty, contiguous, within way count");
+  cbm_[cos] = mask;
+}
+
+WayMask CatModel::cbm(unsigned cos) const {
+  if (cos >= cbm_.size()) throw std::invalid_argument("CatModel: COS out of range");
+  return cbm_[cos];
+}
+
+void CatModel::assign_core(CoreId core, unsigned cos) {
+  if (core >= core_cos_.size()) throw std::invalid_argument("CatModel: core out of range");
+  if (cos >= cbm_.size()) throw std::invalid_argument("CatModel: COS out of range");
+  core_cos_[core] = cos;
+}
+
+unsigned CatModel::core_cos(CoreId core) const {
+  if (core >= core_cos_.size()) throw std::invalid_argument("CatModel: core out of range");
+  return core_cos_[core];
+}
+
+WayMask CatModel::core_mask(CoreId core) const { return cbm_[core_cos(core)]; }
+
+void CatModel::reset() {
+  for (auto& m : cbm_) m = full_mask(llc_ways_);
+  for (auto& c : core_cos_) c = 0;
+}
+
+}  // namespace cmm::sim

@@ -1,0 +1,50 @@
+// Model of Intel Cache Allocation Technology (CAT): way-based LLC
+// partitioning via classes of service (COS). Each COS holds a capacity
+// bitmask (CBM); each core is associated with one COS. A core's LLC
+// *fills* may only allocate into ways covered by its CBM; *hits* are
+// unrestricted — exactly the semantics of real CAT, which is why CAT
+// partitions are "overlapping-capable".
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "common/bitmask.hpp"
+#include "common/types.hpp"
+
+namespace cmm::sim {
+
+class CatModel {
+ public:
+  /// `num_cos` classes of service over an LLC with `llc_ways` ways.
+  /// Broadwell-EP exposes 16 COS over 20 ways.
+  CatModel(unsigned num_cores, unsigned llc_ways, unsigned num_cos = 16);
+
+  unsigned num_cos() const noexcept { return static_cast<unsigned>(cbm_.size()); }
+  unsigned llc_ways() const noexcept { return llc_ways_; }
+
+  /// Program a COS capacity bitmask. Enforces real-CAT constraints:
+  /// non-empty, contiguous, within the way count. Throws
+  /// std::invalid_argument otherwise (mirrors pqos returning an error).
+  void set_cbm(unsigned cos, WayMask mask);
+  WayMask cbm(unsigned cos) const;
+
+  /// Associate a core with a COS.
+  void assign_core(CoreId core, unsigned cos);
+  unsigned core_cos(CoreId core) const;
+
+  /// The allocation mask the LLC must apply to fills from `core`.
+  WayMask core_mask(CoreId core) const;
+
+  /// Reset: every COS gets the full mask, every core COS 0 — hardware
+  /// reset state and the paper's baseline (no partitioning).
+  void reset();
+
+ private:
+  unsigned llc_ways_;
+  std::vector<WayMask> cbm_;
+  std::vector<unsigned> core_cos_;
+};
+
+}  // namespace cmm::sim

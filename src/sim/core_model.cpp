@@ -1,0 +1,195 @@
+#include "sim/core_model.hpp"
+
+#include <cassert>
+
+namespace cmm::sim {
+
+CoreModel::CoreModel(CoreId id, const MachineConfig& cfg, SetAssocCache& llc, const CatModel& cat,
+                     MemoryController& mem, Pmu& pmu)
+    : id_(id),
+      cfg_(cfg),
+      line_shift_(std::countr_zero(static_cast<std::uint64_t>(cfg.l1d.line_size))),
+      l1_(cfg.l1d),
+      l2_(cfg.l2),
+      llc_(llc),
+      cat_(cat),
+      mem_(mem),
+      pmu_(pmu) {}
+
+void CoreModel::set_op_source(std::shared_ptr<OpSource> source) { source_ = std::move(source); }
+
+void CoreModel::reset_microarch() {
+  l1_.flush();
+  l2_.flush();
+  pf_next_line_.reset();
+  pf_ip_stride_.reset();
+  pf_streamer_.reset();
+  pf_adjacent_.reset();
+}
+
+void CoreModel::advance_to(Cycle target) {
+  assert(source_ != nullptr && "core has no op source");
+  const CoreTraits traits = source_->traits();
+  PmuCounters& ctr = pmu_.core(id_);
+
+  while (now_ < target) {
+    const Op op = source_->next();
+
+    double cost = static_cast<double>(op.instructions) * traits.base_cpi;
+    if (op.has_mem) cost += demand_access(op.mem);
+
+    ctr.instructions += op.instructions;
+
+    now_frac_ += cost;
+    const auto whole = static_cast<Cycle>(now_frac_);
+    now_frac_ -= static_cast<double>(whole);
+    now_ += (whole > 0 ? whole : 1);  // every op advances time
+  }
+  ctr.cycles = now_;
+}
+
+double CoreModel::demand_access(const MemRef& ref) {
+  const CoreTraits traits = source_->traits();
+  const Addr line = ref.addr >> line_shift_;
+  const AccessType type = ref.is_store ? AccessType::DemandStore : AccessType::DemandLoad;
+  PmuCounters& ctr = pmu_.core(id_);
+
+  l1_cands_.clear();
+  l2_cands_.clear();
+
+  // ---- L1 ----
+  const LookupResult l1r = l1_.access(line, type, now_);
+  const PrefetchObservation l1_obs{line, ref.ip, !l1r.hit};
+  if (msr_.enabled(PrefetcherKind::DcuNextLine)) pf_next_line_.observe(l1_obs, l1_cands_);
+  if (msr_.enabled(PrefetcherKind::DcuIpStride)) pf_ip_stride_.observe(l1_obs, l1_cands_);
+
+  // `extra` accumulates latency beyond the (pipelined) L1 hit latency:
+  // the level-to-level path cost plus any in-flight prefetch residual.
+  // A demand waiter absorbs a line's in-flight latency exactly once
+  // (SetAssocCache::access resets ready_at on demand hits), and demand
+  // fills are installed resident, because the penalty charged here
+  // advances this core's clock past the wait.
+  double extra = 0.0;
+  // Portion of `extra` spent waiting on an outstanding sub-L2 fill —
+  // what CYCLE_ACTIVITY.STALLS_L2_PENDING counts: it includes demand
+  // hits that wait on in-flight (prefetch) misses, not only demand
+  // misses themselves.
+  double l2_pending = 0.0;
+
+  if (l1r.hit) {
+    extra = residual(l1r.ready_at, static_cast<double>(now_ + cfg_.l1_latency));
+    l2_pending = extra;
+  } else {
+    // ---- L2 (demand) ----
+    ++ctr.l2_dm_req;
+    const LookupResult l2r = l2_.access(line, type, now_);
+    const PrefetchObservation l2_obs{line, ref.ip, !l2r.hit};
+    if (msr_.enabled(PrefetcherKind::L2Streamer)) pf_streamer_.observe(l2_obs, l2_cands_);
+    if (msr_.enabled(PrefetcherKind::L2Adjacent)) pf_adjacent_.observe(l2_obs, l2_cands_);
+
+    if (l2r.hit) {
+      const double wait = residual(l2r.ready_at, static_cast<double>(now_ + cfg_.l2_latency));
+      extra = static_cast<double>(cfg_.l2_latency - cfg_.l1_latency) + wait;
+      l2_pending = wait;
+      l1_.fill(line, type, now_, now_, ~WayMask{0});
+    } else {
+      ++ctr.l2_dm_miss;
+
+      // ---- LLC (demand) ----
+      const LookupResult l3r = llc_.access(line, type, now_);
+      if (l3r.hit) {
+        extra = static_cast<double>(cfg_.llc_latency - cfg_.l1_latency) +
+                residual(l3r.ready_at, static_cast<double>(now_ + cfg_.llc_latency));
+        l2_pending = extra;
+      } else {
+        if (!ref.is_store) ++ctr.l3_load_miss;
+        const Cycle dram = mem_.request(id_, type, now_);
+        ctr.dram_demand_bytes += cfg_.llc.line_size;
+        extra = static_cast<double>(cfg_.llc_latency + dram - cfg_.l1_latency);
+        l2_pending = extra;
+        fill_llc(line, type, now_);
+      }
+      l2_.fill(line, type, now_, now_, ~WayMask{0});
+      l1_.fill(line, type, now_, now_, ~WayMask{0});
+    }
+  }
+
+  // Prefetch issue is asynchronous: no cost added to the demand path.
+  for (const Addr cand : l1_cands_) issue_l1_prefetch(cand);
+  for (const Addr cand : l2_cands_) issue_l2_prefetch(cand);
+
+  // De-rate by the workload's memory-level parallelism.
+  const double penalty = extra / traits.mlp;
+  ctr.stalls_l2_pending += static_cast<std::uint64_t>(l2_pending / traits.mlp);
+  return penalty;
+}
+
+void CoreModel::fill_llc(Addr line, AccessType type, Cycle ready_at) {
+  const FillResult r = llc_.fill(line, type, now_, ready_at, cat_.core_mask(id_), id_);
+  if (!r.evicted_valid) return;
+  if (cfg_.model_writebacks && r.evicted_dirty) {
+    const CoreId payer = r.evicted_owner != kInvalidCore ? r.evicted_owner : id_;
+    mem_.writeback(payer, now_);
+    if (payer < pmu_.num_cores()) pmu_.core(payer).dram_writeback_bytes += cfg_.llc.line_size;
+  }
+  if (cfg_.inclusive_llc && eviction_listener_ && r.evicted_owner != kInvalidCore) {
+    eviction_listener_(r.evicted_line, r.evicted_owner);
+  }
+}
+
+void CoreModel::issue_l1_prefetch(Addr line) {
+  if (l1_.contains(line)) return;
+
+  // L1 prefetch requests travel to L2. They are *not* counted in the
+  // L2-prefetcher PMU events (those count only streamer/adjacent, per
+  // the paper's event definitions), but — as the paper's background
+  // section describes — "requests arriving at L2 will trigger L2's
+  // prefetchers", so they train the streamer/adjacent prefetchers.
+  const LookupResult l2r = l2_.access(line, AccessType::Prefetch, now_);
+  // Only the streamer trains on prefetch-triggered requests; letting
+  // the adjacent prefetcher chain off them would cascade prefetch-on-
+  // prefetch indefinitely.
+  const PrefetchObservation l2_obs{line, 0, !l2r.hit};
+  l2_cands_from_l1_.clear();
+  if (msr_.enabled(PrefetcherKind::L2Streamer)) pf_streamer_.observe(l2_obs, l2_cands_from_l1_);
+  for (const Addr cand : l2_cands_from_l1_) issue_l2_prefetch(cand);
+  Cycle ready;
+  if (l2r.hit) {
+    ready = std::max(now_ + cfg_.l2_latency, l2r.ready_at);
+  } else {
+    const LookupResult l3r = llc_.access(line, AccessType::Prefetch, now_);
+    if (l3r.hit) {
+      ready = std::max(now_ + cfg_.llc_latency, l3r.ready_at);
+    } else {
+      const Cycle dram = mem_.request(id_, AccessType::Prefetch, now_);
+      pmu_.core(id_).dram_prefetch_bytes += cfg_.llc.line_size;
+      ready = cfg_.instant_prefetch_fills ? now_ : now_ + cfg_.llc_latency + dram;
+      fill_llc(line, AccessType::Prefetch, ready);
+    }
+    l2_.fill(line, AccessType::Prefetch, now_, ready, ~WayMask{0});
+  }
+  l1_.fill(line, AccessType::Prefetch, now_, ready, ~WayMask{0});
+}
+
+void CoreModel::issue_l2_prefetch(Addr line) {
+  PmuCounters& ctr = pmu_.core(id_);
+  ++ctr.l2_pref_req;
+
+  const LookupResult l2r = l2_.access(line, AccessType::Prefetch, now_);
+  if (l2r.hit) return;  // prefetch filtered at L2
+
+  ++ctr.l2_pref_miss;
+  const LookupResult l3r = llc_.access(line, AccessType::Prefetch, now_);
+  Cycle ready;
+  if (l3r.hit) {
+    ready = std::max(now_ + cfg_.llc_latency, l3r.ready_at);
+  } else {
+    const Cycle dram = mem_.request(id_, AccessType::Prefetch, now_);
+    ctr.dram_prefetch_bytes += cfg_.llc.line_size;
+    ready = cfg_.instant_prefetch_fills ? now_ : now_ + cfg_.llc_latency + dram;
+    fill_llc(line, AccessType::Prefetch, ready);
+  }
+  l2_.fill(line, AccessType::Prefetch, now_, ready, ~WayMask{0});
+}
+
+}  // namespace cmm::sim

@@ -1,0 +1,144 @@
+// Per-core timing model: a simple interval model. Instructions retire
+// at a workload-specific base CPI; a memory reference adds the portion
+// of the hierarchy latency not hidden by the L1 (scaled down by the
+// workload's memory-level parallelism). This is intentionally not
+// cycle-accurate — the paper's phenomena (prefetch hiding DRAM latency,
+// LLC pollution, bandwidth contention) live entirely in the relative
+// miss costs, which this model carries.
+#pragma once
+
+#include <array>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sim/cache.hpp"
+#include "sim/cat.hpp"
+#include "sim/machine_config.hpp"
+#include "sim/memory_controller.hpp"
+#include "sim/pmu.hpp"
+#include "sim/prefetch_msr.hpp"
+#include "sim/prefetcher.hpp"
+
+namespace cmm::sim {
+
+/// One memory reference produced by a workload.
+struct MemRef {
+  Addr addr = 0;  // byte address
+  IpId ip = 0;
+  bool is_store = false;
+};
+
+/// One unit of work: `instructions` retired instructions, the last of
+/// which is `mem` when `has_mem` is set.
+struct Op {
+  std::uint32_t instructions = 1;
+  bool has_mem = false;
+  MemRef mem{};
+};
+
+/// Static execution characteristics of the program on this core.
+struct CoreTraits {
+  double base_cpi = 0.5;  // CPI of non-memory work
+  double mlp = 4.0;       // average overlap factor for miss latency
+};
+
+/// Source of the core's dynamic instruction stream (implemented by
+/// workloads::AddressStream adapters).
+class OpSource {
+ public:
+  virtual ~OpSource() = default;
+  virtual Op next() = 0;
+  virtual CoreTraits traits() const = 0;
+  virtual void reset() = 0;
+};
+
+class CoreModel {
+ public:
+  CoreModel(CoreId id, const MachineConfig& cfg, SetAssocCache& llc, const CatModel& cat,
+            MemoryController& mem, Pmu& pmu);
+
+  // Not copyable/movable: holds references and is stored via unique_ptr.
+  CoreModel(const CoreModel&) = delete;
+  CoreModel& operator=(const CoreModel&) = delete;
+
+  void set_op_source(std::shared_ptr<OpSource> source);
+
+  /// Invoked after each LLC eviction of a valid line (line address,
+  /// owning core). MulticoreSystem installs a back-invalidation hook
+  /// here when the machine models an inclusive LLC.
+  using EvictionListener = std::function<void(Addr, CoreId)>;
+  void set_eviction_listener(EvictionListener listener) {
+    eviction_listener_ = std::move(listener);
+  }
+
+  /// Direct access to the L2 streamer (hardware-level controllers such
+  /// as the FDP baseline tune its aggressiveness).
+  StreamerPrefetcher& streamer() noexcept { return pf_streamer_; }
+
+  /// Run ops until the local clock reaches `target` cycles.
+  void advance_to(Cycle target);
+
+  Cycle now() const noexcept { return now_; }
+  CoreId id() const noexcept { return id_; }
+
+  PrefetchMsr& prefetch_msr() noexcept { return msr_; }
+  const PrefetchMsr& prefetch_msr() const noexcept { return msr_; }
+
+  const SetAssocCache& l1() const noexcept { return l1_; }
+  const SetAssocCache& l2() const noexcept { return l2_; }
+  SetAssocCache& l1() noexcept { return l1_; }
+  SetAssocCache& l2() noexcept { return l2_; }
+
+  /// Flush private caches + prefetcher state (used between runs).
+  void reset_microarch();
+
+ private:
+  /// Execute one demand reference; returns its added latency (cycles).
+  double demand_access(const MemRef& ref);
+
+  /// Issue an L1-prefetcher candidate down the hierarchy.
+  void issue_l1_prefetch(Addr line);
+
+  /// Issue an L2-prefetcher candidate (counts the Table-I PMU events).
+  void issue_l2_prefetch(Addr line);
+
+  /// Residual wait if the line's fill completes after `arrival`.
+  static double residual(Cycle ready_at, double arrival) noexcept {
+    const auto a = static_cast<double>(ready_at);
+    return a > arrival ? a - arrival : 0.0;
+  }
+
+  /// Fill the shared LLC under this core's CAT mask, handling
+  /// writebacks of dirty victims and inclusive back-invalidation.
+  void fill_llc(Addr line, AccessType type, Cycle ready_at);
+
+  CoreId id_;
+  const MachineConfig& cfg_;
+  Addr line_shift_;
+
+  SetAssocCache l1_;
+  SetAssocCache l2_;
+  SetAssocCache& llc_;
+  const CatModel& cat_;
+  MemoryController& mem_;
+  Pmu& pmu_;
+
+  PrefetchMsr msr_;
+  NextLinePrefetcher pf_next_line_;
+  IpStridePrefetcher pf_ip_stride_;
+  StreamerPrefetcher pf_streamer_;
+  AdjacentLinePrefetcher pf_adjacent_;
+
+  std::shared_ptr<OpSource> source_;
+  EvictionListener eviction_listener_;
+  Cycle now_ = 0;
+  double now_frac_ = 0.0;  // sub-cycle accumulator
+
+  std::vector<Addr> l1_cands_;
+  std::vector<Addr> l2_cands_;
+  std::vector<Addr> l2_cands_from_l1_;  // L2-prefetcher reactions to L1 prefetches
+};
+
+}  // namespace cmm::sim

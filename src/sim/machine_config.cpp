@@ -1,0 +1,40 @@
+#include "sim/machine_config.hpp"
+
+#include <algorithm>
+
+namespace cmm::sim {
+
+MachineConfig MachineConfig::broadwell_ep() { return MachineConfig{}; }
+
+MachineConfig MachineConfig::scaled(unsigned divisor) {
+  MachineConfig cfg;
+  if (divisor == 0) divisor = 1;
+  // The private caches shrink less aggressively (floors of 8 KB L1 /
+  // 32 KB L2) so they keep enough sets for realistic locality; the
+  // capacity ratio that matters for the paper's effects is WS : LLC.
+  cfg.l1d.size_bytes = std::max<std::uint64_t>(cfg.l1d.size_bytes / divisor, 8 * 1024);
+  cfg.l2.size_bytes = std::max<std::uint64_t>(cfg.l2.size_bytes / divisor, 32 * 1024);
+  cfg.llc.size_bytes /= divisor;
+  if (cfg.llc.size_bytes < cfg.llc.ways * cfg.llc.line_size)
+    cfg.llc.size_bytes = cfg.llc.ways * cfg.llc.line_size;
+  return cfg;
+}
+
+namespace {
+bool geometry_valid(const CacheGeometry& g) noexcept {
+  if (g.size_bytes == 0 || g.ways == 0 || g.line_size == 0) return false;
+  if ((g.line_size & (g.line_size - 1)) != 0) return false;
+  if (g.size_bytes % (static_cast<std::uint64_t>(g.ways) * g.line_size) != 0) return false;
+  const std::uint64_t sets = g.num_sets();
+  return sets > 0 && (sets & (sets - 1)) == 0;  // power-of-two sets for cheap indexing
+}
+}  // namespace
+
+bool MachineConfig::valid() const noexcept {
+  return num_cores > 0 && num_cores <= 64 && geometry_valid(l1d) && geometry_valid(l2) &&
+         geometry_valid(llc) && llc.ways <= 32 && l1_latency < l2_latency &&
+         l2_latency < llc_latency && llc_latency < dram_base_latency &&
+         dram_peak_bytes_per_cycle > 0.0 && bandwidth_window > 0 && quantum > 0;
+}
+
+}  // namespace cmm::sim

@@ -1,0 +1,83 @@
+// Topology, latency, and bandwidth parameters of the simulated machine.
+//
+// The default configurations model the paper's testbed, an Intel Xeon
+// E5-2620 v4 (Broadwell-EP): 8 cores, 32 KB 8-way L1D, 256 KB 8-way
+// private L2, 20 MB 20-way shared LLC, DDR4-2400 with 68.3 GB/s peak,
+// 2.1 GHz.  `scaled()` shrinks capacities (but not associativities or
+// way counts) so test/bench runs finish quickly on one host core while
+// preserving all capacity *ratios* that the paper's effects depend on.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace cmm::sim {
+
+struct CacheGeometry {
+  std::uint64_t size_bytes = 0;
+  std::uint32_t ways = 0;
+  std::uint32_t line_size = 64;
+
+  constexpr std::uint64_t num_lines() const noexcept { return size_bytes / line_size; }
+  constexpr std::uint64_t num_sets() const noexcept { return num_lines() / ways; }
+};
+
+struct MachineConfig {
+  std::uint32_t num_cores = 8;
+
+  CacheGeometry l1d{32 * 1024, 8, 64};
+  CacheGeometry l2{256 * 1024, 8, 64};
+  CacheGeometry llc{20 * 1024 * 1024, 20, 64};
+
+  // Load-to-use latencies (cycles).
+  Cycle l1_latency = 4;
+  Cycle l2_latency = 14;
+  Cycle llc_latency = 44;
+  Cycle dram_base_latency = 180;
+
+  // Core clock; used only to convert bytes/cycle into GB/s for reports.
+  double freq_ghz = 2.1;
+
+  // Peak DRAM bandwidth in bytes per core-cycle (68.3 GB/s at 2.1 GHz
+  // ~= 32.5 B/cycle) and the accounting window for the queueing model.
+  double dram_peak_bytes_per_cycle = 32.5;
+  Cycle bandwidth_window = 2048;
+
+  // Scheduling quantum of the interleaved multi-core driver: cores are
+  // advanced round-robin in slices of this many cycles.
+  Cycle quantum = 1000;
+
+  // ---- Model-ablation and fidelity knobs (defaults = paper model) ----
+
+  /// Ablation: prefetch fills complete instantly (perfect timeliness)
+  /// instead of carrying their full path latency in `ready_at`.
+  bool instant_prefetch_fills = false;
+
+  /// Ablation: disable the utilisation-dependent DRAM queueing delay
+  /// (fixed latency — removes bandwidth contention entirely).
+  bool bandwidth_queueing = true;
+
+  /// Fidelity: inclusive LLC with back-invalidation (Broadwell's LLC is
+  /// inclusive; an LLC eviction also removes the line from the owner's
+  /// private caches). Off by default: the non-inclusive simplification
+  /// is cheaper and the paper's effects do not depend on it.
+  bool inclusive_llc = false;
+
+  /// Fidelity: dirty LLC evictions issue DRAM writebacks that consume
+  /// bandwidth (store-heavy workloads press the bus harder).
+  bool model_writebacks = false;
+
+  /// Paper-faithful Broadwell-EP configuration.
+  static MachineConfig broadwell_ep();
+
+  /// Capacity-scaled configuration (divisor applied to every cache size;
+  /// associativity, way count, latencies, and BW kept) for fast runs.
+  /// Workload working sets must be scaled by the same divisor — see
+  /// workloads::BenchmarkSpec::scaled().
+  static MachineConfig scaled(unsigned divisor = 8);
+
+  bool valid() const noexcept;
+};
+
+}  // namespace cmm::sim

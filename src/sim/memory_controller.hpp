@@ -1,0 +1,83 @@
+// Bandwidth-contended DRAM model. Latency = base + queueing delay that
+// grows with the utilisation observed in the previous accounting
+// window. This is the coupling through which one core's (prefetch)
+// traffic slows every other core — the phenomenon CMM exists to manage.
+//
+// The model is deliberately coarse (M/D/1-flavoured): the paper's
+// effects depend on *relative* bandwidth pressure, not on DRAM page
+// policy details.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sim/machine_config.hpp"
+
+namespace cmm::sim {
+
+struct MemoryTraffic {
+  std::uint64_t demand_bytes = 0;
+  std::uint64_t prefetch_bytes = 0;
+  std::uint64_t writeback_bytes = 0;
+  std::uint64_t demand_requests = 0;
+  std::uint64_t prefetch_requests = 0;
+  std::uint64_t writeback_requests = 0;
+
+  std::uint64_t total_bytes() const noexcept {
+    return demand_bytes + prefetch_bytes + writeback_bytes;
+  }
+  void reset() { *this = MemoryTraffic{}; }
+};
+
+class MemoryController {
+ public:
+  MemoryController(const MachineConfig& cfg, unsigned num_cores);
+
+  /// Issue one line-sized request at `now` from `core`. Returns the
+  /// total DRAM latency (base + queueing) for this request.
+  Cycle request(CoreId core, AccessType type, Cycle now);
+
+  /// Fire-and-forget writeback of one dirty line: consumes bandwidth
+  /// (adds to window utilisation) but nobody waits on it.
+  void writeback(CoreId core, Cycle now);
+
+  /// Utilisation of the *previous* window in [0, ~1+] (can exceed 1 when
+  /// offered load exceeds peak; queueing then saturates).
+  double last_window_utilization() const noexcept { return last_util_; }
+
+  /// Queueing delay currently being applied on top of the base latency.
+  Cycle current_queue_delay() const noexcept { return queue_delay_; }
+
+  const MemoryTraffic& core_traffic(CoreId core) const { return per_core_.at(core); }
+  const MemoryTraffic& total_traffic() const noexcept { return total_; }
+
+  /// Average bytes/cycle for `core` over [since, now] given its traffic
+  /// snapshot delta — helper for bandwidth reporting lives in analysis;
+  /// the controller only accumulates.
+  void reset_stats();
+
+  /// Peak bytes per cycle (for utilisation math in reports).
+  double peak_bytes_per_cycle() const noexcept { return peak_bpc_; }
+  double freq_ghz() const noexcept { return freq_ghz_; }
+
+ private:
+  void roll_window(Cycle now);
+
+  Cycle window_;
+  bool queueing_enabled_;
+  double peak_bpc_;
+  double freq_ghz_;
+  Cycle base_latency_;
+
+  Cycle window_start_ = 0;
+  std::uint64_t window_bytes_ = 0;
+  double last_util_ = 0.0;
+  Cycle queue_delay_ = 0;
+
+  std::uint32_t line_size_;
+  std::vector<MemoryTraffic> per_core_;
+  MemoryTraffic total_;
+};
+
+}  // namespace cmm::sim

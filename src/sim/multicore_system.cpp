@@ -1,0 +1,45 @@
+#include "sim/multicore_system.hpp"
+
+#include <stdexcept>
+
+namespace cmm::sim {
+
+MulticoreSystem::MulticoreSystem(const MachineConfig& cfg)
+    : cfg_(cfg), llc_(cfg.llc), cat_(cfg.num_cores, cfg.llc.ways), mem_(cfg, cfg.num_cores),
+      pmu_(cfg.num_cores) {
+  if (!cfg.valid()) throw std::invalid_argument("MulticoreSystem: invalid MachineConfig");
+  cores_.reserve(cfg.num_cores);
+  for (CoreId id = 0; id < cfg.num_cores; ++id) {
+    cores_.push_back(std::make_unique<CoreModel>(id, cfg_, llc_, cat_, mem_, pmu_));
+  }
+  if (cfg_.inclusive_llc) {
+    for (auto& core : cores_) {
+      core->set_eviction_listener([this](Addr line, CoreId owner) {
+        if (owner >= cores_.size()) return;
+        cores_[owner]->l1().invalidate(line);
+        cores_[owner]->l2().invalidate(line);
+      });
+    }
+  }
+}
+
+void MulticoreSystem::set_op_source(CoreId id, std::shared_ptr<OpSource> source) {
+  cores_.at(id)->set_op_source(std::move(source));
+}
+
+void MulticoreSystem::run(Cycle cycles) {
+  const Cycle target = global_cycle_ + cycles;
+  while (global_cycle_ < target) {
+    const Cycle step = std::min(cfg_.quantum, target - global_cycle_);
+    const Cycle quantum_end = global_cycle_ + step;
+    for (auto& core : cores_) core->advance_to(quantum_end);
+    global_cycle_ = quantum_end;
+  }
+}
+
+void MulticoreSystem::reset_microarch() {
+  llc_.flush();
+  for (auto& core : cores_) core->reset_microarch();
+}
+
+}  // namespace cmm::sim

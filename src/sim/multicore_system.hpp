@@ -1,0 +1,66 @@
+// The simulated socket: N CoreModels sharing one LLC, one CAT instance,
+// and one memory controller. Cores are advanced round-robin in fixed
+// cycle quanta so that contention on the shared structures interleaves
+// at fine grain without event-queue overhead.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sim/cache.hpp"
+#include "sim/cat.hpp"
+#include "sim/core_model.hpp"
+#include "sim/machine_config.hpp"
+#include "sim/memory_controller.hpp"
+#include "sim/pmu.hpp"
+
+namespace cmm::sim {
+
+class MulticoreSystem {
+ public:
+  explicit MulticoreSystem(const MachineConfig& cfg);
+
+  MulticoreSystem(const MulticoreSystem&) = delete;
+  MulticoreSystem& operator=(const MulticoreSystem&) = delete;
+
+  const MachineConfig& config() const noexcept { return cfg_; }
+  unsigned num_cores() const noexcept { return cfg_.num_cores; }
+
+  CoreModel& core(CoreId id) { return *cores_.at(id); }
+  const CoreModel& core(CoreId id) const { return *cores_.at(id); }
+
+  SetAssocCache& llc() noexcept { return llc_; }
+  const SetAssocCache& llc() const noexcept { return llc_; }
+
+  CatModel& cat() noexcept { return cat_; }
+  const CatModel& cat() const noexcept { return cat_; }
+
+  MemoryController& memory() noexcept { return mem_; }
+  const MemoryController& memory() const noexcept { return mem_; }
+
+  Pmu& pmu() noexcept { return pmu_; }
+  const Pmu& pmu() const noexcept { return pmu_; }
+
+  Cycle now() const noexcept { return global_cycle_; }
+
+  /// Attach the program each core runs.
+  void set_op_source(CoreId id, std::shared_ptr<OpSource> source);
+
+  /// Advance all cores by `cycles` in interleaved quanta.
+  void run(Cycle cycles);
+
+  /// Flush all caches and prefetcher state; keeps PMU/CAT/MSR settings.
+  void reset_microarch();
+
+ private:
+  MachineConfig cfg_;
+  SetAssocCache llc_;
+  CatModel cat_;
+  MemoryController mem_;
+  Pmu pmu_;
+  std::vector<std::unique_ptr<CoreModel>> cores_;
+  Cycle global_cycle_ = 0;
+};
+
+}  // namespace cmm::sim

@@ -1,0 +1,47 @@
+#include "sim/prefetcher.hpp"
+
+namespace cmm::sim {
+
+IpStridePrefetcher::IpStridePrefetcher() : IpStridePrefetcher(Config{}) {}
+
+IpStridePrefetcher::IpStridePrefetcher(const Config& cfg) : cfg_(cfg), table_(cfg.table_entries) {}
+
+void IpStridePrefetcher::observe(const PrefetchObservation& obs, std::vector<Addr>& out) {
+  Entry& e = table_[obs.ip % cfg_.table_entries];
+  if (!e.valid || e.ip != obs.ip) {
+    e = Entry{};
+    e.ip = obs.ip;
+    e.last_line = obs.line_addr;
+    e.valid = true;
+    return;
+  }
+
+  const std::int64_t stride =
+      static_cast<std::int64_t>(obs.line_addr) - static_cast<std::int64_t>(e.last_line);
+  if (stride == 0) return;  // same line, no information
+
+  if (stride == e.stride) {
+    if (e.confidence < 8) ++e.confidence;
+  } else {
+    // New stride: this observation is its first occurrence.
+    e.stride = stride;
+    e.confidence = 1;
+  }
+  e.last_line = obs.line_addr;
+
+  if (e.confidence >= cfg_.confidence_threshold) {
+    for (unsigned k = 1; k <= cfg_.degree; ++k) {
+      const std::int64_t target = static_cast<std::int64_t>(obs.line_addr) +
+                                  e.stride * static_cast<std::int64_t>(k);
+      if (target < 0) break;
+      out.push_back(static_cast<Addr>(target));
+    }
+    note_issued(cfg_.degree);
+  }
+}
+
+void IpStridePrefetcher::reset() {
+  for (auto& e : table_) e = Entry{};
+}
+
+}  // namespace cmm::sim

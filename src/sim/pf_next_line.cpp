@@ -1,0 +1,21 @@
+#include "sim/prefetcher.hpp"
+
+namespace cmm::sim {
+
+void NextLinePrefetcher::observe(const PrefetchObservation& obs, std::vector<Addr>& out) {
+  // Trigger only on a strictly ascending pair of accesses (the DCU
+  // prefetcher keys on ascending loads to very recently used lines).
+  if (have_last_ && obs.line_addr == last_line_ + 1) {
+    out.push_back(obs.line_addr + 1);
+    note_issued(1);
+  }
+  last_line_ = obs.line_addr;
+  have_last_ = true;
+}
+
+void NextLinePrefetcher::reset() {
+  last_line_ = 0;
+  have_last_ = false;
+}
+
+}  // namespace cmm::sim

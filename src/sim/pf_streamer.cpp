@@ -1,0 +1,81 @@
+#include "sim/prefetcher.hpp"
+
+namespace cmm::sim {
+
+StreamerPrefetcher::StreamerPrefetcher() : StreamerPrefetcher(Config{}) {}
+
+StreamerPrefetcher::StreamerPrefetcher(const Config& cfg) : cfg_(cfg), trackers_(cfg.trackers) {}
+
+StreamerPrefetcher::Tracker* StreamerPrefetcher::find_or_alloc(Addr page) {
+  for (auto& t : trackers_) {
+    if (t.valid && t.page == page) return &t;
+  }
+  Tracker* victim = nullptr;
+  for (auto& t : trackers_) {
+    if (!t.valid) {
+      victim = &t;
+      break;
+    }
+  }
+  if (victim == nullptr) {
+    victim = &trackers_[0];
+    for (auto& t : trackers_) {
+      if (t.lru < victim->lru) victim = &t;
+    }
+  }
+  *victim = Tracker{};
+  victim->page = page;
+  victim->valid = true;
+  return victim;
+}
+
+void StreamerPrefetcher::observe(const PrefetchObservation& obs, std::vector<Addr>& out) {
+  const Addr page = obs.line_addr / cfg_.lines_per_page;
+  const auto offset = static_cast<std::uint32_t>(obs.line_addr % cfg_.lines_per_page);
+
+  Tracker* t = find_or_alloc(page);
+  t->lru = ++tick_;
+
+  if (!t->has_last) {
+    t->last_offset = offset;
+    t->has_last = true;
+    return;
+  }
+
+  const int dir = (offset > t->last_offset) ? 1 : (offset < t->last_offset ? -1 : 0);
+  if (dir != 0) {
+    if (dir == t->direction) {
+      if (t->confidence < 8) ++t->confidence;
+    } else {
+      t->direction = dir;
+      t->confidence = 1;
+    }
+  }
+  t->last_offset = offset;
+
+  if (t->confidence >= cfg_.confidence_threshold && t->direction != 0) {
+    std::size_t emitted = 0;
+    for (unsigned k = 1; k <= cfg_.degree; ++k) {
+      const std::int64_t target_offset =
+          static_cast<std::int64_t>(offset) + t->direction * static_cast<std::int64_t>(k);
+      if (target_offset < 0 || target_offset >= static_cast<std::int64_t>(cfg_.lines_per_page))
+        break;  // streamers do not cross the 4 KB page
+      // Advance through the page: never re-request covered offsets.
+      if (t->issued_until >= 0) {
+        if (t->direction > 0 && target_offset <= t->issued_until) continue;
+        if (t->direction < 0 && target_offset >= t->issued_until) continue;
+      }
+      t->issued_until = static_cast<std::int32_t>(target_offset);
+      out.push_back(page * cfg_.lines_per_page + static_cast<Addr>(target_offset));
+      ++emitted;
+    }
+    note_issued(emitted);
+  }
+}
+
+void StreamerPrefetcher::reset() {
+  for (auto& t : trackers_) t = Tracker{};
+  tick_ = 0;
+}
+
+}  // namespace cmm::sim

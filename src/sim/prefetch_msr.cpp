@@ -1,0 +1,4 @@
+#include "sim/prefetch_msr.hpp"
+
+// Header-only model; this TU exists so the target has a definition home
+// if out-of-line members are added later.

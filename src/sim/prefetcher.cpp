@@ -1,0 +1,15 @@
+#include "sim/prefetcher.hpp"
+
+namespace cmm::sim {
+
+std::string_view to_string(PrefetcherKind kind) noexcept {
+  switch (kind) {
+    case PrefetcherKind::L2Streamer: return "l2_streamer";
+    case PrefetcherKind::L2Adjacent: return "l2_adjacent";
+    case PrefetcherKind::DcuNextLine: return "dcu_next_line";
+    case PrefetcherKind::DcuIpStride: return "dcu_ip_stride";
+  }
+  return "unknown";
+}
+
+}  // namespace cmm::sim

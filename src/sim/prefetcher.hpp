@@ -1,0 +1,159 @@
+// Hardware-prefetcher models. A modern Intel core has four data
+// prefetchers (SDM vol.3 / MSR 0x1A4): two at L1D (DCU next-line and
+// DCU IP-stride) and two at L2 (streamer and adjacent-cache-line).
+// Each model observes the demand-access stream arriving at its cache
+// level and emits candidate prefetch line addresses.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace cmm::sim {
+
+/// The four per-core prefetchers, numbered by their disable bit in
+/// IA32 MSR 0x1A4 (MISC_FEATURE_CONTROL).
+enum class PrefetcherKind : std::uint8_t {
+  L2Streamer = 0,    // MSR bit 0
+  L2Adjacent = 1,    // MSR bit 1
+  DcuNextLine = 2,   // MSR bit 2
+  DcuIpStride = 3,   // MSR bit 3
+};
+
+inline constexpr unsigned kNumPrefetcherKinds = 4;
+
+std::string_view to_string(PrefetcherKind kind) noexcept;
+
+/// What a prefetcher sees: one demand access at its cache level.
+struct PrefetchObservation {
+  Addr line_addr = 0;  // line address (byte >> line_shift)
+  IpId ip = 0;         // synthetic instruction pointer id
+  bool miss = false;   // did the demand access miss this level?
+};
+
+class Prefetcher {
+ public:
+  virtual ~Prefetcher() = default;
+
+  /// Observe one demand access; append prefetch candidate line
+  /// addresses to `out` (not cleared). Candidates may duplicate lines
+  /// already cached; the hierarchy filters those.
+  virtual void observe(const PrefetchObservation& obs, std::vector<Addr>& out) = 0;
+
+  virtual void reset() = 0;
+  virtual PrefetcherKind kind() const noexcept = 0;
+
+  /// Total candidates this prefetcher has emitted (pre-filter).
+  std::uint64_t issued() const noexcept { return issued_; }
+
+ protected:
+  void note_issued(std::size_t n) noexcept { issued_ += n; }
+
+ private:
+  std::uint64_t issued_ = 0;
+};
+
+/// L1 DCU next-line prefetcher: a demand access to line X triggers a
+/// prefetch of X+1 when the access continues an ascending run.
+class NextLinePrefetcher final : public Prefetcher {
+ public:
+  void observe(const PrefetchObservation& obs, std::vector<Addr>& out) override;
+  void reset() override;
+  PrefetcherKind kind() const noexcept override { return PrefetcherKind::DcuNextLine; }
+
+ private:
+  Addr last_line_ = 0;
+  bool have_last_ = false;
+};
+
+/// L1 DCU IP-stride prefetcher: per-IP stride table with confidence.
+class IpStridePrefetcher final : public Prefetcher {
+ public:
+  struct Config {
+    unsigned table_entries = 64;   // direct-mapped by IP
+    unsigned degree = 2;           // lines ahead once confident
+    unsigned confidence_threshold = 2;
+  };
+
+  IpStridePrefetcher();
+  explicit IpStridePrefetcher(const Config& cfg);
+
+  void observe(const PrefetchObservation& obs, std::vector<Addr>& out) override;
+  void reset() override;
+  PrefetcherKind kind() const noexcept override { return PrefetcherKind::DcuIpStride; }
+
+ private:
+  struct Entry {
+    IpId ip = 0;
+    Addr last_line = 0;
+    std::int64_t stride = 0;
+    unsigned confidence = 0;
+    bool valid = false;
+  };
+
+  Config cfg_;
+  std::vector<Entry> table_;
+};
+
+/// L2 streamer: per-4KB-page direction tracker; once a forward or
+/// backward run is confirmed it prefetches `degree` lines ahead,
+/// stopping at the page boundary (hardware streamers do not cross 4 KB
+/// pages).
+class StreamerPrefetcher final : public Prefetcher {
+ public:
+  struct Config {
+    unsigned trackers = 16;        // LRU-managed page trackers
+    unsigned degree = 10;          // lines fetched ahead when confident
+                                   // (Intel streamers run up to 20 ahead)
+    unsigned confidence_threshold = 3;
+    unsigned lines_per_page = 64;  // 4 KB / 64 B
+  };
+
+  StreamerPrefetcher();
+  explicit StreamerPrefetcher(const Config& cfg);
+
+  void observe(const PrefetchObservation& obs, std::vector<Addr>& out) override;
+  void reset() override;
+  PrefetcherKind kind() const noexcept override { return PrefetcherKind::L2Streamer; }
+
+  /// Aggressiveness control for feedback-directed schemes (FDP): the
+  /// number of lines fetched ahead once a stream is confirmed.
+  unsigned degree() const noexcept { return cfg_.degree; }
+  void set_degree(unsigned degree) noexcept { cfg_.degree = degree == 0 ? 1 : degree; }
+
+ private:
+  struct Tracker {
+    Addr page = 0;
+    std::uint32_t last_offset = 0;
+    int direction = 0;  // +1 forward, -1 backward, 0 unknown
+    unsigned confidence = 0;
+    std::uint64_t lru = 0;
+    bool valid = false;
+    bool has_last = false;  // first touch recorded?
+    // High-water mark of issued prefetches (forward: last offset
+    // requested; backward: first). Real streamers advance through the
+    // page instead of re-requesting covered lines.
+    std::int32_t issued_until = -1;
+  };
+
+  Tracker* find_or_alloc(Addr page);
+
+  Config cfg_;
+  std::vector<Tracker> trackers_;
+  std::uint64_t tick_ = 0;
+};
+
+/// L2 adjacent-cache-line prefetcher: on an L2 demand miss to line X,
+/// fetch the other half of X's 128-byte-aligned pair (X ^ 1). Fires
+/// regardless of access pattern — this is what makes random-access
+/// programs prefetch-aggressive-but-useless on real Intel parts.
+class AdjacentLinePrefetcher final : public Prefetcher {
+ public:
+  void observe(const PrefetchObservation& obs, std::vector<Addr>& out) override;
+  void reset() override {}
+  PrefetcherKind kind() const noexcept override { return PrefetcherKind::L2Adjacent; }
+};
+
+}  // namespace cmm::sim

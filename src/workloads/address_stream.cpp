@@ -1,0 +1,149 @@
+#include "workloads/address_stream.hpp"
+
+#include <algorithm>
+
+// The factory helpers that combine patterns live in patterns.cpp; this
+// TU holds the generator implementations.
+
+namespace cmm::workloads {
+
+// ---------------------------------------------------------------- Stream
+
+StreamPattern::StreamPattern(Addr base, std::uint64_t size, IpId ip, std::uint64_t element)
+    : base_(base), size_(size), element_(element == 0 ? 8 : element), ip_(ip) {}
+
+sim::MemRef StreamPattern::next() {
+  const Addr addr = base_ + pos_;
+  pos_ += element_;
+  if (pos_ >= size_) pos_ = 0;
+  return sim::MemRef{addr, ip_, false};
+}
+
+void StreamPattern::reset() { pos_ = 0; }
+
+// --------------------------------------------------------------- Strided
+
+StridedPattern::StridedPattern(Addr base, std::uint64_t size, std::uint64_t stride_bytes, IpId ip)
+    : base_(base), size_(size), stride_(stride_bytes == 0 ? 64 : stride_bytes), ip_(ip) {}
+
+sim::MemRef StridedPattern::next() {
+  const Addr addr = base_ + pos_;
+  pos_ += stride_;
+  if (pos_ >= size_) pos_ %= stride_;  // restart with phase preserved
+  return sim::MemRef{addr, ip_, false};
+}
+
+void StridedPattern::reset() { pos_ = 0; }
+
+// ---------------------------------------------------------------- Random
+
+RandomPattern::RandomPattern(Addr base, std::uint64_t size, IpId ip, Rng rng,
+                             unsigned stride_lines)
+    : base_(base),
+      lines_(size / 64 ? size / 64 : 1),
+      stride_lines_(stride_lines == 0 ? 1 : stride_lines),
+      ip_(ip),
+      rng_(rng),
+      initial_rng_(rng) {}
+
+sim::MemRef RandomPattern::next() {
+  const Addr line = rng_.next_below(lines_) * stride_lines_;
+  return sim::MemRef{base_ + line * 64, ip_, false};
+}
+
+void RandomPattern::reset() { rng_ = initial_rng_; }
+
+// ----------------------------------------------------------- BurstRandom
+
+BurstRandomPattern::BurstRandomPattern(Addr base, std::uint64_t size, IpId ip, Rng rng,
+                                       unsigned burst_min, unsigned burst_max)
+    : base_(base),
+      lines_(size / 64 ? size / 64 : 1),
+      ip_(ip),
+      rng_(rng),
+      initial_rng_(rng),
+      burst_min_(burst_min == 0 ? 1 : burst_min),
+      burst_max_(burst_max < burst_min_ ? burst_min_ : burst_max) {}
+
+sim::MemRef BurstRandomPattern::next() {
+  if (remaining_ == 0) {
+    cur_line_ = rng_.next_below(lines_);
+    remaining_ =
+        burst_min_ + static_cast<unsigned>(rng_.next_below(burst_max_ - burst_min_ + 1));
+  }
+  const Addr addr = base_ + (cur_line_ % lines_) * 64;
+  ++cur_line_;
+  --remaining_;
+  return sim::MemRef{addr, ip_, false};
+}
+
+void BurstRandomPattern::reset() {
+  rng_ = initial_rng_;
+  cur_line_ = 0;
+  remaining_ = 0;
+}
+
+// ----------------------------------------------------------------- Chase
+
+ChasePattern::ChasePattern(Addr base, std::uint64_t size, IpId ip, Rng rng,
+                           unsigned lines_per_node, unsigned node_stride_lines)
+    : base_(base),
+      ip_(ip),
+      lines_per_node_(lines_per_node == 0 ? 1 : lines_per_node),
+      node_stride_lines_(std::max(node_stride_lines, lines_per_node_)) {
+  // Sattolo-style single cycle through all nodes, so the chase touches
+  // the whole working set before repeating.
+  const std::uint64_t node_bytes = 64ULL * lines_per_node_;
+  auto nodes = static_cast<std::uint32_t>(size / node_bytes ? size / node_bytes : 1);
+  // Cap the permutation table so pathological specs cannot allocate
+  // gigabytes; 1M nodes = >=64 MB of simulated working set.
+  if (nodes > (1U << 20)) nodes = 1U << 20;
+  next_index_.resize(nodes);
+  std::vector<std::uint32_t> perm(nodes);
+  for (std::uint32_t i = 0; i < nodes; ++i) perm[i] = i;
+  for (std::uint32_t i = nodes - 1; i > 0; --i) {
+    const auto j = static_cast<std::uint32_t>(rng.next_below(i));
+    std::swap(perm[i], perm[j]);
+  }
+  for (std::uint32_t i = 0; i < nodes; ++i)
+    next_index_[perm[i]] = perm[(i + 1) % nodes];
+}
+
+sim::MemRef ChasePattern::next() {
+  const Addr node_base = base_ + static_cast<Addr>(pos_) * 64 * node_stride_lines_;
+  const Addr addr = node_base + static_cast<Addr>(line_in_node_) * 64;
+  if (++line_in_node_ >= lines_per_node_) {
+    line_in_node_ = 0;
+    pos_ = next_index_[pos_];
+  }
+  return sim::MemRef{addr, ip_, false};
+}
+
+void ChasePattern::reset() {
+  pos_ = 0;
+  line_in_node_ = 0;
+}
+
+// --------------------------------------------------------------- Mixture
+
+MixturePattern::MixturePattern(
+    std::vector<std::pair<double, std::unique_ptr<AddressStream>>> parts, Rng rng)
+    : parts_(std::move(parts)), total_weight_(0.0), rng_(rng), initial_rng_(rng) {
+  for (const auto& [w, p] : parts_) total_weight_ += w;
+}
+
+sim::MemRef MixturePattern::next() {
+  double draw = rng_.next_double() * total_weight_;
+  for (auto& [w, p] : parts_) {
+    draw -= w;
+    if (draw <= 0.0) return p->next();
+  }
+  return parts_.back().second->next();
+}
+
+void MixturePattern::reset() {
+  rng_ = initial_rng_;
+  for (auto& [w, p] : parts_) p->reset();
+}
+
+}  // namespace cmm::workloads

@@ -1,0 +1,152 @@
+// Synthetic address-stream generators. The paper evaluates on SPEC
+// CPU2006 plus a hand-written "Rand Access" micro-benchmark; what the
+// evaluation actually depends on is each program's *memory behaviour
+// class* (prefetch aggressive / prefetch friendly / LLC sensitive), not
+// program semantics. Each generator reproduces one archetypal pattern;
+// BenchmarkSpec (benchmark_specs.hpp) composes them into named
+// SPEC-like proxies calibrated against the paper's Figs 1-3.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "sim/core_model.hpp"
+
+namespace cmm::workloads {
+
+/// Produces the byte-address sequence of one logical access pattern.
+class AddressStream {
+ public:
+  virtual ~AddressStream() = default;
+  virtual sim::MemRef next() = 0;
+  virtual void reset() = 0;
+};
+
+/// Pure sequential walk over [base, base+size), wrapping. The classic
+/// prefetch-friendly pattern (libquantum/bwaves-like).
+class StreamPattern final : public AddressStream {
+ public:
+  StreamPattern(Addr base, std::uint64_t size, IpId ip, std::uint64_t element = 8);
+  sim::MemRef next() override;
+  void reset() override;
+
+ private:
+  Addr base_;
+  std::uint64_t size_;
+  std::uint64_t element_;
+  IpId ip_;
+  std::uint64_t pos_ = 0;
+};
+
+/// Constant-stride walk (stride may exceed the line size), wrapping.
+/// Trains the IP-stride prefetcher; the streamer sees it as a sparse
+/// forward stream.
+class StridedPattern final : public AddressStream {
+ public:
+  StridedPattern(Addr base, std::uint64_t size, std::uint64_t stride_bytes, IpId ip);
+  sim::MemRef next() override;
+  void reset() override;
+
+ private:
+  Addr base_;
+  std::uint64_t size_;
+  std::uint64_t stride_;
+  IpId ip_;
+  std::uint64_t pos_ = 0;
+};
+
+/// Uniform random line touches over the region. Does not train the
+/// streamer; adjacent-line prefetches are generated but useless.
+///
+/// `stride_lines` > 1 spaces the candidate lines apart (only every
+/// stride-th line is ever touched), so adjacent-line prefetches land on
+/// permanently untouched filler lines — pure pollution. `size` counts
+/// *touched* capacity, independent of the stride.
+class RandomPattern final : public AddressStream {
+ public:
+  RandomPattern(Addr base, std::uint64_t size, IpId ip, Rng rng, unsigned stride_lines = 1);
+  sim::MemRef next() override;
+  void reset() override;
+
+ private:
+  Addr base_;
+  std::uint64_t lines_;
+  unsigned stride_lines_;
+  IpId ip_;
+  Rng rng_;
+  Rng initial_rng_;
+};
+
+/// Random burst pattern: jump to a random page, stream a short run of
+/// consecutive lines, jump again. Trains the streamer just long enough
+/// to make it prefetch ahead, then abandons the page — the signature of
+/// the paper's "Rand Access" micro-benchmark: strongly prefetch
+/// aggressive with useless prefetches.
+class BurstRandomPattern final : public AddressStream {
+ public:
+  BurstRandomPattern(Addr base, std::uint64_t size, IpId ip, Rng rng, unsigned burst_min = 3,
+                     unsigned burst_max = 6);
+  sim::MemRef next() override;
+  void reset() override;
+
+ private:
+  Addr base_;
+  std::uint64_t lines_;
+  IpId ip_;
+  Rng rng_;
+  Rng initial_rng_;
+  unsigned burst_min_;
+  unsigned burst_max_;
+  Addr cur_line_ = 0;
+  unsigned remaining_ = 0;
+};
+
+/// Dependent pointer chase over a fixed pseudo-random permutation of
+/// the region's lines (precomputed, so the walk revisits its working
+/// set — giving LLC sensitivity — and has serialised misses, which the
+/// caller models with a low MLP trait).
+class ChasePattern final : public AddressStream {
+ public:
+  /// `lines_per_node` > 1 walks that many consecutive lines at each
+  /// node before chasing on — giving the pattern the 128 B spatial
+  /// locality of real pointer-heavy codes (and making adjacent-line
+  /// prefetches *useful*, unlike a pure chase).
+  ///
+  /// `node_stride_lines` > lines_per_node spaces nodes apart so the
+  /// untouched filler lines between them are what adjacent/next-line
+  /// prefetchers fetch — pure pollution, the omnetpp-like profile.
+  /// `size` counts *touched* bytes (lines_per_node lines per node), so
+  /// the cache-capacity pressure of the pattern is stride-independent.
+  ChasePattern(Addr base, std::uint64_t size, IpId ip, Rng rng, unsigned lines_per_node = 1,
+               unsigned node_stride_lines = 0);
+  sim::MemRef next() override;
+  void reset() override;
+
+ private:
+  Addr base_;
+  IpId ip_;
+  unsigned lines_per_node_;
+  unsigned node_stride_lines_;
+  std::vector<std::uint32_t> next_index_;  // permutation cycle over nodes
+  std::uint32_t pos_ = 0;
+  unsigned line_in_node_ = 0;
+};
+
+/// Weighted mixture of sub-patterns; each next() draws one pattern.
+class MixturePattern final : public AddressStream {
+ public:
+  MixturePattern(std::vector<std::pair<double, std::unique_ptr<AddressStream>>> parts, Rng rng);
+  sim::MemRef next() override;
+  void reset() override;
+
+ private:
+  std::vector<std::pair<double, std::unique_ptr<AddressStream>>> parts_;
+  double total_weight_;
+  Rng rng_;
+  Rng initial_rng_;
+};
+
+}  // namespace cmm::workloads

@@ -1,0 +1,83 @@
+// Pattern factory: instantiates AddressStream objects from PatternSpec
+// descriptions, placing each pattern in a disjoint core-private region.
+#include <stdexcept>
+
+#include "workloads/benchmark_specs.hpp"
+
+namespace cmm::workloads {
+
+namespace {
+
+std::uint64_t anchor_bytes(WsAnchor anchor, const sim::MachineConfig& machine) {
+  switch (anchor) {
+    case WsAnchor::L1: return machine.l1d.size_bytes;
+    case WsAnchor::L2: return machine.l2.size_bytes;
+    case WsAnchor::Llc: return machine.llc.size_bytes;
+  }
+  throw std::invalid_argument("unknown WsAnchor");
+}
+
+std::uint64_t working_set_bytes(const PatternSpec& p, const sim::MachineConfig& machine) {
+  auto ws = static_cast<std::uint64_t>(p.ws_multiple *
+                                       static_cast<double>(anchor_bytes(p.anchor, machine)));
+  // ws_multiple means *touched* cache capacity. A strided walk touches
+  // only one line per stride, so its region must be proportionally
+  // larger to exert the intended capacity pressure.
+  if (p.kind == PatternSpec::Kind::Strided && p.stride_bytes > 64) {
+    ws = ws * (p.stride_bytes / 64);
+  }
+  if (ws < 64) ws = 64;
+  return ws;
+}
+
+std::unique_ptr<AddressStream> make_pattern(const PatternSpec& p, Addr base, std::uint64_t ws,
+                                            IpId ip, Rng rng) {
+  using Kind = PatternSpec::Kind;
+  switch (p.kind) {
+    case Kind::Stream:
+      return std::make_unique<StreamPattern>(base, ws, ip, p.element);
+    case Kind::Strided:
+      return std::make_unique<StridedPattern>(base, ws, p.stride_bytes, ip);
+    case Kind::Random:
+      return std::make_unique<RandomPattern>(base, ws, ip, rng, p.random_stride_lines);
+    case Kind::BurstRandom:
+      return std::make_unique<BurstRandomPattern>(base, ws, ip, rng, p.burst_min, p.burst_max);
+    case Kind::Chase:
+      return std::make_unique<ChasePattern>(base, ws, ip, rng, p.lines_per_node,
+                                            p.node_stride_lines);
+  }
+  throw std::invalid_argument("unknown PatternSpec::Kind");
+}
+
+}  // namespace
+
+std::unique_ptr<AddressStream> make_address_stream(const BenchmarkSpec& spec,
+                                                   const sim::MachineConfig& machine,
+                                                   CoreId core, std::uint64_t seed) {
+  if (spec.patterns.empty())
+    throw std::invalid_argument("BenchmarkSpec '" + spec.name + "' has no patterns");
+
+  // Core-private 1 TB address window; patterns occupy disjoint 64 GB
+  // sub-regions so nothing aliases.
+  const Addr core_base = (static_cast<Addr>(core) + 1) << 40;
+  Rng rng(seed ^ (0xC0FFEEULL + core));
+
+  if (spec.patterns.size() == 1) {
+    const auto& p = spec.patterns.front();
+    return make_pattern(p, core_base, working_set_bytes(p, machine), /*ip=*/1, rng.split());
+  }
+
+  std::vector<std::pair<double, std::unique_ptr<AddressStream>>> parts;
+  parts.reserve(spec.patterns.size());
+  IpId ip = 1;
+  Addr region = core_base;
+  for (const auto& p : spec.patterns) {
+    parts.emplace_back(p.weight,
+                       make_pattern(p, region, working_set_bytes(p, machine), ip, rng.split()));
+    region += (1ULL << 36);  // 64 GB apart
+    ip += 8;                 // distinct IP groups per pattern
+  }
+  return std::make_unique<MixturePattern>(std::move(parts), rng.split());
+}
+
+}  // namespace cmm::workloads

@@ -1,0 +1,46 @@
+#include "workloads/phased.hpp"
+
+#include <stdexcept>
+
+#include "workloads/benchmark_specs.hpp"
+
+namespace cmm::workloads {
+
+PhasedOpSource::PhasedOpSource(std::vector<Phase> phases, const sim::MachineConfig& machine,
+                               CoreId core, std::uint64_t seed)
+    : phases_(std::move(phases)) {
+  if (phases_.empty()) throw std::invalid_argument("PhasedOpSource: need at least one phase");
+  sources_.reserve(phases_.size());
+  for (std::size_t i = 0; i < phases_.size(); ++i) {
+    if (phases_[i].instructions == 0)
+      throw std::invalid_argument("PhasedOpSource: zero-length phase");
+    sources_.push_back(
+        make_op_source(phases_[i].benchmark, machine, core, seed + 0x9E37ULL * i));
+  }
+}
+
+const std::string& PhasedOpSource::current_benchmark() const {
+  return phases_[phase_].benchmark;
+}
+
+void PhasedOpSource::advance_phase() {
+  phase_ = (phase_ + 1) % phases_.size();
+  executed_in_phase_ = 0;
+}
+
+sim::Op PhasedOpSource::next() {
+  if (executed_in_phase_ >= phases_[phase_].instructions) advance_phase();
+  const sim::Op op = sources_[phase_]->next();
+  executed_in_phase_ += op.instructions;
+  return op;
+}
+
+sim::CoreTraits PhasedOpSource::traits() const { return sources_[phase_]->traits(); }
+
+void PhasedOpSource::reset() {
+  for (auto& s : sources_) s->reset();
+  phase_ = 0;
+  executed_in_phase_ = 0;
+}
+
+}  // namespace cmm::workloads

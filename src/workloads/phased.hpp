@@ -1,0 +1,44 @@
+// Phased workloads: a core whose behaviour changes over time (the
+// paper's footnote 3 — "in some program phases, the Agg set may not be
+// empty" — and the reason CMM re-detects every execution epoch).
+// Each phase runs one suite benchmark for a given instruction budget,
+// then the source switches to the next phase, cycling.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/core_model.hpp"
+#include "sim/machine_config.hpp"
+
+namespace cmm::workloads {
+
+class PhasedOpSource final : public sim::OpSource {
+ public:
+  struct Phase {
+    std::string benchmark;
+    std::uint64_t instructions = 1'000'000;  // phase length
+  };
+
+  PhasedOpSource(std::vector<Phase> phases, const sim::MachineConfig& machine, CoreId core,
+                 std::uint64_t seed);
+
+  sim::Op next() override;
+  /// Traits of the *current* phase (the timing model re-reads them).
+  sim::CoreTraits traits() const override;
+  void reset() override;
+
+  std::size_t current_phase() const noexcept { return phase_; }
+  const std::string& current_benchmark() const;
+
+ private:
+  void advance_phase();
+
+  std::vector<Phase> phases_;
+  std::vector<std::shared_ptr<sim::OpSource>> sources_;
+  std::size_t phase_ = 0;
+  std::uint64_t executed_in_phase_ = 0;
+};
+
+}  // namespace cmm::workloads

@@ -1,0 +1,79 @@
+#include "workloads/trace.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace cmm::workloads {
+
+std::vector<sim::MemRef> parse_text_trace(std::istream& in) {
+  std::vector<sim::MemRef> refs;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') continue;
+
+    std::istringstream fields(line);
+    std::string addr_token;
+    fields >> addr_token;
+
+    sim::MemRef ref;
+    try {
+      ref.addr = std::stoull(addr_token, nullptr, 0);  // auto base: 0x.. or decimal
+    } catch (const std::exception&) {
+      throw std::invalid_argument("trace line " + std::to_string(line_no) +
+                                  ": bad address '" + addr_token + "'");
+    }
+
+    std::string rw;
+    if (fields >> rw) {
+      if (rw == "W" || rw == "w") {
+        ref.is_store = true;
+      } else if (rw != "R" && rw != "r") {
+        throw std::invalid_argument("trace line " + std::to_string(line_no) +
+                                    ": expected R or W, got '" + rw + "'");
+      }
+      unsigned long ip = 0;
+      if (fields >> ip) ref.ip = static_cast<IpId>(ip);
+    }
+    refs.push_back(ref);
+  }
+  return refs;
+}
+
+std::vector<sim::MemRef> parse_text_trace(const std::string& text) {
+  std::istringstream in(text);
+  return parse_text_trace(in);
+}
+
+TraceOpSource::TraceOpSource(std::vector<sim::MemRef> refs, sim::CoreTraits traits,
+                             double inst_per_mem)
+    : refs_(std::move(refs)),
+      traits_(traits),
+      inst_per_mem_(inst_per_mem < 1.0 ? 1.0 : inst_per_mem) {
+  if (refs_.empty()) throw std::invalid_argument("TraceOpSource: empty trace");
+}
+
+sim::Op TraceOpSource::next() {
+  sim::Op op;
+  carry_ += inst_per_mem_;
+  op.instructions = static_cast<std::uint32_t>(carry_);
+  carry_ -= op.instructions;
+  if (op.instructions == 0) op.instructions = 1;
+  op.has_mem = true;
+  op.mem = refs_[pos_];
+  if (++pos_ >= refs_.size()) {
+    pos_ = 0;
+    ++wraps_;
+  }
+  return op;
+}
+
+void TraceOpSource::reset() {
+  pos_ = 0;
+  carry_ = 0.0;
+  wraps_ = 0;
+}
+
+}  // namespace cmm::workloads

@@ -1,0 +1,52 @@
+// Trace replay: drive a simulated core from a recorded memory-access
+// trace instead of a synthetic generator — the path for evaluating CMM
+// against real application behaviour without porting to hardware.
+//
+// Text format, one reference per line:
+//
+//     <address> [R|W] [ip]
+//
+// where <address> is hex (0x-prefixed or bare) or decimal, R/W defaults
+// to R, and ip is an optional decimal instruction-pointer id. Blank
+// lines and lines starting with '#' are ignored.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/core_model.hpp"
+
+namespace cmm::workloads {
+
+/// Parse a text trace; throws std::invalid_argument with a line number
+/// on malformed input.
+std::vector<sim::MemRef> parse_text_trace(std::istream& in);
+
+/// Convenience: parse from a string (tests, inline traces).
+std::vector<sim::MemRef> parse_text_trace(const std::string& text);
+
+class TraceOpSource final : public sim::OpSource {
+ public:
+  /// Replays `refs` cyclically, issuing `inst_per_mem` instructions per
+  /// reference (dithered like SpecOpSource) with the given traits.
+  TraceOpSource(std::vector<sim::MemRef> refs, sim::CoreTraits traits, double inst_per_mem = 4.0);
+
+  sim::Op next() override;
+  sim::CoreTraits traits() const override { return traits_; }
+  void reset() override;
+
+  std::size_t size() const noexcept { return refs_.size(); }
+  /// Number of complete passes over the trace so far.
+  std::uint64_t wraps() const noexcept { return wraps_; }
+
+ private:
+  std::vector<sim::MemRef> refs_;
+  sim::CoreTraits traits_;
+  double inst_per_mem_;
+  double carry_ = 0.0;
+  std::size_t pos_ = 0;
+  std::uint64_t wraps_ = 0;
+};
+
+}  // namespace cmm::workloads

@@ -1,0 +1,145 @@
+#include "workloads/workload_mix.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+#include "workloads/benchmark_specs.hpp"
+
+namespace cmm::workloads {
+
+std::string_view to_string(MixCategory c) noexcept {
+  switch (c) {
+    case MixCategory::PrefFri: return "pref_fri";
+    case MixCategory::PrefAgg: return "pref_agg";
+    case MixCategory::PrefUnfri: return "pref_unfri";
+    case MixCategory::PrefNoAgg: return "pref_no_agg";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Draw `n` names from `pool` with replacement only if the pool is
+/// smaller than `n` (the suite's unfriendly class has four members, so
+/// 4-of-4 draws become a shuffled copy).
+std::vector<std::string> draw(const std::vector<std::string>& pool, unsigned n, Rng& rng) {
+  if (pool.empty()) throw std::logic_error("empty benchmark class pool");
+  std::vector<std::string> out;
+  out.reserve(n);
+  if (pool.size() >= n) {
+    std::vector<std::string> copy = pool;
+    for (unsigned i = 0; i < n; ++i) {
+      const auto j = static_cast<std::size_t>(rng.next_below(copy.size()));
+      out.push_back(copy[j]);
+      copy.erase(copy.begin() + static_cast<std::ptrdiff_t>(j));
+    }
+  } else {
+    for (unsigned i = 0; i < n; ++i)
+      out.push_back(pool[static_cast<std::size_t>(rng.next_below(pool.size()))]);
+  }
+  return out;
+}
+
+/// Non-aggressive picks with two LLC-sensitive members (paper
+/// Sec. IV-B: "four non Pref Agg benchmarks include at least two
+/// LLC-sensitive benchmarks"); the remainder is drawn from the
+/// non-sensitive, non-aggressive (compute-bound) class.
+std::vector<std::string> draw_non_agg(unsigned n, Rng& rng) {
+  const auto sensitive = llc_sensitive_names();
+  std::vector<std::string> insensitive;
+  for (const auto& name : non_aggressive_names()) {
+    const auto& spec = spec_by_name(name);
+    if (!spec.expect_llc_sensitive) insensitive.push_back(name);
+  }
+
+  std::vector<std::string> out;
+  const unsigned want_sensitive = std::min<unsigned>(2, n);
+  auto s = draw(sensitive, want_sensitive, rng);
+  out.insert(out.end(), s.begin(), s.end());
+  if (n > want_sensitive) {
+    auto rest = draw(insensitive, n - want_sensitive, rng);
+    out.insert(out.end(), rest.begin(), rest.end());
+  }
+  // Shuffle so the sensitive picks are not always on the low cores.
+  for (std::size_t i = out.size(); i > 1; --i) {
+    std::swap(out[i - 1], out[static_cast<std::size_t>(rng.next_below(i))]);
+  }
+  return out;
+}
+
+std::vector<std::string> compose(MixCategory category, unsigned num_cores, Rng& rng) {
+  if (num_cores < 2) throw std::invalid_argument("mixes need at least 2 cores");
+  // Class counts scale with the core count, preserving the paper's
+  // 8-core proportions.
+  const unsigned half = num_cores / 2;
+  std::vector<std::string> picks;
+  switch (category) {
+    case MixCategory::PrefFri: {
+      picks = draw(prefetch_friendly_names(), half, rng);
+      auto rest = draw_non_agg(num_cores - half, rng);
+      picks.insert(picks.end(), rest.begin(), rest.end());
+      break;
+    }
+    case MixCategory::PrefAgg: {
+      const unsigned quarter = std::max(1U, num_cores / 4);
+      picks = draw(prefetch_friendly_names(), quarter, rng);
+      auto unfri = draw(prefetch_unfriendly_names(), quarter, rng);
+      picks.insert(picks.end(), unfri.begin(), unfri.end());
+      auto rest = draw_non_agg(num_cores - 2 * quarter, rng);
+      picks.insert(picks.end(), rest.begin(), rest.end());
+      break;
+    }
+    case MixCategory::PrefUnfri: {
+      picks = draw(prefetch_unfriendly_names(), half, rng);
+      auto rest = draw_non_agg(num_cores - half, rng);
+      picks.insert(picks.end(), rest.begin(), rest.end());
+      break;
+    }
+    case MixCategory::PrefNoAgg: {
+      picks = draw_non_agg(num_cores, rng);
+      break;
+    }
+  }
+  return picks;
+}
+
+}  // namespace
+
+std::vector<WorkloadMix> make_mixes(MixCategory category, unsigned count, unsigned num_cores,
+                                    std::uint64_t seed) {
+  Rng rng(seed ^ (static_cast<std::uint64_t>(category) << 32));
+  std::vector<WorkloadMix> mixes;
+  mixes.reserve(count);
+  for (unsigned i = 0; i < count; ++i) {
+    WorkloadMix mix;
+    mix.category = category;
+    mix.name = std::string(to_string(category)) + "_" + (i < 10 ? "0" : "") + std::to_string(i);
+    mix.benchmarks = compose(category, num_cores, rng);
+    mixes.push_back(std::move(mix));
+  }
+  return mixes;
+}
+
+std::vector<WorkloadMix> paper_workloads(unsigned num_cores, std::uint64_t seed,
+                                         unsigned per_category) {
+  std::vector<WorkloadMix> all;
+  for (const MixCategory c : {MixCategory::PrefFri, MixCategory::PrefAgg, MixCategory::PrefUnfri,
+                              MixCategory::PrefNoAgg}) {
+    auto part = make_mixes(c, per_category, num_cores, seed);
+    all.insert(all.end(), std::make_move_iterator(part.begin()),
+               std::make_move_iterator(part.end()));
+  }
+  return all;
+}
+
+void attach_mix(sim::MulticoreSystem& system, const WorkloadMix& mix, std::uint64_t seed) {
+  if (mix.benchmarks.size() != system.num_cores())
+    throw std::invalid_argument("mix size does not match core count");
+  for (CoreId c = 0; c < system.num_cores(); ++c) {
+    system.set_op_source(
+        c, make_op_source(mix.benchmarks[c], system.config(), c, seed + 0x1000ULL * c));
+  }
+}
+
+}  // namespace cmm::workloads

@@ -1,0 +1,46 @@
+// Multiprogrammed workload construction (paper Sec. IV-B). Four
+// categories of 8-benchmark mixes, 10 workloads each, benchmarks drawn
+// randomly (seeded) from their class:
+//
+//   Pref Fri:    4 prefetch-friendly + 4 non-aggressive
+//   Pref Agg:    2 friendly + 2 unfriendly + 4 non-aggressive
+//   Pref Unfri:  4 unfriendly + 4 non-aggressive
+//   Pref No Agg: 8 non-aggressive
+//
+// The non-aggressive picks always include at least two LLC-sensitive
+// benchmarks, as in the paper.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/machine_config.hpp"
+#include "sim/multicore_system.hpp"
+
+namespace cmm::workloads {
+
+enum class MixCategory : std::uint8_t { PrefFri, PrefAgg, PrefUnfri, PrefNoAgg };
+
+std::string_view to_string(MixCategory c) noexcept;
+
+struct WorkloadMix {
+  std::string name;           // e.g. "pref_agg_03"
+  MixCategory category{};
+  std::vector<std::string> benchmarks;  // one per core
+};
+
+/// `count` mixes of one category for an `num_cores`-way machine.
+std::vector<WorkloadMix> make_mixes(MixCategory category, unsigned count, unsigned num_cores,
+                                    std::uint64_t seed);
+
+/// The paper's 40-workload evaluation set in presentation order:
+/// 10 Pref Fri, 10 Pref Agg, 10 Pref Unfri, 10 Pref No Agg.
+std::vector<WorkloadMix> paper_workloads(unsigned num_cores, std::uint64_t seed,
+                                         unsigned per_category = 10);
+
+/// Attach the mix's benchmarks to the system's cores.
+void attach_mix(sim::MulticoreSystem& system, const WorkloadMix& mix, std::uint64_t seed);
+
+}  // namespace cmm::workloads

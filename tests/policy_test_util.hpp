@@ -1,0 +1,90 @@
+// Shared helpers for the policy state-machine tests: hand-crafted PMU
+// deltas that the detector classifies predictably, and a driver that
+// walks a policy through one profiling round against scripted per-core
+// IPCs.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "core/policy.hpp"
+
+namespace cmm::core::test {
+
+/// Counters of a clearly prefetch-aggressive core (PGA ~10, PMR ~0.95,
+/// PTR ~95 M/s at 2.1 GHz over a 1 ms interval).
+inline sim::PmuCounters aggressive_counters(double ipc) {
+  sim::PmuCounters c;
+  c.cycles = 2'100'000;
+  c.instructions = static_cast<std::uint64_t>(ipc * static_cast<double>(c.cycles));
+  c.l2_pref_req = 100'000;
+  c.l2_pref_miss = 95'000;
+  c.l2_dm_req = 10'000;
+  c.l2_dm_miss = 8'000;
+  c.l3_load_miss = 5'000;
+  c.stalls_l2_pending = 500'000;
+  c.dram_demand_bytes = 5'000 * 64;
+  c.dram_prefetch_bytes = 90'000 * 64;
+  return c;
+}
+
+/// Counters of a quiet, non-aggressive core.
+inline sim::PmuCounters quiet_counters(double ipc) {
+  sim::PmuCounters c;
+  c.cycles = 2'100'000;
+  c.instructions = static_cast<std::uint64_t>(ipc * static_cast<double>(c.cycles));
+  c.l2_pref_req = 50;
+  c.l2_pref_miss = 10;
+  c.l2_dm_req = 2'000;
+  c.l2_dm_miss = 500;
+  c.l3_load_miss = 100;
+  c.stalls_l2_pending = 50'000;
+  c.dram_demand_bytes = 100 * 64;
+  return c;
+}
+
+/// Walks one full profiling round. `ipc_for` maps (core, config) to the
+/// IPC the "machine" reports for that sampling interval. Returns the
+/// policy's final configuration and the number of samples taken.
+struct ProfilingOutcome {
+  ResourceConfig final;
+  std::vector<SampleStats> samples;
+};
+
+inline ProfilingOutcome run_profiling(
+    Policy& policy, unsigned cores,
+    const std::function<double(CoreId, const ResourceConfig&)>& ipc_for,
+    const std::function<sim::PmuCounters(CoreId, const ResourceConfig&)>& counters_for,
+    unsigned max_samples = 64) {
+  ProfilingOutcome outcome;
+  unsigned taken = 0;
+  while (taken < max_samples) {
+    const auto request = policy.next_sample();
+    if (!request.has_value()) break;
+    SampleStats stats;
+    stats.config = *request;
+    stats.per_core.reserve(cores);
+    for (CoreId c = 0; c < cores; ++c) {
+      sim::PmuCounters ctr = counters_for(c, *request);
+      ctr.instructions = static_cast<std::uint64_t>(ipc_for(c, *request) *
+                                                    static_cast<double>(ctr.cycles));
+      stats.per_core.push_back(ctr);
+    }
+    policy.report_sample(stats);
+    outcome.samples.push_back(std::move(stats));
+    ++taken;
+  }
+  outcome.final = policy.final_config();
+  return outcome;
+}
+
+/// Standard scripted machine: cores 0..n_agg-1 aggressive, the rest
+/// quiet. Aggressive core IPC depends on its own prefetch bit:
+/// `ipc_pf_on` / `ipc_pf_off` (per-core overridable via lambdas above).
+inline DetectorConfig test_detector() {
+  DetectorConfig d;
+  d.freq_ghz = 2.1;
+  return d;
+}
+
+}  // namespace cmm::core::test

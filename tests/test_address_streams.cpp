@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workloads/address_stream.hpp"
+
+namespace cmm::workloads {
+namespace {
+
+TEST(StreamPattern, SequentialAndWrapping) {
+  StreamPattern s(0x1000, 256, 1, 8);
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(s.next().addr, 0x1000u + 8u * i);
+  }
+  EXPECT_EQ(s.next().addr, 0x1000u);  // wrapped
+}
+
+TEST(StreamPattern, ResetRestarts) {
+  StreamPattern s(0, 1024, 1);
+  s.next();
+  s.next();
+  s.reset();
+  EXPECT_EQ(s.next().addr, 0u);
+}
+
+TEST(StridedPattern, StrideAndWrap) {
+  StridedPattern s(0, 1024, 256, 2);
+  EXPECT_EQ(s.next().addr, 0u);
+  EXPECT_EQ(s.next().addr, 256u);
+  EXPECT_EQ(s.next().addr, 512u);
+  EXPECT_EQ(s.next().addr, 768u);
+  EXPECT_EQ(s.next().addr, 0u);
+}
+
+TEST(RandomPattern, StaysInRegionAndCovers) {
+  Rng rng(3);
+  RandomPattern p(0x4000, 64 * 64, 1, rng);  // 64 lines
+  std::set<Addr> lines;
+  for (int i = 0; i < 4000; ++i) {
+    const Addr a = p.next().addr;
+    ASSERT_GE(a, 0x4000u);
+    ASSERT_LT(a, 0x4000u + 64u * 64u);
+    EXPECT_EQ(a % 64, 0u);
+    lines.insert(a / 64);
+  }
+  EXPECT_EQ(lines.size(), 64u);  // full coverage
+}
+
+TEST(RandomPattern, SparseStrideTouchesOnlyEveryOtherLine) {
+  Rng rng(5);
+  RandomPattern p(0, 64 * 128, 1, rng, /*stride_lines=*/2);
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_EQ((p.next().addr / 64) % 2, 0u);  // even lines only
+  }
+}
+
+TEST(RandomPattern, ResetReplays) {
+  Rng rng(7);
+  RandomPattern p(0, 64 * 256, 1, rng);
+  std::vector<Addr> first;
+  for (int i = 0; i < 50; ++i) first.push_back(p.next().addr);
+  p.reset();
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(p.next().addr, first[i]);
+}
+
+TEST(BurstRandomPattern, BurstsAreSequentialRuns) {
+  Rng rng(11);
+  BurstRandomPattern p(0, 1 << 20, 1, rng, 3, 3);  // fixed burst length 3
+  for (int burst = 0; burst < 100; ++burst) {
+    const Addr a0 = p.next().addr / 64;
+    const Addr a1 = p.next().addr / 64;
+    const Addr a2 = p.next().addr / 64;
+    EXPECT_EQ(a1, a0 + 1);
+    EXPECT_EQ(a2, a0 + 2);
+  }
+}
+
+TEST(BurstRandomPattern, JumpsBetweenBursts) {
+  Rng rng(13);
+  BurstRandomPattern p(0, 1 << 24, 1, rng, 2, 2);
+  int adjacent_jumps = 0;
+  Addr prev_end = 0;
+  for (int burst = 0; burst < 200; ++burst) {
+    const Addr start = p.next().addr / 64;
+    p.next();
+    if (burst > 0 && start == prev_end + 1) ++adjacent_jumps;
+    prev_end = start + 1;
+  }
+  EXPECT_LT(adjacent_jumps, 5);  // jumps land at random pages
+}
+
+TEST(ChasePattern, VisitsWholeWorkingSetOnce) {
+  Rng rng(17);
+  constexpr std::uint64_t kLines = 64;
+  ChasePattern p(0, kLines * 64, 1, rng);
+  std::set<Addr> seen;
+  for (std::uint64_t i = 0; i < kLines; ++i) {
+    const Addr a = p.next().addr / 64;
+    EXPECT_TRUE(seen.insert(a).second) << "revisited before full cycle";
+  }
+  // The cycle then repeats from the same start.
+  EXPECT_EQ(p.next().addr, 0u);
+}
+
+TEST(ChasePattern, LinesPerNodeWalksNodeSequentially) {
+  Rng rng(19);
+  ChasePattern p(0, 64 * 64, 1, rng, /*lines_per_node=*/2);
+  for (int node = 0; node < 16; ++node) {
+    const Addr a = p.next().addr / 64;
+    const Addr b = p.next().addr / 64;
+    EXPECT_EQ(b, a + 1);
+    EXPECT_EQ(a % 2, 0u);
+  }
+}
+
+TEST(ChasePattern, NodeStrideLeavesHoles) {
+  Rng rng(23);
+  ChasePattern p(0, 64 * 64, 1, rng, 1, /*node_stride_lines=*/2);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ((p.next().addr / 64) % 2, 0u);  // odd lines never touched
+  }
+}
+
+TEST(MixturePattern, RespectsWeights) {
+  Rng rng(29);
+  std::vector<std::pair<double, std::unique_ptr<AddressStream>>> parts;
+  parts.emplace_back(0.9, std::make_unique<StreamPattern>(0, 1 << 20, 1, 64));
+  parts.emplace_back(0.1, std::make_unique<StreamPattern>(1ULL << 40, 1 << 20, 9, 64));
+  MixturePattern mix(std::move(parts), rng);
+  int high = 0;
+  constexpr int kN = 10000;
+  for (int i = 0; i < kN; ++i) {
+    if (mix.next().addr >= (1ULL << 40)) ++high;
+  }
+  EXPECT_NEAR(static_cast<double>(high) / kN, 0.1, 0.02);
+}
+
+TEST(MixturePattern, DistinctIps) {
+  Rng rng(31);
+  std::vector<std::pair<double, std::unique_ptr<AddressStream>>> parts;
+  parts.emplace_back(0.5, std::make_unique<StreamPattern>(0, 1 << 16, 1, 64));
+  parts.emplace_back(0.5, std::make_unique<StreamPattern>(1 << 20, 1 << 16, 2, 64));
+  MixturePattern mix(std::move(parts), rng);
+  std::set<IpId> ips;
+  for (int i = 0; i < 100; ++i) ips.insert(mix.next().ip);
+  EXPECT_EQ(ips.size(), 2u);
+}
+
+}  // namespace
+}  // namespace cmm::workloads

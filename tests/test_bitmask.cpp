@@ -1,0 +1,59 @@
+#include <gtest/gtest.h>
+
+#include "common/bitmask.hpp"
+
+namespace cmm {
+namespace {
+
+TEST(Bitmask, ContiguousMaskBasics) {
+  EXPECT_EQ(contiguous_mask(0, 1), 0x1u);
+  EXPECT_EQ(contiguous_mask(0, 4), 0xFu);
+  EXPECT_EQ(contiguous_mask(2, 3), 0x1Cu);
+  EXPECT_EQ(contiguous_mask(0, 20), 0xFFFFFu);
+  EXPECT_EQ(contiguous_mask(5, 0), 0u);
+}
+
+TEST(Bitmask, FullMask) {
+  EXPECT_EQ(full_mask(8), 0xFFu);
+  EXPECT_EQ(full_mask(20), 0xFFFFFu);
+  EXPECT_EQ(full_mask(1), 0x1u);
+}
+
+TEST(Bitmask, Popcount) {
+  EXPECT_EQ(popcount(0u), 0u);
+  EXPECT_EQ(popcount(0xFFFFFu), 20u);
+  EXPECT_EQ(popcount(contiguous_mask(3, 5)), 5u);
+}
+
+TEST(Bitmask, ValidCatMasks) {
+  EXPECT_TRUE(is_valid_cat_mask(0x1, 20));
+  EXPECT_TRUE(is_valid_cat_mask(0x3F, 20));
+  EXPECT_TRUE(is_valid_cat_mask(contiguous_mask(6, 14), 20));
+  EXPECT_TRUE(is_valid_cat_mask(full_mask(20), 20));
+}
+
+TEST(Bitmask, InvalidCatMasks) {
+  EXPECT_FALSE(is_valid_cat_mask(0, 20));          // empty
+  EXPECT_FALSE(is_valid_cat_mask(0b101, 20));      // hole
+  EXPECT_FALSE(is_valid_cat_mask(0b1001100, 20));  // holes
+  EXPECT_FALSE(is_valid_cat_mask(1u << 20, 20));   // beyond way count
+  EXPECT_FALSE(is_valid_cat_mask(full_mask(21), 20));
+}
+
+// Every (lo, count) pair within the way budget yields a valid CAT mask.
+class ContiguousMaskParam : public ::testing::TestWithParam<std::tuple<unsigned, unsigned>> {};
+
+TEST_P(ContiguousMaskParam, AlwaysValidWithinBudget) {
+  const auto [lo, count] = GetParam();
+  if (count == 0 || lo + count > 20) GTEST_SKIP();
+  const WayMask m = contiguous_mask(lo, count);
+  EXPECT_TRUE(is_valid_cat_mask(m, 20));
+  EXPECT_EQ(popcount(m), count);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPlacements, ContiguousMaskParam,
+                         ::testing::Combine(::testing::Values(0u, 1u, 5u, 10u, 19u),
+                                            ::testing::Values(1u, 2u, 6u, 14u, 20u)));
+
+}  // namespace
+}  // namespace cmm

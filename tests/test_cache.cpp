@@ -1,0 +1,194 @@
+#include <gtest/gtest.h>
+
+#include "sim/cache.hpp"
+
+namespace cmm::sim {
+namespace {
+
+CacheGeometry tiny_geom() { return CacheGeometry{4 * 64 * 4, 4, 64}; }  // 4 sets x 4 ways
+
+// Line address residing in `set` with discriminator `k`.
+Addr line_in_set(const SetAssocCache& cache, std::uint32_t set, std::uint64_t k) {
+  return static_cast<Addr>(set) + k * cache.num_sets();
+}
+
+TEST(Cache, MissThenHit) {
+  SetAssocCache cache(tiny_geom());
+  const Addr line = 5;
+  EXPECT_FALSE(cache.access(line, AccessType::DemandLoad, 0).hit);
+  cache.fill(line, AccessType::DemandLoad, 0, 0, ~WayMask{0});
+  EXPECT_TRUE(cache.access(line, AccessType::DemandLoad, 1).hit);
+  EXPECT_EQ(cache.stats().demand_accesses, 2u);
+  EXPECT_EQ(cache.stats().demand_hits, 1u);
+}
+
+TEST(Cache, ContainsDoesNotPerturb) {
+  SetAssocCache cache(tiny_geom());
+  cache.fill(9, AccessType::DemandLoad, 0, 0, ~WayMask{0});
+  const auto stats_before = cache.stats().demand_accesses;
+  EXPECT_TRUE(cache.contains(9));
+  EXPECT_FALSE(cache.contains(10));
+  EXPECT_EQ(cache.stats().demand_accesses, stats_before);
+}
+
+TEST(Cache, LruEvictionOrder) {
+  SetAssocCache cache(tiny_geom());
+  // Fill one set completely, touching in order 0,1,2,3.
+  for (std::uint64_t k = 0; k < 4; ++k) {
+    cache.fill(line_in_set(cache, 0, k), AccessType::DemandLoad, k, k, ~WayMask{0});
+  }
+  // Re-touch line 0 so line 1 becomes LRU.
+  cache.access(line_in_set(cache, 0, 0), AccessType::DemandLoad, 10);
+  const FillResult r =
+      cache.fill(line_in_set(cache, 0, 4), AccessType::DemandLoad, 11, 11, ~WayMask{0});
+  ASSERT_TRUE(r.evicted_valid);
+  EXPECT_EQ(r.evicted_line, line_in_set(cache, 0, 1));
+}
+
+TEST(Cache, SetOccupancyNeverExceedsWays) {
+  SetAssocCache cache(tiny_geom());
+  for (std::uint64_t k = 0; k < 40; ++k) {
+    cache.fill(line_in_set(cache, 2, k), AccessType::DemandLoad, k, k, ~WayMask{0});
+    EXPECT_LE(cache.set_occupancy(2), 4u);
+  }
+  EXPECT_EQ(cache.set_occupancy(2), 4u);
+}
+
+TEST(Cache, MaskRestrictsAllocation) {
+  SetAssocCache cache(tiny_geom());
+  const WayMask mask = contiguous_mask(0, 2);
+  for (std::uint64_t k = 0; k < 10; ++k) {
+    cache.fill(line_in_set(cache, 1, k), AccessType::DemandLoad, k, k, mask);
+  }
+  EXPECT_EQ(cache.set_occupancy_in_mask(1, mask), 2u);
+  EXPECT_EQ(cache.set_occupancy_in_mask(1, ~mask), 0u);
+}
+
+TEST(Cache, HitsAllowedOutsideMask) {
+  SetAssocCache cache(tiny_geom());
+  // Fill with the full mask, then access under a narrow mask: hits are
+  // mask-independent (CAT semantics).
+  const Addr line = line_in_set(cache, 3, 7);
+  cache.fill(line, AccessType::DemandLoad, 0, 0, ~WayMask{0});
+  EXPECT_TRUE(cache.access(line, AccessType::DemandLoad, 1).hit);
+}
+
+TEST(Cache, MaskedFillEvictsOnlyInsideMask) {
+  SetAssocCache cache(tiny_geom());
+  // Fill all 4 ways of set 0 under the full mask (ways chosen in order).
+  for (std::uint64_t k = 0; k < 4; ++k) {
+    cache.fill(line_in_set(cache, 0, k), AccessType::DemandLoad, k, k, ~WayMask{0});
+  }
+  // A fill restricted to ways {2,3} must not evict the lines in 0/1.
+  cache.fill(line_in_set(cache, 0, 9), AccessType::DemandLoad, 9, 9, contiguous_mask(2, 2));
+  EXPECT_TRUE(cache.contains(line_in_set(cache, 0, 0)));
+  EXPECT_TRUE(cache.contains(line_in_set(cache, 0, 1)));
+}
+
+TEST(Cache, ZeroMaskDropsFill) {
+  SetAssocCache cache(tiny_geom());
+  const FillResult r = cache.fill(3, AccessType::DemandLoad, 0, 0, 0);
+  EXPECT_FALSE(r.evicted_valid);
+  EXPECT_FALSE(cache.contains(3));
+}
+
+TEST(Cache, PrefetchedLineAccountsUseful) {
+  SetAssocCache cache(tiny_geom());
+  cache.fill(4, AccessType::Prefetch, 0, 10, ~WayMask{0});
+  const LookupResult r = cache.access(4, AccessType::DemandLoad, 20);
+  EXPECT_TRUE(r.hit);
+  EXPECT_TRUE(r.first_use_of_prefetch);
+  EXPECT_EQ(cache.stats().prefetched_lines_used, 1u);
+  // Second touch is not a first use.
+  EXPECT_FALSE(cache.access(4, AccessType::DemandLoad, 21).first_use_of_prefetch);
+  EXPECT_EQ(cache.stats().prefetched_lines_used, 1u);
+}
+
+TEST(Cache, PrefetchedLineEvictedUnusedAccounts) {
+  SetAssocCache cache(tiny_geom());
+  for (std::uint64_t k = 0; k < 4; ++k) {
+    cache.fill(line_in_set(cache, 0, k), AccessType::Prefetch, k, k, ~WayMask{0});
+  }
+  // Evict all four without ever touching them.
+  for (std::uint64_t k = 4; k < 8; ++k) {
+    cache.fill(line_in_set(cache, 0, k), AccessType::DemandLoad, 10 + k, 10 + k, ~WayMask{0});
+  }
+  EXPECT_EQ(cache.stats().prefetched_lines_evicted_unused, 4u);
+  EXPECT_DOUBLE_EQ(cache.stats().prefetch_accuracy(), 0.0);
+}
+
+TEST(Cache, PrefetchAccuracyMixed) {
+  SetAssocCache cache(tiny_geom());
+  cache.fill(line_in_set(cache, 0, 0), AccessType::Prefetch, 0, 0, ~WayMask{0});
+  cache.fill(line_in_set(cache, 1, 0), AccessType::Prefetch, 0, 0, ~WayMask{0});
+  cache.access(line_in_set(cache, 0, 0), AccessType::DemandLoad, 1);  // used
+  cache.invalidate(line_in_set(cache, 1, 0));                         // unused
+  EXPECT_DOUBLE_EQ(cache.stats().prefetch_accuracy(), 0.5);
+}
+
+TEST(Cache, InFlightResidualReportedOnceToDemand) {
+  SetAssocCache cache(tiny_geom());
+  cache.fill(6, AccessType::Prefetch, 0, /*ready_at=*/100, ~WayMask{0});
+  const LookupResult first = cache.access(6, AccessType::DemandLoad, 10);
+  EXPECT_TRUE(first.hit);
+  EXPECT_EQ(first.ready_at, 100u);  // still in flight
+  // The first demand waiter absorbed the wait; later demand sees the
+  // line resident.
+  const LookupResult second = cache.access(6, AccessType::DemandLoad, 11);
+  EXPECT_LE(second.ready_at, 11u);
+}
+
+TEST(Cache, PrefetchHitDoesNotPromoteLru) {
+  SetAssocCache cache(tiny_geom());
+  for (std::uint64_t k = 0; k < 4; ++k) {
+    cache.fill(line_in_set(cache, 0, k), AccessType::DemandLoad, k, k, ~WayMask{0});
+  }
+  // Prefetch-probe the oldest line; it must remain the LRU victim.
+  cache.access(line_in_set(cache, 0, 0), AccessType::Prefetch, 50);
+  const FillResult r =
+      cache.fill(line_in_set(cache, 0, 9), AccessType::DemandLoad, 60, 60, ~WayMask{0});
+  ASSERT_TRUE(r.evicted_valid);
+  EXPECT_EQ(r.evicted_line, line_in_set(cache, 0, 0));
+}
+
+TEST(Cache, RefillOfResidentLineKeepsEarliestReady) {
+  SetAssocCache cache(tiny_geom());
+  cache.fill(8, AccessType::Prefetch, 0, 500, ~WayMask{0});
+  cache.fill(8, AccessType::Prefetch, 1, 300, ~WayMask{0});  // faster copy wins
+  EXPECT_EQ(cache.access(8, AccessType::DemandLoad, 2).ready_at, 300u);
+}
+
+TEST(Cache, FlushInvalidatesEverythingKeepsStats) {
+  SetAssocCache cache(tiny_geom());
+  cache.fill(1, AccessType::DemandLoad, 0, 0, ~WayMask{0});
+  cache.access(1, AccessType::DemandLoad, 1);
+  const auto hits = cache.stats().demand_hits;
+  cache.flush();
+  EXPECT_FALSE(cache.contains(1));
+  EXPECT_EQ(cache.stats().demand_hits, hits);
+}
+
+TEST(Cache, OwnerTracking) {
+  SetAssocCache cache(tiny_geom());
+  cache.fill(1, AccessType::DemandLoad, 0, 0, ~WayMask{0}, /*owner=*/2);
+  cache.fill(2, AccessType::DemandLoad, 0, 0, ~WayMask{0}, /*owner=*/2);
+  cache.fill(3, AccessType::DemandLoad, 0, 0, ~WayMask{0}, /*owner=*/5);
+  const auto occ = cache.occupancy_by_owner(8);
+  EXPECT_EQ(occ[2], 2u);
+  EXPECT_EQ(occ[5], 1u);
+  EXPECT_EQ(occ[0], 0u);
+}
+
+TEST(Cache, StatsChannelsSeparate) {
+  SetAssocCache cache(tiny_geom());
+  cache.access(1, AccessType::DemandLoad, 0);
+  cache.access(2, AccessType::Prefetch, 0);
+  cache.access(3, AccessType::DemandStore, 0);
+  EXPECT_EQ(cache.stats().demand_accesses, 2u);
+  EXPECT_EQ(cache.stats().prefetch_accesses, 1u);
+  EXPECT_EQ(cache.stats().demand_misses(), 2u);
+  EXPECT_EQ(cache.stats().prefetch_misses(), 1u);
+}
+
+}  // namespace
+}  // namespace cmm::sim

@@ -1,0 +1,66 @@
+#include <gtest/gtest.h>
+
+#include "sim/cat.hpp"
+
+namespace cmm::sim {
+namespace {
+
+TEST(Cat, ResetStateIsUnpartitioned) {
+  CatModel cat(8, 20);
+  for (CoreId c = 0; c < 8; ++c) {
+    EXPECT_EQ(cat.core_mask(c), full_mask(20));
+    EXPECT_EQ(cat.core_cos(c), 0u);
+  }
+}
+
+TEST(Cat, ProgramAndAssign) {
+  CatModel cat(8, 20);
+  cat.set_cbm(1, contiguous_mask(0, 6));
+  cat.assign_core(3, 1);
+  EXPECT_EQ(cat.core_mask(3), contiguous_mask(0, 6));
+  EXPECT_EQ(cat.core_mask(2), full_mask(20));  // others untouched
+}
+
+TEST(Cat, RejectsInvalidCbm) {
+  CatModel cat(4, 20);
+  EXPECT_THROW(cat.set_cbm(0, 0), std::invalid_argument);           // empty
+  EXPECT_THROW(cat.set_cbm(0, 0b101), std::invalid_argument);       // hole
+  EXPECT_THROW(cat.set_cbm(0, 1u << 20), std::invalid_argument);    // out of range
+}
+
+TEST(Cat, RejectsOutOfRangeIndices) {
+  CatModel cat(4, 20, 4);
+  EXPECT_THROW(cat.set_cbm(4, 1), std::invalid_argument);
+  EXPECT_THROW(cat.assign_core(4, 0), std::invalid_argument);
+  EXPECT_THROW(cat.assign_core(0, 4), std::invalid_argument);
+  EXPECT_THROW((void)cat.core_cos(4), std::invalid_argument);
+}
+
+TEST(Cat, OverlappingPartitionsAllowed) {
+  // CAT CBMs may overlap — the paper's design depends on it (neutral
+  // cores keep the full mask while Agg cores get a subset).
+  CatModel cat(4, 20);
+  cat.set_cbm(0, full_mask(20));
+  cat.set_cbm(1, contiguous_mask(0, 6));
+  cat.assign_core(0, 1);
+  cat.assign_core(1, 0);
+  EXPECT_EQ(cat.core_mask(0) & cat.core_mask(1), contiguous_mask(0, 6));
+}
+
+TEST(Cat, ResetRestoresDefaults) {
+  CatModel cat(4, 20);
+  cat.set_cbm(2, contiguous_mask(3, 5));
+  cat.assign_core(1, 2);
+  cat.reset();
+  EXPECT_EQ(cat.core_mask(1), full_mask(20));
+  EXPECT_EQ(cat.cbm(2), full_mask(20));
+}
+
+TEST(Cat, ConstructorValidation) {
+  EXPECT_THROW(CatModel(4, 0), std::invalid_argument);
+  EXPECT_THROW(CatModel(4, 33), std::invalid_argument);
+  EXPECT_THROW(CatModel(4, 20, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cmm::sim

@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "sim/multicore_system.hpp"
+
+namespace cmm::sim {
+namespace {
+
+/// Deterministic source: every op is `inst_per_op` instructions plus a
+/// memory reference produced by a fixed stride walk.
+class StrideSource final : public OpSource {
+ public:
+  StrideSource(Addr base, std::uint64_t stride, CoreTraits traits, std::uint32_t inst_per_op = 4)
+      : base_(base), stride_(stride), traits_(traits), inst_(inst_per_op) {}
+
+  Op next() override {
+    Op op;
+    op.instructions = inst_;
+    op.has_mem = true;
+    op.mem = MemRef{base_ + pos_, 1, false};
+    pos_ += stride_;
+    return op;
+  }
+  CoreTraits traits() const override { return traits_; }
+  void reset() override { pos_ = 0; }
+
+ private:
+  Addr base_;
+  std::uint64_t stride_;
+  CoreTraits traits_;
+  std::uint32_t inst_;
+  std::uint64_t pos_ = 0;
+};
+
+/// Repeats accesses to a single line: after the first miss, pure L1 hits.
+class SingleLineSource final : public OpSource {
+ public:
+  Op next() override {
+    Op op;
+    op.instructions = 2;
+    op.has_mem = true;
+    op.mem = MemRef{0x1000, 1, false};
+    return op;
+  }
+  CoreTraits traits() const override { return {0.5, 4.0}; }
+  void reset() override {}
+};
+
+MachineConfig small_cfg() {
+  MachineConfig cfg = MachineConfig::scaled(16);
+  cfg.num_cores = 1;
+  return cfg;
+}
+
+TEST(CoreModel, AdvancesToTarget) {
+  MulticoreSystem sys(small_cfg());
+  sys.set_op_source(0, std::make_shared<SingleLineSource>());
+  sys.run(10'000);
+  EXPECT_GE(sys.core(0).now(), 10'000u);
+  EXPECT_GT(sys.pmu().core(0).instructions, 0u);
+}
+
+TEST(CoreModel, L1HitIpcMatchesBaseCpi) {
+  MulticoreSystem sys(small_cfg());
+  sys.set_op_source(0, std::make_shared<SingleLineSource>());
+  sys.run(100'000);
+  // One cold miss, then everything hits L1: IPC -> 1 / base_cpi = 2.
+  EXPECT_NEAR(sys.pmu().core(0).ipc(), 2.0, 0.05);
+  EXPECT_LE(sys.pmu().core(0).l2_dm_req, 2u);
+}
+
+TEST(CoreModel, StreamWithoutPrefetchPaysDram) {
+  auto cfg = small_cfg();
+  MulticoreSystem sys(cfg);
+  sys.core(0).prefetch_msr().set_all(false);
+  sys.set_op_source(0, std::make_shared<StrideSource>(0x100000, 64, CoreTraits{0.5, 4.0}));
+  sys.run(200'000);
+  const auto& ctr = sys.pmu().core(0);
+  // Every line is a fresh DRAM miss.
+  EXPECT_GT(ctr.l3_load_miss, 500u);
+  EXPECT_EQ(ctr.dram_prefetch_bytes, 0u);
+  EXPECT_GT(ctr.stalls_l2_pending, 0u);
+}
+
+TEST(CoreModel, PrefetchingLiftsStreamIpc) {
+  auto cfg = small_cfg();
+  double ipc_off = 0.0;
+  double ipc_on = 0.0;
+  for (const bool pf : {false, true}) {
+    MulticoreSystem sys(cfg);
+    sys.core(0).prefetch_msr().set_all(pf);
+    sys.set_op_source(0, std::make_shared<StrideSource>(0x100000, 64, CoreTraits{0.5, 4.0}));
+    sys.run(500'000);
+    (pf ? ipc_on : ipc_off) = sys.pmu().core(0).ipc();
+  }
+  EXPECT_GT(ipc_on, ipc_off * 1.5) << "streamer should hide most DRAM latency";
+}
+
+TEST(CoreModel, PmuEventPlumbing) {
+  auto cfg = small_cfg();
+  MulticoreSystem sys(cfg);
+  sys.set_op_source(0, std::make_shared<StrideSource>(0x100000, 64, CoreTraits{0.5, 4.0}));
+  sys.run(300'000);
+  const auto& ctr = sys.pmu().core(0);
+  EXPECT_GT(ctr.l2_pref_req, 0u);
+  EXPECT_GT(ctr.l2_pref_miss, 0u);
+  EXPECT_LE(ctr.l2_pref_miss, ctr.l2_pref_req);
+  EXPECT_LE(ctr.l2_dm_miss, ctr.l2_dm_req);
+  EXPECT_GT(ctr.dram_prefetch_bytes, 0u);
+  EXPECT_EQ(ctr.cycles, sys.core(0).now());
+}
+
+TEST(CoreModel, MsrGatesPrefetchTraffic) {
+  auto cfg = small_cfg();
+  MulticoreSystem sys(cfg);
+  sys.core(0).prefetch_msr().set_all(false);
+  sys.set_op_source(0, std::make_shared<StrideSource>(0x100000, 64, CoreTraits{0.5, 4.0}));
+  sys.run(200'000);
+  EXPECT_EQ(sys.pmu().core(0).l2_pref_req, 0u);
+  EXPECT_EQ(sys.pmu().core(0).dram_prefetch_bytes, 0u);
+}
+
+TEST(CoreModel, StoresCountedAsDemandNotLoadMiss) {
+  class StoreSource final : public OpSource {
+   public:
+    Op next() override {
+      Op op;
+      op.instructions = 2;
+      op.has_mem = true;
+      op.mem = MemRef{pos_, 1, true};  // all stores
+      pos_ += 64;
+      return op;
+    }
+    CoreTraits traits() const override { return {0.5, 4.0}; }
+    void reset() override {}
+
+   private:
+    Addr pos_ = 0x200000;
+  };
+  auto cfg = small_cfg();
+  MulticoreSystem sys(cfg);
+  sys.core(0).prefetch_msr().set_all(false);
+  sys.set_op_source(0, std::make_shared<StoreSource>());
+  sys.run(100'000);
+  const auto& ctr = sys.pmu().core(0);
+  EXPECT_GT(ctr.l2_dm_miss, 0u);
+  EXPECT_EQ(ctr.l3_load_miss, 0u);  // loads only
+  EXPECT_GT(ctr.dram_demand_bytes, 0u);
+}
+
+TEST(CoreModel, ResetMicroarchFlushesCaches) {
+  auto cfg = small_cfg();
+  MulticoreSystem sys(cfg);
+  sys.set_op_source(0, std::make_shared<SingleLineSource>());
+  sys.run(10'000);
+  EXPECT_TRUE(sys.core(0).l1().contains(0x1000 >> 6));
+  sys.reset_microarch();
+  EXPECT_FALSE(sys.core(0).l1().contains(0x1000 >> 6));
+  EXPECT_FALSE(sys.llc().contains(0x1000 >> 6));
+}
+
+TEST(CoreModel, DeterministicAcrossRuns) {
+  auto cfg = small_cfg();
+  std::uint64_t insts[2];
+  for (int i = 0; i < 2; ++i) {
+    MulticoreSystem sys(cfg);
+    sys.set_op_source(0, std::make_shared<StrideSource>(0x100000, 128, CoreTraits{0.4, 3.0}));
+    sys.run(250'000);
+    insts[i] = sys.pmu().core(0).instructions;
+  }
+  EXPECT_EQ(insts[0], insts[1]);
+}
+
+}  // namespace
+}  // namespace cmm::sim

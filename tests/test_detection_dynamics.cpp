@@ -1,0 +1,154 @@
+// Dynamic-behaviour locks for the detection/epoch interplay that the
+// paper's design depends on:
+//  - the first sampling interval always re-enables every prefetcher, so
+//    an Agg core that was throttled in the previous epoch is detected
+//    again (paper Sec. III-B1: "some cores' prefetchers could have been
+//    turned off in the last execution epoch");
+//  - the detected Agg set is stable across profiling rounds for a
+//    phase-stable workload;
+//  - a phase change moves a core in and out of the Agg set.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "core/epoch_driver.hpp"
+#include "core/policy_cmm.hpp"
+#include "core/policy_pt.hpp"
+#include "sim/multicore_system.hpp"
+#include "workloads/benchmark_specs.hpp"
+#include "workloads/phased.hpp"
+#include "workloads/workload_mix.hpp"
+
+namespace cmm::core {
+namespace {
+
+sim::MachineConfig machine() { return sim::MachineConfig::scaled(16); }
+
+EpochConfig epochs() {
+  EpochConfig e;
+  e.execution_epoch = 800'000;
+  e.sampling_interval = 40'000;
+  return e;
+}
+
+DetectorConfig detector() {
+  DetectorConfig d;
+  d.freq_ghz = machine().freq_ghz;
+  return d;
+}
+
+TEST(DetectionDynamics, ThrottledCoresAreRedetectedNextEpoch) {
+  // A PrefUnfri mix: PT will throttle the rand-access cores. If the
+  // all-on probe did not exist, the throttled cores would show zero
+  // prefetch activity next round and silently escape detection.
+  auto cfg = machine();
+  sim::MulticoreSystem sys(cfg);
+  const auto mix = workloads::make_mixes(workloads::MixCategory::PrefUnfri, 1, cfg.num_cores, 7)
+                       .front();
+  workloads::attach_mix(sys, mix, 42);
+
+  PtPolicy::Options opts;
+  opts.detector = detector();
+  PtPolicy policy(opts);
+  EpochDriver driver(sys, policy, epochs());
+
+  std::vector<std::vector<CoreId>> agg_per_round;
+  for (int round = 0; round < 3; ++round) {
+    driver.run(epochs().execution_epoch + 10 * epochs().sampling_interval);
+    agg_per_round.push_back(policy.agg_set());
+  }
+  ASSERT_FALSE(agg_per_round[0].empty());
+  // Stable across rounds even though the final config throttles.
+  EXPECT_EQ(agg_per_round[1], agg_per_round[0]);
+  EXPECT_EQ(agg_per_round[2], agg_per_round[0]);
+}
+
+TEST(DetectionDynamics, CmmFriendlyUnfriendlySplitIsStable) {
+  auto cfg = machine();
+  sim::MulticoreSystem sys(cfg);
+  const auto mix =
+      workloads::make_mixes(workloads::MixCategory::PrefAgg, 1, cfg.num_cores, 7).front();
+  workloads::attach_mix(sys, mix, 42);
+
+  CmmPolicy::Options opts;
+  opts.detector = detector();
+  CmmPolicy policy(opts);
+  EpochDriver driver(sys, policy, epochs());
+
+  driver.run(2 * (epochs().execution_epoch + 10 * epochs().sampling_interval));
+  const auto friendly_first = policy.friendly_cores();
+  const auto unfriendly_first = policy.unfriendly_cores();
+  ASSERT_FALSE(friendly_first.empty());
+  ASSERT_FALSE(unfriendly_first.empty());
+
+  driver.run(epochs().execution_epoch + 10 * epochs().sampling_interval);
+  EXPECT_EQ(policy.friendly_cores(), friendly_first);
+  EXPECT_EQ(policy.unfriendly_cores(), unfriendly_first);
+}
+
+TEST(DetectionDynamics, PhaseChangeMovesCoreInAndOutOfAggSet) {
+  // Core 0 alternates quiet <-> aggressive stream; CMM must include it
+  // in the Agg set during stream phases only (paper footnote 3).
+  auto cfg = machine();
+  sim::MulticoreSystem sys(cfg);
+  const Cycle phase_insts = 1'500'000;
+  sys.set_op_source(0, std::make_shared<workloads::PhasedOpSource>(
+                           std::vector<workloads::PhasedOpSource::Phase>{
+                               {"gobmk", phase_insts}, {"libquantum", phase_insts}},
+                           cfg, 0, 42));
+  const std::vector<std::string> background{"mcf",   "soplex", "povray", "namd",
+                                            "gobmk", "astar",  "calculix"};
+  for (CoreId c = 1; c < cfg.num_cores; ++c) {
+    sys.set_op_source(c, workloads::make_op_source(background[c - 1], cfg, c, 42 + c));
+  }
+
+  CmmPolicy::Options opts;
+  opts.detector = detector();
+  CmmPolicy policy(opts);
+  EpochDriver driver(sys, policy, epochs());
+
+  bool seen_in_agg = false;
+  bool seen_out_of_agg = false;
+  for (int round = 0; round < 10; ++round) {
+    driver.run(epochs().execution_epoch + 10 * epochs().sampling_interval);
+    const auto& agg = policy.agg_set();
+    const bool core0_in = std::find(agg.begin(), agg.end(), 0u) != agg.end();
+    (core0_in ? seen_in_agg : seen_out_of_agg) = true;
+  }
+  EXPECT_TRUE(seen_in_agg) << "core 0's stream phase never detected";
+  EXPECT_TRUE(seen_out_of_agg) << "core 0's quiet phase never released";
+}
+
+TEST(DetectionDynamics, CmmConfinesAggressorOccupancy) {
+  // End-to-end physical effect: after CMM-a converges, the aggressive
+  // cores' combined LLC footprint is bounded by their partition (plus
+  // stale lines the victims have not yet reclaimed).
+  auto cfg = machine();
+  sim::MulticoreSystem sys(cfg);
+  const auto mix =
+      workloads::make_mixes(workloads::MixCategory::PrefAgg, 1, cfg.num_cores, 7).front();
+  workloads::attach_mix(sys, mix, 42);
+
+  CmmPolicy::Options opts;
+  opts.detector = detector();
+  CmmPolicy policy(opts);
+  EpochDriver driver(sys, policy, epochs());
+  driver.run(8'000'000);
+
+  const auto& agg = policy.agg_set();
+  ASSERT_FALSE(agg.empty());
+  WayMask agg_union = 0;
+  for (const CoreId c : agg) agg_union |= sys.cat().core_mask(c);
+  const std::uint64_t partition_lines =
+      static_cast<std::uint64_t>(popcount(agg_union)) * sys.llc().num_sets();
+
+  const auto occ = sys.llc().occupancy_by_owner(cfg.num_cores);
+  std::uint64_t agg_lines = 0;
+  for (const CoreId c : agg) agg_lines += occ[c];
+  EXPECT_LE(agg_lines, partition_lines + partition_lines / 2)
+      << "aggressors hold far more LLC than their partition allows";
+}
+
+}  // namespace
+}  // namespace cmm::core

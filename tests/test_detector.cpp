@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include "core/detector.hpp"
+
+namespace cmm::core {
+namespace {
+
+CoreMetrics core_with(double pga, double pmr, double ptr) {
+  CoreMetrics m;
+  m.pga = pga;
+  m.l2_pmr = pmr;
+  m.l2_ptr = ptr;
+  return m;
+}
+
+DetectorConfig cfg() {
+  DetectorConfig c;
+  c.pga_rel_mean = 0.4;
+  c.pga_floor = 1.0;
+  c.pmr_threshold = 0.7;
+  c.ptr_threshold_per_sec = 20e6;
+  return c;
+}
+
+TEST(Detector, FlagsHighPgaHighPmrHighPtr) {
+  const std::vector<CoreMetrics> metrics{
+      core_with(8.0, 0.95, 150e6),   // aggressive stream
+      core_with(0.2, 0.5, 1e6),      // quiet
+      core_with(0.1, 0.2, 0.1e6),    // quiet
+      core_with(6.0, 0.9, 120e6),    // aggressive
+  };
+  const auto agg = detect_aggressive(metrics, cfg());
+  EXPECT_EQ(agg, (std::vector<CoreId>{0, 3}));
+}
+
+TEST(Detector, PgaBelowMeanFiltered) {
+  // Paper step 1: PGA must exceed (a fraction of) the cross-core mean.
+  const std::vector<CoreMetrics> metrics{
+      core_with(16.0, 0.95, 150e6),
+      core_with(16.0, 0.95, 150e6),
+      core_with(1.1, 0.95, 150e6),  // above floor but way below mean
+      core_with(16.0, 0.95, 150e6),
+  };
+  const auto agg = detect_aggressive(metrics, cfg());
+  EXPECT_EQ(agg, (std::vector<CoreId>{0, 1, 3}));
+}
+
+TEST(Detector, PmrFilterExcludesL2LocalPrefetching) {
+  // Paper step 2: cores whose prefetches mostly hit L2 (namd-like,
+  // streaming within an L2-resident set) are not aggressive.
+  const std::vector<CoreMetrics> metrics{
+      core_with(8.0, 0.1, 150e6),  // prefetches absorbed by L2
+      core_with(8.0, 0.9, 150e6),
+  };
+  const auto agg = detect_aggressive(metrics, cfg());
+  EXPECT_EQ(agg, (std::vector<CoreId>{1}));
+}
+
+TEST(Detector, PtrGateExcludesLowPressure) {
+  // Paper step 3: prefetch pressure on the LLC must be real.
+  const std::vector<CoreMetrics> metrics{
+      core_with(8.0, 0.9, 5e6),    // trickle
+      core_with(8.0, 0.9, 100e6),
+  };
+  const auto agg = detect_aggressive(metrics, cfg());
+  EXPECT_EQ(agg, (std::vector<CoreId>{1}));
+}
+
+TEST(Detector, QuietMachineYieldsEmptySet) {
+  const std::vector<CoreMetrics> metrics(8, core_with(0.05, 0.3, 0.5e6));
+  EXPECT_TRUE(detect_aggressive(metrics, cfg()).empty());
+  EXPECT_TRUE(detect_aggressive({}, cfg()).empty());
+}
+
+TEST(Detector, FloorBlocksAdjacentOnlyChasers) {
+  // A pointer chaser whose only prefetch is the buddy line has PGA
+  // ~0.5: never aggressive, regardless of the mean.
+  const std::vector<CoreMetrics> metrics{
+      core_with(0.5, 0.95, 40e6),
+      core_with(0.6, 0.95, 40e6),
+  };
+  EXPECT_TRUE(detect_aggressive(metrics, cfg()).empty());
+}
+
+TEST(ClassifyFriendly, SpeedupThreshold) {
+  const std::vector<CoreId> agg{1, 3};
+  const std::vector<double> ipc_on{1.0, 2.0, 1.0, 0.55};
+  const std::vector<double> ipc_off{1.0, 1.0, 1.0, 0.5};
+  DetectorConfig c = cfg();
+  c.friendly_speedup = 1.5;
+  const auto friendly = classify_friendly(agg, ipc_on, ipc_off, c);
+  ASSERT_EQ(friendly.size(), 2u);
+  EXPECT_TRUE(friendly[0]);   // core 1: 2.0x
+  EXPECT_FALSE(friendly[1]);  // core 3: 1.1x
+}
+
+TEST(ClassifyFriendly, ZeroOffIpcHandled) {
+  const std::vector<CoreId> agg{0};
+  const auto friendly = classify_friendly(agg, {1.0}, {0.0}, cfg());
+  EXPECT_TRUE(friendly[0]);  // ran only with prefetching on
+}
+
+TEST(ClassifyFriendly, ExactThresholdCountsFriendly) {
+  DetectorConfig c = cfg();
+  c.friendly_speedup = 1.5;
+  const auto friendly = classify_friendly({0}, {1.5}, {1.0}, c);
+  EXPECT_TRUE(friendly[0]);
+}
+
+}  // namespace
+}  // namespace cmm::core

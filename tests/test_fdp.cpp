@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "core/fdp.hpp"
+#include "workloads/benchmark_specs.hpp"
+
+namespace cmm::core {
+namespace {
+
+sim::MachineConfig cfg(unsigned cores) {
+  auto c = sim::MachineConfig::scaled(16);
+  c.num_cores = cores;
+  return c;
+}
+
+TEST(Fdp, LadderShape) {
+  const auto& ladder = FdpController::ladder();
+  ASSERT_GE(ladder.size(), 3u);
+  for (std::size_t i = 1; i < ladder.size(); ++i) EXPECT_GT(ladder[i], ladder[i - 1]);
+}
+
+TEST(Fdp, StartsMidLadder) {
+  sim::MulticoreSystem sys(cfg(2));
+  for (CoreId c = 0; c < 2; ++c)
+    sys.set_op_source(c, workloads::make_op_source("povray", sys.config(), c, c));
+  FdpController fdp(sys);
+  EXPECT_EQ(fdp.degree(0), 4u);
+  EXPECT_EQ(sys.core(0).streamer().degree(), 4u);
+}
+
+TEST(Fdp, RampsUpAccurateStreams) {
+  sim::MulticoreSystem sys(cfg(1));
+  sys.set_op_source(0, workloads::make_op_source("libquantum", sys.config(), 0, 1));
+  FdpController fdp(sys);
+  fdp.run(2'000'000);
+  // A perfect stream prefetches accurately: degree climbs to the top.
+  EXPECT_EQ(fdp.degree(0), FdpController::ladder().back());
+  EXPECT_GT(fdp.last_accuracy(0), 0.75);
+}
+
+TEST(Fdp, ThrottlesInaccuratePrefetching) {
+  sim::MulticoreSystem sys(cfg(1));
+  sys.set_op_source(0, workloads::make_op_source("rand_access", sys.config(), 0, 1));
+  FdpController fdp(sys);
+  fdp.run(2'000'000);
+  // Burst-random prefetching is mostly useless: the controller settles
+  // at the bottom of the ladder (throttling raises accuracy, so the
+  // equilibrium sits at degree 1-2 rather than pinned at 1).
+  EXPECT_LE(fdp.degree(0), 2u);
+  EXPECT_LT(fdp.last_accuracy(0), 0.75);
+}
+
+TEST(Fdp, PerCoreIndependence) {
+  sim::MulticoreSystem sys(cfg(2));
+  sys.set_op_source(0, workloads::make_op_source("libquantum", sys.config(), 0, 1));
+  sys.set_op_source(1, workloads::make_op_source("rand_access", sys.config(), 1, 2));
+  FdpController fdp(sys);
+  fdp.run(2'000'000);
+  EXPECT_GT(fdp.degree(0), fdp.degree(1));
+}
+
+TEST(Fdp, QuietCoreHoldsPosition) {
+  // A compute-only core produces no prefetch evidence at all: the
+  // ladder position must not move.
+  class ComputeOnly final : public sim::OpSource {
+   public:
+    sim::Op next() override { return sim::Op{8, false, {}}; }
+    sim::CoreTraits traits() const override { return {0.5, 4.0}; }
+    void reset() override {}
+  };
+  sim::MulticoreSystem sys(cfg(1));
+  sys.set_op_source(0, std::make_shared<ComputeOnly>());
+  FdpController fdp(sys);
+  fdp.run(1'000'000);
+  EXPECT_EQ(fdp.degree(0), 4u);
+}
+
+TEST(Fdp, ImprovesRandAccessAloneIpc) {
+  // Accuracy-directed throttling removes useless prefetch waste, so a
+  // solo Rand Access core should not be slower under FDP.
+  double plain = 0.0;
+  double with_fdp = 0.0;
+  {
+    sim::MulticoreSystem sys(cfg(1));
+    sys.set_op_source(0, workloads::make_op_source("rand_access", sys.config(), 0, 1));
+    sys.run(2'500'000);
+    plain = sys.pmu().core(0).ipc();
+  }
+  {
+    sim::MulticoreSystem sys(cfg(1));
+    sys.set_op_source(0, workloads::make_op_source("rand_access", sys.config(), 0, 1));
+    FdpController fdp(sys);
+    fdp.run(2'500'000);
+    with_fdp = sys.pmu().core(0).ipc();
+  }
+  EXPECT_GE(with_fdp, plain * 0.98);
+}
+
+}  // namespace
+}  // namespace cmm::core

@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include "hw/cat_controller.hpp"
+#include "hw/msr_device.hpp"
+#include "hw/pmu_reader.hpp"
+#include "workloads/benchmark_specs.hpp"
+
+namespace cmm::hw {
+namespace {
+
+sim::MachineConfig cfg() {
+  auto c = sim::MachineConfig::scaled(16);
+  c.num_cores = 4;
+  return c;
+}
+
+TEST(MsrDevice, ReadWrite0x1A4) {
+  sim::MulticoreSystem sys(cfg());
+  SimMsrDevice msr(sys);
+  EXPECT_EQ(msr.read(1, sim::kMsrMiscFeatureControl), 0u);
+  msr.write(1, sim::kMsrMiscFeatureControl, 0xF);
+  EXPECT_EQ(msr.read(1, sim::kMsrMiscFeatureControl), 0xFu);
+  EXPECT_EQ(msr.read(0, sim::kMsrMiscFeatureControl), 0u);  // per-core
+}
+
+TEST(MsrDevice, UnmodelledMsrFaults) {
+  sim::MulticoreSystem sys(cfg());
+  SimMsrDevice msr(sys);
+  EXPECT_THROW(msr.read(0, 0x10), std::invalid_argument);
+  EXPECT_THROW(msr.write(0, 0x10, 1), std::invalid_argument);
+}
+
+TEST(PrefetchControl, PerCoreAndPerPrefetcher) {
+  sim::MulticoreSystem sys(cfg());
+  SimMsrDevice msr(sys);
+  PrefetchControl ctl(msr);
+
+  ctl.set_core_prefetchers(2, false);
+  EXPECT_FALSE(ctl.core_prefetchers_on(2));
+  EXPECT_TRUE(ctl.core_prefetchers_on(0));
+
+  ctl.set_prefetcher(0, sim::PrefetcherKind::L2Streamer, false);
+  EXPECT_FALSE(ctl.prefetcher_on(0, sim::PrefetcherKind::L2Streamer));
+  EXPECT_TRUE(ctl.prefetcher_on(0, sim::PrefetcherKind::L2Adjacent));
+
+  ctl.enable_all();
+  for (CoreId c = 0; c < 4; ++c) EXPECT_TRUE(ctl.core_prefetchers_on(c));
+}
+
+TEST(CatController, ApplyAndReadBack) {
+  sim::MulticoreSystem sys(cfg());
+  SimCatController cat(sys);
+  const std::vector<WayMask> masks{contiguous_mask(0, 3), full_mask(20), contiguous_mask(0, 3),
+                                   full_mask(20)};
+  cat.apply(masks);
+  EXPECT_EQ(cat.current(), masks);
+  EXPECT_EQ(sys.cat().core_mask(0), contiguous_mask(0, 3));
+}
+
+TEST(CatController, SizeMismatchThrows) {
+  sim::MulticoreSystem sys(cfg());
+  SimCatController cat(sys);
+  EXPECT_THROW(cat.apply({full_mask(20)}), std::invalid_argument);
+}
+
+TEST(CatController, InvalidMaskRejected) {
+  sim::MulticoreSystem sys(cfg());
+  SimCatController cat(sys);
+  EXPECT_THROW(cat.apply({0b101u, full_mask(20), full_mask(20), full_mask(20)}),
+               std::invalid_argument);
+}
+
+TEST(CatController, ResetRestoresFullMasks) {
+  sim::MulticoreSystem sys(cfg());
+  SimCatController cat(sys);
+  cat.apply({contiguous_mask(0, 2), contiguous_mask(0, 2), full_mask(20), full_mask(20)});
+  cat.reset();
+  for (const WayMask m : cat.current()) EXPECT_EQ(m, full_mask(20));
+}
+
+TEST(PmuReader, SnapshotAndDelta) {
+  sim::MulticoreSystem sys(cfg());
+  for (CoreId c = 0; c < 4; ++c)
+    sys.set_op_source(c, workloads::make_op_source("gobmk", sys.config(), c, c));
+  SimPmuReader pmu(sys);
+  const auto before = pmu.read_all();
+  sys.run(20'000);
+  const auto after = pmu.read_all();
+  const auto delta = pmu_delta(after, before);
+  ASSERT_EQ(delta.size(), 4u);
+  for (const auto& d : delta) {
+    EXPECT_GT(d.instructions, 0u);
+    EXPECT_GE(d.cycles, 20'000u);
+  }
+}
+
+TEST(PmuReader, DeltaSizeMismatchThrows) {
+  std::vector<sim::PmuCounters> a(2);
+  std::vector<sim::PmuCounters> b(3);
+  EXPECT_THROW(pmu_delta(a, b), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cmm::hw

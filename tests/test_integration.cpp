@@ -1,0 +1,209 @@
+// End-to-end behavioural tests: the paper's qualitative claims must
+// hold on the simulated machine. These are the slowest tests in the
+// suite (seconds each); they pin the phenomena every figure depends on.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "analysis/run_harness.hpp"
+#include "analysis/speedup_metrics.hpp"
+#include "core/metrics.hpp"
+#include "core/detector.hpp"
+#include "hw/pmu_reader.hpp"
+#include "sim/multicore_system.hpp"
+
+namespace cmm {
+namespace {
+
+analysis::RunParams params() {
+  analysis::RunParams p;  // scaled(16) machine
+  p.run_cycles = 5'000'000;
+  p.warmup_cycles = 2'500'000;
+  p.epochs.execution_epoch = 1'200'000;
+  p.epochs.sampling_interval = 40'000;
+  return p;
+}
+
+// ---- Fig. 2 phenomena -------------------------------------------------
+
+TEST(Integration, PrefetchingLiftsStreamsSubstantially) {
+  const auto p = params();
+  for (const std::string name : {"libquantum", "leslie3d", "GemsFDTD"}) {
+    const double off = analysis::run_solo(name, p, false).cores.front().ipc;
+    const double on = analysis::run_solo(name, p, true).cores.front().ipc;
+    EXPECT_GT(on / off, 1.5) << name << " must gain 50%+ from prefetching";
+  }
+}
+
+TEST(Integration, RandAccessGainsLittleFromPrefetching) {
+  const auto p = params();
+  const double off = analysis::run_solo("rand_access", p, false).cores.front().ipc;
+  const double on = analysis::run_solo("rand_access", p, true).cores.front().ipc;
+  EXPECT_LT(on / off, 1.3) << "Rand Access is prefetch unfriendly";
+}
+
+// ---- Fig. 1 phenomena -------------------------------------------------
+
+TEST(Integration, PrefetchingInflatesAggressorBandwidth) {
+  const auto p = params();
+  const auto off = analysis::run_solo("rand_access", p, false);
+  const auto on = analysis::run_solo("rand_access", p, true);
+  EXPECT_GT(on.cores.front().total_gbs(), off.cores.front().total_gbs() * 1.5)
+      << "useless prefetches must inflate bandwidth";
+}
+
+// ---- Fig. 3 phenomena -------------------------------------------------
+
+TEST(Integration, StreamsFlatAcrossWaysSensitiveAppsAreNot) {
+  const auto p = params();
+  const double stream_2w = analysis::run_solo("libquantum", p, true, 2).cores.front().ipc;
+  const double stream_20w = analysis::run_solo("libquantum", p, true, 0).cores.front().ipc;
+  EXPECT_GT(stream_2w, 0.9 * stream_20w) << "streams need <= 2 ways for 90% of peak";
+
+  const double sens_2w = analysis::run_solo("soplex", p, true, 2).cores.front().ipc;
+  const double sens_20w = analysis::run_solo("soplex", p, true, 0).cores.front().ipc;
+  EXPECT_LT(sens_2w, 0.8 * sens_20w) << "LLC-sensitive apps need many ways";
+}
+
+// ---- Detection end-to-end ----------------------------------------------
+
+TEST(Integration, FrontEndFindsTheAggressorsInAMix) {
+  const auto p = params();
+  const auto mixes =
+      workloads::make_mixes(workloads::MixCategory::PrefAgg, 1, p.machine.num_cores, 7);
+  const auto& mix = mixes.front();
+  sim::MulticoreSystem sys(p.machine);
+  workloads::attach_mix(sys, mix, p.seed);
+  sys.run(2'000'000);
+  const auto before = sys.pmu().snapshot();
+  sys.run(100'000);
+  const auto metrics =
+      core::compute_all_metrics(hw::pmu_delta(sys.pmu().snapshot(), before), p.machine.freq_ghz);
+  const auto agg = core::detect_aggressive(metrics, p.detector());
+
+  const auto friendly = workloads::prefetch_friendly_names();
+  const auto unfriendly = workloads::prefetch_unfriendly_names();
+  auto is_aggressive_benchmark = [&](const std::string& b) {
+    return std::find(friendly.begin(), friendly.end(), b) != friendly.end() ||
+           std::find(unfriendly.begin(), unfriendly.end(), b) != unfriendly.end();
+  };
+
+  // Every detected core runs an aggressive benchmark; most aggressive
+  // benchmarks are detected.
+  unsigned truly_aggressive = 0;
+  for (CoreId c = 0; c < p.machine.num_cores; ++c) {
+    if (is_aggressive_benchmark(mix.benchmarks[c])) ++truly_aggressive;
+  }
+  for (const CoreId c : agg) {
+    EXPECT_TRUE(is_aggressive_benchmark(mix.benchmarks[c]))
+        << mix.benchmarks[c] << " misdetected as aggressive";
+  }
+  EXPECT_GE(agg.size() + 1, truly_aggressive) << "missed most aggressors";
+}
+
+// ---- Mechanism-level claims (Figs 7-13) --------------------------------
+
+struct MixOutcome {
+  double hs_ratio;
+  double worst_case;
+  double bw_ratio;
+};
+
+MixOutcome evaluate(const std::string& policy, const workloads::WorkloadMix& mix,
+                    const analysis::RunParams& p,
+                    const std::map<std::string, double>& alone) {
+  auto base_pol = analysis::make_policy("baseline", p.detector());
+  const auto base = analysis::run_mix(mix, *base_pol, p);
+  auto pol = analysis::make_policy(policy, p.detector());
+  const auto run = analysis::run_mix(mix, *pol, p);
+
+  std::vector<double> alone_v;
+  for (const auto& b : mix.benchmarks) alone_v.push_back(alone.at(b));
+  const double hs_base = analysis::harmonic_speedup(base.ipcs(), alone_v);
+  const double hs = analysis::harmonic_speedup(run.ipcs(), alone_v);
+  return {hs / hs_base, analysis::worst_case_speedup(run.ipcs(), base.ipcs()),
+          run.total_gbs() / base.total_gbs()};
+}
+
+class MechanismClaims : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    p_ = new analysis::RunParams(params());
+    mix_ = new workloads::WorkloadMix(
+        workloads::make_mixes(workloads::MixCategory::PrefUnfri, 1, p_->machine.num_cores, 7)
+            .front());
+    alone_ = new std::map<std::string, double>(
+        analysis::compute_alone_ipcs(mix_->benchmarks, *p_));
+  }
+  static void TearDownTestSuite() {
+    delete p_;
+    delete mix_;
+    delete alone_;
+  }
+
+  static analysis::RunParams* p_;
+  static workloads::WorkloadMix* mix_;
+  static std::map<std::string, double>* alone_;
+};
+
+analysis::RunParams* MechanismClaims::p_ = nullptr;
+workloads::WorkloadMix* MechanismClaims::mix_ = nullptr;
+std::map<std::string, double>* MechanismClaims::alone_ = nullptr;
+
+TEST_F(MechanismClaims, PtImprovesUnfriendlyWorkloads) {
+  const auto r = evaluate("pt", *mix_, *p_, *alone_);
+  EXPECT_GT(r.hs_ratio, 1.05);
+  EXPECT_LT(r.bw_ratio, 0.95) << "PT must reduce memory traffic";
+}
+
+TEST_F(MechanismClaims, PrefCpBeatsDunnOnUnfriendly) {
+  const auto cp = evaluate("pref_cp", *mix_, *p_, *alone_);
+  const auto dunn = evaluate("dunn", *mix_, *p_, *alone_);
+  EXPECT_GT(cp.hs_ratio, dunn.hs_ratio + 0.02)
+      << "prefetch-aware partitioning must beat stall-only clustering";
+}
+
+TEST_F(MechanismClaims, CmmBeatsPureCp) {
+  const auto cmm = evaluate("cmm_a", *mix_, *p_, *alone_);
+  const auto cp = evaluate("pref_cp", *mix_, *p_, *alone_);
+  EXPECT_GT(cmm.hs_ratio, cp.hs_ratio) << "coordination must add on top of CP";
+}
+
+TEST_F(MechanismClaims, CmmKeepsWorstCaseHigh) {
+  for (const std::string v : {"cmm_a", "cmm_b", "cmm_c"}) {
+    const auto r = evaluate(v, *mix_, *p_, *alone_);
+    EXPECT_GT(r.worst_case, 0.8) << v << " must not sacrifice any application";
+  }
+}
+
+TEST(Integration, PtHurtsSomeoneOnFriendlyWorkloads) {
+  // The paper's Fig. 8 story: PT's gains come from disabling friendly
+  // prefetchers, so some application pays.
+  const auto p = params();
+  const auto mix =
+      workloads::make_mixes(workloads::MixCategory::PrefFri, 1, p.machine.num_cores, 7).front();
+  auto base_pol = analysis::make_policy("baseline", p.detector());
+  const auto base = analysis::run_mix(mix, *base_pol, p);
+  auto pt_pol = analysis::make_policy("pt", p.detector());
+  const auto pt = analysis::run_mix(mix, *pt_pol, p);
+  EXPECT_LT(analysis::worst_case_speedup(pt.ipcs(), base.ipcs()), 0.9);
+}
+
+TEST(Integration, QuietWorkloadsUnaffectedByAnyMechanism) {
+  const auto p = params();
+  const auto mix =
+      workloads::make_mixes(workloads::MixCategory::PrefNoAgg, 1, p.machine.num_cores, 7)
+          .front();
+  auto base_pol = analysis::make_policy("baseline", p.detector());
+  const auto base = analysis::run_mix(mix, *base_pol, p);
+  for (const std::string policy : {"pt", "cmm_a"}) {
+    auto pol = analysis::make_policy(policy, p.detector());
+    const auto run = analysis::run_mix(mix, *pol, p);
+    const double ws = analysis::weighted_speedup(run.ipcs(), base.ipcs());
+    EXPECT_NEAR(ws, 1.0, 0.05) << policy << " must be ~neutral on Pref No Agg";
+  }
+}
+
+}  // namespace
+}  // namespace cmm

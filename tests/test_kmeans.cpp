@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include "core/kmeans.hpp"
+
+namespace cmm::core {
+namespace {
+
+TEST(KMeans, SeparatesObviousClusters) {
+  const std::vector<double> values{1, 2, 1.5, 100, 101, 99, 1000, 1002};
+  const KMeansResult r = kmeans_1d(values, 3);
+  ASSERT_EQ(r.k, 3u);
+  // Centroids relabelled ascending.
+  EXPECT_LT(r.centroids[0], r.centroids[1]);
+  EXPECT_LT(r.centroids[1], r.centroids[2]);
+  // Same-magnitude values share a cluster.
+  EXPECT_EQ(r.assignment[0], r.assignment[1]);
+  EXPECT_EQ(r.assignment[0], r.assignment[2]);
+  EXPECT_EQ(r.assignment[3], r.assignment[4]);
+  EXPECT_EQ(r.assignment[3], r.assignment[5]);
+  EXPECT_EQ(r.assignment[6], r.assignment[7]);
+  EXPECT_NE(r.assignment[0], r.assignment[3]);
+  EXPECT_NE(r.assignment[3], r.assignment[6]);
+}
+
+TEST(KMeans, KClampedToInputSize) {
+  const std::vector<double> values{5.0, 6.0};
+  const KMeansResult r = kmeans_1d(values, 8);
+  EXPECT_LE(r.k, 2u);
+}
+
+TEST(KMeans, SingleCluster) {
+  const std::vector<double> values{3, 4, 5};
+  const KMeansResult r = kmeans_1d(values, 1);
+  EXPECT_EQ(r.k, 1u);
+  EXPECT_NEAR(r.centroids[0], 4.0, 1e-9);
+  for (const unsigned a : r.assignment) EXPECT_EQ(a, 0u);
+}
+
+TEST(KMeans, EmptyInput) {
+  const KMeansResult r = kmeans_1d({}, 3);
+  EXPECT_EQ(r.k, 0u);
+  EXPECT_TRUE(r.assignment.empty());
+}
+
+TEST(KMeans, IdenticalValues) {
+  const std::vector<double> values(6, 42.0);
+  const KMeansResult r = kmeans_1d(values, 3);
+  // All in one effective cluster; assignment must still be valid.
+  for (const unsigned a : r.assignment) EXPECT_LT(a, r.k);
+}
+
+TEST(KMeans, Deterministic) {
+  const std::vector<double> values{9, 1, 7, 3, 8, 2};
+  const auto a = kmeans_1d(values, 2);
+  const auto b = kmeans_1d(values, 2);
+  EXPECT_EQ(a.assignment, b.assignment);
+  EXPECT_EQ(a.centroids, b.centroids);
+}
+
+TEST(DunnIndex, HigherForBetterSeparation) {
+  const std::vector<double> tight{1, 1.1, 100, 100.1};
+  const std::vector<double> loose{1, 40, 60, 100};
+  const double d_tight = dunn_index(tight, kmeans_1d(tight, 2));
+  const double d_loose = dunn_index(loose, kmeans_1d(loose, 2));
+  EXPECT_GT(d_tight, d_loose);
+}
+
+TEST(DunnIndex, DegenerateCases) {
+  const std::vector<double> values{1, 2, 3};
+  EXPECT_DOUBLE_EQ(dunn_index(values, kmeans_1d(values, 1)), 0.0);  // k < 2
+  KMeansResult mismatched;
+  mismatched.k = 2;
+  mismatched.assignment = {0};
+  EXPECT_DOUBLE_EQ(dunn_index(values, mismatched), 0.0);
+}
+
+TEST(BestKMeansByDunn, PicksTheNaturalK) {
+  // Three well-separated groups: k=3 should win over k=2 and k=4.
+  const std::vector<double> values{1, 2, 50, 51, 200, 201};
+  const KMeansResult r = best_kmeans_by_dunn(values, 2, 4);
+  EXPECT_EQ(r.k, 3u);
+}
+
+class KMeansInvariants : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(KMeansInvariants, AssignmentsNearestCentroid) {
+  const unsigned k = GetParam();
+  const std::vector<double> values{0.5, 1.2, 3.3, 9.7, 10.1, 20.0, 21.5, 22.0};
+  const KMeansResult r = kmeans_1d(values, k);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const double own = std::abs(values[i] - r.centroids[r.assignment[i]]);
+    for (unsigned c = 0; c < r.k; ++c) {
+      EXPECT_LE(own, std::abs(values[i] - r.centroids[c]) + 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(KSweep, KMeansInvariants, ::testing::Values(1u, 2u, 3u, 4u, 8u));
+
+}  // namespace
+}  // namespace cmm::core

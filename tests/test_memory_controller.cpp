@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include "sim/memory_controller.hpp"
+
+namespace cmm::sim {
+namespace {
+
+MachineConfig cfg() {
+  MachineConfig c;
+  c.bandwidth_window = 1000;
+  c.dram_peak_bytes_per_cycle = 32.0;
+  c.dram_base_latency = 180;
+  return c;
+}
+
+TEST(MemoryController, BaseLatencyWhenIdle) {
+  MemoryController mem(cfg(), 2);
+  EXPECT_EQ(mem.request(0, AccessType::DemandLoad, 0), 180u);
+  EXPECT_EQ(mem.current_queue_delay(), 0u);
+}
+
+TEST(MemoryController, TrafficAccounting) {
+  MemoryController mem(cfg(), 2);
+  mem.request(0, AccessType::DemandLoad, 0);
+  mem.request(0, AccessType::Prefetch, 1);
+  mem.request(1, AccessType::DemandStore, 2);
+  EXPECT_EQ(mem.core_traffic(0).demand_bytes, 64u);
+  EXPECT_EQ(mem.core_traffic(0).prefetch_bytes, 64u);
+  EXPECT_EQ(mem.core_traffic(1).demand_bytes, 64u);
+  EXPECT_EQ(mem.total_traffic().total_bytes(), 192u);
+  EXPECT_EQ(mem.total_traffic().demand_requests, 2u);
+  EXPECT_EQ(mem.total_traffic().prefetch_requests, 1u);
+}
+
+TEST(MemoryController, QueueDelayGrowsWithLoad) {
+  // Light load: no queueing in the following window.
+  MemoryController light(cfg(), 1);
+  for (Cycle t = 0; t < 1000; t += 100) light.request(0, AccessType::DemandLoad, t);
+  light.request(0, AccessType::DemandLoad, 1000);  // rolls the window
+  const Cycle light_delay = light.current_queue_delay();
+
+  // Heavy load: ~full utilisation.
+  MemoryController heavy(cfg(), 1);
+  for (Cycle t = 0; t < 1000; t += 2) heavy.request(0, AccessType::DemandLoad, t);
+  heavy.request(0, AccessType::DemandLoad, 1000);
+  const Cycle heavy_delay = heavy.current_queue_delay();
+
+  EXPECT_GT(heavy_delay, light_delay);
+  EXPECT_GT(heavy.last_window_utilization(), light.last_window_utilization());
+}
+
+TEST(MemoryController, QueueDelayCapped) {
+  MemoryController mem(cfg(), 1);
+  // Grossly over-offered load.
+  for (Cycle t = 0; t < 1000; ++t) {
+    mem.request(0, AccessType::DemandLoad, t);
+    mem.request(0, AccessType::Prefetch, t);
+  }
+  mem.request(0, AccessType::DemandLoad, 1001);
+  EXPECT_LE(mem.current_queue_delay(), 6u * 180u);
+}
+
+TEST(MemoryController, IdleWindowsDecayDelay) {
+  MemoryController mem(cfg(), 1);
+  for (Cycle t = 0; t < 1000; t += 2) mem.request(0, AccessType::DemandLoad, t);
+  mem.request(0, AccessType::DemandLoad, 1000);
+  ASSERT_GT(mem.current_queue_delay(), 0u);
+  // A long idle gap spreads ~zero traffic over many windows.
+  mem.request(0, AccessType::DemandLoad, 100'000);
+  EXPECT_EQ(mem.current_queue_delay(), 0u);
+}
+
+TEST(MemoryController, NonMonotonicTimeTolerated) {
+  // Cores are advanced in quanta, so request times may step backwards
+  // across cores; the controller must not crash or corrupt stats.
+  MemoryController mem(cfg(), 2);
+  mem.request(0, AccessType::DemandLoad, 5000);
+  mem.request(1, AccessType::DemandLoad, 4200);
+  mem.request(0, AccessType::DemandLoad, 5100);
+  EXPECT_EQ(mem.total_traffic().demand_requests, 3u);
+}
+
+TEST(MemoryController, ResetStats) {
+  MemoryController mem(cfg(), 2);
+  mem.request(0, AccessType::DemandLoad, 0);
+  mem.reset_stats();
+  EXPECT_EQ(mem.total_traffic().total_bytes(), 0u);
+  EXPECT_EQ(mem.core_traffic(0).demand_bytes, 0u);
+}
+
+}  // namespace
+}  // namespace cmm::sim

@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "core/metrics.hpp"
+
+namespace cmm::core {
+namespace {
+
+sim::PmuCounters sample_counters() {
+  sim::PmuCounters c;
+  c.cycles = 2'100'000;  // exactly 1 ms at 2.1 GHz
+  c.instructions = 1'000'000;
+  c.l2_pref_req = 8'000;
+  c.l2_pref_miss = 6'000;
+  c.l2_dm_req = 4'000;
+  c.l2_dm_miss = 2'000;
+  c.l3_load_miss = 1'000;
+  c.stalls_l2_pending = 300'000;
+  c.dram_demand_bytes = 1'000 * 64;
+  c.dram_prefetch_bytes = 5'000 * 64;
+  return c;
+}
+
+TEST(Metrics, TableIDefinitions) {
+  const CoreMetrics m = compute_metrics(sample_counters(), 2.1);
+  // M-1: L2->LLC traffic = pref miss + dm miss.
+  EXPECT_DOUBLE_EQ(m.l2_llc_traffic, 8'000.0);
+  // M-2: prefetch fraction of that traffic.
+  EXPECT_DOUBLE_EQ(m.l2_pref_miss_frac, 0.75);
+  // M-3: pref misses per second (1 ms interval).
+  EXPECT_DOUBLE_EQ(m.l2_ptr, 6'000.0 / 1e-3);
+  // M-4: PGA = pref req / dm req.
+  EXPECT_DOUBLE_EQ(m.pga, 2.0);
+  // M-5: PMR = pref miss / pref req.
+  EXPECT_DOUBLE_EQ(m.l2_pmr, 0.75);
+  // M-6: PPM = pref req / dm miss.
+  EXPECT_DOUBLE_EQ(m.l2_ppm, 4.0);
+  // M-7: (total DRAM bytes - l3 load miss * 64) per second.
+  EXPECT_DOUBLE_EQ(m.llc_pt, (6'000.0 - 1'000.0) * 64.0 / 1e-3);
+  EXPECT_NEAR(m.ipc, 1.0 / 2.1, 1e-9);
+  EXPECT_DOUBLE_EQ(m.stalls_l2_pending, 300'000.0);
+}
+
+TEST(Metrics, ZeroDenominatorsSafe) {
+  const CoreMetrics m = compute_metrics(sim::PmuCounters{}, 2.1);
+  EXPECT_DOUBLE_EQ(m.pga, 0.0);
+  EXPECT_DOUBLE_EQ(m.l2_pmr, 0.0);
+  EXPECT_DOUBLE_EQ(m.l2_ppm, 0.0);
+  EXPECT_DOUBLE_EQ(m.l2_ptr, 0.0);
+  EXPECT_DOUBLE_EQ(m.llc_pt, 0.0);
+}
+
+TEST(Metrics, PgaSaturatesWhenDemandAbsent) {
+  sim::PmuCounters c = sample_counters();
+  c.l2_dm_req = 0;
+  const CoreMetrics m = compute_metrics(c, 2.1);
+  EXPECT_DOUBLE_EQ(m.pga, 16.0);  // capped "all prefetch" value
+  c.l2_pref_req = 0;
+  c.l2_pref_miss = 0;
+  EXPECT_DOUBLE_EQ(compute_metrics(c, 2.1).pga, 0.0);
+}
+
+TEST(Metrics, PgaCapAppliesToRatioToo) {
+  sim::PmuCounters c = sample_counters();
+  c.l2_pref_req = 1'000'000;
+  c.l2_dm_req = 1;
+  EXPECT_DOUBLE_EQ(compute_metrics(c, 2.1).pga, 16.0);
+}
+
+TEST(Metrics, LlcPtClampedAtZero) {
+  sim::PmuCounters c = sample_counters();
+  c.dram_prefetch_bytes = 0;
+  c.dram_demand_bytes = 100;     // < l3_load_miss * 64
+  EXPECT_DOUBLE_EQ(compute_metrics(c, 2.1).llc_pt, 0.0);
+}
+
+TEST(Metrics, ComputeAll) {
+  const std::vector<sim::PmuCounters> deltas(3, sample_counters());
+  const auto all = compute_all_metrics(deltas, 2.1);
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_DOUBLE_EQ(all[2].pga, 2.0);
+}
+
+TEST(Metrics, HmIpc) {
+  std::vector<sim::PmuCounters> deltas(2);
+  deltas[0].cycles = 1000;
+  deltas[0].instructions = 1000;  // ipc 1
+  deltas[1].cycles = 1000;
+  deltas[1].instructions = 3000;  // ipc 3
+  EXPECT_DOUBLE_EQ(hm_ipc(deltas), 1.5);  // harmonic mean of 1 and 3
+}
+
+TEST(Metrics, HmIpcZeroOnStalledCore) {
+  std::vector<sim::PmuCounters> deltas(2);
+  deltas[0].cycles = 1000;
+  deltas[0].instructions = 1000;
+  deltas[1].cycles = 1000;  // ipc 0
+  EXPECT_DOUBLE_EQ(hm_ipc(deltas), 0.0);
+  EXPECT_DOUBLE_EQ(hm_ipc({}), 0.0);
+}
+
+}  // namespace
+}  // namespace cmm::core

@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include "sim/multicore_system.hpp"
+#include "workloads/benchmark_specs.hpp"
+
+namespace cmm::sim {
+namespace {
+
+MachineConfig cfg(unsigned cores) {
+  MachineConfig c = MachineConfig::scaled(16);
+  c.num_cores = cores;
+  return c;
+}
+
+TEST(MulticoreSystem, RejectsInvalidConfig) {
+  MachineConfig bad = cfg(2);
+  bad.l1_latency = 100;  // violates l1 < l2
+  EXPECT_THROW(MulticoreSystem{bad}, std::invalid_argument);
+  MachineConfig zero = cfg(2);
+  zero.num_cores = 0;
+  EXPECT_THROW(MulticoreSystem{zero}, std::invalid_argument);
+}
+
+TEST(MulticoreSystem, CoresAdvanceInLockstepQuanta) {
+  MulticoreSystem sys(cfg(4));
+  for (CoreId c = 0; c < 4; ++c) {
+    sys.set_op_source(c, workloads::make_op_source("povray", sys.config(), c, c));
+  }
+  sys.run(50'000);
+  EXPECT_EQ(sys.now(), 50'000u);
+  for (CoreId c = 0; c < 4; ++c) {
+    EXPECT_GE(sys.core(c).now(), 50'000u);
+    EXPECT_LT(sys.core(c).now(), 50'000u + 10'000u);  // bounded overshoot
+  }
+}
+
+TEST(MulticoreSystem, RunAccumulates) {
+  MulticoreSystem sys(cfg(2));
+  for (CoreId c = 0; c < 2; ++c)
+    sys.set_op_source(c, workloads::make_op_source("gobmk", sys.config(), c, c));
+  sys.run(10'000);
+  sys.run(20'000);
+  EXPECT_EQ(sys.now(), 30'000u);
+}
+
+TEST(MulticoreSystem, SharedLlcContention) {
+  // Two instances of an LLC-sized workload oversubscribe the shared
+  // LLC: each runs slower together than alone.
+  const std::string bench = "omnetpp";
+  auto measure_warm = [&](unsigned cores) {
+    MulticoreSystem sys(cfg(cores));
+    for (CoreId c = 0; c < cores; ++c)
+      sys.set_op_source(c, workloads::make_op_source(bench, sys.config(), c, c + 1));
+    sys.run(3'000'000);  // warm the LLC
+    const auto before = sys.pmu().snapshot();
+    sys.run(2'000'000);
+    return sys.pmu().core(0).delta_since(before[0]).ipc();
+  };
+  const double ipc_alone = measure_warm(1);
+  const double ipc_together = measure_warm(2);
+  EXPECT_LT(ipc_together, ipc_alone * 0.9);
+}
+
+TEST(MulticoreSystem, BandwidthContentionSlowsStreams) {
+  // Eight concurrent streams saturate DRAM; each is slower than solo.
+  double ipc_alone = 0.0;
+  {
+    MulticoreSystem sys(cfg(1));
+    sys.set_op_source(0, workloads::make_op_source("libquantum", sys.config(), 0, 1));
+    sys.run(1'500'000);
+    ipc_alone = sys.pmu().core(0).ipc();
+  }
+  MulticoreSystem sys(cfg(8));
+  for (CoreId c = 0; c < 8; ++c)
+    sys.set_op_source(c, workloads::make_op_source("libquantum", sys.config(), c, c + 1));
+  sys.run(1'500'000);
+  EXPECT_LT(sys.pmu().core(0).ipc(), ipc_alone * 0.9);
+  EXPECT_GT(sys.memory().last_window_utilization(), 0.5);
+}
+
+TEST(MulticoreSystem, CatIsolatesLlcOccupancy) {
+  MulticoreSystem sys(cfg(2));
+  sys.set_op_source(0, workloads::make_op_source("libquantum", sys.config(), 0, 1));
+  sys.set_op_source(1, workloads::make_op_source("soplex", sys.config(), 1, 2));
+  sys.cat().set_cbm(1, contiguous_mask(0, 2));
+  sys.cat().assign_core(0, 1);  // stream confined to 2 ways
+  sys.run(4'000'000);
+  const auto occ = sys.llc().occupancy_by_owner(2);
+  const std::uint64_t two_ways = 2ULL * sys.llc().num_sets();
+  EXPECT_LE(occ[0], two_ways + two_ways / 4) << "stream escaped its partition";
+}
+
+TEST(MulticoreSystem, QuantumBoundsSkew) {
+  MachineConfig c = cfg(2);
+  c.quantum = 500;
+  MulticoreSystem sys(c);
+  for (CoreId i = 0; i < 2; ++i)
+    sys.set_op_source(i, workloads::make_op_source("calculix", sys.config(), i, i));
+  sys.run(5'000);
+  const auto a = sys.core(0).now();
+  const auto b = sys.core(1).now();
+  EXPECT_LT(a > b ? a - b : b - a, 1'000u);
+}
+
+}  // namespace
+}  // namespace cmm::sim

@@ -1,0 +1,66 @@
+#include <gtest/gtest.h>
+
+#include "sim/pmu.hpp"
+
+namespace cmm::sim {
+namespace {
+
+TEST(Pmu, DeltaSince) {
+  PmuCounters a;
+  a.cycles = 1000;
+  a.instructions = 500;
+  a.l2_pref_req = 10;
+  PmuCounters b = a;
+  b.cycles = 2500;
+  b.instructions = 1700;
+  b.l2_pref_req = 25;
+  b.l3_load_miss = 7;
+
+  const PmuCounters d = b.delta_since(a);
+  EXPECT_EQ(d.cycles, 1500u);
+  EXPECT_EQ(d.instructions, 1200u);
+  EXPECT_EQ(d.l2_pref_req, 15u);
+  EXPECT_EQ(d.l3_load_miss, 7u);
+}
+
+TEST(Pmu, DeltaSaturatesInsteadOfWrapping) {
+  PmuCounters a;
+  a.cycles = 100;
+  PmuCounters b;
+  b.cycles = 50;
+  EXPECT_EQ(b.delta_since(a).cycles, 0u);
+}
+
+TEST(Pmu, IpcComputation) {
+  PmuCounters c;
+  EXPECT_DOUBLE_EQ(c.ipc(), 0.0);  // no cycles: defined as 0
+  c.cycles = 1000;
+  c.instructions = 1500;
+  EXPECT_DOUBLE_EQ(c.ipc(), 1.5);
+}
+
+TEST(Pmu, PerCoreIsolationAndSnapshot) {
+  Pmu pmu(4);
+  pmu.core(2).instructions = 42;
+  EXPECT_EQ(pmu.core(1).instructions, 0u);
+  const auto snap = pmu.snapshot();
+  ASSERT_EQ(snap.size(), 4u);
+  EXPECT_EQ(snap[2].instructions, 42u);
+  pmu.core(2).instructions = 100;
+  EXPECT_EQ(snap[2].instructions, 42u);  // snapshot is a copy
+}
+
+TEST(Pmu, Reset) {
+  Pmu pmu(2);
+  pmu.core(0).l2_dm_miss = 9;
+  pmu.reset();
+  EXPECT_EQ(pmu.core(0).l2_dm_miss, 0u);
+}
+
+TEST(Pmu, OutOfRangeThrows) {
+  Pmu pmu(2);
+  EXPECT_THROW(pmu.core(2), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace cmm::sim

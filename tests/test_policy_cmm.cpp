@@ -1,0 +1,194 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/policy_cmm.hpp"
+#include "policy_test_util.hpp"
+
+namespace cmm::core {
+namespace {
+
+using test::aggressive_counters;
+using test::quiet_counters;
+using test::run_profiling;
+
+constexpr unsigned kCores = 8;
+constexpr unsigned kWays = 20;
+
+CmmPolicy make_cmm(CmmVariant variant, unsigned max_exhaustive = 3) {
+  CmmPolicy::Options o;
+  o.detector = test::test_detector();
+  o.variant = variant;
+  o.max_exhaustive = max_exhaustive;
+  return CmmPolicy(o);
+}
+
+/// Cores 0,1: aggressive + friendly (2x). Cores 2,3: aggressive +
+/// unfriendly (1.05x), and the quiet cores suffer while unfriendly
+/// prefetchers are on.
+double scripted_ipc(CoreId c, const ResourceConfig& cfg) {
+  if (c < 2) return cfg.prefetch_on[c] ? 2.0 : 1.0;
+  if (c < 4) return cfg.prefetch_on[c] ? 1.05 : 1.0;
+  const bool noisy = cfg.prefetch_on[2] || cfg.prefetch_on[3];
+  return noisy ? 0.5 : 1.0;
+}
+
+sim::PmuCounters scripted_counters(CoreId c, const ResourceConfig& cfg) {
+  if (c < 4 && cfg.prefetch_on[c]) return aggressive_counters(1.0);
+  return quiet_counters(1.0);
+}
+
+struct Outcome {
+  CmmPolicy policy;
+  test::ProfilingOutcome profile;
+};
+
+test::ProfilingOutcome drive(CmmPolicy& cmm) {
+  cmm.initial_config(kCores, kWays);
+  cmm.begin_profiling(std::vector<sim::PmuCounters>(kCores));
+  return run_profiling(cmm, kCores, scripted_ipc, scripted_counters);
+}
+
+TEST(CmmPolicy, Names) {
+  EXPECT_EQ(make_cmm(CmmVariant::A).name(), "cmm_a");
+  EXPECT_EQ(make_cmm(CmmVariant::B).name(), "cmm_b");
+  EXPECT_EQ(make_cmm(CmmVariant::C).name(), "cmm_c");
+}
+
+TEST(CmmPolicy, ClassifiesFriendlyAndUnfriendly) {
+  CmmPolicy cmm = make_cmm(CmmVariant::A);
+  drive(cmm);
+  EXPECT_EQ(cmm.agg_set(), (std::vector<CoreId>{0, 1, 2, 3}));
+  EXPECT_EQ(cmm.friendly_cores(), (std::vector<CoreId>{0, 1}));
+  EXPECT_EQ(cmm.unfriendly_cores(), (std::vector<CoreId>{2, 3}));
+}
+
+TEST(CmmPolicy, VariantAPartitionsWholeAggSet) {
+  CmmPolicy cmm = make_cmm(CmmVariant::A);
+  const auto outcome = drive(cmm);
+  const WayMask small = contiguous_mask(0, 6);  // 1.5 x 4
+  for (CoreId c = 0; c < 4; ++c) EXPECT_EQ(outcome.final.way_masks[c], small);
+  for (CoreId c = 4; c < kCores; ++c) EXPECT_EQ(outcome.final.way_masks[c], full_mask(kWays));
+}
+
+TEST(CmmPolicy, VariantBPartitionsOnlyFriendly) {
+  CmmPolicy cmm = make_cmm(CmmVariant::B);
+  const auto outcome = drive(cmm);
+  const WayMask small = contiguous_mask(0, 3);  // 1.5 x 2
+  EXPECT_EQ(outcome.final.way_masks[0], small);
+  EXPECT_EQ(outcome.final.way_masks[1], small);
+  // Unfriendly cores keep the whole cache in variant (b).
+  EXPECT_EQ(outcome.final.way_masks[2], full_mask(kWays));
+  EXPECT_EQ(outcome.final.way_masks[3], full_mask(kWays));
+}
+
+TEST(CmmPolicy, VariantCSeparatesFriendlyFromUnfriendly) {
+  CmmPolicy cmm = make_cmm(CmmVariant::C);
+  const auto outcome = drive(cmm);
+  const WayMask friendly = outcome.final.way_masks[0];
+  const WayMask unfriendly = outcome.final.way_masks[2];
+  EXPECT_EQ(popcount(friendly), 3u);
+  EXPECT_EQ(popcount(unfriendly), 3u);
+  EXPECT_EQ(friendly & unfriendly, 0u);
+}
+
+TEST(CmmPolicy, FriendlyPrefetchersAlwaysOn) {
+  // The coordinated mechanism never throttles prefetch-friendly cores —
+  // that is the whole point of giving them a partition instead.
+  for (const CmmVariant v : {CmmVariant::A, CmmVariant::B, CmmVariant::C}) {
+    CmmPolicy cmm = make_cmm(v);
+    const auto outcome = drive(cmm);
+    EXPECT_TRUE(outcome.final.prefetch_on[0]);
+    EXPECT_TRUE(outcome.final.prefetch_on[1]);
+  }
+}
+
+TEST(CmmPolicy, UnfriendlyCoresThrottledWhenItHelps) {
+  // The scripted machine rewards turning the unfriendly prefetchers
+  // off (quiet cores double); the throttle search must find that.
+  CmmPolicy cmm = make_cmm(CmmVariant::A);
+  const auto outcome = drive(cmm);
+  EXPECT_FALSE(outcome.final.prefetch_on[2]);
+  EXPECT_FALSE(outcome.final.prefetch_on[3]);
+}
+
+TEST(CmmPolicy, ThrottleSamplesCarryPartitionMasks) {
+  // Coordination: the throttle search runs with the partition applied.
+  CmmPolicy cmm = make_cmm(CmmVariant::A);
+  const auto outcome = drive(cmm);
+  ASSERT_GE(outcome.samples.size(), 3u);
+  for (std::size_t s = 2; s < outcome.samples.size(); ++s) {
+    EXPECT_EQ(outcome.samples[s].config.way_masks, cmm.partition_masks());
+  }
+}
+
+TEST(CmmPolicy, SampleBudget) {
+  // probe on + probe off + <= 2^2 throttle combos for 2 unfriendly.
+  CmmPolicy cmm = make_cmm(CmmVariant::A);
+  const auto outcome = drive(cmm);
+  EXPECT_LE(outcome.samples.size(), 2u + 4u);
+}
+
+TEST(CmmPolicy, EmptyAggFallsBackToDunn) {
+  CmmPolicy cmm = make_cmm(CmmVariant::A);
+  cmm.initial_config(kCores, kWays);
+  // Epoch stats with two stall groups feed the Dunn fallback.
+  std::vector<sim::PmuCounters> epoch(kCores);
+  for (CoreId c = 0; c < kCores; ++c) {
+    epoch[c].cycles = 1'000'000;
+    epoch[c].instructions = 100'000;
+    epoch[c].stalls_l2_pending = (c < 4) ? 1'000 : 800'000;
+  }
+  cmm.begin_profiling(epoch);
+  const auto outcome = run_profiling(
+      cmm, kCores, [](CoreId, const ResourceConfig&) { return 1.0; },
+      [](CoreId, const ResourceConfig&) { return quiet_counters(1.0); });
+  EXPECT_EQ(outcome.samples.size(), 1u);  // detection probe only
+  // Dunn-style nested masks: low-stall cores restricted.
+  EXPECT_LT(popcount(outcome.final.way_masks[0]), kWays);
+  EXPECT_EQ(popcount(outcome.final.way_masks[4]), kWays);
+  for (const bool on : outcome.final.prefetch_on) EXPECT_TRUE(on);
+}
+
+TEST(CmmPolicy, NoUnfriendlyMeansCpOnly) {
+  // All-friendly Agg set: partition applied, nothing throttled, no
+  // throttle-search samples.
+  CmmPolicy cmm = make_cmm(CmmVariant::A);
+  cmm.initial_config(kCores, kWays);
+  cmm.begin_profiling(std::vector<sim::PmuCounters>(kCores));
+  const auto outcome = run_profiling(
+      cmm, kCores,
+      [](CoreId c, const ResourceConfig& cfg) {
+        return (c < 2) ? (cfg.prefetch_on[c] ? 2.0 : 1.0) : 1.0;
+      },
+      [](CoreId c, const ResourceConfig& cfg) {
+        return (c < 2 && cfg.prefetch_on[c]) ? aggressive_counters(2.0) : quiet_counters(1.0);
+      });
+  EXPECT_EQ(outcome.samples.size(), 2u);
+  EXPECT_TRUE(cmm.unfriendly_cores().empty());
+  for (const bool on : outcome.final.prefetch_on) EXPECT_TRUE(on);
+  EXPECT_EQ(popcount(outcome.final.way_masks[0]), 3u);  // friendly partition
+}
+
+TEST(CmmPolicy, GroupLevelThrottlingForManyUnfriendly) {
+  CmmPolicy cmm = make_cmm(CmmVariant::A, /*max_exhaustive=*/3);
+  cmm.initial_config(kCores, kWays);
+  cmm.begin_profiling(std::vector<sim::PmuCounters>(kCores));
+  // Six unfriendly aggressive cores (1.05x from prefetching each).
+  const auto outcome = run_profiling(
+      cmm, kCores,
+      [](CoreId c, const ResourceConfig& cfg) {
+        if (c < 6) return cfg.prefetch_on[c] ? 1.05 : 1.0;
+        const bool noisy = cfg.prefetch_on[0];
+        return noisy ? 0.5 : 1.0;
+      },
+      [](CoreId c, const ResourceConfig& cfg) {
+        return (c < 6 && cfg.prefetch_on[c]) ? aggressive_counters(1.0) : quiet_counters(1.0);
+      });
+  EXPECT_EQ(cmm.unfriendly_cores().size(), 6u);
+  // 2 probes + at most 2^3 group combos.
+  EXPECT_LE(outcome.samples.size(), 2u + 8u);
+}
+
+}  // namespace
+}  // namespace cmm::core

@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include "core/policy_cp.hpp"
+#include "policy_test_util.hpp"
+
+namespace cmm::core {
+namespace {
+
+using test::aggressive_counters;
+using test::quiet_counters;
+using test::run_profiling;
+
+constexpr unsigned kCores = 8;
+constexpr unsigned kWays = 20;
+
+CpPolicy make_cp(CpVariant variant) {
+  CpPolicy::Options o;
+  o.detector = test::test_detector();
+  o.variant = variant;
+  return CpPolicy(o);
+}
+
+/// Cores 0,1 aggressive+friendly (2x from prefetching); cores 2,3
+/// aggressive+unfriendly (1.05x); rest quiet.
+double scripted_ipc(CoreId c, const ResourceConfig& cfg) {
+  if (c < 2) return cfg.prefetch_on[c] ? 2.0 : 1.0;
+  if (c < 4) return cfg.prefetch_on[c] ? 1.05 : 1.0;
+  return 1.0;
+}
+
+sim::PmuCounters scripted_counters(CoreId c, const ResourceConfig& cfg) {
+  if (c < 4 && cfg.prefetch_on[c]) return aggressive_counters(1.0);
+  return quiet_counters(1.0);
+}
+
+TEST(CpPolicy, Names) {
+  EXPECT_EQ(make_cp(CpVariant::PrefCp).name(), "pref_cp");
+  EXPECT_EQ(make_cp(CpVariant::PrefCp2).name(), "pref_cp2");
+}
+
+TEST(CpPolicy, UsesExactlyTwoProbes) {
+  // Paper: "CP just needs the first two sampling intervals".
+  CpPolicy cp = make_cp(CpVariant::PrefCp);
+  cp.initial_config(kCores, kWays);
+  cp.begin_profiling(std::vector<sim::PmuCounters>(kCores));
+  const auto outcome = run_profiling(cp, kCores, scripted_ipc, scripted_counters);
+  EXPECT_EQ(outcome.samples.size(), 2u);
+}
+
+TEST(CpPolicy, PrefCpPutsWholeAggSetInSmallPartition) {
+  CpPolicy cp = make_cp(CpVariant::PrefCp);
+  cp.initial_config(kCores, kWays);
+  cp.begin_profiling(std::vector<sim::PmuCounters>(kCores));
+  const auto outcome = run_profiling(cp, kCores, scripted_ipc, scripted_counters);
+  EXPECT_EQ(cp.agg_set(), (std::vector<CoreId>{0, 1, 2, 3}));
+  // 1.5 x 4 = 6 ways at the low end for all Agg cores.
+  const WayMask small = contiguous_mask(0, 6);
+  for (CoreId c = 0; c < 4; ++c) EXPECT_EQ(outcome.final.way_masks[c], small);
+  for (CoreId c = 4; c < kCores; ++c) EXPECT_EQ(outcome.final.way_masks[c], full_mask(kWays));
+}
+
+TEST(CpPolicy, PrefetchersStayOnUnderCp) {
+  CpPolicy cp = make_cp(CpVariant::PrefCp);
+  cp.initial_config(kCores, kWays);
+  cp.begin_profiling(std::vector<sim::PmuCounters>(kCores));
+  const auto outcome = run_profiling(cp, kCores, scripted_ipc, scripted_counters);
+  for (const bool on : outcome.final.prefetch_on) EXPECT_TRUE(on);
+}
+
+TEST(CpPolicy, PrefCp2SplitsFriendlyAndUnfriendly) {
+  CpPolicy cp = make_cp(CpVariant::PrefCp2);
+  cp.initial_config(kCores, kWays);
+  cp.begin_profiling(std::vector<sim::PmuCounters>(kCores));
+  const auto outcome = run_profiling(cp, kCores, scripted_ipc, scripted_counters);
+  // Friendly {0,1} -> 3 ways at the bottom; unfriendly {2,3} -> next 3.
+  const WayMask friendly_mask = contiguous_mask(0, 3);
+  const WayMask unfriendly_mask = contiguous_mask(3, 3);
+  EXPECT_EQ(outcome.final.way_masks[0], friendly_mask);
+  EXPECT_EQ(outcome.final.way_masks[1], friendly_mask);
+  EXPECT_EQ(outcome.final.way_masks[2], unfriendly_mask);
+  EXPECT_EQ(outcome.final.way_masks[3], unfriendly_mask);
+  // Disjoint partitions.
+  EXPECT_EQ(friendly_mask & unfriendly_mask, 0u);
+  for (CoreId c = 4; c < kCores; ++c) EXPECT_EQ(outcome.final.way_masks[c], full_mask(kWays));
+}
+
+TEST(CpPolicy, EmptyAggSetLeavesCacheUnpartitioned) {
+  CpPolicy cp = make_cp(CpVariant::PrefCp);
+  cp.initial_config(kCores, kWays);
+  cp.begin_profiling(std::vector<sim::PmuCounters>(kCores));
+  const auto outcome = run_profiling(
+      cp, kCores, [](CoreId, const ResourceConfig&) { return 1.0; },
+      [](CoreId, const ResourceConfig&) { return quiet_counters(1.0); });
+  EXPECT_EQ(outcome.samples.size(), 1u);  // second probe skipped
+  EXPECT_EQ(outcome.final, ResourceConfig::baseline(kCores, kWays));
+}
+
+TEST(CpPolicy, ProbesKeepCurrentMasks) {
+  // Second round probes must not reset the partition the first round
+  // established (otherwise aggressive cores flush the protected LLC
+  // state during every profiling epoch).
+  CpPolicy cp = make_cp(CpVariant::PrefCp);
+  cp.initial_config(kCores, kWays);
+  cp.begin_profiling(std::vector<sim::PmuCounters>(kCores));
+  const auto round1 = run_profiling(cp, kCores, scripted_ipc, scripted_counters);
+  ASSERT_NE(round1.final.way_masks[0], full_mask(kWays));
+
+  cp.begin_profiling(std::vector<sim::PmuCounters>(kCores));
+  const auto probe = cp.next_sample();
+  ASSERT_TRUE(probe.has_value());
+  EXPECT_EQ(probe->way_masks, round1.final.way_masks);
+  for (const bool on : probe->prefetch_on) EXPECT_TRUE(on);  // probe 1: all on
+}
+
+// The mask helpers are shared with CMM; pin their geometry rules.
+TEST(MaskHelpers, SmallPartitionSizing) {
+  const auto masks = masks_small_partition({0, 1, 2}, 8, 20);
+  EXPECT_EQ(masks[0], contiguous_mask(0, 5));  // round(1.5*3) = 5
+  EXPECT_EQ(masks[3], full_mask(20));
+}
+
+TEST(MaskHelpers, SmallPartitionClampedToCache) {
+  // 16 Agg cores would want 24 ways; clamp to ways-1.
+  std::vector<CoreId> agg(16);
+  for (CoreId c = 0; c < 16; ++c) agg[c] = c;
+  const auto masks = masks_small_partition(agg, 16, 20);
+  EXPECT_EQ(popcount(masks[0]), 19u);
+}
+
+TEST(MaskHelpers, TwoPartitionsShrinkToFit) {
+  // 8 + 8 cores want 12 + 12 ways in a 20-way cache: shrink until they
+  // fit with head room.
+  std::vector<CoreId> first{0, 1, 2, 3, 4, 5, 6, 7};
+  std::vector<CoreId> second{8, 9, 10, 11, 12, 13, 14, 15};
+  const auto masks = masks_two_partitions(first, second, 16, 20);
+  const unsigned w1 = popcount(masks[0]);
+  const unsigned w2 = popcount(masks[8]);
+  EXPECT_LT(w1 + w2, 20u);
+  EXPECT_GE(w1, 1u);
+  EXPECT_GE(w2, 1u);
+  EXPECT_EQ(masks[0] & masks[8], 0u);  // disjoint
+}
+
+TEST(MaskHelpers, EmptySubsetsHandled) {
+  const auto masks = masks_two_partitions({}, {2}, 4, 20);
+  EXPECT_EQ(masks[0], full_mask(20));
+  EXPECT_EQ(popcount(masks[2]), 2u);  // round(1.5*1) = 2
+}
+
+}  // namespace
+}  // namespace cmm::core
+namespace cmm::core {
+namespace {
+
+TEST(MaskHelpers, PartitionScaleOption) {
+  // The 1.5x rule is a policy option; other scales resize the partition.
+  EXPECT_EQ(popcount(masks_small_partition({0, 1, 2, 3}, 8, 20, 0.5)[0]), 2u);
+  EXPECT_EQ(popcount(masks_small_partition({0, 1, 2, 3}, 8, 20, 1.0)[0]), 4u);
+  EXPECT_EQ(popcount(masks_small_partition({0, 1, 2, 3}, 8, 20, 1.5)[0]), 6u);
+  EXPECT_EQ(popcount(masks_small_partition({0, 1, 2, 3}, 8, 20, 2.5)[0]), 10u);
+  // Always clamped below the full cache.
+  EXPECT_EQ(popcount(masks_small_partition({0, 1, 2, 3}, 8, 20, 10.0)[0]), 19u);
+}
+
+TEST(SampleObjectiveHelper, RanksDifferently) {
+  // Core A fast / core B starved vs both medium: the harmonic objective
+  // prefers the fair configuration, the sum objective the fast one.
+  std::vector<sim::PmuCounters> unfair(2);
+  unfair[0].cycles = unfair[1].cycles = 1000;
+  unfair[0].instructions = 3000;  // ipc 3.0
+  unfair[1].instructions = 100;   // ipc 0.1
+  std::vector<sim::PmuCounters> fair(2);
+  fair[0].cycles = fair[1].cycles = 1000;
+  fair[0].instructions = fair[1].instructions = 1200;  // ipc 1.2 each
+
+  EXPECT_GT(sample_objective_value(SampleObjective::HmIpc, fair),
+            sample_objective_value(SampleObjective::HmIpc, unfair));
+  EXPECT_GT(sample_objective_value(SampleObjective::SumIpc, unfair),
+            sample_objective_value(SampleObjective::SumIpc, fair));
+}
+
+}  // namespace
+}  // namespace cmm::core

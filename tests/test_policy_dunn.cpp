@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/policy_dunn.hpp"
+#include "policy_test_util.hpp"
+
+namespace cmm::core {
+namespace {
+
+constexpr unsigned kCores = 8;
+constexpr unsigned kWays = 20;
+
+TEST(DunnPolicy, NeedsNoSamples) {
+  DunnPolicy dunn;
+  dunn.initial_config(kCores, kWays);
+  dunn.begin_profiling(std::vector<sim::PmuCounters>(kCores));
+  EXPECT_FALSE(dunn.next_sample().has_value());
+}
+
+TEST(DunnPolicy, HigherStallsGetMoreWays) {
+  DunnPolicy dunn;
+  dunn.initial_config(kCores, kWays);
+  std::vector<sim::PmuCounters> epoch(kCores);
+  for (CoreId c = 0; c < kCores; ++c) {
+    epoch[c].cycles = 1'000'000;
+    epoch[c].instructions = 500'000;
+    epoch[c].stalls_l2_pending = (c < 4) ? 10'000 : 900'000;  // two clear groups
+  }
+  dunn.begin_profiling(epoch);
+  const ResourceConfig cfg = dunn.final_config();
+  const unsigned low = popcount(cfg.way_masks[0]);
+  const unsigned high = popcount(cfg.way_masks[4]);
+  EXPECT_LT(low, high);
+  EXPECT_EQ(high, kWays);  // hottest cluster gets the whole cache
+  // Nested: the low mask is a subset of the high mask.
+  EXPECT_EQ(cfg.way_masks[0] & cfg.way_masks[4], cfg.way_masks[0]);
+}
+
+TEST(DunnPolicy, PrefetchersNeverTouched) {
+  DunnPolicy dunn;
+  dunn.initial_config(kCores, kWays);
+  std::vector<sim::PmuCounters> epoch(kCores);
+  for (CoreId c = 0; c < kCores; ++c) epoch[c].stalls_l2_pending = 1000 * (c + 1);
+  dunn.begin_profiling(epoch);
+  for (const bool on : dunn.final_config().prefetch_on) EXPECT_TRUE(on);
+}
+
+TEST(DunnNestedMasks, MonotoneInStalls) {
+  // Three clusters with ascending stalls -> ascending way counts.
+  const std::vector<unsigned> assignment{0, 0, 1, 1, 2, 2};
+  const std::vector<double> stalls{1e3, 1.2e3, 5e4, 5.5e4, 9e5, 8.8e5};
+  const auto masks = dunn_nested_masks(assignment, stalls, 3, 6, 20);
+  const unsigned w0 = popcount(masks[0]);
+  const unsigned w1 = popcount(masks[2]);
+  const unsigned w2 = popcount(masks[4]);
+  EXPECT_LE(w0, w1);
+  EXPECT_LE(w1, w2);
+  EXPECT_EQ(w2, 20u);
+  EXPECT_GE(w0, 1u);
+  for (const WayMask m : masks) EXPECT_TRUE(is_valid_cat_mask(m, 20));
+}
+
+TEST(DunnNestedMasks, DegenerateInputsYieldFullMasks) {
+  EXPECT_EQ(dunn_nested_masks({0, 0}, {1, 1}, 1, 2, 20),
+            std::vector<WayMask>(2, full_mask(20)));
+  // Zero stalls everywhere: nothing to differentiate.
+  EXPECT_EQ(dunn_nested_masks({0, 1}, {0, 0}, 2, 2, 20),
+            std::vector<WayMask>(2, full_mask(20)));
+}
+
+TEST(DunnAllocate, PicksKByDunnIndex) {
+  // Two tight groups: any k > 2 would split a tight group and lower the
+  // Dunn index, so the nested allocation has exactly two distinct masks.
+  const std::vector<double> stalls{1e3, 1.1e3, 1.05e3, 9e5, 9.1e5, 9.05e5};
+  const auto masks = dunn_allocate(stalls, 6, 20, 2, 4);
+  std::set<WayMask> distinct(masks.begin(), masks.end());
+  EXPECT_EQ(distinct.size(), 2u);
+}
+
+}  // namespace
+}  // namespace cmm::core

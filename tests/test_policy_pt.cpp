@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include "core/policy_pt.hpp"
+#include "policy_test_util.hpp"
+
+namespace cmm::core {
+namespace {
+
+using test::aggressive_counters;
+using test::quiet_counters;
+using test::run_profiling;
+
+constexpr unsigned kCores = 8;
+constexpr unsigned kWays = 20;
+
+PtPolicy make_pt(unsigned max_exhaustive = 3, unsigned max_groups = 3) {
+  PtPolicy::Options o;
+  o.detector = test::test_detector();
+  o.max_exhaustive = max_exhaustive;
+  o.max_groups = max_groups;
+  return PtPolicy(o);
+}
+
+/// Machine script: cores 0,1 aggressive; aggressive cores run at
+/// `on`/`off` IPC depending on their own prefetch bit; quiet cores at
+/// 1.0 unless the aggressive prefetchers are on (interference), in
+/// which case `quiet_under_interference`.
+struct Script {
+  double on = 2.0;
+  double off = 1.0;
+  double quiet_free = 1.0;
+  double quiet_under_interference = 0.5;
+  unsigned n_agg = 2;
+
+  double ipc(CoreId c, const ResourceConfig& cfg) const {
+    if (c < n_agg) return cfg.prefetch_on[c] ? on : off;
+    bool any_agg_on = false;
+    for (unsigned a = 0; a < n_agg; ++a) any_agg_on |= cfg.prefetch_on[a];
+    return any_agg_on ? quiet_under_interference : quiet_free;
+  }
+
+  sim::PmuCounters counters(CoreId c, const ResourceConfig& cfg) const {
+    if (c < n_agg) return cfg.prefetch_on[c] ? aggressive_counters(on) : quiet_counters(off);
+    return quiet_counters(1.0);
+  }
+};
+
+TEST(PtPolicy, InitialConfigIsBaseline) {
+  PtPolicy pt = make_pt();
+  const ResourceConfig cfg = pt.initial_config(kCores, kWays);
+  EXPECT_EQ(cfg, ResourceConfig::baseline(kCores, kWays));
+}
+
+TEST(PtPolicy, FirstSampleAlwaysAllOn) {
+  // Paper: "The first sampling interval is always {on, on}" — earlier
+  // epochs may have left prefetchers off.
+  PtPolicy pt = make_pt();
+  pt.initial_config(kCores, kWays);
+  pt.begin_profiling(std::vector<sim::PmuCounters>(kCores));
+  const auto first = pt.next_sample();
+  ASSERT_TRUE(first.has_value());
+  for (const bool on : first->prefetch_on) EXPECT_TRUE(on);
+}
+
+TEST(PtPolicy, DetectsAggSetFromFirstSample) {
+  PtPolicy pt = make_pt();
+  pt.initial_config(kCores, kWays);
+  pt.begin_profiling(std::vector<sim::PmuCounters>(kCores));
+  Script script;
+  run_profiling(
+      pt, kCores, [&](CoreId c, const ResourceConfig& cfg) { return script.ipc(c, cfg); },
+      [&](CoreId c, const ResourceConfig& cfg) { return script.counters(c, cfg); });
+  EXPECT_EQ(pt.agg_set(), (std::vector<CoreId>{0, 1}));
+}
+
+TEST(PtPolicy, ExhaustiveSearchSamplesAllCombos) {
+  PtPolicy pt = make_pt();
+  pt.initial_config(kCores, kWays);
+  pt.begin_profiling(std::vector<sim::PmuCounters>(kCores));
+  Script script;
+  const auto outcome = run_profiling(
+      pt, kCores, [&](CoreId c, const ResourceConfig& cfg) { return script.ipc(c, cfg); },
+      [&](CoreId c, const ResourceConfig& cfg) { return script.counters(c, cfg); });
+  // |Agg| = 2 -> 2^2 = 4 combos, combo "all on" measured by interval 0.
+  EXPECT_EQ(outcome.samples.size(), 4u);
+  // Interval 1 is the all-off probe (friendliness detection).
+  EXPECT_FALSE(outcome.samples[1].config.prefetch_on[0]);
+  EXPECT_FALSE(outcome.samples[1].config.prefetch_on[1]);
+}
+
+TEST(PtPolicy, PicksBestHmIpcCombo) {
+  // Quiet cores collapse (0.5 vs 2.0) whenever any aggressive prefetcher
+  // is on: hm_ipc is maximised by the all-off combo.
+  PtPolicy pt = make_pt();
+  pt.initial_config(kCores, kWays);
+  pt.begin_profiling(std::vector<sim::PmuCounters>(kCores));
+  Script script;
+  script.quiet_free = 2.0;
+  const auto outcome = run_profiling(
+      pt, kCores, [&](CoreId c, const ResourceConfig& cfg) { return script.ipc(c, cfg); },
+      [&](CoreId c, const ResourceConfig& cfg) { return script.counters(c, cfg); });
+  EXPECT_FALSE(outcome.final.prefetch_on[0]);
+  EXPECT_FALSE(outcome.final.prefetch_on[1]);
+  // Non-Agg cores are never throttled.
+  for (CoreId c = 2; c < kCores; ++c) EXPECT_TRUE(outcome.final.prefetch_on[c]);
+}
+
+TEST(PtPolicy, KeepsPrefetchOnWhenInterferenceMild) {
+  // Interference negligible: all-on maximises hm_ipc.
+  PtPolicy pt = make_pt();
+  pt.initial_config(kCores, kWays);
+  pt.begin_profiling(std::vector<sim::PmuCounters>(kCores));
+  Script script;
+  script.quiet_under_interference = 0.98;
+  const auto outcome = run_profiling(
+      pt, kCores, [&](CoreId c, const ResourceConfig& cfg) { return script.ipc(c, cfg); },
+      [&](CoreId c, const ResourceConfig& cfg) { return script.counters(c, cfg); });
+  EXPECT_TRUE(outcome.final.prefetch_on[0]);
+  EXPECT_TRUE(outcome.final.prefetch_on[1]);
+}
+
+TEST(PtPolicy, EmptyAggSetEndsProfilingImmediately) {
+  PtPolicy pt = make_pt();
+  pt.initial_config(kCores, kWays);
+  pt.begin_profiling(std::vector<sim::PmuCounters>(kCores));
+  const auto outcome = run_profiling(
+      pt, kCores, [](CoreId, const ResourceConfig&) { return 1.0; },
+      [](CoreId, const ResourceConfig&) { return quiet_counters(1.0); });
+  EXPECT_EQ(outcome.samples.size(), 1u);  // just the all-on probe
+  EXPECT_EQ(outcome.final, ResourceConfig::baseline(kCores, kWays));
+}
+
+TEST(PtPolicy, GroupLevelThrottlingForLargeAggSets) {
+  // 6 aggressive cores with max_exhaustive 3 -> k-means groups (<= 3)
+  // -> at most 2^3 = 8 sampled combos instead of 2^6 = 64.
+  PtPolicy pt = make_pt(3, 3);
+  pt.initial_config(kCores, kWays);
+  pt.begin_profiling(std::vector<sim::PmuCounters>(kCores));
+  Script script;
+  script.n_agg = 6;
+  const auto outcome = run_profiling(
+      pt, kCores, [&](CoreId c, const ResourceConfig& cfg) { return script.ipc(c, cfg); },
+      [&](CoreId c, const ResourceConfig& cfg) { return script.counters(c, cfg); });
+  EXPECT_EQ(pt.agg_set().size(), 6u);
+  EXPECT_LE(outcome.samples.size(), 8u);
+  EXPECT_EQ(pt.groups().size(), 6u);
+  for (const unsigned g : pt.groups()) EXPECT_LT(g, 3u);
+}
+
+TEST(PtPolicy, GroupMembersThrottledTogether) {
+  PtPolicy pt = make_pt(1, 1);  // force a single group
+  pt.initial_config(kCores, kWays);
+  pt.begin_profiling(std::vector<sim::PmuCounters>(kCores));
+  Script script;
+  script.quiet_free = 3.0;  // all-off wins
+  const auto outcome = run_profiling(
+      pt, kCores, [&](CoreId c, const ResourceConfig& cfg) { return script.ipc(c, cfg); },
+      [&](CoreId c, const ResourceConfig& cfg) { return script.counters(c, cfg); });
+  EXPECT_EQ(outcome.final.prefetch_on[0], outcome.final.prefetch_on[1]);
+}
+
+TEST(PtPolicy, NeverTouchesWayMasks) {
+  PtPolicy pt = make_pt();
+  pt.initial_config(kCores, kWays);
+  pt.begin_profiling(std::vector<sim::PmuCounters>(kCores));
+  Script script;
+  const auto outcome = run_profiling(
+      pt, kCores, [&](CoreId c, const ResourceConfig& cfg) { return script.ipc(c, cfg); },
+      [&](CoreId c, const ResourceConfig& cfg) { return script.counters(c, cfg); });
+  for (const auto& s : outcome.samples) {
+    for (const WayMask m : s.config.way_masks) EXPECT_EQ(m, full_mask(kWays));
+  }
+  for (const WayMask m : outcome.final.way_masks) EXPECT_EQ(m, full_mask(kWays));
+}
+
+}  // namespace
+}  // namespace cmm::core

@@ -1,0 +1,58 @@
+#include <gtest/gtest.h>
+
+#include "sim/prefetch_msr.hpp"
+
+namespace cmm::sim {
+namespace {
+
+TEST(PrefetchMsr, ResetStateAllEnabled) {
+  PrefetchMsr msr;
+  EXPECT_EQ(msr.read(), 0u);
+  EXPECT_TRUE(msr.all_enabled());
+  for (unsigned k = 0; k < kNumPrefetcherKinds; ++k) {
+    EXPECT_TRUE(msr.enabled(static_cast<PrefetcherKind>(k)));
+  }
+}
+
+TEST(PrefetchMsr, SetBitDisables) {
+  // SDM semantics: a SET bit disables the prefetcher.
+  PrefetchMsr msr;
+  msr.write(0b0001);
+  EXPECT_FALSE(msr.enabled(PrefetcherKind::L2Streamer));
+  EXPECT_TRUE(msr.enabled(PrefetcherKind::L2Adjacent));
+  msr.write(0b0100);
+  EXPECT_TRUE(msr.enabled(PrefetcherKind::L2Streamer));
+  EXPECT_FALSE(msr.enabled(PrefetcherKind::DcuNextLine));
+}
+
+TEST(PrefetchMsr, BitLayoutMatchesHardware) {
+  PrefetchMsr msr;
+  msr.set_enabled(PrefetcherKind::L2Streamer, false);
+  EXPECT_EQ(msr.read(), 0b0001u);
+  msr.set_enabled(PrefetcherKind::L2Adjacent, false);
+  EXPECT_EQ(msr.read(), 0b0011u);
+  msr.set_enabled(PrefetcherKind::DcuNextLine, false);
+  EXPECT_EQ(msr.read(), 0b0111u);
+  msr.set_enabled(PrefetcherKind::DcuIpStride, false);
+  EXPECT_EQ(msr.read(), 0b1111u);
+  msr.set_enabled(PrefetcherKind::L2Adjacent, true);
+  EXPECT_EQ(msr.read(), 0b1101u);
+}
+
+TEST(PrefetchMsr, SetAll) {
+  PrefetchMsr msr;
+  msr.set_all(false);
+  EXPECT_TRUE(msr.all_disabled());
+  EXPECT_EQ(msr.read(), 0xFu);
+  msr.set_all(true);
+  EXPECT_TRUE(msr.all_enabled());
+}
+
+TEST(PrefetchMsr, WriteMasksReservedBits) {
+  PrefetchMsr msr;
+  msr.write(0xFFFF'FFFF'FFFF'FFF5ULL);
+  EXPECT_EQ(msr.read(), 0x5u);  // only the low 4 bits are defined
+}
+
+}  // namespace
+}  // namespace cmm::sim

@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "sim/prefetcher.hpp"
+
+namespace cmm::sim {
+namespace {
+
+std::vector<Addr> observe(Prefetcher& pf, Addr line, IpId ip, bool miss) {
+  std::vector<Addr> out;
+  pf.observe({line, ip, miss}, out);
+  return out;
+}
+
+// ---------------------------------------------------------- next-line
+
+TEST(NextLine, TriggersOnAscendingPair) {
+  NextLinePrefetcher pf;
+  EXPECT_TRUE(observe(pf, 100, 1, true).empty());  // first touch: no history
+  const auto out = observe(pf, 101, 1, false);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], 102u);
+}
+
+TEST(NextLine, IgnoresNonAdjacent) {
+  NextLinePrefetcher pf;
+  observe(pf, 100, 1, true);
+  EXPECT_TRUE(observe(pf, 105, 1, true).empty());
+  EXPECT_TRUE(observe(pf, 103, 1, true).empty());  // descending
+}
+
+TEST(NextLine, ResetClearsHistory) {
+  NextLinePrefetcher pf;
+  observe(pf, 100, 1, true);
+  pf.reset();
+  EXPECT_TRUE(observe(pf, 101, 1, true).empty());
+}
+
+// ---------------------------------------------------------- ip-stride
+
+TEST(IpStride, DetectsStrideAfterConfidence) {
+  IpStridePrefetcher pf;
+  EXPECT_TRUE(observe(pf, 100, 7, true).empty());  // allocate entry
+  EXPECT_TRUE(observe(pf, 104, 7, true).empty());  // stride 4, confidence 1
+  const auto out = observe(pf, 108, 7, true);      // confidence 2 -> fire
+  ASSERT_EQ(out.size(), 2u);  // degree 2
+  EXPECT_EQ(out[0], 112u);
+  EXPECT_EQ(out[1], 116u);
+}
+
+TEST(IpStride, NegativeStride) {
+  IpStridePrefetcher pf;
+  observe(pf, 100, 3, true);
+  observe(pf, 96, 3, true);
+  const auto out = observe(pf, 92, 3, true);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], 88u);
+  EXPECT_EQ(out[1], 84u);
+}
+
+TEST(IpStride, StrideChangeResetsConfidence) {
+  IpStridePrefetcher pf;
+  observe(pf, 100, 1, true);
+  observe(pf, 104, 1, true);
+  observe(pf, 108, 1, true);                       // confident
+  EXPECT_TRUE(observe(pf, 200, 1, true).empty());  // stride broke (conf 1)
+  EXPECT_FALSE(observe(pf, 292, 1, true).empty()); // new stride confirmed
+}
+
+TEST(IpStride, PerIpIsolation) {
+  IpStridePrefetcher pf;
+  // Interleaved IPs with different strides both train.
+  observe(pf, 100, 1, true);
+  observe(pf, 500, 2, true);
+  observe(pf, 104, 1, true);
+  observe(pf, 508, 2, true);
+  const auto a = observe(pf, 108, 1, true);
+  const auto b = observe(pf, 516, 2, true);
+  ASSERT_FALSE(a.empty());
+  ASSERT_FALSE(b.empty());
+  EXPECT_EQ(a[0], 112u);
+  EXPECT_EQ(b[0], 524u);
+}
+
+TEST(IpStride, SameLineNoSignal) {
+  IpStridePrefetcher pf;
+  observe(pf, 100, 1, true);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(observe(pf, 100, 1, false).empty());
+}
+
+// ----------------------------------------------------------- streamer
+
+TEST(Streamer, FiresAfterConfidenceThreshold) {
+  StreamerPrefetcher pf;  // threshold 3, degree 10
+  EXPECT_TRUE(observe(pf, 1000, 1, true).empty());  // first touch
+  EXPECT_TRUE(observe(pf, 1001, 1, true).empty());  // conf 1
+  EXPECT_TRUE(observe(pf, 1002, 1, true).empty());  // conf 2
+  const auto out = observe(pf, 1003, 1, true);      // conf 3 -> fire
+  ASSERT_FALSE(out.empty());
+  EXPECT_EQ(out.front(), 1004u);
+}
+
+TEST(Streamer, AdvancesWithoutRerequest) {
+  StreamerPrefetcher::Config cfg;
+  cfg.degree = 4;
+  StreamerPrefetcher pf(cfg);
+  for (Addr line = 1000; line < 1004; ++line) observe(pf, line, 1, true);
+  const auto first = observe(pf, 1004, 1, true);
+  const auto second = observe(pf, 1005, 1, true);
+  // No overlap between successive emissions: covered offsets advance.
+  for (const Addr a : second) {
+    EXPECT_EQ(std::count(first.begin(), first.end(), a), 0) << "re-requested line " << a;
+  }
+}
+
+TEST(Streamer, StopsAtPageBoundary) {
+  StreamerPrefetcher pf;
+  // Train near the end of a 64-line page.
+  const Addr page_base = 64 * 13;
+  for (Addr off = 58; off <= 61; ++off) observe(pf, page_base + off, 1, true);
+  const auto out = observe(pf, page_base + 62, 1, true);
+  for (const Addr a : out) {
+    EXPECT_LT(a, page_base + 64u) << "crossed the 4 KB page";
+  }
+}
+
+TEST(Streamer, BackwardDirection) {
+  StreamerPrefetcher pf;
+  observe(pf, 64 * 5 + 50, 1, true);  // first touch
+  observe(pf, 64 * 5 + 49, 1, true);  // conf 1, dir -1
+  observe(pf, 64 * 5 + 48, 1, true);  // conf 2
+  const auto out = observe(pf, 64 * 5 + 47, 1, true);  // conf 3 -> fire
+  ASSERT_FALSE(out.empty());
+  EXPECT_EQ(out.front(), 64u * 5 + 46);
+  EXPECT_EQ(out.back(), 64u * 5 + 47 - 10);  // degree 10, descending
+}
+
+TEST(Streamer, RandomPerPageTouchesDoNotFire) {
+  StreamerPrefetcher pf;
+  // One touch per page never builds direction confidence.
+  std::vector<Addr> out;
+  for (Addr page = 0; page < 32; ++page) pf.observe({page * 64 + (page % 7), 1, true}, out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(Streamer, TrackerEvictionLru) {
+  StreamerPrefetcher::Config cfg;
+  cfg.trackers = 2;
+  StreamerPrefetcher pf(cfg);
+  // Train page A to confidence, then touch two other pages to evict it.
+  for (Addr off = 0; off < 4; ++off) observe(pf, off, 1, true);  // page 0 confident
+  observe(pf, 64 * 1, 1, true);
+  observe(pf, 64 * 2, 1, true);  // page 0's tracker evicted
+  // Returning to page 0 starts from scratch: no immediate fire.
+  EXPECT_TRUE(observe(pf, 10, 1, true).empty());
+}
+
+// ----------------------------------------------------------- adjacent
+
+TEST(Adjacent, FetchesBuddyOnMiss) {
+  AdjacentLinePrefetcher pf;
+  auto out = observe(pf, 100, 1, true);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], 101u);  // 100 is even: buddy above
+  out = observe(pf, 101, 1, true);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], 100u);  // 101 is odd: buddy below
+}
+
+TEST(Adjacent, SilentOnHit) {
+  AdjacentLinePrefetcher pf;
+  EXPECT_TRUE(observe(pf, 100, 1, false).empty());
+}
+
+// ------------------------------------------------------------- common
+
+TEST(Prefetchers, KindNamesAndCounters) {
+  NextLinePrefetcher nl;
+  IpStridePrefetcher ip;
+  StreamerPrefetcher st;
+  AdjacentLinePrefetcher adj;
+  EXPECT_EQ(to_string(nl.kind()), "dcu_next_line");
+  EXPECT_EQ(to_string(ip.kind()), "dcu_ip_stride");
+  EXPECT_EQ(to_string(st.kind()), "l2_streamer");
+  EXPECT_EQ(to_string(adj.kind()), "l2_adjacent");
+
+  observe(adj, 2, 0, true);
+  EXPECT_EQ(adj.issued(), 1u);
+}
+
+}  // namespace
+}  // namespace cmm::sim

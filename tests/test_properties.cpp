@@ -1,0 +1,183 @@
+// Property-style sweeps (TEST_P): structural invariants that must hold
+// across cache geometries, masks, seeds, and policy/workload crossings.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "analysis/run_harness.hpp"
+#include "common/rng.hpp"
+#include "sim/cache.hpp"
+#include "workloads/benchmark_specs.hpp"
+
+namespace cmm {
+namespace {
+
+// ---------------------------------------------------------------------
+// Cache invariants under random traffic, swept over geometries.
+
+struct CacheGeomCase {
+  std::uint64_t size;
+  std::uint32_t ways;
+};
+
+class CacheInvariants : public ::testing::TestWithParam<std::tuple<CacheGeomCase, unsigned>> {};
+
+TEST_P(CacheInvariants, RandomTrafficPreservesStructure) {
+  const auto [geom_case, seed] = GetParam();
+  sim::SetAssocCache cache(sim::CacheGeometry{geom_case.size, geom_case.ways, 64});
+  Rng rng(seed);
+  const unsigned ways = geom_case.ways;
+
+  // Random masked fills and accesses.
+  std::map<Addr, bool> resident;  // shadow model of membership
+  for (int i = 0; i < 20'000; ++i) {
+    const Addr line = rng.next_below(4096);
+    const auto type = rng.next_bool(0.3) ? AccessType::Prefetch : AccessType::DemandLoad;
+    if (rng.next_bool(0.5)) {
+      const unsigned lo = static_cast<unsigned>(rng.next_below(ways));
+      const unsigned count = 1 + static_cast<unsigned>(rng.next_below(ways - lo));
+      const WayMask mask = contiguous_mask(lo, count);
+      const auto fill = cache.fill(line, type, i, i, mask);
+      if (fill.evicted_valid) resident[fill.evicted_line] = false;
+      resident[line] = true;
+    } else {
+      const auto r = cache.access(line, type, i);
+      // A hit implies the shadow model believes it resident.
+      if (r.hit) {
+        EXPECT_TRUE(resident[line]) << "phantom line " << line;
+      }
+    }
+  }
+
+  // No duplicate tags within any set; occupancy bounded.
+  for (std::uint32_t set = 0; set < cache.num_sets(); ++set) {
+    EXPECT_LE(cache.set_occupancy(set), ways);
+  }
+  // Membership agrees with the shadow model (cache may hold fewer).
+  for (const auto& [line, live] : resident) {
+    if (cache.contains(line)) {
+      EXPECT_TRUE(live);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheInvariants,
+    ::testing::Combine(::testing::Values(CacheGeomCase{16 * 1024, 4}, CacheGeomCase{32 * 1024, 8},
+                                         CacheGeomCase{64 * 1024, 16},
+                                         CacheGeomCase{1280 * 1024, 20}),
+                       ::testing::Values(1u, 2u, 3u)));
+
+// ---------------------------------------------------------------------
+// Stats invariants for every suite benchmark under a short solo run.
+
+class BenchmarkStatsInvariants : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(BenchmarkStatsInvariants, PmuDomains) {
+  analysis::RunParams p;
+  p.machine = sim::MachineConfig::scaled(32);
+  p.warmup_cycles = 100'000;
+  p.run_cycles = 400'000;
+  const auto r = analysis::run_solo(GetParam(), p, true);
+  const auto& c = r.cores.front().counters;
+
+  EXPECT_GT(c.instructions, 0u);
+  EXPECT_GT(c.cycles, 0u);
+  EXPECT_LE(c.l2_dm_miss, c.l2_dm_req);
+  EXPECT_LE(c.l2_pref_miss, c.l2_pref_req);
+  EXPECT_LE(c.stalls_l2_pending, c.cycles);
+  // DRAM bytes are line-granular.
+  EXPECT_EQ(c.dram_demand_bytes % 64, 0u);
+  EXPECT_EQ(c.dram_prefetch_bytes % 64, 0u);
+  // IPC within sane physical bounds for our CPI range.
+  EXPECT_GT(r.cores.front().ipc, 0.001);
+  EXPECT_LT(r.cores.front().ipc, 4.0);
+}
+
+TEST_P(BenchmarkStatsInvariants, DisablingPrefetchKillsPrefetchTraffic) {
+  analysis::RunParams p;
+  p.machine = sim::MachineConfig::scaled(32);
+  p.warmup_cycles = 50'000;
+  p.run_cycles = 200'000;
+  const auto r = analysis::run_solo(GetParam(), p, false);
+  EXPECT_EQ(r.cores.front().counters.l2_pref_req, 0u);
+  EXPECT_EQ(r.cores.front().counters.dram_prefetch_bytes, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(WholeSuite, BenchmarkStatsInvariants, [] {
+  std::vector<std::string> names;
+  for (const auto& s : workloads::benchmark_suite()) names.push_back(s.name);
+  return ::testing::ValuesIn(names);
+}());
+
+// ---------------------------------------------------------------------
+// Determinism across repeated runs, swept over seeds and mechanisms.
+
+class DeterminismSweep
+    : public ::testing::TestWithParam<std::tuple<std::string, std::uint64_t>> {};
+
+TEST_P(DeterminismSweep, IdenticalRunsProduceIdenticalCounters) {
+  const auto& [policy_name, seed] = GetParam();
+  analysis::RunParams p;
+  p.machine = sim::MachineConfig::scaled(32);
+  p.run_cycles = 500'000;
+  p.epochs.execution_epoch = 120'000;
+  p.epochs.sampling_interval = 8'000;
+  p.seed = seed;
+  const auto mixes =
+      workloads::make_mixes(workloads::MixCategory::PrefAgg, 1, p.machine.num_cores, seed);
+
+  std::vector<std::uint64_t> insts[2];
+  for (int rep = 0; rep < 2; ++rep) {
+    auto policy = analysis::make_policy(policy_name, p.detector());
+    const auto r = analysis::run_mix(mixes.front(), *policy, p);
+    for (const auto& c : r.cores) insts[rep].push_back(c.counters.instructions);
+  }
+  EXPECT_EQ(insts[0], insts[1]);
+}
+
+INSTANTIATE_TEST_SUITE_P(PoliciesAndSeeds, DeterminismSweep,
+                         ::testing::Combine(::testing::Values("baseline", "pt", "cmm_a"),
+                                            ::testing::Values(1u, 99u)));
+
+// ---------------------------------------------------------------------
+// Partition-sizing rule domain sweep.
+
+class PartitionRule : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(PartitionRule, AlwaysLeavesHeadroom) {
+  const unsigned total_ways = GetParam();
+  for (unsigned n = 0; n <= 32; ++n) {
+    const unsigned w = core::partition_ways_for(n, total_ways);
+    EXPECT_GE(w, 1u);
+    if (total_ways > 1) {
+      EXPECT_LT(w, total_ways);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(WayCounts, PartitionRule, ::testing::Values(1u, 2u, 8u, 11u, 20u));
+
+// ---------------------------------------------------------------------
+// Throttle-combination enumeration properties.
+
+class ThrottleCombos : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ThrottleCombos, CompleteAndDuplicateFree) {
+  const unsigned n = GetParam();
+  const auto combos = core::throttle_combinations(n);
+  EXPECT_EQ(combos.size(), 1ULL << n);
+  std::set<std::vector<bool>> unique(combos.begin(), combos.end());
+  EXPECT_EQ(unique.size(), combos.size());
+  // Probe ordering contract: all-on first, all-off second.
+  EXPECT_EQ(combos[0], std::vector<bool>(n, true));
+  if (n > 0) {
+    EXPECT_EQ(combos[1], std::vector<bool>(n, false));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(GroupCounts, ThrottleCombos, ::testing::Values(1u, 2u, 3u, 4u, 6u));
+
+}  // namespace
+}  // namespace cmm

@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "analysis/run_harness.hpp"
+
+namespace cmm::analysis {
+namespace {
+
+RunParams fast_params() {
+  RunParams p;
+  p.machine = sim::MachineConfig::scaled(32);
+  p.warmup_cycles = 200'000;
+  p.run_cycles = 600'000;
+  p.epochs.execution_epoch = 150'000;
+  p.epochs.sampling_interval = 10'000;
+  return p;
+}
+
+TEST(RunHarness, SoloRunProducesStats) {
+  const auto r = run_solo("libquantum", fast_params(), true);
+  ASSERT_EQ(r.cores.size(), 1u);
+  EXPECT_EQ(r.cores.front().benchmark, "libquantum");
+  EXPECT_GT(r.cores.front().ipc, 0.0);
+  EXPECT_GT(r.cores.front().total_gbs(), 0.0);
+}
+
+TEST(RunHarness, SoloPrefetchToggleMatters) {
+  const auto on = run_solo("libquantum", fast_params(), true);
+  const auto off = run_solo("libquantum", fast_params(), false);
+  EXPECT_GT(on.cores.front().ipc, off.cores.front().ipc);
+  EXPECT_EQ(off.cores.front().prefetch_gbs, 0.0);
+  EXPECT_GT(on.cores.front().prefetch_gbs, 0.0);
+}
+
+TEST(RunHarness, SoloWayLimitMatters) {
+  // soplex is LLC sensitive: 1 way must be slower than the full cache.
+  RunParams p = fast_params();
+  p.warmup_cycles = 1'500'000;
+  p.run_cycles = 1'500'000;
+  const auto narrow = run_solo("soplex", p, true, 1);
+  const auto wide = run_solo("soplex", p, true, 0);
+  EXPECT_LT(narrow.cores.front().ipc, wide.cores.front().ipc * 0.9);
+}
+
+TEST(RunHarness, MixRunCoversAllCores) {
+  const auto params = fast_params();
+  const auto mixes = workloads::make_mixes(workloads::MixCategory::PrefNoAgg, 1,
+                                           params.machine.num_cores, params.seed);
+  auto policy = make_policy("baseline", params.detector());
+  const auto r = run_mix(mixes.front(), *policy, params);
+  ASSERT_EQ(r.cores.size(), params.machine.num_cores);
+  for (const auto& c : r.cores) EXPECT_GT(c.ipc, 0.0);
+  EXPECT_EQ(r.ipcs().size(), params.machine.num_cores);
+}
+
+TEST(RunHarness, MechanismNamesResolve) {
+  const auto names = mechanism_names();
+  EXPECT_EQ(names.size(), 7u);
+  for (const auto& n : names) {
+    EXPECT_NO_THROW(make_policy(n, core::DetectorConfig{})) << n;
+    EXPECT_EQ(make_policy(n, core::DetectorConfig{})->name(), n);
+  }
+  EXPECT_NO_THROW(make_policy("baseline", core::DetectorConfig{}));
+  EXPECT_THROW(make_policy("nonsense", core::DetectorConfig{}), std::invalid_argument);
+}
+
+TEST(RunHarness, AloneIpcTableDeduplicates) {
+  const auto params = fast_params();
+  const auto table = compute_alone_ipcs({"povray", "povray", "gobmk"}, params);
+  EXPECT_EQ(table.size(), 2u);
+  EXPECT_GT(table.at("povray"), 0.0);
+}
+
+TEST(RunHarness, ClassifierAgreesWithSpecOnExtremes) {
+  RunParams p = fast_params();
+  p.machine = sim::MachineConfig::scaled(16);
+  p.warmup_cycles = 2'000'000;
+  p.run_cycles = 2'500'000;
+  const auto stream = classify_benchmark("libquantum", p);
+  EXPECT_TRUE(stream.prefetch_aggressive);
+  EXPECT_TRUE(stream.prefetch_friendly);
+  EXPECT_FALSE(stream.llc_sensitive);
+
+  const auto rand = classify_benchmark("rand_access", p);
+  EXPECT_TRUE(rand.prefetch_aggressive);
+  EXPECT_FALSE(rand.prefetch_friendly);
+
+  const auto quiet = classify_benchmark("povray", p);
+  EXPECT_FALSE(quiet.prefetch_aggressive);
+  EXPECT_FALSE(quiet.llc_sensitive);
+}
+
+TEST(RunHarness, DetectorInheritsMachineFrequency) {
+  RunParams p;
+  p.machine.freq_ghz = 3.0;
+  EXPECT_DOUBLE_EQ(p.detector().freq_ghz, 3.0);
+}
+
+}  // namespace
+}  // namespace cmm::analysis

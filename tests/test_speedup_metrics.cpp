@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include "analysis/speedup_metrics.hpp"
+
+namespace cmm::analysis {
+namespace {
+
+TEST(SpeedupMetrics, HarmonicSpeedupDefinition) {
+  // HS = N / sum(alone_i / together_i).
+  const std::vector<double> together{1.0, 1.0};
+  const std::vector<double> alone{2.0, 4.0};
+  EXPECT_DOUBLE_EQ(harmonic_speedup(together, alone), 2.0 / (2.0 + 4.0));
+}
+
+TEST(SpeedupMetrics, HarmonicSpeedupIsOneWhenUnimpeded) {
+  const std::vector<double> ipc{0.7, 1.3, 2.2};
+  EXPECT_DOUBLE_EQ(harmonic_speedup(ipc, ipc), 1.0);
+}
+
+TEST(SpeedupMetrics, AnttIsReciprocalOfHs) {
+  const std::vector<double> together{0.5, 1.5};
+  const std::vector<double> alone{1.0, 2.0};
+  const double hs = harmonic_speedup(together, alone);
+  EXPECT_DOUBLE_EQ(antt(together, alone), 1.0 / hs);
+}
+
+TEST(SpeedupMetrics, HsPenalizesUnfairness) {
+  // Same total throughput, one core starved: HS must be lower.
+  const std::vector<double> alone{1.0, 1.0};
+  const std::vector<double> fair{0.5, 0.5};
+  const std::vector<double> unfair{0.9, 0.1};
+  EXPECT_GT(harmonic_speedup(fair, alone), harmonic_speedup(unfair, alone));
+}
+
+TEST(SpeedupMetrics, WeightedSpeedupDefinition) {
+  const std::vector<double> x{2.0, 1.0};
+  const std::vector<double> base{1.0, 1.0};
+  EXPECT_DOUBLE_EQ(weighted_speedup(x, base), 1.5);
+  EXPECT_DOUBLE_EQ(weighted_speedup(base, base), 1.0);
+}
+
+TEST(SpeedupMetrics, WorstCaseSpeedup) {
+  const std::vector<double> x{2.0, 0.4, 1.2};
+  const std::vector<double> base{1.0, 1.0, 1.0};
+  EXPECT_DOUBLE_EQ(worst_case_speedup(x, base), 0.4);
+}
+
+TEST(SpeedupMetrics, DegenerateInputsReturnZero) {
+  const std::vector<double> good{1.0};
+  const std::vector<double> zero{0.0};
+  EXPECT_DOUBLE_EQ(harmonic_speedup({}, {}), 0.0);
+  EXPECT_DOUBLE_EQ(harmonic_speedup(good, zero), 0.0);
+  EXPECT_DOUBLE_EQ(harmonic_speedup(zero, good), 0.0);
+  EXPECT_DOUBLE_EQ(weighted_speedup(good, zero), 0.0);
+  EXPECT_DOUBLE_EQ(worst_case_speedup(good, zero), 0.0);
+  const std::vector<double> longer{1.0, 1.0};
+  EXPECT_DOUBLE_EQ(weighted_speedup(good, longer), 0.0);
+}
+
+TEST(SpeedupMetrics, HarmonicMean) {
+  const std::vector<double> v{1.0, 3.0};
+  EXPECT_DOUBLE_EQ(harmonic_mean(v), 1.5);
+  EXPECT_DOUBLE_EQ(harmonic_mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(harmonic_mean(std::vector<double>{1.0, 0.0}), 0.0);
+}
+
+TEST(SpeedupMetrics, HarmonicMeanLeqArithmetic) {
+  const std::vector<double> v{0.3, 0.9, 2.7, 8.1};
+  EXPECT_LE(harmonic_mean(v), mean(v));
+}
+
+TEST(SpeedupMetrics, Mean) {
+  EXPECT_DOUBLE_EQ(mean(std::vector<double>{1.0, 2.0, 3.0}), 2.0);
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+}
+
+}  // namespace
+}  // namespace cmm::analysis

@@ -1,0 +1,44 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "analysis/table.hpp"
+
+namespace cmm::analysis {
+namespace {
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"name", "value"});
+  t.add_row({"a", "1.000"});
+  t.add_row({"longer_name", "2.5"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("longer_name"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(out.find("----"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(Table, CsvOutput) {
+  Table t({"a", "b"});
+  t.add_row({"x", "y"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\nx,y\n");
+}
+
+TEST(Table, RejectsRaggedRows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only_one"}), std::invalid_argument);
+}
+
+TEST(Table, FmtPrecision) {
+  EXPECT_EQ(Table::fmt(1.23456, 3), "1.235");
+  EXPECT_EQ(Table::fmt(2.0, 1), "2.0");
+  EXPECT_EQ(Table::fmt(-0.5, 2), "-0.50");
+}
+
+}  // namespace
+}  // namespace cmm::analysis

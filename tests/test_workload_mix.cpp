@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "workloads/workload_mix.hpp"
+#include "workloads/benchmark_specs.hpp"
+
+namespace cmm::workloads {
+namespace {
+
+bool in_class(const std::string& name, const std::vector<std::string>& pool) {
+  return std::find(pool.begin(), pool.end(), name) != pool.end();
+}
+
+unsigned count_in_class(const WorkloadMix& mix, const std::vector<std::string>& pool) {
+  unsigned n = 0;
+  for (const auto& b : mix.benchmarks) n += in_class(b, pool) ? 1 : 0;
+  return n;
+}
+
+class MixComposition : public ::testing::TestWithParam<MixCategory> {};
+
+TEST_P(MixComposition, EightBenchmarksPerMix) {
+  const auto mixes = make_mixes(GetParam(), 10, 8, 42);
+  ASSERT_EQ(mixes.size(), 10u);
+  for (const auto& mix : mixes) {
+    EXPECT_EQ(mix.benchmarks.size(), 8u);
+    EXPECT_EQ(mix.category, GetParam());
+    for (const auto& b : mix.benchmarks) EXPECT_NO_THROW(spec_by_name(b));
+  }
+}
+
+TEST_P(MixComposition, CategoryClassCountsMatchPaper) {
+  const auto friendly = prefetch_friendly_names();
+  const auto unfriendly = prefetch_unfriendly_names();
+  const auto sensitive = llc_sensitive_names();
+  for (const auto& mix : make_mixes(GetParam(), 10, 8, 7)) {
+    const unsigned f = count_in_class(mix, friendly);
+    const unsigned u = count_in_class(mix, unfriendly);
+    const unsigned s = count_in_class(mix, sensitive);
+    switch (GetParam()) {
+      case MixCategory::PrefFri:
+        EXPECT_EQ(f, 4u);
+        EXPECT_EQ(u, 0u);
+        EXPECT_GE(s, 2u);
+        break;
+      case MixCategory::PrefAgg:
+        EXPECT_EQ(f, 2u);
+        EXPECT_EQ(u, 2u);
+        EXPECT_GE(s, 2u);
+        break;
+      case MixCategory::PrefUnfri:
+        EXPECT_EQ(f, 0u);
+        EXPECT_EQ(u, 4u);
+        EXPECT_GE(s, 2u);
+        break;
+      case MixCategory::PrefNoAgg:
+        EXPECT_EQ(f, 0u);
+        EXPECT_EQ(u, 0u);
+        EXPECT_GE(s, 2u);  // at least two LLC-sensitive in every mix
+        break;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCategories, MixComposition,
+                         ::testing::Values(MixCategory::PrefFri, MixCategory::PrefAgg,
+                                           MixCategory::PrefUnfri, MixCategory::PrefNoAgg));
+
+TEST(WorkloadMix, PaperOrderAndCount) {
+  const auto all = paper_workloads(8, 42, 10);
+  ASSERT_EQ(all.size(), 40u);
+  for (unsigned i = 0; i < 10; ++i) EXPECT_EQ(all[i].category, MixCategory::PrefFri);
+  for (unsigned i = 10; i < 20; ++i) EXPECT_EQ(all[i].category, MixCategory::PrefAgg);
+  for (unsigned i = 20; i < 30; ++i) EXPECT_EQ(all[i].category, MixCategory::PrefUnfri);
+  for (unsigned i = 30; i < 40; ++i) EXPECT_EQ(all[i].category, MixCategory::PrefNoAgg);
+}
+
+TEST(WorkloadMix, DeterministicPerSeedDistinctAcrossSeeds) {
+  const auto a = make_mixes(MixCategory::PrefAgg, 5, 8, 1);
+  const auto b = make_mixes(MixCategory::PrefAgg, 5, 8, 1);
+  const auto c = make_mixes(MixCategory::PrefAgg, 5, 8, 2);
+  for (unsigned i = 0; i < 5; ++i) EXPECT_EQ(a[i].benchmarks, b[i].benchmarks);
+  bool any_diff = false;
+  for (unsigned i = 0; i < 5; ++i) any_diff |= (a[i].benchmarks != c[i].benchmarks);
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(WorkloadMix, UniqueNames) {
+  const auto all = paper_workloads(8, 42, 10);
+  std::set<std::string> names;
+  for (const auto& m : all) EXPECT_TRUE(names.insert(m.name).second);
+}
+
+TEST(WorkloadMix, AttachRejectsWrongSize) {
+  sim::MulticoreSystem sys(sim::MachineConfig::scaled(16));
+  WorkloadMix mix;
+  mix.benchmarks = {"povray"};  // 1 != 8
+  EXPECT_THROW(attach_mix(sys, mix, 42), std::invalid_argument);
+}
+
+TEST(WorkloadMix, AttachRunsAllCores) {
+  sim::MulticoreSystem sys(sim::MachineConfig::scaled(16));
+  const auto mixes = make_mixes(MixCategory::PrefNoAgg, 1, 8, 3);
+  attach_mix(sys, mixes.front(), 42);
+  sys.run(10'000);
+  for (CoreId c = 0; c < 8; ++c) EXPECT_GT(sys.pmu().core(c).instructions, 0u);
+}
+
+TEST(WorkloadMix, ScalesToOtherCoreCounts) {
+  for (const unsigned cores : {2u, 4u, 16u}) {
+    const auto mixes = make_mixes(MixCategory::PrefAgg, 2, cores, 9);
+    for (const auto& m : mixes) EXPECT_EQ(m.benchmarks.size(), cores);
+  }
+}
+
+}  // namespace
+}  // namespace cmm::workloads
