@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_fdp.dir/ablation_fdp.cpp.o"
+  "CMakeFiles/ablation_fdp.dir/ablation_fdp.cpp.o.d"
+  "ablation_fdp"
+  "ablation_fdp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_fdp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

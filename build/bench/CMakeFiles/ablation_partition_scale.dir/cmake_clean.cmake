@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_partition_scale.dir/ablation_partition_scale.cpp.o"
+  "CMakeFiles/ablation_partition_scale.dir/ablation_partition_scale.cpp.o.d"
+  "ablation_partition_scale"
+  "ablation_partition_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_partition_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmm_bench_common.dir/bench_common.cpp.o"
+  "CMakeFiles/cmm_bench_common.dir/bench_common.cpp.o.d"
+  "libcmm_bench_common.a"
+  "libcmm_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmm_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_way_sensitivity.dir/fig03_way_sensitivity.cpp.o"
+  "CMakeFiles/fig03_way_sensitivity.dir/fig03_way_sensitivity.cpp.o.d"
+  "fig03_way_sensitivity"
+  "fig03_way_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_way_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_detection.dir/fig05_detection.cpp.o"
+  "CMakeFiles/fig05_detection.dir/fig05_detection.cpp.o.d"
+  "fig05_detection"
+  "fig05_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

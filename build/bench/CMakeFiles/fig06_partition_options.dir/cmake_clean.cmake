@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_partition_options.dir/fig06_partition_options.cpp.o"
+  "CMakeFiles/fig06_partition_options.dir/fig06_partition_options.cpp.o.d"
+  "fig06_partition_options"
+  "fig06_partition_options.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_partition_options.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig06_partition_options.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_pt_worstcase.dir/fig08_pt_worstcase.cpp.o"
+  "CMakeFiles/fig08_pt_worstcase.dir/fig08_pt_worstcase.cpp.o.d"
+  "fig08_pt_worstcase"
+  "fig08_pt_worstcase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_pt_worstcase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

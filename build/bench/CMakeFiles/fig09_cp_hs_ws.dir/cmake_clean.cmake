@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_cp_hs_ws.dir/fig09_cp_hs_ws.cpp.o"
+  "CMakeFiles/fig09_cp_hs_ws.dir/fig09_cp_hs_ws.cpp.o.d"
+  "fig09_cp_hs_ws"
+  "fig09_cp_hs_ws.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_cp_hs_ws.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_cp_worstcase.dir/fig10_cp_worstcase.cpp.o"
+  "CMakeFiles/fig10_cp_worstcase.dir/fig10_cp_worstcase.cpp.o.d"
+  "fig10_cp_worstcase"
+  "fig10_cp_worstcase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_cp_worstcase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_cmm_hs_ws.dir/fig11_cmm_hs_ws.cpp.o"
+  "CMakeFiles/fig11_cmm_hs_ws.dir/fig11_cmm_hs_ws.cpp.o.d"
+  "fig11_cmm_hs_ws"
+  "fig11_cmm_hs_ws.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_cmm_hs_ws.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_cmm_worstcase.dir/fig12_cmm_worstcase.cpp.o"
+  "CMakeFiles/fig12_cmm_worstcase.dir/fig12_cmm_worstcase.cpp.o.d"
+  "fig12_cmm_worstcase"
+  "fig12_cmm_worstcase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_cmm_worstcase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_all_mechanisms.dir/fig13_all_mechanisms.cpp.o"
+  "CMakeFiles/fig13_all_mechanisms.dir/fig13_all_mechanisms.cpp.o.d"
+  "fig13_all_mechanisms"
+  "fig13_all_mechanisms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_all_mechanisms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_l2_stalls.dir/fig15_l2_stalls.cpp.o"
+  "CMakeFiles/fig15_l2_stalls.dir/fig15_l2_stalls.cpp.o.d"
+  "fig15_l2_stalls"
+  "fig15_l2_stalls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_l2_stalls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/classify_suite.dir/classify_suite.cpp.o"
+  "CMakeFiles/classify_suite.dir/classify_suite.cpp.o.d"
+  "classify_suite"
+  "classify_suite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/classify_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

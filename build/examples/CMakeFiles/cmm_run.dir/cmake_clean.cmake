@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmm_run.dir/cmm_run.cpp.o"
+  "CMakeFiles/cmm_run.dir/cmm_run.cpp.o.d"
+  "cmm_run"
+  "cmm_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmm_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

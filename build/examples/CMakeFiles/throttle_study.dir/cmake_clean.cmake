@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/throttle_study.dir/throttle_study.cpp.o"
+  "CMakeFiles/throttle_study.dir/throttle_study.cpp.o.d"
+  "throttle_study"
+  "throttle_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/throttle_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

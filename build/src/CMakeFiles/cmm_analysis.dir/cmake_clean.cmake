@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmm_analysis.dir/analysis/run_harness.cpp.o"
+  "CMakeFiles/cmm_analysis.dir/analysis/run_harness.cpp.o.d"
+  "CMakeFiles/cmm_analysis.dir/analysis/speedup_metrics.cpp.o"
+  "CMakeFiles/cmm_analysis.dir/analysis/speedup_metrics.cpp.o.d"
+  "CMakeFiles/cmm_analysis.dir/analysis/table.cpp.o"
+  "CMakeFiles/cmm_analysis.dir/analysis/table.cpp.o.d"
+  "libcmm_analysis.a"
+  "libcmm_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmm_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcmm_analysis.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmm_common.dir/common/rng.cpp.o"
+  "CMakeFiles/cmm_common.dir/common/rng.cpp.o.d"
+  "libcmm_common.a"
+  "libcmm_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmm_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/detector.cpp" "src/CMakeFiles/cmm_core.dir/core/detector.cpp.o" "gcc" "src/CMakeFiles/cmm_core.dir/core/detector.cpp.o.d"
+  "/root/repo/src/core/epoch_driver.cpp" "src/CMakeFiles/cmm_core.dir/core/epoch_driver.cpp.o" "gcc" "src/CMakeFiles/cmm_core.dir/core/epoch_driver.cpp.o.d"
+  "/root/repo/src/core/fdp.cpp" "src/CMakeFiles/cmm_core.dir/core/fdp.cpp.o" "gcc" "src/CMakeFiles/cmm_core.dir/core/fdp.cpp.o.d"
+  "/root/repo/src/core/kmeans.cpp" "src/CMakeFiles/cmm_core.dir/core/kmeans.cpp.o" "gcc" "src/CMakeFiles/cmm_core.dir/core/kmeans.cpp.o.d"
+  "/root/repo/src/core/metrics.cpp" "src/CMakeFiles/cmm_core.dir/core/metrics.cpp.o" "gcc" "src/CMakeFiles/cmm_core.dir/core/metrics.cpp.o.d"
+  "/root/repo/src/core/policy.cpp" "src/CMakeFiles/cmm_core.dir/core/policy.cpp.o" "gcc" "src/CMakeFiles/cmm_core.dir/core/policy.cpp.o.d"
+  "/root/repo/src/core/policy_baseline.cpp" "src/CMakeFiles/cmm_core.dir/core/policy_baseline.cpp.o" "gcc" "src/CMakeFiles/cmm_core.dir/core/policy_baseline.cpp.o.d"
+  "/root/repo/src/core/policy_cmm.cpp" "src/CMakeFiles/cmm_core.dir/core/policy_cmm.cpp.o" "gcc" "src/CMakeFiles/cmm_core.dir/core/policy_cmm.cpp.o.d"
+  "/root/repo/src/core/policy_cp.cpp" "src/CMakeFiles/cmm_core.dir/core/policy_cp.cpp.o" "gcc" "src/CMakeFiles/cmm_core.dir/core/policy_cp.cpp.o.d"
+  "/root/repo/src/core/policy_dunn.cpp" "src/CMakeFiles/cmm_core.dir/core/policy_dunn.cpp.o" "gcc" "src/CMakeFiles/cmm_core.dir/core/policy_dunn.cpp.o.d"
+  "/root/repo/src/core/policy_pt.cpp" "src/CMakeFiles/cmm_core.dir/core/policy_pt.cpp.o" "gcc" "src/CMakeFiles/cmm_core.dir/core/policy_pt.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cmm_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cmm_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cmm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cmm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

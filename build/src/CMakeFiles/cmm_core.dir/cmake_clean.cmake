@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmm_core.dir/core/detector.cpp.o"
+  "CMakeFiles/cmm_core.dir/core/detector.cpp.o.d"
+  "CMakeFiles/cmm_core.dir/core/epoch_driver.cpp.o"
+  "CMakeFiles/cmm_core.dir/core/epoch_driver.cpp.o.d"
+  "CMakeFiles/cmm_core.dir/core/fdp.cpp.o"
+  "CMakeFiles/cmm_core.dir/core/fdp.cpp.o.d"
+  "CMakeFiles/cmm_core.dir/core/kmeans.cpp.o"
+  "CMakeFiles/cmm_core.dir/core/kmeans.cpp.o.d"
+  "CMakeFiles/cmm_core.dir/core/metrics.cpp.o"
+  "CMakeFiles/cmm_core.dir/core/metrics.cpp.o.d"
+  "CMakeFiles/cmm_core.dir/core/policy.cpp.o"
+  "CMakeFiles/cmm_core.dir/core/policy.cpp.o.d"
+  "CMakeFiles/cmm_core.dir/core/policy_baseline.cpp.o"
+  "CMakeFiles/cmm_core.dir/core/policy_baseline.cpp.o.d"
+  "CMakeFiles/cmm_core.dir/core/policy_cmm.cpp.o"
+  "CMakeFiles/cmm_core.dir/core/policy_cmm.cpp.o.d"
+  "CMakeFiles/cmm_core.dir/core/policy_cp.cpp.o"
+  "CMakeFiles/cmm_core.dir/core/policy_cp.cpp.o.d"
+  "CMakeFiles/cmm_core.dir/core/policy_dunn.cpp.o"
+  "CMakeFiles/cmm_core.dir/core/policy_dunn.cpp.o.d"
+  "CMakeFiles/cmm_core.dir/core/policy_pt.cpp.o"
+  "CMakeFiles/cmm_core.dir/core/policy_pt.cpp.o.d"
+  "libcmm_core.a"
+  "libcmm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

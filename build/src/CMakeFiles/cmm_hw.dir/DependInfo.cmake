@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/cat_controller.cpp" "src/CMakeFiles/cmm_hw.dir/hw/cat_controller.cpp.o" "gcc" "src/CMakeFiles/cmm_hw.dir/hw/cat_controller.cpp.o.d"
+  "/root/repo/src/hw/msr_device.cpp" "src/CMakeFiles/cmm_hw.dir/hw/msr_device.cpp.o" "gcc" "src/CMakeFiles/cmm_hw.dir/hw/msr_device.cpp.o.d"
+  "/root/repo/src/hw/pmu_reader.cpp" "src/CMakeFiles/cmm_hw.dir/hw/pmu_reader.cpp.o" "gcc" "src/CMakeFiles/cmm_hw.dir/hw/pmu_reader.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cmm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cmm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

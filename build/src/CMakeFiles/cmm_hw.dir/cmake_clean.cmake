@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmm_hw.dir/hw/cat_controller.cpp.o"
+  "CMakeFiles/cmm_hw.dir/hw/cat_controller.cpp.o.d"
+  "CMakeFiles/cmm_hw.dir/hw/msr_device.cpp.o"
+  "CMakeFiles/cmm_hw.dir/hw/msr_device.cpp.o.d"
+  "CMakeFiles/cmm_hw.dir/hw/pmu_reader.cpp.o"
+  "CMakeFiles/cmm_hw.dir/hw/pmu_reader.cpp.o.d"
+  "libcmm_hw.a"
+  "libcmm_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmm_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

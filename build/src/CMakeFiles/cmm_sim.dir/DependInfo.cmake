@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cache.cpp" "src/CMakeFiles/cmm_sim.dir/sim/cache.cpp.o" "gcc" "src/CMakeFiles/cmm_sim.dir/sim/cache.cpp.o.d"
+  "/root/repo/src/sim/cat.cpp" "src/CMakeFiles/cmm_sim.dir/sim/cat.cpp.o" "gcc" "src/CMakeFiles/cmm_sim.dir/sim/cat.cpp.o.d"
+  "/root/repo/src/sim/core_model.cpp" "src/CMakeFiles/cmm_sim.dir/sim/core_model.cpp.o" "gcc" "src/CMakeFiles/cmm_sim.dir/sim/core_model.cpp.o.d"
+  "/root/repo/src/sim/machine_config.cpp" "src/CMakeFiles/cmm_sim.dir/sim/machine_config.cpp.o" "gcc" "src/CMakeFiles/cmm_sim.dir/sim/machine_config.cpp.o.d"
+  "/root/repo/src/sim/memory_controller.cpp" "src/CMakeFiles/cmm_sim.dir/sim/memory_controller.cpp.o" "gcc" "src/CMakeFiles/cmm_sim.dir/sim/memory_controller.cpp.o.d"
+  "/root/repo/src/sim/multicore_system.cpp" "src/CMakeFiles/cmm_sim.dir/sim/multicore_system.cpp.o" "gcc" "src/CMakeFiles/cmm_sim.dir/sim/multicore_system.cpp.o.d"
+  "/root/repo/src/sim/pf_adjacent.cpp" "src/CMakeFiles/cmm_sim.dir/sim/pf_adjacent.cpp.o" "gcc" "src/CMakeFiles/cmm_sim.dir/sim/pf_adjacent.cpp.o.d"
+  "/root/repo/src/sim/pf_ip_stride.cpp" "src/CMakeFiles/cmm_sim.dir/sim/pf_ip_stride.cpp.o" "gcc" "src/CMakeFiles/cmm_sim.dir/sim/pf_ip_stride.cpp.o.d"
+  "/root/repo/src/sim/pf_next_line.cpp" "src/CMakeFiles/cmm_sim.dir/sim/pf_next_line.cpp.o" "gcc" "src/CMakeFiles/cmm_sim.dir/sim/pf_next_line.cpp.o.d"
+  "/root/repo/src/sim/pf_streamer.cpp" "src/CMakeFiles/cmm_sim.dir/sim/pf_streamer.cpp.o" "gcc" "src/CMakeFiles/cmm_sim.dir/sim/pf_streamer.cpp.o.d"
+  "/root/repo/src/sim/pmu.cpp" "src/CMakeFiles/cmm_sim.dir/sim/pmu.cpp.o" "gcc" "src/CMakeFiles/cmm_sim.dir/sim/pmu.cpp.o.d"
+  "/root/repo/src/sim/prefetch_msr.cpp" "src/CMakeFiles/cmm_sim.dir/sim/prefetch_msr.cpp.o" "gcc" "src/CMakeFiles/cmm_sim.dir/sim/prefetch_msr.cpp.o.d"
+  "/root/repo/src/sim/prefetcher.cpp" "src/CMakeFiles/cmm_sim.dir/sim/prefetcher.cpp.o" "gcc" "src/CMakeFiles/cmm_sim.dir/sim/prefetcher.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cmm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

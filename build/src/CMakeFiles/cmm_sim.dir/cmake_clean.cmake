@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmm_sim.dir/sim/cache.cpp.o"
+  "CMakeFiles/cmm_sim.dir/sim/cache.cpp.o.d"
+  "CMakeFiles/cmm_sim.dir/sim/cat.cpp.o"
+  "CMakeFiles/cmm_sim.dir/sim/cat.cpp.o.d"
+  "CMakeFiles/cmm_sim.dir/sim/core_model.cpp.o"
+  "CMakeFiles/cmm_sim.dir/sim/core_model.cpp.o.d"
+  "CMakeFiles/cmm_sim.dir/sim/machine_config.cpp.o"
+  "CMakeFiles/cmm_sim.dir/sim/machine_config.cpp.o.d"
+  "CMakeFiles/cmm_sim.dir/sim/memory_controller.cpp.o"
+  "CMakeFiles/cmm_sim.dir/sim/memory_controller.cpp.o.d"
+  "CMakeFiles/cmm_sim.dir/sim/multicore_system.cpp.o"
+  "CMakeFiles/cmm_sim.dir/sim/multicore_system.cpp.o.d"
+  "CMakeFiles/cmm_sim.dir/sim/pf_adjacent.cpp.o"
+  "CMakeFiles/cmm_sim.dir/sim/pf_adjacent.cpp.o.d"
+  "CMakeFiles/cmm_sim.dir/sim/pf_ip_stride.cpp.o"
+  "CMakeFiles/cmm_sim.dir/sim/pf_ip_stride.cpp.o.d"
+  "CMakeFiles/cmm_sim.dir/sim/pf_next_line.cpp.o"
+  "CMakeFiles/cmm_sim.dir/sim/pf_next_line.cpp.o.d"
+  "CMakeFiles/cmm_sim.dir/sim/pf_streamer.cpp.o"
+  "CMakeFiles/cmm_sim.dir/sim/pf_streamer.cpp.o.d"
+  "CMakeFiles/cmm_sim.dir/sim/pmu.cpp.o"
+  "CMakeFiles/cmm_sim.dir/sim/pmu.cpp.o.d"
+  "CMakeFiles/cmm_sim.dir/sim/prefetch_msr.cpp.o"
+  "CMakeFiles/cmm_sim.dir/sim/prefetch_msr.cpp.o.d"
+  "CMakeFiles/cmm_sim.dir/sim/prefetcher.cpp.o"
+  "CMakeFiles/cmm_sim.dir/sim/prefetcher.cpp.o.d"
+  "libcmm_sim.a"
+  "libcmm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/address_stream.cpp" "src/CMakeFiles/cmm_workloads.dir/workloads/address_stream.cpp.o" "gcc" "src/CMakeFiles/cmm_workloads.dir/workloads/address_stream.cpp.o.d"
+  "/root/repo/src/workloads/benchmark_specs.cpp" "src/CMakeFiles/cmm_workloads.dir/workloads/benchmark_specs.cpp.o" "gcc" "src/CMakeFiles/cmm_workloads.dir/workloads/benchmark_specs.cpp.o.d"
+  "/root/repo/src/workloads/patterns.cpp" "src/CMakeFiles/cmm_workloads.dir/workloads/patterns.cpp.o" "gcc" "src/CMakeFiles/cmm_workloads.dir/workloads/patterns.cpp.o.d"
+  "/root/repo/src/workloads/phased.cpp" "src/CMakeFiles/cmm_workloads.dir/workloads/phased.cpp.o" "gcc" "src/CMakeFiles/cmm_workloads.dir/workloads/phased.cpp.o.d"
+  "/root/repo/src/workloads/trace.cpp" "src/CMakeFiles/cmm_workloads.dir/workloads/trace.cpp.o" "gcc" "src/CMakeFiles/cmm_workloads.dir/workloads/trace.cpp.o.d"
+  "/root/repo/src/workloads/workload_mix.cpp" "src/CMakeFiles/cmm_workloads.dir/workloads/workload_mix.cpp.o" "gcc" "src/CMakeFiles/cmm_workloads.dir/workloads/workload_mix.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cmm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cmm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmm_workloads.dir/workloads/address_stream.cpp.o"
+  "CMakeFiles/cmm_workloads.dir/workloads/address_stream.cpp.o.d"
+  "CMakeFiles/cmm_workloads.dir/workloads/benchmark_specs.cpp.o"
+  "CMakeFiles/cmm_workloads.dir/workloads/benchmark_specs.cpp.o.d"
+  "CMakeFiles/cmm_workloads.dir/workloads/patterns.cpp.o"
+  "CMakeFiles/cmm_workloads.dir/workloads/patterns.cpp.o.d"
+  "CMakeFiles/cmm_workloads.dir/workloads/phased.cpp.o"
+  "CMakeFiles/cmm_workloads.dir/workloads/phased.cpp.o.d"
+  "CMakeFiles/cmm_workloads.dir/workloads/trace.cpp.o"
+  "CMakeFiles/cmm_workloads.dir/workloads/trace.cpp.o.d"
+  "CMakeFiles/cmm_workloads.dir/workloads/workload_mix.cpp.o"
+  "CMakeFiles/cmm_workloads.dir/workloads/workload_mix.cpp.o.d"
+  "libcmm_workloads.a"
+  "libcmm_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmm_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_benchmark_specs.dir/test_benchmark_specs.cpp.o"
+  "CMakeFiles/test_benchmark_specs.dir/test_benchmark_specs.cpp.o.d"
+  "test_benchmark_specs"
+  "test_benchmark_specs.pdb"
+  "test_benchmark_specs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_benchmark_specs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cat.dir/test_cat.cpp.o"
+  "CMakeFiles/test_cat.dir/test_cat.cpp.o.d"
+  "test_cat"
+  "test_cat.pdb"
+  "test_cat[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_detection_dynamics.dir/test_detection_dynamics.cpp.o"
+  "CMakeFiles/test_detection_dynamics.dir/test_detection_dynamics.cpp.o.d"
+  "test_detection_dynamics"
+  "test_detection_dynamics.pdb"
+  "test_detection_dynamics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_detection_dynamics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_fdp.cpp" "tests/CMakeFiles/test_fdp.dir/test_fdp.cpp.o" "gcc" "tests/CMakeFiles/test_fdp.dir/test_fdp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cmm_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cmm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cmm_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cmm_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cmm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cmm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

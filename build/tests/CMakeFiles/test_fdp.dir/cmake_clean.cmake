@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fdp.dir/test_fdp.cpp.o"
+  "CMakeFiles/test_fdp.dir/test_fdp.cpp.o.d"
+  "test_fdp"
+  "test_fdp.pdb"
+  "test_fdp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fdp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_model_knobs.dir/test_model_knobs.cpp.o"
+  "CMakeFiles/test_model_knobs.dir/test_model_knobs.cpp.o.d"
+  "test_model_knobs"
+  "test_model_knobs.pdb"
+  "test_model_knobs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_model_knobs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multicore_system.dir/test_multicore_system.cpp.o"
+  "CMakeFiles/test_multicore_system.dir/test_multicore_system.cpp.o.d"
+  "test_multicore_system"
+  "test_multicore_system.pdb"
+  "test_multicore_system[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multicore_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

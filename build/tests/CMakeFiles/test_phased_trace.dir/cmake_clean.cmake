@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_phased_trace.dir/test_phased_trace.cpp.o"
+  "CMakeFiles/test_phased_trace.dir/test_phased_trace.cpp.o.d"
+  "test_phased_trace"
+  "test_phased_trace.pdb"
+  "test_phased_trace[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_phased_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

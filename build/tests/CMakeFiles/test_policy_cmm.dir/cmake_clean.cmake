@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_policy_cmm.dir/test_policy_cmm.cpp.o"
+  "CMakeFiles/test_policy_cmm.dir/test_policy_cmm.cpp.o.d"
+  "test_policy_cmm"
+  "test_policy_cmm.pdb"
+  "test_policy_cmm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_policy_cmm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_policy_cp.dir/test_policy_cp.cpp.o"
+  "CMakeFiles/test_policy_cp.dir/test_policy_cp.cpp.o.d"
+  "test_policy_cp"
+  "test_policy_cp.pdb"
+  "test_policy_cp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_policy_cp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

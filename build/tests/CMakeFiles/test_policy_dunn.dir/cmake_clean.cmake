@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_policy_dunn.dir/test_policy_dunn.cpp.o"
+  "CMakeFiles/test_policy_dunn.dir/test_policy_dunn.cpp.o.d"
+  "test_policy_dunn"
+  "test_policy_dunn.pdb"
+  "test_policy_dunn[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_policy_dunn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

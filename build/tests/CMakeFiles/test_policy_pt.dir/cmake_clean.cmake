@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_policy_pt.dir/test_policy_pt.cpp.o"
+  "CMakeFiles/test_policy_pt.dir/test_policy_pt.cpp.o.d"
+  "test_policy_pt"
+  "test_policy_pt.pdb"
+  "test_policy_pt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_policy_pt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

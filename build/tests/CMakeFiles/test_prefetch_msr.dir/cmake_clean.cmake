@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_prefetch_msr.dir/test_prefetch_msr.cpp.o"
+  "CMakeFiles/test_prefetch_msr.dir/test_prefetch_msr.cpp.o.d"
+  "test_prefetch_msr"
+  "test_prefetch_msr.pdb"
+  "test_prefetch_msr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_prefetch_msr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_run_harness.dir/test_run_harness.cpp.o"
+  "CMakeFiles/test_run_harness.dir/test_run_harness.cpp.o.d"
+  "test_run_harness"
+  "test_run_harness.pdb"
+  "test_run_harness[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_run_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

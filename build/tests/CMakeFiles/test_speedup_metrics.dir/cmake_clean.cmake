@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_speedup_metrics.dir/test_speedup_metrics.cpp.o"
+  "CMakeFiles/test_speedup_metrics.dir/test_speedup_metrics.cpp.o.d"
+  "test_speedup_metrics"
+  "test_speedup_metrics.pdb"
+  "test_speedup_metrics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_speedup_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_workload_mix.dir/test_workload_mix.cpp.o"
+  "CMakeFiles/test_workload_mix.dir/test_workload_mix.cpp.o.d"
+  "test_workload_mix"
+  "test_workload_mix.pdb"
+  "test_workload_mix[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_workload_mix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
