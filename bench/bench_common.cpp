@@ -1,7 +1,11 @@
 #include "bench_common.hpp"
 
+#include <algorithm>
 #include <cstdlib>
 #include <iostream>
+
+#include "analysis/solo_cache.hpp"
+#include "common/parallel.hpp"
 
 namespace cmm::bench {
 
@@ -35,6 +39,55 @@ std::vector<workloads::WorkloadMix> BenchEnv::workloads() const {
 
 MixEvaluator::MixEvaluator(BenchEnv env) : env_(std::move(env)) {}
 
+const analysis::BatchStats& MixEvaluator::warm(const std::vector<workloads::WorkloadMix>& mixes,
+                                               std::vector<std::string> policies) {
+  if (std::find(policies.begin(), policies.end(), "baseline") == policies.end()) {
+    policies.insert(policies.begin(), "baseline");
+  }
+
+  struct MixJob {
+    const workloads::WorkloadMix* mix;
+    const std::string* policy;
+    std::string key;
+  };
+  std::vector<MixJob> mix_jobs;
+  for (const auto& mix : mixes) {
+    for (const auto& policy : policies) {
+      std::string key = mix.name + "/" + policy;
+      if (!cache_.contains(key)) mix_jobs.push_back({&mix, &policy, std::move(key)});
+    }
+  }
+  std::vector<std::string> solos;
+  for (const auto& mix : mixes) {
+    for (const auto& b : mix.benchmarks) {
+      if (!alone_.contains(b) && std::find(solos.begin(), solos.end(), b) == solos.end()) {
+        solos.push_back(b);
+      }
+    }
+  }
+
+  // One batch over mix runs + alone solos. Every job owns its own
+  // system and policy instance, so results match the serial getters
+  // bit-for-bit; the maps are filled serially afterwards.
+  std::vector<analysis::RunResult> mix_results(mix_jobs.size());
+  std::vector<double> solo_ipcs(solos.size());
+  batch_ = analysis::run_batch(mix_jobs.size() + solos.size(), [&](std::size_t i) {
+    if (i < mix_jobs.size()) {
+      const auto policy = analysis::make_policy(*mix_jobs[i].policy, env_.params.detector());
+      mix_results[i] = analysis::run_mix(*mix_jobs[i].mix, *policy, env_.params);
+    } else {
+      const auto& name = solos[i - mix_jobs.size()];
+      solo_ipcs[i - mix_jobs.size()] =
+          analysis::run_solo_cached(name, env_.params, /*prefetch_on=*/true).cores.front().ipc;
+    }
+  });
+  for (std::size_t i = 0; i < mix_jobs.size(); ++i) {
+    cache_.emplace(std::move(mix_jobs[i].key), std::move(mix_results[i]));
+  }
+  for (std::size_t i = 0; i < solos.size(); ++i) alone_[solos[i]] = solo_ipcs[i];
+  return batch_;
+}
+
 const analysis::RunResult& MixEvaluator::run(const workloads::WorkloadMix& mix,
                                              const std::string& policy) {
   const std::string key = mix.name + "/" + policy;
@@ -47,7 +100,7 @@ const analysis::RunResult& MixEvaluator::run(const workloads::WorkloadMix& mix,
 double MixEvaluator::alone_ipc(const std::string& benchmark) {
   if (const auto it = alone_.find(benchmark); it != alone_.end()) return it->second;
   const double ipc =
-      analysis::run_solo(benchmark, env_.params, /*prefetch_on=*/true).cores.front().ipc;
+      analysis::run_solo_cached(benchmark, env_.params, /*prefetch_on=*/true).cores.front().ipc;
   alone_[benchmark] = ipc;
   return ipc;
 }
@@ -95,8 +148,14 @@ void print_preamble(const BenchEnv& env, const std::string& figure, const std::s
             << "machine: " << m.num_cores << " cores, LLC " << m.llc.size_bytes / 1024 << " KB/"
             << m.llc.ways << "w, L2 " << m.l2.size_bytes / 1024 << " KB, L1 "
             << m.l1d.size_bytes / 1024 << " KB | run " << env.params.run_cycles << " cycles, "
-            << env.mixes_per_category << " mixes/category, seed " << env.params.seed << "\n"
-            << "(scale with CMM_BENCH_SCALE / CMM_BENCH_CYCLES / CMM_BENCH_MIXES)\n\n";
+            << env.mixes_per_category << " mixes/category, seed " << env.params.seed << ", "
+            << resolve_threads(0) << " threads\n"
+            << "(scale with CMM_BENCH_SCALE / CMM_BENCH_CYCLES / CMM_BENCH_MIXES / "
+               "CMM_THREADS)\n\n";
+}
+
+void print_batch_summary(const analysis::BatchStats& stats) {
+  std::cout << "\n" << stats.json() << "\n";
 }
 
 double category_mean(MixEvaluator& eval, const std::vector<workloads::WorkloadMix>& mixes,

@@ -9,6 +9,9 @@
 //   CMM_BENCH_CYCLES  simulated cycles per workload run (default 8e6)
 //   CMM_BENCH_MIXES   workloads per category (default 3; paper uses 10)
 //   CMM_BENCH_SEED    workload/mix RNG seed (default 42)
+//   CMM_THREADS       worker threads for the parallel batch layer
+//                     (default: hardware_concurrency). Results are
+//                     bit-identical at any thread count.
 #pragma once
 
 #include <map>
@@ -35,10 +38,21 @@ struct BenchEnv {
 
 /// Memoizing runner: each (mix, policy) pair is simulated once per
 /// process; the baseline run and alone-IPC table are shared across
-/// figures within one binary.
+/// figures within one binary. warm() fans the simulations across
+/// worker threads; the metric getters then never simulate.
 class MixEvaluator {
  public:
   explicit MixEvaluator(BenchEnv env);
+
+  /// Precompute every (mix, policy) run — plus the "baseline" runs and
+  /// the alone-IPC solos the normalized metrics need — as one parallel
+  /// batch. Idempotent: already-cached pairs are skipped. Returns the
+  /// batch accounting (also kept, see batch_stats()).
+  const analysis::BatchStats& warm(const std::vector<workloads::WorkloadMix>& mixes,
+                                   std::vector<std::string> policies);
+
+  /// Accounting of the most recent warm() batch.
+  const analysis::BatchStats& batch_stats() const noexcept { return batch_; }
 
   const analysis::RunResult& run(const workloads::WorkloadMix& mix, const std::string& policy);
 
@@ -65,12 +79,17 @@ class MixEvaluator {
   double hs(const analysis::RunResult& result);
 
   BenchEnv env_;
+  analysis::BatchStats batch_{};
   std::map<std::string, analysis::RunResult> cache_;
   std::map<std::string, double> alone_;
 };
 
 /// Print the standard figure preamble (machine + parameters).
 void print_preamble(const BenchEnv& env, const std::string& figure, const std::string& what);
+
+/// Print the one-line JSON batch summary (jobs, threads, cache traffic,
+/// wall time, speedup) that the BENCH_*.json capture parses.
+void print_batch_summary(const analysis::BatchStats& stats);
 
 /// Mean of a metric over the mixes of one category.
 double category_mean(MixEvaluator& eval, const std::vector<workloads::WorkloadMix>& mixes,

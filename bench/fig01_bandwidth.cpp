@@ -11,18 +11,27 @@ int main() {
   const auto env = bench::BenchEnv::from_env();
   bench::print_preamble(env, "Fig 1", "memory bandwidth with and without prefetching");
 
-  analysis::RunParams params = env.params;
+  const auto& suite = workloads::benchmark_suite();
+  std::vector<analysis::SoloQuery> queries;
+  for (const auto& spec : suite) {
+    queries.push_back({spec.name, /*prefetch_on=*/false, 0});
+    queries.push_back({spec.name, /*prefetch_on=*/true, 0});
+  }
+  analysis::BatchStats stats;
+  const auto results = analysis::run_solo_batch(queries, env.params, {}, &stats);
+
   analysis::Table table(
       {"benchmark", "demand GB/s (pf off)", "total GB/s (pf on)", "increase %"});
-  for (const auto& spec : workloads::benchmark_suite()) {
-    const auto off = analysis::run_solo(spec.name, params, false);
-    const auto on = analysis::run_solo(spec.name, params, true);
+  for (std::size_t i = 0; i < suite.size(); ++i) {
+    const auto& off = results[2 * i];
+    const auto& on = results[2 * i + 1];
     const double bw_off = off.cores.front().total_gbs();
     const double bw_on = on.cores.front().total_gbs();
     const double gain = bw_off > 0 ? 100.0 * (bw_on - bw_off) / bw_off : 0.0;
-    table.add_row({spec.name, analysis::Table::fmt(off.cores.front().demand_gbs, 2),
+    table.add_row({suite[i].name, analysis::Table::fmt(off.cores.front().demand_gbs, 2),
                    analysis::Table::fmt(bw_on, 2), analysis::Table::fmt(gain, 1)});
   }
   table.print(std::cout);
+  bench::print_batch_summary(stats);
   return 0;
 }

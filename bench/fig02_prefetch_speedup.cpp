@@ -10,15 +10,25 @@ int main() {
   const auto env = bench::BenchEnv::from_env();
   bench::print_preamble(env, "Fig 2", "IPC speedup from prefetching (solo)");
 
+  const auto& suite = workloads::benchmark_suite();
+  std::vector<analysis::SoloQuery> queries;
+  for (const auto& spec : suite) {
+    queries.push_back({spec.name, /*prefetch_on=*/false, 0});
+    queries.push_back({spec.name, /*prefetch_on=*/true, 0});
+  }
+  analysis::BatchStats stats;
+  const auto results = analysis::run_solo_batch(queries, env.params, {}, &stats);
+
   analysis::Table table({"benchmark", "ipc pf off", "ipc pf on", "speedup"});
-  for (const auto& spec : workloads::benchmark_suite()) {
-    const auto off = analysis::run_solo(spec.name, env.params, false);
-    const auto on = analysis::run_solo(spec.name, env.params, true);
+  for (std::size_t i = 0; i < suite.size(); ++i) {
+    const auto& off = results[2 * i];
+    const auto& on = results[2 * i + 1];
     const double s =
         off.cores.front().ipc > 0 ? on.cores.front().ipc / off.cores.front().ipc : 0.0;
-    table.add_row({spec.name, analysis::Table::fmt(off.cores.front().ipc),
+    table.add_row({suite[i].name, analysis::Table::fmt(off.cores.front().ipc),
                    analysis::Table::fmt(on.cores.front().ipc), analysis::Table::fmt(s, 2)});
   }
   table.print(std::cout);
+  bench::print_batch_summary(stats);
   return 0;
 }

@@ -18,16 +18,24 @@ int main() {
   headers.push_back("w90");
   analysis::Table table(headers);
 
-  for (const auto& spec : workloads::benchmark_suite()) {
+  const auto& suite = workloads::benchmark_suite();
+  std::vector<analysis::SoloQuery> queries;
+  for (const auto& spec : suite) {
+    for (unsigned w = 1; w <= total_ways; ++w) queries.push_back({spec.name, true, w});
+  }
+  analysis::BatchStats stats;
+  const auto results = analysis::run_solo_batch(queries, env.params, {}, &stats);
+
+  for (std::size_t b = 0; b < suite.size(); ++b) {
     std::vector<double> ipc(total_ways + 1, 0.0);
     double best = 0.0;
     for (unsigned w = 1; w <= total_ways; ++w) {
-      ipc[w] = analysis::run_solo(spec.name, env.params, true, w).cores.front().ipc;
+      ipc[w] = results[b * total_ways + (w - 1)].cores.front().ipc;
       best = std::max(best, ipc[w]);
     }
     unsigned w80 = 0;
     unsigned w90 = 0;
-    std::vector<std::string> row{spec.name};
+    std::vector<std::string> row{suite[b].name};
     for (unsigned w = 1; w <= total_ways; ++w) {
       row.push_back(analysis::Table::fmt(best > 0 ? ipc[w] / best : 0.0, 2));
       if (w80 == 0 && ipc[w] >= 0.8 * best) w80 = w;
@@ -39,5 +47,6 @@ int main() {
   }
   table.print(std::cout);
   std::cout << "\n(values are IPC normalized to the benchmark's best across ways)\n";
+  bench::print_batch_summary(stats);
   return 0;
 }

@@ -12,6 +12,7 @@ int main() {
 
   bench::MixEvaluator eval(env);
   const auto mixes = env.workloads();
+  eval.warm(mixes, {"pt"});
 
   analysis::Table table({"workload", "HS/HS_base", "WS"});
   for (const auto& mix : mixes) {
@@ -32,5 +33,6 @@ int main() {
                        eval, mixes, category, "pt", &bench::MixEvaluator::normalized_ws))});
   }
   means.print(std::cout);
+  bench::print_batch_summary(eval.batch_stats());
   return 0;
 }

@@ -13,6 +13,7 @@ int main() {
 
   bench::MixEvaluator eval(env);
   const auto mixes = env.workloads();
+  eval.warm(mixes, {"pt"});
 
   unsigned degraded = 0;
   analysis::Table table({"workload", "worst-case speedup"});
@@ -24,5 +25,6 @@ int main() {
   table.print(std::cout);
   std::cout << "\nworkloads with an application degraded >20%: " << degraded << "/"
             << mixes.size() << "\n";
+  bench::print_batch_summary(eval.batch_stats());
   return 0;
 }

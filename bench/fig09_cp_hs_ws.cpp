@@ -13,6 +13,7 @@ int main() {
   bench::MixEvaluator eval(env);
   const auto mixes = env.workloads();
   const std::vector<std::string> policies{"dunn", "pref_cp", "pref_cp2"};
+  eval.warm(mixes, policies);
 
   analysis::Table table({"workload", "dunn HS", "pref_cp HS", "pref_cp2 HS", "dunn WS",
                          "pref_cp WS", "pref_cp2 WS"});
@@ -37,5 +38,6 @@ int main() {
     means.add_row(std::move(row));
   }
   means.print(std::cout);
+  bench::print_batch_summary(eval.batch_stats());
   return 0;
 }

@@ -11,6 +11,7 @@ int main() {
 
   bench::MixEvaluator eval(env);
   const auto mixes = env.workloads();
+  eval.warm(mixes, {"dunn", "pref_cp", "pref_cp2"});
 
   analysis::Table table({"workload", "dunn", "pref_cp", "pref_cp2"});
   for (const auto& mix : mixes) {
@@ -19,5 +20,6 @@ int main() {
                    analysis::Table::fmt(eval.worst_case(mix, "pref_cp2"))});
   }
   table.print(std::cout);
+  bench::print_batch_summary(eval.batch_stats());
   return 0;
 }

@@ -13,6 +13,7 @@ int main() {
   bench::MixEvaluator eval(env);
   const auto mixes = env.workloads();
   const std::vector<std::string> policies{"cmm_a", "cmm_b", "cmm_c"};
+  eval.warm(mixes, policies);
 
   analysis::Table table(
       {"workload", "cmm_a HS", "cmm_b HS", "cmm_c HS", "cmm_a WS", "cmm_b WS", "cmm_c WS"});
@@ -37,5 +38,6 @@ int main() {
     means.add_row(std::move(row));
   }
   means.print(std::cout);
+  bench::print_batch_summary(eval.batch_stats());
   return 0;
 }

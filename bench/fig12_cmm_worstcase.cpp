@@ -12,6 +12,7 @@ int main() {
 
   bench::MixEvaluator eval(env);
   const auto mixes = env.workloads();
+  eval.warm(mixes, {"cmm_a", "cmm_b", "cmm_c"});
 
   unsigned above80 = 0;
   unsigned above90 = 0;
@@ -29,5 +30,6 @@ int main() {
   table.print(std::cout);
   std::cout << "\nworkloads with worst-case >= 0.8 under all variants: " << above80 << "/"
             << mixes.size() << "  (>= 0.9: " << above90 << ")\n";
+  bench::print_batch_summary(eval.batch_stats());
   return 0;
 }

@@ -13,6 +13,7 @@ int main() {
   bench::MixEvaluator eval(env);
   const auto mixes = env.workloads();
   const auto policies = analysis::mechanism_names();
+  eval.warm(mixes, policies);
 
   std::vector<std::string> headers{"category"};
   for (const auto& p : policies) headers.push_back(p);
@@ -42,5 +43,6 @@ int main() {
     ws.add_row(std::move(row));
   }
   ws.print(std::cout);
+  bench::print_batch_summary(eval.batch_stats());
   return 0;
 }

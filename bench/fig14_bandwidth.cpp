@@ -14,6 +14,7 @@ int main() {
   bench::MixEvaluator eval(env);
   const auto mixes = env.workloads();
   const auto policies = analysis::mechanism_names();
+  eval.warm(mixes, policies);
 
   std::vector<std::string> headers{"workload"};
   for (const auto& p : policies) headers.push_back(p);
@@ -39,5 +40,6 @@ int main() {
     means.add_row(std::move(row));
   }
   means.print(std::cout);
+  bench::print_batch_summary(eval.batch_stats());
   return 0;
 }

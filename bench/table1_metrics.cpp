@@ -17,13 +17,18 @@ int main() {
                                            env.params.machine.num_cores, env.params.seed);
   const auto& mix = mixes.front();
 
-  sim::MulticoreSystem system(env.params.machine);
-  workloads::attach_mix(system, mix, env.params.seed);
-  system.run(2'000'000);  // warm, all prefetchers on (baseline state)
-  const auto before = system.pmu().snapshot();
-  system.run(200'000);
-  const auto deltas = hw::pmu_delta(system.pmu().snapshot(), before);
-  const auto metrics = core::compute_all_metrics(deltas, env.params.machine.freq_ghz);
+  // Single-job batch: the run owns its own system, and the batch layer
+  // contributes the timing/summary accounting the BENCH capture reads.
+  std::vector<core::CoreMetrics> metrics;
+  const auto stats = analysis::run_batch(1, [&](std::size_t) {
+    sim::MulticoreSystem system(env.params.machine);
+    workloads::attach_mix(system, mix, env.params.seed);
+    system.run(2'000'000);  // warm, all prefetchers on (baseline state)
+    const auto before = system.pmu().snapshot();
+    system.run(200'000);
+    const auto deltas = hw::pmu_delta(system.pmu().snapshot(), before);
+    metrics = core::compute_all_metrics(deltas, env.params.machine.freq_ghz);
+  });
 
   analysis::Table table({"core", "benchmark", "M-1 l2->llc", "M-2 pref_frac", "M-3 PTR(M/s)",
                          "M-4 PGA", "M-5 PMR", "M-6 PPM", "M-7 LLC_PT(GB/s)", "ipc"});
@@ -36,5 +41,6 @@ int main() {
                    analysis::Table::fmt(m.ipc, 3)});
   }
   table.print(std::cout);
+  bench::print_batch_summary(stats);
   return 0;
 }

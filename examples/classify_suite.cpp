@@ -1,10 +1,16 @@
 // classify_suite: characterise every benchmark in the synthetic suite
 // the way the paper characterises SPEC CPU2006 (Sec. IV-B, Figs 1-3)
 // and print the measured class against the spec's expectation.
+// Benchmarks are classified in parallel (one job each); every solo run
+// goes through the process-wide memo cache, so results are identical at
+// any thread count.
 //
-// Usage: classify_suite [scale_divisor] [run_cycles]
+// Usage: classify_suite [scale_divisor] [run_cycles] [--threads N]
+//        (thread count also honours CMM_THREADS; default all cores)
 #include <cstdlib>
+#include <cstring>
 #include <iostream>
+#include <vector>
 
 #include "analysis/run_harness.hpp"
 #include "analysis/table.hpp"
@@ -12,20 +18,42 @@
 int main(int argc, char** argv) {
   using namespace cmm;
 
-  unsigned scale = argc > 1 ? static_cast<unsigned>(std::atoi(argv[1])) : 8;
+  analysis::BatchOptions batch;
+  std::vector<const char*> positional;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      batch.threads = static_cast<unsigned>(std::atoi(argv[++i]));
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+
+  unsigned scale = !positional.empty() ? static_cast<unsigned>(std::atoi(positional[0])) : 8;
   analysis::RunParams params;
   params.machine = sim::MachineConfig::scaled(scale);
-  if (argc > 2) params.run_cycles = static_cast<Cycle>(std::atoll(argv[2]));
+  if (positional.size() > 1) params.run_cycles = static_cast<Cycle>(std::atoll(positional[1]));
 
   std::cout << "Machine: LLC " << params.machine.llc.size_bytes / 1024 << " KB / "
             << params.machine.llc.ways << " ways, L2 " << params.machine.l2.size_bytes / 1024
             << " KB, L1 " << params.machine.l1d.size_bytes / 1024 << " KB\n\n";
 
+  const auto& suite = workloads::benchmark_suite();
+  std::vector<analysis::BenchmarkClassification> classes(suite.size());
+  // Outer batch over benchmarks; each classification runs its own solo
+  // batch serially so the pools don't nest.
+  const auto stats = analysis::run_batch(
+      suite.size(),
+      [&](std::size_t i) {
+        classes[i] = analysis::classify_benchmark(suite[i].name, params, {},
+                                                  analysis::BatchOptions{.threads = 1});
+      },
+      batch);
+
   analysis::Table table({"benchmark", "dBW(GB/s)", "bwGain%", "pfSpeedup", "w80", "w90",
                          "agg", "fri", "llc", "expected"});
-
-  for (const auto& spec : workloads::benchmark_suite()) {
-    const auto c = analysis::classify_benchmark(spec.name, params);
+  for (std::size_t i = 0; i < suite.size(); ++i) {
+    const auto& spec = suite[i];
+    const auto& c = classes[i];
     std::string expected;
     expected += spec.expect_prefetch_aggressive ? 'A' : '-';
     expected += spec.expect_prefetch_friendly ? 'F' : '-';
@@ -37,5 +65,6 @@ int main(int argc, char** argv) {
                    c.prefetch_friendly ? "F" : "-", c.llc_sensitive ? "S" : "-", expected});
   }
   table.print(std::cout);
+  std::cout << "\n" << stats.json() << "\n";
   return 0;
 }

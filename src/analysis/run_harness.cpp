@@ -1,9 +1,14 @@
 #include "analysis/run_harness.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <sstream>
 #include <stdexcept>
 
+#include "analysis/solo_cache.hpp"
 #include "common/bitmask.hpp"
+#include "common/parallel.hpp"
 #include "core/policy_baseline.hpp"
 #include "core/policy_cmm.hpp"
 #include "core/policy_cp.hpp"
@@ -96,6 +101,84 @@ RunResult run_mix(const workloads::WorkloadMix& mix, core::Policy& policy,
   return result;
 }
 
+double BatchStats::speedup() const noexcept {
+  return wall_seconds > 0.0 ? job_seconds / wall_seconds : 0.0;
+}
+
+std::string BatchStats::json() const {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(3);
+  os << "{\"jobs\":" << jobs << ",\"threads\":" << threads << ",\"cache_hits\":" << cache_hits
+     << ",\"cache_misses\":" << cache_misses << ",\"wall_s\":" << wall_seconds
+     << ",\"job_s\":" << job_seconds << ",\"speedup\":" << speedup() << "}";
+  return std::move(os).str();
+}
+
+BatchStats run_batch(std::size_t n, const std::function<void(std::size_t)>& job,
+                     const BatchOptions& opts) {
+  BatchStats stats;
+  stats.jobs = n;
+  stats.threads = resolve_threads(opts.threads);
+
+  auto& cache = SoloRunCache::global();
+  const std::size_t hits_before = cache.hits();
+  const std::size_t misses_before = cache.misses();
+
+  std::atomic<std::uint64_t> job_nanos{0};
+  const auto t0 = std::chrono::steady_clock::now();
+  parallel_for(n, stats.threads, [&](std::size_t i) {
+    const auto s = std::chrono::steady_clock::now();
+    job(i);
+    const auto e = std::chrono::steady_clock::now();
+    job_nanos.fetch_add(
+        static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(e - s).count()),
+        std::memory_order_relaxed);
+  });
+  const auto t1 = std::chrono::steady_clock::now();
+
+  stats.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+  stats.job_seconds = static_cast<double>(job_nanos.load(std::memory_order_relaxed)) * 1e-9;
+  stats.cache_hits = cache.hits() - hits_before;
+  stats.cache_misses = cache.misses() - misses_before;
+  return stats;
+}
+
+std::vector<RunResult> run_solo_batch(const std::vector<SoloQuery>& queries,
+                                      const RunParams& params, const BatchOptions& opts,
+                                      BatchStats* stats) {
+  std::vector<RunResult> results(queries.size());
+  const auto s = run_batch(
+      queries.size(),
+      [&](std::size_t i) {
+        const auto& q = queries[i];
+        results[i] = run_solo_cached(q.benchmark, params, q.prefetch_on, q.ways);
+      },
+      opts);
+  if (stats != nullptr) *stats = s;
+  return results;
+}
+
+std::vector<RunResult> for_each_mix(const std::vector<workloads::WorkloadMix>& mixes,
+                                    const std::vector<std::string>& policies,
+                                    const RunParams& params, const BatchOptions& opts,
+                                    BatchStats* stats) {
+  const std::size_t n = mixes.size() * policies.size();
+  std::vector<RunResult> results(n);
+  const auto s = run_batch(
+      n,
+      [&](std::size_t i) {
+        const auto& mix = mixes[i / policies.size()];
+        const auto& name = policies[i % policies.size()];
+        const auto policy = make_policy(name, params.detector());
+        results[i] = run_mix(mix, *policy, params);
+      },
+      opts);
+  if (stats != nullptr) *stats = s;
+  return results;
+}
+
 std::vector<std::string> mechanism_names() {
   return {"pt", "dunn", "pref_cp", "pref_cp2", "cmm_a", "cmm_b", "cmm_c"};
 }
@@ -132,22 +215,45 @@ std::unique_ptr<core::Policy> make_policy(const std::string& name,
 }
 
 std::map<std::string, double> compute_alone_ipcs(const std::vector<std::string>& benchmarks,
-                                                 const RunParams& params) {
-  std::map<std::string, double> table;
+                                                 const RunParams& params,
+                                                 const BatchOptions& opts) {
+  std::vector<std::string> unique;
   for (const auto& name : benchmarks) {
-    if (table.contains(name)) continue;
-    table[name] = run_solo(name, params, /*prefetch_on=*/true).cores.front().ipc;
+    if (std::find(unique.begin(), unique.end(), name) == unique.end()) unique.push_back(name);
+  }
+  std::vector<SoloQuery> queries;
+  queries.reserve(unique.size());
+  for (const auto& name : unique) queries.push_back({name, /*prefetch_on=*/true, 0});
+  const auto results = run_solo_batch(queries, params, opts);
+
+  std::map<std::string, double> table;
+  for (std::size_t i = 0; i < unique.size(); ++i) {
+    table[unique[i]] = results[i].cores.front().ipc;
   }
   return table;
 }
 
 BenchmarkClassification classify_benchmark(const std::string& name, const RunParams& params,
-                                           const ClassifierThresholds& thresholds) {
+                                           const ClassifierThresholds& thresholds,
+                                           const BatchOptions& opts) {
   BenchmarkClassification c;
   c.name = name;
 
-  const RunResult off = run_solo(name, params, /*prefetch_on=*/false);
-  const RunResult on = run_solo(name, params, /*prefetch_on=*/true);
+  // Way sweep grid (prefetch on), paper Fig. 3 — coarse; the dedicated
+  // fig03 bench sweeps every way count.
+  const unsigned total_ways = params.machine.llc.ways;
+  std::vector<unsigned> grid;
+  for (const unsigned w : {1U, 2U, 3U, 4U, 6U, 8U, 10U, 12U, 16U, 20U}) {
+    if (w <= total_ways) grid.push_back(w);
+  }
+  if (grid.empty() || grid.back() != total_ways) grid.push_back(total_ways);
+
+  // One memoized batch: prefetch off/on plus the whole way sweep.
+  std::vector<SoloQuery> queries{{name, /*prefetch_on=*/false, 0}, {name, /*prefetch_on=*/true, 0}};
+  for (const unsigned w : grid) queries.push_back({name, /*prefetch_on=*/true, w});
+  const auto results = run_solo_batch(queries, params, opts);
+  const RunResult& off = results[0];
+  const RunResult& on = results[1];
 
   const double bw_off = off.cores.front().total_gbs();
   const double bw_on = on.cores.front().total_gbs();
@@ -156,18 +262,10 @@ BenchmarkClassification classify_benchmark(const std::string& name, const RunPar
   const double ipc_off = off.cores.front().ipc;
   c.prefetch_speedup = ipc_off > 0.0 ? on.cores.front().ipc / ipc_off : 0.0;
 
-  // Way sweep (prefetch on), paper Fig. 3 — on a coarse grid; the
-  // dedicated fig03 bench sweeps every way count.
-  const unsigned total_ways = params.machine.llc.ways;
-  std::vector<unsigned> grid;
-  for (const unsigned w : {1U, 2U, 3U, 4U, 6U, 8U, 10U, 12U, 16U, 20U}) {
-    if (w <= total_ways) grid.push_back(w);
-  }
-  if (grid.empty() || grid.back() != total_ways) grid.push_back(total_ways);
   std::vector<double> ipc_at(grid.size(), 0.0);
   double best = 0.0;
   for (std::size_t i = 0; i < grid.size(); ++i) {
-    ipc_at[i] = run_solo(name, params, true, grid[i]).cores.front().ipc;
+    ipc_at[i] = results[2 + i].cores.front().ipc;
     best = std::max(best, ipc_at[i]);
   }
   for (std::size_t i = 0; i < grid.size(); ++i) {

@@ -41,6 +41,8 @@ struct CoreRunStats {
   double total_gbs() const noexcept { return demand_gbs + prefetch_gbs; }
   std::uint64_t stalls_l2_pending = 0;
   sim::PmuCounters counters;  // deltas over the measured span
+
+  bool operator==(const CoreRunStats&) const = default;
 };
 
 struct RunResult {
@@ -50,6 +52,9 @@ struct RunResult {
   std::vector<double> ipcs() const;
   double total_gbs() const;
   std::uint64_t total_stalls() const;
+
+  /// Bit-exact: parallel batches must reproduce the serial path.
+  bool operator==(const RunResult&) const = default;
 };
 
 /// Run one benchmark alone on a single-core machine derived from
@@ -64,6 +69,57 @@ RunResult run_solo(const std::string& benchmark, const RunParams& params, bool p
 RunResult run_mix(const workloads::WorkloadMix& mix, core::Policy& policy,
                   const RunParams& params);
 
+// ----------------------------------------------------- parallel batches
+
+/// Knobs for the parallel batch layer. threads == 0 defers to the
+/// CMM_THREADS environment variable, then hardware_concurrency.
+struct BatchOptions {
+  unsigned threads = 0;
+};
+
+/// Accounting for one batch; json() is the one-line summary the bench
+/// binaries print so the perf trajectory lands in their captured
+/// output.
+struct BatchStats {
+  std::size_t jobs = 0;
+  unsigned threads = 1;
+  std::size_t cache_hits = 0;  // global solo-cache traffic during the batch
+  std::size_t cache_misses = 0;
+  double wall_seconds = 0.0;
+  double job_seconds = 0.0;  // sum of per-job wall times
+
+  /// Parallel efficiency proxy: job_seconds / wall_seconds.
+  double speedup() const noexcept;
+  std::string json() const;
+};
+
+/// Run job(0..n-1) across resolve_threads(opts.threads) workers with
+/// per-job timing and solo-cache accounting. Jobs must own all mutable
+/// state (system, policy, RNG stream) so batch results are bit-identical
+/// to the serial path at any thread count.
+BatchStats run_batch(std::size_t n, const std::function<void(std::size_t)>& job,
+                     const BatchOptions& opts = {});
+
+/// One solo-characterisation request within a batch.
+struct SoloQuery {
+  std::string benchmark;
+  bool prefetch_on = true;
+  unsigned ways = 0;  // 0 = all ways
+};
+
+/// Memoized parallel solo runs; results in query order.
+std::vector<RunResult> run_solo_batch(const std::vector<SoloQuery>& queries,
+                                      const RunParams& params, const BatchOptions& opts = {},
+                                      BatchStats* stats = nullptr);
+
+/// Run every (mix, policy) pair concurrently; each job owns its own
+/// MulticoreSystem and policy instance. Results indexed
+/// [mix_index * policies.size() + policy_index].
+std::vector<RunResult> for_each_mix(const std::vector<workloads::WorkloadMix>& mixes,
+                                    const std::vector<std::string>& policies,
+                                    const RunParams& params, const BatchOptions& opts = {},
+                                    BatchStats* stats = nullptr);
+
 // ----------------------------------------------------------- policies
 
 /// The evaluated mechanisms, paper order: pt, dunn, pref_cp, pref_cp2,
@@ -77,9 +133,11 @@ std::unique_ptr<core::Policy> make_policy(const std::string& name,
 // --------------------------------------------------------- alone IPCs
 
 /// IPC of each benchmark running alone (baseline config), keyed by
-/// name. Computed once per (machine, seed); used by HS.
+/// name. Deduplicates, then runs the distinct solos as one memoized
+/// parallel batch; used by HS.
 std::map<std::string, double> compute_alone_ipcs(const std::vector<std::string>& benchmarks,
-                                                 const RunParams& params);
+                                                 const RunParams& params,
+                                                 const BatchOptions& opts = {});
 
 // ------------------------------------------------------ classification
 
@@ -104,7 +162,10 @@ struct ClassifierThresholds {
   unsigned sensitive_ways_min = 8;  // needs >= 8 ways for 80 % of peak
 };
 
+/// All ~12 solo runs behind one classification go through the memo
+/// cache and run as one batch (`opts.threads` workers).
 BenchmarkClassification classify_benchmark(const std::string& name, const RunParams& params,
-                                           const ClassifierThresholds& thresholds = {});
+                                           const ClassifierThresholds& thresholds = {},
+                                           const BatchOptions& opts = {});
 
 }  // namespace cmm::analysis

@@ -1,0 +1,70 @@
+#include "analysis/solo_cache.hpp"
+
+#include <sstream>
+
+namespace cmm::analysis {
+
+std::string SoloRunCache::key_of(const std::string& benchmark, const RunParams& params,
+                                 bool prefetch_on, unsigned ways) {
+  std::ostringstream os;
+  os << std::hexfloat;  // exact double round-trip
+  os << benchmark << '|' << (prefetch_on ? 1 : 0) << '|' << ways << '|' << params.seed << '|'
+     << params.warmup_cycles << '|' << params.run_cycles << '|';
+  const auto& m = params.machine;
+  os << m.num_cores << '|';
+  for (const auto& g : {m.l1d, m.l2, m.llc}) {
+    os << g.size_bytes << '/' << g.ways << '/' << g.line_size << '|';
+  }
+  os << m.l1_latency << '|' << m.l2_latency << '|' << m.llc_latency << '|' << m.dram_base_latency
+     << '|' << m.freq_ghz << '|' << m.dram_peak_bytes_per_cycle << '|' << m.bandwidth_window << '|'
+     << m.quantum << '|' << m.instant_prefetch_fills << m.bandwidth_queueing << m.inclusive_llc
+     << m.model_writebacks;
+  return std::move(os).str();
+}
+
+const RunResult& SoloRunCache::get_or_run(const std::string& benchmark, const RunParams& params,
+                                          bool prefetch_on, unsigned ways) {
+  const std::string key = key_of(benchmark, params, prefetch_on, ways);
+  Entry* entry = nullptr;
+  {
+    std::lock_guard lock(mu_);
+    const auto [it, inserted] = entries_.try_emplace(key);
+    if (inserted) {
+      it->second = std::make_unique<Entry>();
+      misses_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+    }
+    entry = it->second.get();
+  }
+  std::call_once(entry->once, [&] {
+    entry->result = run_solo(benchmark, params, prefetch_on, ways);
+    computed_.fetch_add(1, std::memory_order_relaxed);
+  });
+  return entry->result;
+}
+
+std::size_t SoloRunCache::size() const {
+  std::lock_guard lock(mu_);
+  return entries_.size();
+}
+
+void SoloRunCache::clear() {
+  std::lock_guard lock(mu_);
+  entries_.clear();
+  hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
+  computed_.store(0, std::memory_order_relaxed);
+}
+
+SoloRunCache& SoloRunCache::global() {
+  static SoloRunCache cache;
+  return cache;
+}
+
+const RunResult& run_solo_cached(const std::string& benchmark, const RunParams& params,
+                                 bool prefetch_on, unsigned ways) {
+  return SoloRunCache::global().get_or_run(benchmark, params, prefetch_on, ways);
+}
+
+}  // namespace cmm::analysis

@@ -1,0 +1,71 @@
+// Process-wide memo cache for run_solo. Solo characterisation runs are
+// pure functions of (benchmark, machine config, seed, cycles,
+// prefetch_on, ways); the figure benches, the alone-IPC table, and the
+// Sec. IV-B classifier keep asking for the same ones. The cache is
+// thread-safe: concurrent lookups of one key run the simulation exactly
+// once (losers block on the winner's std::call_once).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "analysis/run_harness.hpp"
+
+namespace cmm::analysis {
+
+class SoloRunCache {
+ public:
+  SoloRunCache() = default;
+  SoloRunCache(const SoloRunCache&) = delete;
+  SoloRunCache& operator=(const SoloRunCache&) = delete;
+
+  /// Lookup, simulating on first use. The returned reference stays
+  /// valid for the cache's lifetime — entries are never evicted.
+  /// clear() must not race with lookups.
+  const RunResult& get_or_run(const std::string& benchmark, const RunParams& params,
+                              bool prefetch_on, unsigned ways = 0);
+
+  /// Canonical cache key. Covers every input run_solo reads — the full
+  /// machine config (geometry, latencies, bandwidth, model knobs),
+  /// warmup/run cycles, seed, prefetch gate, and way limit — so
+  /// distinct configurations can never collide.
+  static std::string key_of(const std::string& benchmark, const RunParams& params,
+                            bool prefetch_on, unsigned ways);
+
+  /// Lookups that found an existing entry (they may still have waited
+  /// for the entry's first computation to finish).
+  std::size_t hits() const noexcept { return hits_.load(std::memory_order_relaxed); }
+  /// Lookups that inserted a new entry.
+  std::size_t misses() const noexcept { return misses_.load(std::memory_order_relaxed); }
+  /// Simulations actually executed; equals misses() in steady state —
+  /// the "exactly once per key" guarantee made observable.
+  std::size_t computed() const noexcept { return computed_.load(std::memory_order_relaxed); }
+
+  std::size_t size() const;
+  void clear();
+
+  /// Process-wide instance used by run_solo_cached and the batch layer.
+  static SoloRunCache& global();
+
+ private:
+  struct Entry {
+    std::once_flag once;
+    RunResult result;
+  };
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, std::unique_ptr<Entry>> entries_;
+  std::atomic<std::size_t> hits_{0};
+  std::atomic<std::size_t> misses_{0};
+  std::atomic<std::size_t> computed_{0};
+};
+
+/// run_solo through the global memo cache; bit-identical to run_solo.
+const RunResult& run_solo_cached(const std::string& benchmark, const RunParams& params,
+                                 bool prefetch_on, unsigned ways = 0);
+
+}  // namespace cmm::analysis

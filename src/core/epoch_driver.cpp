@@ -18,6 +18,7 @@ void EpochDriver::apply(const ResourceConfig& cfg) {
     prefetch_.set_core_prefetchers(c, cfg.prefetch_on[c]);
   }
   cat_.apply(cfg.way_masks);
+  current_ = cfg;
 }
 
 std::vector<sim::PmuCounters> EpochDriver::run_span(Cycle span) {
@@ -36,8 +37,7 @@ void EpochDriver::run(Cycle total_cycles) {
   while (system_.now() < end) {
     // ---- Execution epoch ----
     const Cycle exec_len = std::min<Cycle>(cfg_.execution_epoch, end - system_.now());
-    log_.push_back({EpochLogEntry::Kind::Execution, system_.now(), exec_len,
-                    ResourceConfig{}});  // config recorded below once known cheaply
+    log_.push_back({EpochLogEntry::Kind::Execution, system_.now(), exec_len, current_});
     const auto epoch_delta = run_span(exec_len);
     for (CoreId c = 0; c < epoch_delta.size(); ++c) {
       auto& acc = exec_accum_[c];

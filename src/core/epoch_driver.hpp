@@ -59,6 +59,7 @@ class EpochDriver {
   hw::SimPmuReader pmu_;
 
   bool started_ = false;
+  ResourceConfig current_;  // config most recently applied to hardware
   std::vector<EpochLogEntry> log_;
   std::vector<sim::PmuCounters> exec_accum_;
 };

@@ -121,6 +121,28 @@ TEST(EpochDriver, AppliesSampleConfigsToHardware) {
   EXPECT_TRUE(policy.reported[1].config.prefetch_on[0]);
 }
 
+TEST(EpochDriver, ExecutionEntriesRecordAppliedConfig) {
+  auto sys_ptr = make_system();
+  auto& sys = *sys_ptr;
+  ProbePolicy policy(2);
+  EpochDriver driver(sys, policy, epochs());
+  driver.run(1'000'000);
+
+  // ProbePolicy's initial and final configs are both the baseline, so
+  // every execution epoch must log exactly that — never the empty
+  // ResourceConfig{} placeholder.
+  const auto baseline = ResourceConfig::baseline(sys.num_cores(), sys.cat().llc_ways());
+  unsigned executions = 0;
+  for (const auto& e : driver.log()) {
+    if (e.kind != EpochLogEntry::Kind::Execution) continue;
+    ++executions;
+    ASSERT_EQ(e.config.prefetch_on.size(), sys.num_cores());
+    ASSERT_EQ(e.config.way_masks.size(), sys.num_cores());
+    EXPECT_EQ(e.config, baseline);
+  }
+  EXPECT_GE(executions, 2u);
+}
+
 TEST(EpochDriver, SampleCapRespected) {
   auto sys_ptr = make_system();
   auto& sys = *sys_ptr;

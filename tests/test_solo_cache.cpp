@@ -1,0 +1,119 @@
+// SoloRunCache: value-correct hits, collision-free keys across every
+// run_solo input, and exactly-once computation under concurrent lookups.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "analysis/solo_cache.hpp"
+#include "common/parallel.hpp"
+
+namespace cmm::analysis {
+namespace {
+
+RunParams fast_params() {
+  RunParams p;
+  p.machine = sim::MachineConfig::scaled(32);
+  p.warmup_cycles = 100'000;
+  p.run_cycles = 300'000;
+  return p;
+}
+
+TEST(SoloRunCache, HitReturnsSameStatsValue) {
+  SoloRunCache cache;
+  const auto params = fast_params();
+  const RunResult& first = cache.get_or_run("libquantum", params, true);
+  const RunResult& second = cache.get_or_run("libquantum", params, true);
+  EXPECT_EQ(&first, &second);  // entries are stable, never copied
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(first, run_solo("libquantum", params, true));
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.computed(), 1u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(SoloRunCache, DistinctTuplesNeverCollide) {
+  SoloRunCache cache;
+  const auto params = fast_params();
+  RunParams other_seed = params;
+  other_seed.seed = 43;
+
+  cache.get_or_run("libquantum", params, true, 0);
+  cache.get_or_run("soplex", params, true, 0);      // different benchmark
+  cache.get_or_run("libquantum", params, false, 0);  // different prefetch gate
+  cache.get_or_run("libquantum", params, true, 2);   // different way limit
+  cache.get_or_run("libquantum", other_seed, true, 0);  // different seed
+  EXPECT_EQ(cache.size(), 5u);
+  EXPECT_EQ(cache.computed(), 5u);
+  EXPECT_EQ(cache.hits(), 0u);
+
+  // The gated runs really are different results, not aliased entries.
+  EXPECT_NE(cache.get_or_run("libquantum", params, true, 0),
+            cache.get_or_run("libquantum", params, false, 0));
+}
+
+TEST(SoloRunCache, KeyCoversMachineConfigAndCycles) {
+  const auto params = fast_params();
+  RunParams llc = params;
+  llc.machine.llc.size_bytes *= 2;
+  RunParams freq = params;
+  freq.machine.freq_ghz = 3.0;
+  RunParams cycles = params;
+  cycles.run_cycles += 1;
+  RunParams knob = params;
+  knob.machine.bandwidth_queueing = false;
+
+  const auto base = SoloRunCache::key_of("lbm", params, true, 0);
+  EXPECT_NE(base, SoloRunCache::key_of("lbm", llc, true, 0));
+  EXPECT_NE(base, SoloRunCache::key_of("lbm", freq, true, 0));
+  EXPECT_NE(base, SoloRunCache::key_of("lbm", cycles, true, 0));
+  EXPECT_NE(base, SoloRunCache::key_of("lbm", knob, true, 0));
+  EXPECT_EQ(base, SoloRunCache::key_of("lbm", fast_params(), true, 0));
+}
+
+TEST(SoloRunCache, ConcurrentSameKeyComputesExactlyOnce) {
+  SoloRunCache cache;
+  const auto params = fast_params();
+  constexpr std::size_t kLookups = 8;
+  std::vector<RunResult> seen(kLookups);
+  parallel_for(kLookups, kLookups, [&](std::size_t i) {
+    seen[i] = cache.get_or_run("libquantum", params, true);
+  });
+  EXPECT_EQ(cache.computed(), 1u);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.hits() + cache.misses(), kLookups);
+  for (const auto& r : seen) EXPECT_EQ(r, seen.front());
+}
+
+TEST(SoloRunCache, ConcurrentDistinctKeysAllComputed) {
+  SoloRunCache cache;
+  const auto params = fast_params();
+  const std::vector<std::string> names{"libquantum", "lbm", "povray", "gobmk"};
+  parallel_for(names.size(), 4,
+               [&](std::size_t i) { cache.get_or_run(names[i], params, true); });
+  EXPECT_EQ(cache.size(), names.size());
+  EXPECT_EQ(cache.computed(), names.size());
+}
+
+TEST(SoloRunCache, GlobalCachedMatchesUncached) {
+  const auto params = fast_params();
+  const auto& cached = run_solo_cached("soplex", params, true, 3);
+  EXPECT_EQ(cached, run_solo("soplex", params, true, 3));
+  // Second lookup is a hit on the same entry.
+  EXPECT_EQ(&run_solo_cached("soplex", params, true, 3), &cached);
+}
+
+TEST(SoloRunCache, ClearResetsEverything) {
+  SoloRunCache cache;
+  const auto params = fast_params();
+  cache.get_or_run("povray", params, true);
+  cache.get_or_run("povray", params, true);
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 0u);
+  EXPECT_EQ(cache.computed(), 0u);
+}
+
+}  // namespace
+}  // namespace cmm::analysis
