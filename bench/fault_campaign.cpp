@@ -1,0 +1,229 @@
+// Fault campaign: sweeps fault rates x fault kinds over the Fig. 11
+// evaluation mixes under CMM-a and reports, per run, the harmonic-mean
+// IPC against the no-management baseline plus the HealthLog summary.
+// The point of the report is the robustness claim: under injected HAL
+// faults the controller degrades smoothly toward baseline instead of
+// crashing or wedging the hardware.
+//
+// Hard invariants checked in-process (non-zero exit on violation):
+//   * every run completes (no exception escapes the EpochDriver)
+//   * a zero-rate plan through the fault layer is bit-identical to a
+//     run without the fault layer
+//   * the policy-throw scenario ends with hardware at baseline (all
+//     prefetchers on, full-mask COS) and a WatchdogRestore logged
+//   * repeating a faulted scenario with the same FaultPlan seed yields
+//     an identical HealthLog and bit-identical results
+//   * at a 10 % transient rate, hm_ipc stays at or above the
+//     no-management baseline — up to the policy's own fault-free gap:
+//     some mixes run marginally below baseline even without faults, so
+//     the gate compares against the weaker of the baseline and the
+//     fault-free CMM run, isolating fault-induced loss
+#include <functional>
+#include <iostream>
+#include <sstream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/metrics.hpp"
+
+namespace {
+
+using namespace cmm;
+
+/// Wraps a policy and throws on every begin_profiling: the scenario
+/// that exercises the EpochDriver's watchdog every single epoch.
+class ThrowingPolicy final : public core::Policy {
+ public:
+  explicit ThrowingPolicy(std::unique_ptr<core::Policy> inner) : inner_(std::move(inner)) {}
+
+  std::string_view name() const noexcept override { return "throwing"; }
+  core::ResourceConfig initial_config(unsigned num_cores, unsigned llc_ways) override {
+    return inner_->initial_config(num_cores, llc_ways);
+  }
+  void begin_profiling(const std::vector<sim::PmuCounters>& epoch_deltas) override {
+    (void)epoch_deltas;
+    throw std::runtime_error("injected policy fault");
+  }
+  std::optional<core::ResourceConfig> next_sample() override { return inner_->next_sample(); }
+  void report_sample(const core::SampleStats& stats) override { inner_->report_sample(stats); }
+  core::ResourceConfig final_config() override { return inner_->final_config(); }
+
+ private:
+  std::unique_ptr<core::Policy> inner_;
+};
+
+struct Scenario {
+  std::string kind;
+  double rate = 0.0;
+  hw::FaultPlan plan;
+  bool throwing_policy = false;
+};
+
+std::vector<Scenario> make_scenarios(std::uint64_t seed, unsigned num_cores) {
+  std::vector<Scenario> s;
+  const std::vector<double> rates{0.0, 0.02, 0.10};
+  for (const double r : rates) {
+    s.push_back({"transient", r, hw::FaultPlan::transient_everywhere(r, seed), false});
+  }
+  for (const double r : rates) {
+    hw::FaultPlan p;
+    p.seed = seed;
+    p.msr_write_fail_p = r;
+    p.transient_fraction = 0.0;  // persistent: forces per-core prefetch offline
+    s.push_back({"msr_persistent", r, p, false});
+  }
+  for (const double r : rates) {
+    hw::FaultPlan p;
+    p.seed = seed;
+    p.cat_apply_fail_p = r;
+    p.transient_fraction = 0.0;  // persistent: forces the PT-only rung
+    s.push_back({"cat_persistent", r, p, false});
+  }
+  for (const double r : rates) {
+    hw::FaultPlan p;
+    p.seed = seed;
+    p.pmu_wrap_p = r;
+    s.push_back({"pmu_wrap", r, p, false});
+  }
+  for (const double r : rates) {
+    hw::FaultPlan p;
+    p.seed = seed;
+    p.pmu_garbage_p = r;
+    s.push_back({"pmu_garbage", r, p, false});
+  }
+  {
+    hw::FaultPlan p;
+    p.seed = seed;
+    p.offline_cores.push_back(num_cores - 1);  // hotplugged core
+    s.push_back({"offline_core", 1.0, p, false});
+  }
+  {
+    hw::FaultPlan p;  // no HAL faults; the policy itself is the fault
+    p.seed = seed;
+    s.push_back({"policy_throw", 1.0, p, true});
+  }
+  return s;
+}
+
+double result_hm_ipc(const analysis::RunResult& r) {
+  std::vector<sim::PmuCounters> deltas;
+  deltas.reserve(r.cores.size());
+  for (const auto& c : r.cores) deltas.push_back(c.counters);
+  return core::hm_ipc(deltas);
+}
+
+analysis::FaultRunOutcome run_scenario(const workloads::WorkloadMix& mix, const Scenario& sc,
+                                       const analysis::RunParams& params) {
+  auto policy = analysis::make_policy("cmm_a", params.detector());
+  if (sc.throwing_policy) {
+    auto throwing = std::make_unique<ThrowingPolicy>(std::move(policy));
+    return analysis::run_mix_with_faults(mix, *throwing, params, sc.plan);
+  }
+  return analysis::run_mix_with_faults(mix, *policy, params, sc.plan);
+}
+
+}  // namespace
+
+int main() {
+  auto env = bench::BenchEnv::from_env();
+  bench::print_preamble(env, "Fault campaign", "hm_ipc degradation under injected HAL faults");
+
+  const auto mixes = env.workloads();
+  const auto scenarios = make_scenarios(env.params.seed, env.params.machine.num_cores);
+
+  // Reference runs per mix: the plain (no fault layer) CMM-a run for
+  // the bit-identity check, and the no-management baseline hm_ipc the
+  // degradation is measured against.
+  std::vector<analysis::RunResult> plain(mixes.size());
+  std::vector<double> baseline_hm(mixes.size());
+  std::vector<analysis::FaultRunOutcome> outcomes(mixes.size() * scenarios.size());
+
+  const std::size_t ref_jobs = mixes.size() * 2;
+  const auto stats = analysis::run_batch(ref_jobs + outcomes.size(), [&](std::size_t i) {
+    if (i < mixes.size()) {
+      auto policy = analysis::make_policy("cmm_a", env.params.detector());
+      plain[i] = analysis::run_mix(mixes[i], *policy, env.params);
+    } else if (i < ref_jobs) {
+      const std::size_t m = i - mixes.size();
+      auto policy = analysis::make_policy("baseline", env.params.detector());
+      baseline_hm[m] = result_hm_ipc(analysis::run_mix(mixes[m], *policy, env.params));
+    } else {
+      const std::size_t j = i - ref_jobs;
+      const auto& mix = mixes[j / scenarios.size()];
+      const auto& sc = scenarios[j % scenarios.size()];
+      outcomes[j] = run_scenario(mix, sc, env.params);
+    }
+  });
+
+  bool ok = true;
+  auto fail = [&ok](const std::string& what) {
+    std::cout << "INVARIANT VIOLATED: " << what << "\n";
+    ok = false;
+  };
+
+  for (std::size_t m = 0; m < mixes.size(); ++m) {
+    for (std::size_t s = 0; s < scenarios.size(); ++s) {
+      const auto& mix = mixes[m];
+      const auto& sc = scenarios[s];
+      const auto& out = outcomes[m * scenarios.size() + s];
+
+      std::ostringstream line;
+      line.setf(std::ios::fixed);
+      line.precision(4);
+      line << "{\"mix\":\"" << mix.name << "\",\"kind\":\"" << sc.kind << "\",\"rate\":" << sc.rate
+           << ",\"completed\":" << (out.completed ? "true" : "false")
+           << ",\"hm_ipc\":" << out.hm_ipc << ",\"baseline_hm\":" << baseline_hm[m]
+           << ",\"vs_baseline\":" << (baseline_hm[m] > 0.0 ? out.hm_ipc / baseline_hm[m] : 0.0)
+           << ",\"prefetch_available\":" << (out.prefetch_available ? "true" : "false")
+           << ",\"cat_available\":" << (out.cat_available ? "true" : "false")
+           << ",\"baseline_at_end\":" << (out.hardware_baseline_at_end ? "true" : "false")
+           << ",\"health\":" << out.health.summary_json() << "}";
+      std::cout << line.str() << "\n";
+
+      if (!out.completed) {
+        fail(mix.name + "/" + sc.kind + ": run did not complete: " + out.error);
+        continue;
+      }
+      if (sc.kind == "transient" && sc.rate == 0.0) {
+        if (!(out.result == plain[m]))
+          fail(mix.name + ": zero-rate fault layer is not bit-identical to the plain run");
+        if (!out.health.empty()) fail(mix.name + ": zero-rate run logged health events");
+      }
+      if (sc.kind == "policy_throw") {
+        // The throw happens in begin_profiling, so the watchdog can
+        // only fire if the run contains at least one profiling epoch.
+        if (env.params.run_cycles > env.params.epochs.execution_epoch) {
+          if (!out.health.has(core::HealthEventKind::WatchdogRestore))
+            fail(mix.name + "/policy_throw: no WatchdogRestore logged");
+          if (!out.hardware_baseline_at_end)
+            fail(mix.name + "/policy_throw: hardware not at baseline after watchdog recovery");
+        } else if (m == 0) {
+          std::cout << "note: run shorter than one execution epoch; watchdog invariant "
+                       "not exercised (raise CMM_BENCH_CYCLES)\n";
+        }
+      }
+      if (sc.kind == "transient" && sc.rate == 0.10) {
+        const double floor = std::min(baseline_hm[m], result_hm_ipc(plain[m]));
+        if (out.hm_ipc + 1e-12 < floor)
+          fail(mix.name + ": hm_ipc under 10% transient faults fell below the no-management "
+                          "baseline");
+      }
+    }
+  }
+
+  // Determinism: the first mix's heaviest scenario, repeated, must
+  // reproduce the HealthLog and results bit for bit.
+  {
+    const Scenario& heavy = scenarios[2];  // transient @ 0.10
+    const auto a = run_scenario(mixes.front(), heavy, env.params);
+    const auto& b = outcomes[2];
+    if (!(a.health == b.health))
+      fail("repeat run with the same FaultPlan seed produced a different HealthLog");
+    if (!(a.result == b.result))
+      fail("repeat run with the same FaultPlan seed produced different results");
+  }
+
+  bench::print_batch_summary(stats);
+  std::cout << (ok ? "CAMPAIGN PASS" : "CAMPAIGN FAIL") << "\n";
+  return ok ? 0 : 1;
+}

@@ -9,6 +9,7 @@
 #include "analysis/solo_cache.hpp"
 #include "common/bitmask.hpp"
 #include "common/parallel.hpp"
+#include "core/metrics.hpp"
 #include "core/policy_baseline.hpp"
 #include "core/policy_cmm.hpp"
 #include "core/policy_cp.hpp"
@@ -99,6 +100,56 @@ RunResult run_mix(const workloads::WorkloadMix& mix, core::Policy& policy,
     result.measured_cycles = std::max<Cycle>(result.measured_cycles, exec[c].cycles);
   }
   return result;
+}
+
+FaultRunOutcome run_mix_with_faults(const workloads::WorkloadMix& mix, core::Policy& policy,
+                                    const RunParams& params, const hw::FaultPlan& plan) {
+  sim::MulticoreSystem system(params.machine);
+  workloads::attach_mix(system, mix, params.seed);
+
+  // Real HAL at the bottom, fault-injecting decorators on top. One
+  // injector feeds all three so the fault stream is a single
+  // deterministic sequence driven by plan.seed and HAL call order.
+  hw::SimMsrDevice sim_msr(system);
+  hw::SimPmuReader sim_pmu(system);
+  hw::SimCatController sim_cat(system);
+  hw::FaultInjector injector(plan);
+  hw::FaultInjectingMsrDevice msr(sim_msr, injector);
+  hw::FaultInjectingPmuReader pmu(sim_pmu, injector);
+  hw::FaultInjectingCatController cat(sim_cat, injector);
+
+  core::EpochDriver driver(system, policy, msr, pmu, cat, params.epochs);
+
+  FaultRunOutcome out;
+  try {
+    driver.run(params.run_cycles);
+    out.completed = true;
+  } catch (const std::exception& e) {
+    out.error = e.what();
+  }
+
+  out.health = driver.health();
+  out.prefetch_available = driver.prefetch_available();
+  out.cat_available = driver.cat_available();
+
+  const auto& exec = driver.execution_counters();
+  for (CoreId c = 0; c < exec.size(); ++c) {
+    out.result.cores.push_back(make_stats(mix.benchmarks[c], exec[c], params.machine.freq_ghz));
+    out.result.measured_cycles = std::max<Cycle>(out.result.measured_cycles, exec[c].cycles);
+  }
+  out.hm_ipc = core::hm_ipc(exec);
+
+  // The watchdog invariant: whatever happened during the run, the
+  // hardware must not be left in a non-baseline state the controller no
+  // longer manages. Checked against the *sim* models, below the fault
+  // layer, so an injector lying about a write cannot fake compliance.
+  const WayMask full = full_mask(system.cat().llc_ways());
+  out.hardware_baseline_at_end = true;
+  for (CoreId c = 0; c < system.num_cores(); ++c) {
+    if (system.cat().core_mask(c) != full) out.hardware_baseline_at_end = false;
+    if (!system.core(c).prefetch_msr().all_enabled()) out.hardware_baseline_at_end = false;
+  }
+  return out;
 }
 
 double BatchStats::speedup() const noexcept {

@@ -11,7 +11,9 @@
 #include <vector>
 
 #include "core/epoch_driver.hpp"
+#include "core/health.hpp"
 #include "core/policy.hpp"
+#include "hw/fault_injection.hpp"
 #include "sim/machine_config.hpp"
 #include "workloads/benchmark_specs.hpp"
 #include "workloads/workload_mix.hpp"
@@ -68,6 +70,28 @@ RunResult run_solo(const std::string& benchmark, const RunParams& params, bool p
 /// cover execution epochs only.
 RunResult run_mix(const workloads::WorkloadMix& mix, core::Policy& policy,
                   const RunParams& params);
+
+// ------------------------------------------------------- fault campaigns
+
+/// One policy run through the fault-injecting HAL decorators.
+struct FaultRunOutcome {
+  RunResult result;                // execution-epoch stats, like run_mix()
+  core::HealthLog health;          // deterministic fault-handling record
+  bool completed = false;          // epoch loop finished; no exception escaped
+  std::string error;               // exception text when !completed
+  bool prefetch_available = true;  // degradation-ladder state at end of run
+  bool cat_available = true;
+  bool hardware_baseline_at_end = false;  // all prefetchers on + full masks
+  double hm_ipc = 0.0;             // harmonic-mean IPC over execution counters
+};
+
+/// Run a full mix under `policy` with the HAL wrapped in the
+/// fault-injecting decorators driven by `plan`. With all plan rates at
+/// zero the RunResult is bit-identical to run_mix(); under faults the
+/// EpochDriver's retry/degradation machinery keeps the run alive and
+/// records what happened in the HealthLog.
+FaultRunOutcome run_mix_with_faults(const workloads::WorkloadMix& mix, core::Policy& policy,
+                                    const RunParams& params, const hw::FaultPlan& plan);
 
 // ----------------------------------------------------- parallel batches
 

@@ -1,0 +1,19 @@
+#include "common/retry.hpp"
+
+#include <limits>
+
+namespace cmm {
+
+unsigned RetryPolicy::backoff_units(unsigned failed_attempts) const noexcept {
+  if (failed_attempts == 0) return 0;
+  std::uint64_t units = backoff_base;
+  for (unsigned i = 1; i < failed_attempts; ++i) {
+    units *= backoff_multiplier;
+    if (units > std::numeric_limits<unsigned>::max()) {
+      return std::numeric_limits<unsigned>::max();
+    }
+  }
+  return static_cast<unsigned>(units);
+}
+
+}  // namespace cmm

@@ -1,0 +1,94 @@
+// Bounded retry with deterministic backoff for HAL operations.
+//
+// On the paper's real deployment (E5-2620 v4, kernel module) every
+// hardware knob can fail at runtime: MSR writes #GP or return EBUSY
+// through /dev/cpu/<n>/msr, perf reads get interrupted, pqos rejects a
+// mask while another agent reprograms CAT. Those conditions split into
+// two classes:
+//
+//   Transient   - a bounded number of re-attempts is expected to
+//                 succeed (EBUSY, EINTR, racing resctrl writers).
+//   Persistent  - re-attempting is pointless (#GP on an unsupported
+//                 MSR, offlined core, CAT not present); the caller must
+//                 degrade instead.
+//
+// HwFault carries that classification; with_retry() re-attempts
+// transient faults up to RetryPolicy::max_attempts with a
+// deterministic exponential backoff schedule. The simulator never
+// sleeps — backoff is reported to the caller in abstract units via the
+// on_retry hook (a real port multiplies by a time quantum and
+// clock_nanosleep()s), which keeps every run bit-reproducible.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace cmm {
+
+enum class FaultClass : std::uint8_t { Transient, Persistent };
+
+constexpr std::string_view to_string(FaultClass c) noexcept {
+  return c == FaultClass::Transient ? "transient" : "persistent";
+}
+
+/// Hardware-operation failure with a retry classification. The
+/// fault-injecting HAL decorators throw exactly this; a real-hardware
+/// HAL maps errno to it (EBUSY/EINTR/EAGAIN -> Transient, everything
+/// else -> Persistent).
+class HwFault : public std::runtime_error {
+ public:
+  HwFault(FaultClass fault_class, const std::string& what)
+      : std::runtime_error(what), class_(fault_class) {}
+
+  FaultClass fault_class() const noexcept { return class_; }
+  bool transient() const noexcept { return class_ == FaultClass::Transient; }
+
+ private:
+  FaultClass class_;
+};
+
+/// One re-attempt notification (observability hook: the EpochDriver
+/// records these into its HealthLog).
+struct RetryEvent {
+  unsigned attempt = 0;        // 1-based index of the attempt that failed
+  unsigned backoff_units = 0;  // deterministic backoff before the next attempt
+  FaultClass fault = FaultClass::Transient;
+  std::string_view what;       // message of the caught HwFault
+};
+
+struct RetryPolicy {
+  unsigned max_attempts = 4;      // total attempts, including the first
+  unsigned backoff_base = 1;      // units after the first failure
+  unsigned backoff_multiplier = 2;
+  std::function<void(const RetryEvent&)> on_retry;  // called before each re-attempt
+
+  /// Backoff after `failed_attempts` consecutive failures:
+  /// base * multiplier^(failed_attempts - 1). Pure and overflow-capped,
+  /// so the schedule is identical on every run.
+  unsigned backoff_units(unsigned failed_attempts) const noexcept;
+};
+
+/// Run `op`, re-attempting on transient HwFault up to
+/// policy.max_attempts total attempts. Persistent faults and transient
+/// faults that exhaust the budget propagate to the caller; any other
+/// exception type (a programming error such as std::invalid_argument)
+/// is never retried.
+template <typename Op>
+auto with_retry(const RetryPolicy& policy, Op&& op) -> decltype(op()) {
+  for (unsigned attempt = 1;; ++attempt) {
+    try {
+      return op();
+    } catch (const HwFault& fault) {
+      if (!fault.transient() || attempt >= policy.max_attempts) throw;
+      if (policy.on_retry) {
+        policy.on_retry({attempt, policy.backoff_units(attempt), fault.fault_class(),
+                         std::string_view(fault.what())});
+      }
+    }
+  }
+}
+
+}  // namespace cmm

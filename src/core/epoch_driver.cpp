@@ -1,35 +1,241 @@
 #include "core/epoch_driver.hpp"
 
+#include <algorithm>
+
+#include "common/bitmask.hpp"
+
 namespace cmm::core {
 
 EpochDriver::EpochDriver(sim::MulticoreSystem& system, Policy& policy, const EpochConfig& cfg)
     : system_(system),
       policy_(policy),
       cfg_(cfg),
-      msr_(system),
-      prefetch_(msr_),
-      cat_(system),
-      pmu_(system) {
-  exec_accum_.assign(system.num_cores(), sim::PmuCounters{});
+      owned_msr_(std::make_unique<hw::SimMsrDevice>(system)),
+      owned_cat_(std::make_unique<hw::SimCatController>(system)),
+      owned_pmu_(std::make_unique<hw::SimPmuReader>(system)),
+      msr_(owned_msr_.get()),
+      cat_(owned_cat_.get()),
+      pmu_(owned_pmu_.get()),
+      retry_(logging_retry(cfg.retry)),
+      prefetch_(*msr_, retry_) {
+  init();
+}
+
+EpochDriver::EpochDriver(sim::MulticoreSystem& system, Policy& policy, hw::MsrDevice& msr,
+                         hw::PmuReader& pmu, hw::CatController& cat, const EpochConfig& cfg)
+    : system_(system),
+      policy_(policy),
+      cfg_(cfg),
+      msr_(&msr),
+      cat_(&cat),
+      pmu_(&pmu),
+      retry_(logging_retry(cfg.retry)),
+      prefetch_(*msr_, retry_) {
+  init();
+}
+
+void EpochDriver::init() {
+  const unsigned cores = system_.num_cores();
+  exec_accum_.assign(cores, sim::PmuCounters{});
+  core_prefetch_ok_.assign(cores, true);
+  applied_prefetch_.assign(cores, true);  // hardware reset state: all enabled
+  last_snapshot_.assign(cores, sim::PmuCounters{});
+}
+
+RetryPolicy EpochDriver::logging_retry(RetryPolicy base) {
+  base.on_retry = [this](const RetryEvent& ev) {
+    health_.record(HealthEventKind::HwRetry, system_.now(), kInvalidCore, ev.attempt,
+                   std::string(ev.what) + " (backoff " + std::to_string(ev.backoff_units) +
+                       "u)");
+  };
+  return base;
+}
+
+void EpochDriver::notify_policy_degraded() noexcept {
+  try {
+    policy_.notify_degraded(prefetch_ok_, cat_ok_);
+  } catch (...) {
+    // A notification must never take the control loop down.
+  }
+}
+
+void EpochDriver::check_management_lost() {
+  if (!prefetch_ok_ && !cat_ok_ && !management_lost_logged_) {
+    management_lost_logged_ = true;
+    health_.record(HealthEventKind::ManagementLost, system_.now());
+  }
+}
+
+void EpochDriver::mark_core_prefetch_dead(CoreId core, const char* what) {
+  core_prefetch_ok_[core] = false;
+  health_.record(HealthEventKind::CorePrefetchOffline, system_.now(), core, 0, what);
+  if (std::none_of(core_prefetch_ok_.begin(), core_prefetch_ok_.end(),
+                   [](bool ok) { return ok; })) {
+    prefetch_ok_ = false;
+    health_.record(HealthEventKind::CpOnlyFallback, system_.now());
+    notify_policy_degraded();
+  }
+  check_management_lost();
+}
+
+void EpochDriver::mark_cat_dead(const char* what) {
+  cat_ok_ = false;
+  // Best-effort: drop any stale partition so no core stays stuck with a
+  // tiny mask the controller can no longer manage (success recorded in
+  // the event's detail field).
+  bool reset_ok = false;
+  try {
+    with_retry(retry_, [&] { cat_->reset(); });
+    reset_ok = true;
+  } catch (...) {
+  }
+  health_.record(HealthEventKind::PtOnlyFallback, system_.now(), kInvalidCore,
+                 reset_ok ? 1 : 0, what);
+  notify_policy_degraded();
+  check_management_lost();
 }
 
 void EpochDriver::apply(const ResourceConfig& cfg) {
+  // `effective` tracks what actually lands on hardware; with every knob
+  // healthy it equals `cfg` bit for bit.
+  ResourceConfig effective = cfg;
+
   for (CoreId c = 0; c < cfg.prefetch_on.size(); ++c) {
-    prefetch_.set_core_prefetchers(c, cfg.prefetch_on[c]);
+    if (!prefetch_ok_ || !core_prefetch_ok_[c]) {
+      effective.prefetch_on[c] = applied_prefetch_[c];
+      continue;
+    }
+    try {
+      prefetch_.set_core_prefetchers(c, cfg.prefetch_on[c]);  // retries inside
+      applied_prefetch_[c] = cfg.prefetch_on[c];
+    } catch (const HwFault& f) {
+      effective.prefetch_on[c] = applied_prefetch_[c];
+      mark_core_prefetch_dead(c, f.what());
+    }
   }
-  cat_.apply(cfg.way_masks);
-  current_ = cfg;
+
+  if (cat_ok_) {
+    try {
+      with_retry(retry_, [&] { cat_->apply(cfg.way_masks); });
+    } catch (const HwFault& f) {
+      mark_cat_dead(f.what());
+      effective.way_masks = cat_->current();  // whatever the hardware kept
+    }
+  } else {
+    effective.way_masks = current_.way_masks;  // unchanged on hardware
+  }
+
+  current_ = effective;
 }
 
-std::vector<sim::PmuCounters> EpochDriver::run_span(Cycle span) {
-  const auto before = pmu_.read_all();
+bool EpochDriver::plausible_snapshot(const std::vector<sim::PmuCounters>& snapshot) const {
+  // Two invariants a healthy snapshot cannot break: counters are
+  // monotone (catches wrap) and the cycle counter tracks the global
+  // clock (catches garbage, whose random values dwarf any real count).
+  const double now = static_cast<double>(system_.now());
+  for (CoreId c = 0; c < snapshot.size(); ++c) {
+    if (static_cast<double>(snapshot[c].cycles) > now + 100'000.0) return false;
+    if (snapshot[c].cycles < last_snapshot_[c].cycles) return false;
+    if (snapshot[c].instructions < last_snapshot_[c].instructions) return false;
+  }
+  return true;
+}
+
+std::vector<sim::PmuCounters> EpochDriver::read_counters() {
+  try {
+    auto snapshot = with_retry(retry_, [&] { return pmu_->read_all(); });
+    // Simulated time is paused between spans and counters are monotone,
+    // so a fresh read supersedes a wrapped/garbage one: re-read a
+    // bounded number of times rather than blind the whole span.
+    for (unsigned attempt = 1;
+         attempt < retry_.max_attempts && !plausible_snapshot(snapshot); ++attempt) {
+      health_.record(HealthEventKind::PmuSnapshotReread, system_.now(), kInvalidCore, attempt);
+      snapshot = with_retry(retry_, [&] { return pmu_->read_all(); });
+    }
+    // A still-implausible snapshot is returned as-is (the span-level
+    // plausibility check quarantines it) but never becomes the
+    // monotonicity reference.
+    if (plausible_snapshot(snapshot)) last_snapshot_ = snapshot;
+    return snapshot;
+  } catch (const HwFault& f) {
+    // Persistent PMU failure: substitute the last good snapshot, which
+    // turns this span's delta into zeros (downstream metrics define
+    // 0/0 as 0, so a blind interval is harmless).
+    health_.record(HealthEventKind::PmuReadFailed, system_.now(), kInvalidCore, 0, f.what());
+    return last_snapshot_;
+  }
+}
+
+EpochDriver::SpanDelta EpochDriver::run_span(Cycle span) {
+  const auto before = read_counters();
   system_.run(span);
-  return hw::pmu_delta(pmu_.read_all(), before);
+  const auto after = read_counters();
+
+  SpanDelta result;
+  std::vector<bool> wrapped;
+  result.per_core = hw::pmu_delta(after, before, &wrapped);
+  for (CoreId c = 0; c < result.per_core.size(); ++c) {
+    auto& d = result.per_core[c];
+    // Plausibility: a span of `span` cycles cannot yield a per-core
+    // cycle delta far beyond it, nor an instruction count beyond any
+    // real issue width. Garbage snapshots are random 64-bit values, so
+    // the slack can be generous without masking real measurements.
+    const double cycles = static_cast<double>(d.cycles);
+    const double instructions = static_cast<double>(d.instructions);
+    const bool garbage = cycles > 2.0 * static_cast<double>(span) + 100'000.0 ||
+                         instructions > 16.0 * cycles + 100'000.0;
+    if (wrapped[c])
+      health_.record(HealthEventKind::PmuWrapSaturated, system_.now(), c);
+    if (garbage)
+      health_.record(HealthEventKind::PmuGarbageDetected, system_.now(), c, d.cycles);
+    if (wrapped[c] || garbage) {
+      d = sim::PmuCounters{};  // never let a corrupt core poison downstream math
+      result.any_implausible = true;
+    }
+  }
+  return result;
+}
+
+void EpochDriver::watchdog_restore(const std::string& cause) {
+  // Put every knob we still control back to baseline: all prefetchers
+  // on, full-mask COS everywhere.
+  for (CoreId c = 0; c < core_prefetch_ok_.size(); ++c) {
+    if (applied_prefetch_[c]) continue;
+    if (!prefetch_ok_ || !core_prefetch_ok_[c]) continue;
+    try {
+      prefetch_.set_core_prefetchers(c, true);
+      applied_prefetch_[c] = true;
+    } catch (const HwFault& f) {
+      mark_core_prefetch_dead(c, f.what());
+    }
+  }
+  if (cat_ok_) {
+    try {
+      with_retry(retry_, [&] { cat_->reset(); });
+    } catch (const HwFault& f) {
+      mark_cat_dead(f.what());
+    }
+  }
+
+  const auto masks = cat_->current();
+  const WayMask full = full_mask(cat_->llc_ways());
+  const bool baseline =
+      std::all_of(masks.begin(), masks.end(), [full](WayMask m) { return m == full; }) &&
+      std::all_of(applied_prefetch_.begin(), applied_prefetch_.end(), [](bool on) { return on; });
+  health_.record(HealthEventKind::WatchdogRestore, system_.now(), kInvalidCore,
+                 baseline ? 1 : 0, cause);
+
+  current_.prefetch_on = applied_prefetch_;
+  current_.way_masks = masks;
 }
 
 void EpochDriver::run(Cycle total_cycles) {
   if (!started_) {
-    apply(policy_.initial_config(system_.num_cores(), system_.cat().llc_ways()));
+    ResourceConfig initial = ResourceConfig::baseline(system_.num_cores(), cat_->llc_ways());
+    guarded(
+        [&] { initial = policy_.initial_config(system_.num_cores(), cat_->llc_ways()); },
+        "initial_config");
+    apply(initial);
     started_ = true;
   }
 
@@ -38,10 +244,10 @@ void EpochDriver::run(Cycle total_cycles) {
     // ---- Execution epoch ----
     const Cycle exec_len = std::min<Cycle>(cfg_.execution_epoch, end - system_.now());
     log_.push_back({EpochLogEntry::Kind::Execution, system_.now(), exec_len, current_});
-    const auto epoch_delta = run_span(exec_len);
-    for (CoreId c = 0; c < epoch_delta.size(); ++c) {
+    const SpanDelta epoch = run_span(exec_len);
+    for (CoreId c = 0; c < epoch.per_core.size(); ++c) {
       auto& acc = exec_accum_[c];
-      const auto& d = epoch_delta[c];
+      const auto& d = epoch.per_core[c];
       acc.cycles += d.cycles;
       acc.instructions += d.instructions;
       acc.l2_pref_req += d.l2_pref_req;
@@ -56,21 +262,57 @@ void EpochDriver::run(Cycle total_cycles) {
     if (system_.now() >= end) break;
 
     // ---- Profiling epoch ----
-    policy_.begin_profiling(epoch_delta);
+    if (!guarded([&] { policy_.begin_profiling(epoch.per_core); }, "begin_profiling")) {
+      continue;  // watchdog restored baseline; try again next epoch
+    }
     unsigned samples = 0;
-    while (samples < cfg_.max_samples_per_epoch && system_.now() < end) {
-      const auto request = policy_.next_sample();
+    bool watchdog_fired = false;
+    while (system_.now() < end) {
+      std::optional<ResourceConfig> request;
+      if (!guarded([&] { request = policy_.next_sample(); }, "next_sample")) {
+        watchdog_fired = true;
+        break;
+      }
       if (!request.has_value()) break;
+      if (samples >= cfg_.max_samples_per_epoch) {
+        health_.record(HealthEventKind::SampleCapTruncated, system_.now(), kInvalidCore,
+                       samples);
+        break;
+      }
       apply(*request);
-      const Cycle len = std::min<Cycle>(cfg_.sampling_interval, end - system_.now());
-      log_.push_back({EpochLogEntry::Kind::Sample, system_.now(), len, *request});
+      Cycle len = std::min<Cycle>(cfg_.sampling_interval, end - system_.now());
+      log_.push_back({EpochLogEntry::Kind::Sample, system_.now(), len, current_});
+      SpanDelta sample = run_span(len);
+      if (sample.any_implausible && system_.now() < end) {
+        // Quarantine: discard the interval and re-run it once; the
+        // configuration under test is still applied to hardware.
+        health_.record(HealthEventKind::SampleQuarantined, system_.now(), kInvalidCore,
+                       samples);
+        len = std::min<Cycle>(cfg_.sampling_interval, end - system_.now());
+        log_.push_back({EpochLogEntry::Kind::Sample, system_.now(), len, current_});
+        sample = run_span(len);
+        if (sample.any_implausible) {
+          // Still implausible: give up on the measurement (its corrupt
+          // cores are already zeroed) rather than loop forever.
+          health_.record(HealthEventKind::SampleDiscarded, system_.now(), kInvalidCore,
+                         samples);
+        }
+      }
       SampleStats stats;
       stats.config = *request;
-      stats.per_core = run_span(len);
-      policy_.report_sample(stats);
+      stats.per_core = std::move(sample.per_core);
+      if (!guarded([&] { policy_.report_sample(stats); }, "report_sample")) {
+        watchdog_fired = true;
+        break;
+      }
       ++samples;
     }
-    apply(policy_.final_config());
+    if (!watchdog_fired) {
+      ResourceConfig final_cfg;
+      if (guarded([&] { final_cfg = policy_.final_config(); }, "final_config")) {
+        apply(final_cfg);
+      }
+    }
   }
 }
 

@@ -4,10 +4,30 @@
 // intervals (paper defaults: 5 G-cycle epochs, 100 M-cycle samples, a
 // 50:1 ratio — the simulator default keeps the ratio at a smaller
 // scale, which the paper reports is equally effective).
+//
+// The driver is also the fault boundary of the controller: every HAL
+// call is wrapped in a bounded RetryPolicy, and unrecoverable failures
+// walk a graceful-degradation ladder instead of killing the loop:
+//
+//   implausible PMU delta (wrap/garbage)  -> quarantine + re-run the
+//                                            sampling interval
+//   prefetch MSR persistently dead (core) -> that core unmanaged; all
+//                                            cores dead -> CP-only
+//   CAT programming persistently dead     -> PT-only (masks pinned full)
+//   any policy step throws                -> watchdog restores baseline
+//                                            hardware state
+//
+// Every action is recorded in a deterministic HealthLog so tests and
+// the fault-campaign bench can assert exactly which rung fired.
 #pragma once
 
+#include <memory>
+#include <optional>
+#include <string>
 #include <vector>
 
+#include "common/retry.hpp"
+#include "core/health.hpp"
 #include "core/policy.hpp"
 #include "hw/cat_controller.hpp"
 #include "hw/msr_device.hpp"
@@ -19,7 +39,8 @@ namespace cmm::core {
 struct EpochConfig {
   Cycle execution_epoch = 2'000'000;
   Cycle sampling_interval = 40'000;
-  unsigned max_samples_per_epoch = 24;  // safety bound on policy requests
+  unsigned max_samples_per_epoch = 24;  // enforced; overruns land in the HealthLog
+  RetryPolicy retry{};                  // per-HAL-call retry budget
 };
 
 /// One line of the Fig. 4 timeline, for tests and the fig04 bench.
@@ -34,6 +55,12 @@ class EpochDriver {
  public:
   EpochDriver(sim::MulticoreSystem& system, Policy& policy, const EpochConfig& cfg = {});
 
+  /// HAL-injection constructor: drive the given devices (which must
+  /// outlive the driver) instead of sim-bound ones — the seam the
+  /// fault-injecting decorators and a real-hardware port plug into.
+  EpochDriver(sim::MulticoreSystem& system, Policy& policy, hw::MsrDevice& msr,
+              hw::PmuReader& pmu, hw::CatController& cat, const EpochConfig& cfg = {});
+
   /// Run `total_cycles` of simulated time under the schedule. Can be
   /// called repeatedly; state carries over.
   void run(Cycle total_cycles);
@@ -45,23 +72,78 @@ class EpochDriver {
   /// ratio the distinction is small but we keep it exact).
   const std::vector<sim::PmuCounters>& execution_counters() const noexcept { return exec_accum_; }
 
+  /// Fault-handling record: retries, quarantines, ladder transitions,
+  /// watchdog recoveries. Empty for a fault-free run.
+  const HealthLog& health() const noexcept { return health_; }
+
+  /// Degradation-ladder state: knobs still believed usable.
+  bool prefetch_available() const noexcept { return prefetch_ok_; }
+  bool cat_available() const noexcept { return cat_ok_; }
+
  private:
+  /// One measured span: sanitized per-core deltas plus plausibility
+  /// flags (implausible cores have their delta zeroed).
+  struct SpanDelta {
+    std::vector<sim::PmuCounters> per_core;
+    bool any_implausible = false;
+  };
+
+  void init();
+  RetryPolicy logging_retry(RetryPolicy base);
+
   void apply(const ResourceConfig& cfg);
-  std::vector<sim::PmuCounters> run_span(Cycle span);
+  SpanDelta run_span(Cycle span);
+  std::vector<sim::PmuCounters> read_counters();
+  bool plausible_snapshot(const std::vector<sim::PmuCounters>& snapshot) const;
+
+  /// Run one policy step under the watchdog: on any exception, restore
+  /// baseline hardware state, log, and return false.
+  template <typename Step>
+  bool guarded(Step&& step, std::string_view what) {
+    try {
+      step();
+      return true;
+    } catch (const std::exception& e) {
+      watchdog_restore(std::string(what) + ": " + e.what());
+      return false;
+    } catch (...) {
+      watchdog_restore(std::string(what) + ": unknown exception");
+      return false;
+    }
+  }
+
+  void watchdog_restore(const std::string& cause);
+  void mark_core_prefetch_dead(CoreId core, const char* what);
+  void mark_cat_dead(const char* what);
+  void check_management_lost();
+  void notify_policy_degraded() noexcept;
 
   sim::MulticoreSystem& system_;
   Policy& policy_;
   EpochConfig cfg_;
 
-  hw::SimMsrDevice msr_;
+  // Owned sim-bound HAL (null when the injection constructor is used).
+  std::unique_ptr<hw::SimMsrDevice> owned_msr_;
+  std::unique_ptr<hw::SimCatController> owned_cat_;
+  std::unique_ptr<hw::SimPmuReader> owned_pmu_;
+  hw::MsrDevice* msr_;
+  hw::CatController* cat_;
+  hw::PmuReader* pmu_;
+  RetryPolicy retry_;  // cfg_.retry with the HealthLog-recording hook
   hw::PrefetchControl prefetch_;
-  hw::SimCatController cat_;
-  hw::SimPmuReader pmu_;
 
   bool started_ = false;
   ResourceConfig current_;  // config most recently applied to hardware
   std::vector<EpochLogEntry> log_;
   std::vector<sim::PmuCounters> exec_accum_;
+
+  HealthLog health_;
+  bool prefetch_ok_ = true;
+  bool cat_ok_ = true;
+  bool management_lost_logged_ = false;
+  std::vector<bool> core_prefetch_ok_;  // per-core prefetch MSR usable
+  std::vector<bool> applied_prefetch_;  // prefetch state actually on hardware
+  std::vector<sim::PmuCounters> last_snapshot_;  // last successful PMU read
 };
 
 }  // namespace cmm::core

@@ -1,0 +1,58 @@
+#include "core/health.hpp"
+
+#include <algorithm>
+#include <array>
+#include <sstream>
+
+namespace cmm::core {
+
+std::string_view to_string(HealthEventKind kind) noexcept {
+  switch (kind) {
+    case HealthEventKind::HwRetry: return "hw_retry";
+    case HealthEventKind::PmuWrapSaturated: return "pmu_wrap_saturated";
+    case HealthEventKind::PmuGarbageDetected: return "pmu_garbage_detected";
+    case HealthEventKind::PmuSnapshotReread: return "pmu_snapshot_reread";
+    case HealthEventKind::SampleQuarantined: return "sample_quarantined";
+    case HealthEventKind::SampleDiscarded: return "sample_discarded";
+    case HealthEventKind::PmuReadFailed: return "pmu_read_failed";
+    case HealthEventKind::SampleCapTruncated: return "sample_cap_truncated";
+    case HealthEventKind::CorePrefetchOffline: return "core_prefetch_offline";
+    case HealthEventKind::CpOnlyFallback: return "cp_only_fallback";
+    case HealthEventKind::PtOnlyFallback: return "pt_only_fallback";
+    case HealthEventKind::ManagementLost: return "management_lost";
+    case HealthEventKind::WatchdogRestore: return "watchdog_restore";
+  }
+  return "unknown";
+}
+
+std::size_t HealthLog::count(HealthEventKind kind) const noexcept {
+  return static_cast<std::size_t>(
+      std::count_if(events_.begin(), events_.end(),
+                    [kind](const HealthEvent& e) { return e.kind == kind; }));
+}
+
+std::string HealthLog::summary_json() const {
+  constexpr std::array kinds{
+      HealthEventKind::HwRetry,           HealthEventKind::PmuWrapSaturated,
+      HealthEventKind::PmuGarbageDetected, HealthEventKind::PmuSnapshotReread,
+      HealthEventKind::SampleQuarantined,
+      HealthEventKind::SampleDiscarded,   HealthEventKind::PmuReadFailed,
+      HealthEventKind::SampleCapTruncated, HealthEventKind::CorePrefetchOffline,
+      HealthEventKind::CpOnlyFallback,    HealthEventKind::PtOnlyFallback,
+      HealthEventKind::ManagementLost,    HealthEventKind::WatchdogRestore,
+  };
+  std::ostringstream os;
+  os << '{';
+  bool first = true;
+  for (const auto kind : kinds) {
+    const std::size_t n = count(kind);
+    if (n == 0) continue;
+    if (!first) os << ',';
+    first = false;
+    os << '"' << to_string(kind) << "\":" << n;
+  }
+  os << '}';
+  return std::move(os).str();
+}
+
+}  // namespace cmm::core

@@ -1,0 +1,69 @@
+// Structured record of every fault-handling action the EpochDriver
+// takes: retries, PMU quarantines, degradation-ladder transitions and
+// watchdog recoveries. The log is the currency of the robustness
+// tests and the fault-campaign bench — they assert exactly which rung
+// of the ladder fired — and it is fully deterministic: the same
+// FaultPlan seed yields an identical event sequence on every run.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace cmm::core {
+
+enum class HealthEventKind : std::uint8_t {
+  HwRetry,              // transient HAL fault; the call was re-attempted
+  PmuWrapSaturated,     // a counter read lower than its previous snapshot
+  PmuGarbageDetected,   // implausible delta (snapshot corruption)
+  PmuSnapshotReread,    // implausible snapshot replaced by a fresh read
+  SampleQuarantined,    // sampling interval discarded and re-run
+  SampleDiscarded,      // re-run also implausible; zeroed stats reported
+  PmuReadFailed,        // persistent PMU failure; zero delta substituted
+  SampleCapTruncated,   // policy requested more samples than the bound
+  CorePrefetchOffline,  // this core's prefetch MSR persistently failed
+  CpOnlyFallback,       // prefetch control lost machine-wide -> CP-only
+  PtOnlyFallback,       // CAT programming lost -> PT-only
+  ManagementLost,       // both knobs lost; baseline from here on
+  WatchdogRestore,      // a policy step threw; baseline state restored
+};
+
+std::string_view to_string(HealthEventKind kind) noexcept;
+
+struct HealthEvent {
+  HealthEventKind kind{};
+  Cycle time = 0;             // simulated time of the event
+  CoreId core = kInvalidCore; // affected core, if per-core
+  std::uint64_t detail = 0;   // kind-specific: attempt count, success flag...
+  std::string note;           // human-readable cause (deterministic text)
+
+  bool operator==(const HealthEvent&) const = default;
+};
+
+class HealthLog {
+ public:
+  void record(HealthEventKind kind, Cycle time, CoreId core = kInvalidCore,
+              std::uint64_t detail = 0, std::string note = {}) {
+    events_.push_back({kind, time, core, detail, std::move(note)});
+  }
+
+  const std::vector<HealthEvent>& events() const noexcept { return events_; }
+  bool empty() const noexcept { return events_.empty(); }
+
+  std::size_t count(HealthEventKind kind) const noexcept;
+  bool has(HealthEventKind kind) const noexcept { return count(kind) > 0; }
+
+  /// One-line {"hw_retry":N,...} summary over non-zero kinds, for the
+  /// fault-campaign JSON report.
+  std::string summary_json() const;
+
+  bool operator==(const HealthLog&) const = default;
+
+ private:
+  std::vector<HealthEvent> events_;
+};
+
+}  // namespace cmm::core

@@ -5,6 +5,9 @@
 namespace cmm::core {
 
 namespace {
+/// The zero-denominator contract (see metrics.hpp): x/0 and 0/0 are
+/// 0.0, never NaN/Inf. Negative denominators cannot occur (counters
+/// are unsigned) but fall into the same guard.
 double ratio(double num, double den) noexcept { return den > 0.0 ? num / den : 0.0; }
 }  // namespace
 

@@ -1,5 +1,13 @@
 // Table I of the paper: the seven PMU-derived metrics the CMM front-end
 // uses, computed from one interval's per-core counter deltas.
+//
+// Zero-denominator contract: every ratio metric defines 0/0 (and x/0)
+// as 0.0 rather than relying on IEEE NaN/Inf propagation. A quarantined
+// sampling interval — one the EpochDriver zeroed after detecting PMU
+// counter wrap or a garbage snapshot — therefore yields all-zero,
+// finite metrics, which downstream consumers (detector thresholds,
+// k-means, hm_ipc ranking) treat as "no evidence" instead of poisoning
+// comparisons with NaN.
 #pragma once
 
 #include <vector>
@@ -39,7 +47,10 @@ std::vector<CoreMetrics> compute_all_metrics(const std::vector<sim::PmuCounters>
                                              double freq_ghz);
 
 /// Harmonic mean of per-core IPCs: the paper's hm_ipc proxy for
-/// 1/ANTT used to rank sampled configurations (Sec. III-B1).
+/// 1/ANTT used to rank sampled configurations (Sec. III-B1). Any core
+/// with zero IPC — including a whole-interval quarantine where every
+/// delta is zero — makes the result 0.0 (never NaN), so a blinded
+/// interval can never win the configuration search.
 double hm_ipc(const std::vector<sim::PmuCounters>& deltas);
 
 }  // namespace cmm::core

@@ -56,6 +56,17 @@ class Policy {
 
   /// Configuration for the next execution epoch.
   virtual ResourceConfig final_config() = 0;
+
+  /// Degradation notification from the driver: a knob flipped to
+  /// unavailable after a persistent hardware fault (and stays so for
+  /// the rest of the run). Policies may shrink their search to the
+  /// remaining resources — the default ignores it, which is safe
+  /// because the driver stops forwarding configurations for the dead
+  /// knob to hardware anyway.
+  virtual void notify_degraded(bool prefetch_available, bool cat_available) {
+    (void)prefetch_available;
+    (void)cat_available;
+  }
 };
 
 // ---------------------------------------------------------------------

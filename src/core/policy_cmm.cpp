@@ -42,9 +42,23 @@ void CmmPolicy::begin_profiling(const std::vector<sim::PmuCounters>& epoch_delta
   combo_hm_.clear();
   next_combo_ = 0;
   num_groups_ = 0;
+
+  if (!prefetch_available_) {
+    // CP-only rung of the degradation ladder: probes and throttle
+    // search need a working prefetch MSR, so go straight to the Dunn
+    // partitioner over the epoch's stall counts — or to full masks if
+    // CAT is gone too (nothing left to manage).
+    partition_masks_ = cat_available_ ? dunn_allocate(epoch_stalls_, cores_, ways_,
+                                                      opts_.dunn_k_min, opts_.dunn_k_max)
+                                      : std::vector<WayMask>(cores_, full_mask(ways_));
+    phase_ = Phase::Done;
+  }
 }
 
 std::vector<WayMask> CmmPolicy::build_partition_masks() const {
+  // PT-only rung: CAT is gone, every partition collapses to the full
+  // cache while prefetch throttling keeps working.
+  if (!cat_available_) return std::vector<WayMask>(cores_, full_mask(ways_));
   switch (opts_.variant) {
     case CmmVariant::A:
       return masks_small_partition(agg_set_, cores_, ways_, opts_.partition_scale);
@@ -102,8 +116,10 @@ void CmmPolicy::report_sample(const SampleStats& stats) {
         // Fig. 6(d): no aggressive cores — throttling is meaningless;
         // fall back to the Dunn clustering partitioner, fed with the
         // full execution epoch's stall counts (as the original does).
-        partition_masks_ =
-            dunn_allocate(epoch_stalls_, cores_, ways_, opts_.dunn_k_min, opts_.dunn_k_max);
+        partition_masks_ = cat_available_
+                               ? dunn_allocate(epoch_stalls_, cores_, ways_, opts_.dunn_k_min,
+                                               opts_.dunn_k_max)
+                               : std::vector<WayMask>(cores_, full_mask(ways_));
         phase_ = Phase::Done;
       } else {
         phase_ = Phase::ProbeOff;

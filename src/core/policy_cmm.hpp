@@ -55,6 +55,15 @@ class CmmPolicy final : public Policy {
   void report_sample(const SampleStats& stats) override;
   ResourceConfig final_config() override;
 
+  /// Degradation ladder (robustness): with the prefetch MSR gone the
+  /// probe/throttle machinery is pointless — fall back to pure cache
+  /// partitioning (Dunn, as Fig. 6(d)); with CAT gone keep throttling
+  /// but pin every mask to the full cache (PT-only).
+  void notify_degraded(bool prefetch_available, bool cat_available) override {
+    prefetch_available_ = prefetch_available;
+    cat_available_ = cat_available;
+  }
+
   const std::vector<CoreId>& agg_set() const noexcept { return agg_set_; }
   const std::vector<CoreId>& friendly_cores() const noexcept { return friendly_cores_; }
   const std::vector<CoreId>& unfriendly_cores() const noexcept { return unfriendly_cores_; }
@@ -70,6 +79,8 @@ class CmmPolicy final : public Policy {
   Options opts_;
   unsigned cores_ = 0;
   unsigned ways_ = 0;
+  bool prefetch_available_ = true;
+  bool cat_available_ = true;
 
   Phase phase_ = Phase::Done;
   std::vector<CoreId> agg_set_;

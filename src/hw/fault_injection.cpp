@@ -1,0 +1,102 @@
+#include "hw/fault_injection.hpp"
+
+#include <algorithm>
+#include <string>
+
+namespace cmm::hw {
+
+std::string_view to_string(FaultOp op) noexcept {
+  switch (op) {
+    case FaultOp::MsrRead: return "msr_read";
+    case FaultOp::MsrWrite: return "msr_write";
+    case FaultOp::PmuRead: return "pmu_read";
+    case FaultOp::CatApply: return "cat_apply";
+    case FaultOp::CatReset: return "cat_reset";
+  }
+  return "unknown";
+}
+
+FaultPlan FaultPlan::transient_everywhere(double rate, std::uint64_t seed) {
+  FaultPlan plan;
+  plan.seed = seed;
+  plan.msr_read_fail_p = rate;
+  plan.msr_write_fail_p = rate;
+  plan.pmu_read_fail_p = rate;
+  plan.cat_apply_fail_p = rate;
+  plan.cat_reset_fail_p = rate;
+  plan.transient_fraction = 1.0;
+  return plan;
+}
+
+bool FaultPlan::enabled() const noexcept {
+  return msr_read_fail_p > 0.0 || msr_write_fail_p > 0.0 || pmu_read_fail_p > 0.0 ||
+         cat_apply_fail_p > 0.0 || cat_reset_fail_p > 0.0 || pmu_wrap_p > 0.0 ||
+         pmu_garbage_p > 0.0 || !offline_cores.empty();
+}
+
+double FaultInjector::fail_probability(FaultOp op) const noexcept {
+  switch (op) {
+    case FaultOp::MsrRead: return plan_.msr_read_fail_p;
+    case FaultOp::MsrWrite: return plan_.msr_write_fail_p;
+    case FaultOp::PmuRead: return plan_.pmu_read_fail_p;
+    case FaultOp::CatApply: return plan_.cat_apply_fail_p;
+    case FaultOp::CatReset: return plan_.cat_reset_fail_p;
+  }
+  return 0.0;
+}
+
+bool FaultInjector::offline(CoreId core) const noexcept {
+  return core != kInvalidCore &&
+         std::find(plan_.offline_cores.begin(), plan_.offline_cores.end(), core) !=
+             plan_.offline_cores.end();
+}
+
+void FaultInjector::throw_fault(FaultClass cls, FaultOp op, CoreId core) {
+  ++injected_;
+  std::string what = "injected ";
+  what += to_string(cls);
+  what += " fault: ";
+  what += to_string(op);
+  if (core != kInvalidCore) what += " core " + std::to_string(core);
+  throw HwFault(cls, what);
+}
+
+void FaultInjector::maybe_fault(FaultOp op, CoreId core) {
+  const auto key = std::make_pair(static_cast<std::uint8_t>(op), core);
+  if (offline(core) || persistent_.contains(key)) {
+    throw_fault(FaultClass::Persistent, op, core);
+  }
+  const double p = fail_probability(op);
+  if (p <= 0.0) return;
+  if (!rng_.next_bool(p)) return;
+  const bool transient =
+      plan_.transient_fraction >= 1.0 ||
+      (plan_.transient_fraction > 0.0 && rng_.next_bool(plan_.transient_fraction));
+  if (!transient) persistent_.insert(key);
+  throw_fault(transient ? FaultClass::Transient : FaultClass::Persistent, op, core);
+}
+
+void FaultInjector::corrupt_snapshot(std::vector<sim::PmuCounters>& snapshot) {
+  if (snapshot.empty()) return;
+  const auto corrupt_core = [&](auto&& mutate) {
+    const auto core = static_cast<std::size_t>(rng_.next_below(snapshot.size()));
+    auto& c = snapshot[core];
+    for (std::uint64_t* field :
+         {&c.cycles, &c.instructions, &c.l2_pref_req, &c.l2_pref_miss, &c.l2_dm_req,
+          &c.l2_dm_miss, &c.l3_load_miss, &c.stalls_l2_pending, &c.dram_demand_bytes,
+          &c.dram_prefetch_bytes, &c.dram_writeback_bytes}) {
+      *field = mutate(*field);
+    }
+    ++corrupted_;
+  };
+
+  if (plan_.pmu_wrap_p > 0.0 && rng_.next_bool(plan_.pmu_wrap_p)) {
+    const std::uint64_t modulus = 1ULL << std::min(plan_.pmu_wrap_bits, 63U);
+    corrupt_core([&](std::uint64_t v) { return v % modulus; });
+  }
+  if (plan_.pmu_garbage_p > 0.0 && rng_.next_bool(plan_.pmu_garbage_p)) {
+    corrupt_core([&](std::uint64_t) { return rng_.next(); });
+  }
+}
+
+}  // namespace cmm::hw

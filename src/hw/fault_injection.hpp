@@ -1,0 +1,166 @@
+// Fault-injecting decorators over the HAL interfaces, driven by a
+// seeded, deterministic FaultPlan. They model the failure modes the
+// paper's kernel-module deployment sees on real silicon (see
+// docs/PORTING.md, "Failure model & degradation ladder"):
+//
+//   MSR read/write faults      - #GP, EBUSY on /dev/cpu/<n>/msr
+//   PMU read faults            - perf_event read EINTR / revoked fd
+//   PMU counter wrap           - 48-bit counters overflowing mid-interval
+//   PMU garbage snapshots      - multiplexing scaling gone wrong
+//   CAT programming faults     - pqos/resctrl rejecting a mask
+//   per-core offline faults    - CPU hotplug removing a core's knobs
+//
+// Every decision comes from one Rng owned by the FaultInjector, so a
+// given (FaultPlan, HAL call sequence) produces an identical fault
+// stream on every run and at any harness thread count. Faults
+// classified persistent are sticky per (op, core): once a knob has
+// failed persistently it fails forever, which is what forces the
+// controller down its degradation ladder instead of retrying.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "common/retry.hpp"
+#include "common/rng.hpp"
+#include "hw/cat_controller.hpp"
+#include "hw/msr_device.hpp"
+#include "hw/pmu_reader.hpp"
+
+namespace cmm::hw {
+
+/// HAL operations a FaultPlan can target.
+enum class FaultOp : std::uint8_t { MsrRead, MsrWrite, PmuRead, CatApply, CatReset };
+
+std::string_view to_string(FaultOp op) noexcept;
+
+struct FaultPlan {
+  std::uint64_t seed = 1;
+
+  // Per-call failure probabilities (throwing faults).
+  double msr_read_fail_p = 0.0;
+  double msr_write_fail_p = 0.0;
+  double pmu_read_fail_p = 0.0;
+  double cat_apply_fail_p = 0.0;
+  double cat_reset_fail_p = 0.0;
+
+  /// An injected throwing fault is Transient with this probability,
+  /// Persistent otherwise. Persistent faults are sticky per (op, core).
+  double transient_fraction = 1.0;
+
+  // PMU read-path corruption (no exception; the snapshot lies).
+  double pmu_wrap_p = 0.0;     // per-snapshot: one core's counters wrap
+  double pmu_garbage_p = 0.0;  // per-snapshot: one core's counters are garbage
+
+  /// Counters wrap modulo 2^pmu_wrap_bits (real fixed counters are 48
+  /// bits; the default is small enough to wrap at simulator scale).
+  unsigned pmu_wrap_bits = 20;
+
+  /// Ops targeting these cores always fail persistently (hotplug).
+  std::vector<CoreId> offline_cores;
+
+  /// Uniform transient-fault plan over every throwing op.
+  static FaultPlan transient_everywhere(double rate, std::uint64_t seed);
+
+  /// True when the plan can ever inject anything.
+  bool enabled() const noexcept;
+};
+
+/// Shared deterministic fault source for one run. One instance is
+/// threaded through all three decorators so the fault stream is a
+/// single sequence in HAL call order.
+class FaultInjector {
+ public:
+  explicit FaultInjector(const FaultPlan& plan) : plan_(plan), rng_(plan.seed) {}
+
+  const FaultPlan& plan() const noexcept { return plan_; }
+
+  /// Throws HwFault when the plan injects a fault for this call.
+  /// `core` is kInvalidCore for machine-wide ops (CAT, PMU snapshot).
+  void maybe_fault(FaultOp op, CoreId core);
+
+  /// Apply the plan's read-path corruption modes to a PMU snapshot.
+  void corrupt_snapshot(std::vector<sim::PmuCounters>& snapshot);
+
+  std::uint64_t injected_faults() const noexcept { return injected_; }
+  std::uint64_t corrupted_snapshots() const noexcept { return corrupted_; }
+
+ private:
+  double fail_probability(FaultOp op) const noexcept;
+  bool offline(CoreId core) const noexcept;
+  [[noreturn]] void throw_fault(FaultClass cls, FaultOp op, CoreId core);
+
+  FaultPlan plan_;
+  Rng rng_;
+  std::uint64_t injected_ = 0;
+  std::uint64_t corrupted_ = 0;
+  std::set<std::pair<std::uint8_t, CoreId>> persistent_;  // sticky failures
+};
+
+/// MsrDevice decorator: injects faults before delegating.
+class FaultInjectingMsrDevice final : public MsrDevice {
+ public:
+  FaultInjectingMsrDevice(MsrDevice& inner, FaultInjector& faults)
+      : inner_(&inner), faults_(&faults) {}
+
+  std::uint64_t read(CoreId core, std::uint32_t msr) const override {
+    faults_->maybe_fault(FaultOp::MsrRead, core);
+    return inner_->read(core, msr);
+  }
+  void write(CoreId core, std::uint32_t msr, std::uint64_t value) override {
+    faults_->maybe_fault(FaultOp::MsrWrite, core);
+    inner_->write(core, msr, value);
+  }
+  unsigned num_cores() const override { return inner_->num_cores(); }
+
+ private:
+  MsrDevice* inner_;
+  FaultInjector* faults_;
+};
+
+/// PmuReader decorator: throwing read faults plus wrap/garbage
+/// snapshot corruption.
+class FaultInjectingPmuReader final : public PmuReader {
+ public:
+  FaultInjectingPmuReader(const PmuReader& inner, FaultInjector& faults)
+      : inner_(&inner), faults_(&faults) {}
+
+  std::vector<sim::PmuCounters> read_all() const override {
+    faults_->maybe_fault(FaultOp::PmuRead, kInvalidCore);
+    auto snapshot = inner_->read_all();
+    faults_->corrupt_snapshot(snapshot);
+    return snapshot;
+  }
+  unsigned num_cores() const override { return inner_->num_cores(); }
+
+ private:
+  const PmuReader* inner_;
+  FaultInjector* faults_;
+};
+
+/// CatController decorator.
+class FaultInjectingCatController final : public CatController {
+ public:
+  FaultInjectingCatController(CatController& inner, FaultInjector& faults)
+      : inner_(&inner), faults_(&faults) {}
+
+  void apply(const std::vector<WayMask>& per_core_masks) override {
+    faults_->maybe_fault(FaultOp::CatApply, kInvalidCore);
+    inner_->apply(per_core_masks);
+  }
+  std::vector<WayMask> current() const override { return inner_->current(); }
+  void reset() override {
+    faults_->maybe_fault(FaultOp::CatReset, kInvalidCore);
+    inner_->reset();
+  }
+  unsigned llc_ways() const override { return inner_->llc_ways(); }
+  unsigned num_cores() const override { return inner_->num_cores(); }
+
+ private:
+  CatController* inner_;
+  FaultInjector* faults_;
+};
+
+}  // namespace cmm::hw

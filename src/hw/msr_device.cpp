@@ -18,23 +18,29 @@ void SimMsrDevice::write(CoreId core, std::uint32_t msr, std::uint64_t value) {
   system_->core(core).prefetch_msr().write(value);
 }
 
-void PrefetchControl::set_core_prefetchers(CoreId core, bool on) {
-  msr_->write(core, sim::kMsrMiscFeatureControl, on ? 0x0ULL : 0xFULL);
+std::uint64_t PrefetchControl::read_msr(CoreId core) const {
+  return with_retry(retry_, [&] { return msr_->read(core, sim::kMsrMiscFeatureControl); });
 }
 
-bool PrefetchControl::core_prefetchers_on(CoreId core) const {
-  return msr_->read(core, sim::kMsrMiscFeatureControl) == 0;
+void PrefetchControl::write_msr(CoreId core, std::uint64_t value) {
+  with_retry(retry_, [&] { msr_->write(core, sim::kMsrMiscFeatureControl, value); });
 }
+
+void PrefetchControl::set_core_prefetchers(CoreId core, bool on) {
+  write_msr(core, on ? 0x0ULL : 0xFULL);
+}
+
+bool PrefetchControl::core_prefetchers_on(CoreId core) const { return read_msr(core) == 0; }
 
 void PrefetchControl::set_prefetcher(CoreId core, sim::PrefetcherKind kind, bool on) {
-  std::uint64_t v = msr_->read(core, sim::kMsrMiscFeatureControl);
+  std::uint64_t v = read_msr(core);
   const std::uint64_t bit = 1ULL << static_cast<unsigned>(kind);
   v = on ? (v & ~bit) : (v | bit);
-  msr_->write(core, sim::kMsrMiscFeatureControl, v);
+  write_msr(core, v);
 }
 
 bool PrefetchControl::prefetcher_on(CoreId core, sim::PrefetcherKind kind) const {
-  const std::uint64_t v = msr_->read(core, sim::kMsrMiscFeatureControl);
+  const std::uint64_t v = read_msr(core);
   return ((v >> static_cast<unsigned>(kind)) & 1ULL) == 0;
 }
 

@@ -14,6 +14,7 @@
 
 #include <cstdint>
 
+#include "common/retry.hpp"
 #include "common/types.hpp"
 #include "sim/multicore_system.hpp"
 
@@ -45,10 +46,14 @@ class SimMsrDevice final : public MsrDevice {
 
 /// Convenience wrapper over the prefetcher-control register: the unit
 /// the paper's back-end manipulates ("all four prefetchers per core are
-/// either on or off").
+/// either on or off"). Every MSR access goes through the retry policy:
+/// transient faults (EBUSY-class, see common/retry.hpp) are re-attempted
+/// with deterministic backoff; persistent faults propagate so the
+/// caller can degrade (the EpochDriver's CP-only fallback).
 class PrefetchControl {
  public:
-  explicit PrefetchControl(MsrDevice& msr) : msr_(&msr) {}
+  explicit PrefetchControl(MsrDevice& msr, RetryPolicy retry = {})
+      : msr_(&msr), retry_(std::move(retry)) {}
 
   void set_core_prefetchers(CoreId core, bool on);
   bool core_prefetchers_on(CoreId core) const;
@@ -62,7 +67,11 @@ class PrefetchControl {
   unsigned num_cores() const { return msr_->num_cores(); }
 
  private:
+  std::uint64_t read_msr(CoreId core) const;
+  void write_msr(CoreId core, std::uint64_t value);
+
   MsrDevice* msr_;
+  RetryPolicy retry_;
 };
 
 }  // namespace cmm::hw

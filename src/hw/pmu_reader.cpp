@@ -4,11 +4,43 @@
 
 namespace cmm::hw {
 
+namespace {
+
+/// a - b, saturating at zero; flags the wrap instead of underflowing.
+std::uint64_t sub_detect(std::uint64_t a, std::uint64_t b, bool& wrapped) noexcept {
+  if (a < b) {
+    wrapped = true;
+    return 0;
+  }
+  return a - b;
+}
+
+}  // namespace
+
 std::vector<sim::PmuCounters> pmu_delta(const std::vector<sim::PmuCounters>& now,
-                                        const std::vector<sim::PmuCounters>& earlier) {
+                                        const std::vector<sim::PmuCounters>& earlier,
+                                        std::vector<bool>* wrapped) {
   if (now.size() != earlier.size()) throw std::invalid_argument("pmu_delta: size mismatch");
+  if (wrapped != nullptr) wrapped->assign(now.size(), false);
   std::vector<sim::PmuCounters> d(now.size());
-  for (std::size_t i = 0; i < now.size(); ++i) d[i] = now[i].delta_since(earlier[i]);
+  for (std::size_t i = 0; i < now.size(); ++i) {
+    const auto& n = now[i];
+    const auto& e = earlier[i];
+    auto& out = d[i];
+    bool w = false;
+    out.cycles = sub_detect(n.cycles, e.cycles, w);
+    out.instructions = sub_detect(n.instructions, e.instructions, w);
+    out.l2_pref_req = sub_detect(n.l2_pref_req, e.l2_pref_req, w);
+    out.l2_pref_miss = sub_detect(n.l2_pref_miss, e.l2_pref_miss, w);
+    out.l2_dm_req = sub_detect(n.l2_dm_req, e.l2_dm_req, w);
+    out.l2_dm_miss = sub_detect(n.l2_dm_miss, e.l2_dm_miss, w);
+    out.l3_load_miss = sub_detect(n.l3_load_miss, e.l3_load_miss, w);
+    out.stalls_l2_pending = sub_detect(n.stalls_l2_pending, e.stalls_l2_pending, w);
+    out.dram_demand_bytes = sub_detect(n.dram_demand_bytes, e.dram_demand_bytes, w);
+    out.dram_prefetch_bytes = sub_detect(n.dram_prefetch_bytes, e.dram_prefetch_bytes, w);
+    out.dram_writeback_bytes = sub_detect(n.dram_writeback_bytes, e.dram_writeback_bytes, w);
+    if (w && wrapped != nullptr) (*wrapped)[i] = true;
+  }
   return d;
 }
 

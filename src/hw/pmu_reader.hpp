@@ -33,8 +33,14 @@ class SimPmuReader final : public PmuReader {
 };
 
 /// Per-core deltas between two PMU snapshots (an epoch or a sampling
-/// interval).
+/// interval). A counter that reads *lower* than its earlier snapshot —
+/// a wrapped, reprogrammed or garbled counter — saturates that field to
+/// zero instead of underflowing uint64_t into an absurd delta; when
+/// `wrapped` is non-null it receives one flag per core recording which
+/// cores had at least one such counter, so callers can quarantine the
+/// interval.
 std::vector<sim::PmuCounters> pmu_delta(const std::vector<sim::PmuCounters>& now,
-                                        const std::vector<sim::PmuCounters>& earlier);
+                                        const std::vector<sim::PmuCounters>& earlier,
+                                        std::vector<bool>* wrapped = nullptr);
 
 }  // namespace cmm::hw

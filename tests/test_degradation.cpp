@@ -1,0 +1,227 @@
+// The graceful-degradation ladder, asserted end to end through the
+// EpochDriver with the fault-injecting HAL: which HealthLog rungs fire
+// and what state the (sim) hardware is left in.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "analysis/run_harness.hpp"
+#include "common/bitmask.hpp"
+#include "core/epoch_driver.hpp"
+#include "core/policy_cmm.hpp"
+#include "hw/fault_injection.hpp"
+#include "workloads/workload_mix.hpp"
+
+namespace cmm::core {
+namespace {
+
+sim::MachineConfig cfg() { return sim::MachineConfig::scaled(16); }
+
+EpochConfig epochs() {
+  EpochConfig e;
+  e.execution_epoch = 200'000;
+  e.sampling_interval = 10'000;
+  return e;
+}
+
+std::unique_ptr<sim::MulticoreSystem> make_system() {
+  auto sys = std::make_unique<sim::MulticoreSystem>(cfg());
+  const auto mixes =
+      workloads::make_mixes(workloads::MixCategory::PrefAgg, 1, cfg().num_cores, 3);
+  workloads::attach_mix(*sys, mixes.front(), 42);
+  return sys;
+}
+
+std::unique_ptr<Policy> cmm_a(double freq_ghz) {
+  CmmPolicy::Options o;
+  o.detector.freq_ghz = freq_ghz;
+  o.variant = CmmVariant::A;
+  return std::make_unique<CmmPolicy>(o);
+}
+
+/// Driver plus the fault-injecting HAL stack it runs on.
+struct FaultedRun {
+  std::unique_ptr<sim::MulticoreSystem> sys;
+  std::unique_ptr<Policy> policy;
+  hw::SimMsrDevice sim_msr;
+  hw::SimPmuReader sim_pmu;
+  hw::SimCatController sim_cat;
+  hw::FaultInjector injector;
+  hw::FaultInjectingMsrDevice msr;
+  hw::FaultInjectingPmuReader pmu;
+  hw::FaultInjectingCatController cat;
+  EpochDriver driver;
+
+  FaultedRun(const hw::FaultPlan& plan, std::unique_ptr<Policy> pol)
+      : sys(make_system()),
+        policy(std::move(pol)),
+        sim_msr(*sys),
+        sim_pmu(*sys),
+        sim_cat(*sys),
+        injector(plan),
+        msr(sim_msr, injector),
+        pmu(sim_pmu, injector),
+        cat(sim_cat, injector),
+        driver(*sys, *policy, msr, pmu, cat, epochs()) {}
+};
+
+/// Throws on every begin_profiling; the watchdog scenario.
+class ThrowingPolicy final : public Policy {
+ public:
+  std::string_view name() const noexcept override { return "throwing"; }
+  ResourceConfig initial_config(unsigned cores, unsigned ways) override {
+    // Deliberately non-baseline so the watchdog has something to undo.
+    ResourceConfig c = ResourceConfig::baseline(cores, ways);
+    c.prefetch_on[0] = false;
+    for (auto& m : c.way_masks) m = contiguous_mask(0, ways / 2);
+    return c;
+  }
+  void begin_profiling(const std::vector<sim::PmuCounters>&) override {
+    throw std::runtime_error("injected policy fault");
+  }
+  std::optional<ResourceConfig> next_sample() override { return std::nullopt; }
+  void report_sample(const SampleStats&) override {}
+  ResourceConfig final_config() override { return {}; }
+};
+
+TEST(DegradationLadder, PersistentCatFaultFallsBackToPtOnly) {
+  hw::FaultPlan plan;
+  plan.cat_apply_fail_p = 1.0;
+  plan.transient_fraction = 0.0;  // persistent on first touch
+
+  FaultedRun run(plan, cmm_a(cfg().freq_ghz));
+  run.driver.run(600'000);
+
+  EXPECT_TRUE(run.driver.health().has(HealthEventKind::PtOnlyFallback));
+  EXPECT_FALSE(run.driver.cat_available());
+  EXPECT_TRUE(run.driver.prefetch_available());
+  EXPECT_FALSE(run.driver.health().has(HealthEventKind::ManagementLost));
+
+  // The fallback resets CAT (reset itself is healthy under this plan),
+  // so no core is left stuck with a partial mask.
+  const WayMask full = full_mask(run.sys->cat().llc_ways());
+  for (CoreId c = 0; c < run.sys->num_cores(); ++c)
+    EXPECT_EQ(run.sys->cat().core_mask(c), full);
+}
+
+TEST(DegradationLadder, AllCoresOfflineFallsBackToCpOnly) {
+  hw::FaultPlan plan;
+  for (CoreId c = 0; c < cfg().num_cores; ++c) plan.offline_cores.push_back(c);
+
+  FaultedRun run(plan, cmm_a(cfg().freq_ghz));
+  run.driver.run(600'000);
+
+  EXPECT_EQ(run.driver.health().count(HealthEventKind::CorePrefetchOffline),
+            static_cast<std::size_t>(cfg().num_cores));
+  EXPECT_TRUE(run.driver.health().has(HealthEventKind::CpOnlyFallback));
+  EXPECT_FALSE(run.driver.prefetch_available());
+  EXPECT_TRUE(run.driver.cat_available());  // CAT ops are machine-wide, not per-core
+}
+
+TEST(DegradationLadder, SingleOfflineCoreDoesNotLoseTheMechanism) {
+  hw::FaultPlan plan;
+  plan.offline_cores = {3};
+
+  FaultedRun run(plan, cmm_a(cfg().freq_ghz));
+  run.driver.run(600'000);
+
+  const auto& health = run.driver.health();
+  EXPECT_EQ(health.count(HealthEventKind::CorePrefetchOffline), 1u);
+  EXPECT_EQ(health.events().front().core, 3u);
+  EXPECT_FALSE(health.has(HealthEventKind::CpOnlyFallback));
+  EXPECT_TRUE(run.driver.prefetch_available());
+}
+
+TEST(DegradationLadder, PolicyThrowTriggersWatchdogBaselineRestore) {
+  FaultedRun run(hw::FaultPlan{}, std::make_unique<ThrowingPolicy>());
+  run.driver.run(600'000);
+
+  const auto& health = run.driver.health();
+  ASSERT_TRUE(health.has(HealthEventKind::WatchdogRestore));
+  for (const auto& e : health.events()) {
+    if (e.kind == HealthEventKind::WatchdogRestore)
+      EXPECT_EQ(e.detail, 1u);  // restore reached full baseline
+  }
+
+  // Hardware state below the fault layer: everything back to reset.
+  const WayMask full = full_mask(run.sys->cat().llc_ways());
+  for (CoreId c = 0; c < run.sys->num_cores(); ++c) {
+    EXPECT_EQ(run.sys->cat().core_mask(c), full);
+    EXPECT_TRUE(run.sys->core(c).prefetch_msr().all_enabled());
+  }
+}
+
+TEST(DegradationLadder, WrappedSamplesAreQuarantined) {
+  hw::FaultPlan plan;
+  plan.pmu_wrap_p = 1.0;    // every snapshot (and re-read) corrupts
+  plan.pmu_wrap_bits = 16;  // wrap point 65536, crossed almost immediately
+
+  FaultedRun run(plan, cmm_a(cfg().freq_ghz));
+  run.driver.run(600'000);
+
+  const auto& health = run.driver.health();
+  EXPECT_TRUE(health.has(HealthEventKind::PmuSnapshotReread));
+  EXPECT_TRUE(health.has(HealthEventKind::PmuWrapSaturated));
+  EXPECT_TRUE(health.has(HealthEventKind::SampleQuarantined));
+  // Measurement faults never escalate the resource ladder.
+  EXPECT_TRUE(run.driver.prefetch_available());
+  EXPECT_TRUE(run.driver.cat_available());
+}
+
+TEST(DegradationLadder, TransientStormCompletesAndStaysManaged) {
+  const auto plan = hw::FaultPlan::transient_everywhere(0.10, 7);
+  const auto mixes =
+      workloads::make_mixes(workloads::MixCategory::PrefAgg, 1, cfg().num_cores, 3);
+
+  analysis::RunParams params;
+  params.machine = cfg();
+  params.run_cycles = 600'000;
+  params.epochs = epochs();
+
+  auto policy = cmm_a(cfg().freq_ghz);
+  const auto out = analysis::run_mix_with_faults(mixes.front(), *policy, params, plan);
+  EXPECT_TRUE(out.completed) << out.error;
+  EXPECT_GT(out.hm_ipc, 0.0);
+}
+
+TEST(DegradationLadder, ZeroRatePlanIsBitIdenticalToPlainRun) {
+  const auto mixes =
+      workloads::make_mixes(workloads::MixCategory::PrefAgg, 1, cfg().num_cores, 3);
+  analysis::RunParams params;
+  params.machine = cfg();
+  params.run_cycles = 600'000;
+  params.epochs = epochs();
+
+  auto p1 = cmm_a(cfg().freq_ghz);
+  auto p2 = cmm_a(cfg().freq_ghz);
+  const auto plain = analysis::run_mix(mixes.front(), *p1, params);
+  const auto faulted = analysis::run_mix_with_faults(mixes.front(), *p2, params, hw::FaultPlan{});
+  EXPECT_TRUE(faulted.completed);
+  EXPECT_TRUE(faulted.health.empty());
+  EXPECT_EQ(faulted.result, plain);
+}
+
+TEST(DegradationLadder, SameSeedReproducesHealthLogAndResults) {
+  hw::FaultPlan plan = hw::FaultPlan::transient_everywhere(0.10, 11);
+  plan.transient_fraction = 0.7;  // mix of transient and persistent
+  plan.pmu_wrap_p = 0.05;
+  plan.pmu_garbage_p = 0.05;
+
+  const auto mixes =
+      workloads::make_mixes(workloads::MixCategory::PrefAgg, 1, cfg().num_cores, 3);
+  analysis::RunParams params;
+  params.machine = cfg();
+  params.run_cycles = 600'000;
+  params.epochs = epochs();
+
+  auto p1 = cmm_a(cfg().freq_ghz);
+  auto p2 = cmm_a(cfg().freq_ghz);
+  const auto a = analysis::run_mix_with_faults(mixes.front(), *p1, params, plan);
+  const auto b = analysis::run_mix_with_faults(mixes.front(), *p2, params, plan);
+  EXPECT_EQ(a.health, b.health);
+  EXPECT_EQ(a.result, b.result);
+  EXPECT_EQ(a.hm_ipc, b.hm_ipc);
+}
+
+}  // namespace
+}  // namespace cmm::core

@@ -152,6 +152,13 @@ TEST(EpochDriver, SampleCapRespected) {
   EpochDriver driver(sys, policy, e);
   driver.run(300'000);
   EXPECT_LE(policy.reported.size(), 5u * policy.profiling_rounds);
+
+  // Truncation is not silent: the HealthLog records the cap with the
+  // number of samples that did run.
+  ASSERT_TRUE(driver.health().has(HealthEventKind::SampleCapTruncated));
+  for (const auto& ev : driver.health().events()) {
+    if (ev.kind == HealthEventKind::SampleCapTruncated) EXPECT_EQ(ev.detail, 5u);
+  }
 }
 
 TEST(EpochDriver, ExecutionCountersExcludeSampling) {

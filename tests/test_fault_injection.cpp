@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "hw/fault_injection.hpp"
+#include "workloads/benchmark_specs.hpp"
+
+namespace cmm::hw {
+namespace {
+
+sim::MachineConfig cfg() {
+  auto c = sim::MachineConfig::scaled(16);
+  c.num_cores = 4;
+  return c;
+}
+
+std::unique_ptr<sim::MulticoreSystem> make_loaded_system() {
+  auto sys = std::make_unique<sim::MulticoreSystem>(cfg());
+  for (CoreId c = 0; c < sys->num_cores(); ++c)
+    sys->set_op_source(c, workloads::make_op_source("gobmk", sys->config(), c, c));
+  return sys;
+}
+
+TEST(FaultPlan, DefaultPlanInjectsNothing) {
+  const FaultPlan plan;
+  EXPECT_FALSE(plan.enabled());
+
+  FaultInjector injector(plan);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_NO_THROW(injector.maybe_fault(FaultOp::MsrWrite, 0));
+    EXPECT_NO_THROW(injector.maybe_fault(FaultOp::CatApply, kInvalidCore));
+  }
+  EXPECT_EQ(injector.injected_faults(), 0u);
+
+  std::vector<sim::PmuCounters> snapshot(4);
+  snapshot[1].cycles = 123;
+  auto copy = snapshot;
+  injector.corrupt_snapshot(copy);
+  EXPECT_EQ(copy[1].cycles, 123u);
+  EXPECT_EQ(injector.corrupted_snapshots(), 0u);
+}
+
+TEST(FaultInjector, SameSeedYieldsIdenticalFaultStream) {
+  const auto plan = FaultPlan::transient_everywhere(0.3, 99);
+  FaultInjector a(plan);
+  FaultInjector b(plan);
+
+  auto stream = [](FaultInjector& inj) {
+    std::vector<std::string> events;
+    for (int i = 0; i < 200; ++i) {
+      try {
+        inj.maybe_fault(FaultOp::MsrWrite, static_cast<CoreId>(i % 4));
+        events.emplace_back("ok");
+      } catch (const HwFault& f) {
+        events.emplace_back(f.what());
+      }
+    }
+    return events;
+  };
+  EXPECT_EQ(stream(a), stream(b));
+  EXPECT_GT(a.injected_faults(), 0u);
+  EXPECT_EQ(a.injected_faults(), b.injected_faults());
+}
+
+TEST(FaultInjector, OfflineCoreAlwaysFailsPersistently) {
+  FaultPlan plan;
+  plan.offline_cores = {2};
+  FaultInjector injector(plan);
+
+  for (int i = 0; i < 5; ++i) {
+    try {
+      injector.maybe_fault(FaultOp::MsrWrite, 2);
+      FAIL() << "offline core must fault";
+    } catch (const HwFault& f) {
+      EXPECT_FALSE(f.transient());
+    }
+  }
+  // Other cores and machine-wide ops are unaffected.
+  EXPECT_NO_THROW(injector.maybe_fault(FaultOp::MsrWrite, 1));
+  EXPECT_NO_THROW(injector.maybe_fault(FaultOp::CatApply, kInvalidCore));
+}
+
+TEST(FaultInjector, PersistentFaultsAreStickyPerOpAndCore) {
+  FaultPlan plan;
+  plan.msr_write_fail_p = 1.0;
+  plan.transient_fraction = 0.0;  // every injected fault is persistent
+  FaultInjector injector(plan);
+
+  EXPECT_THROW(injector.maybe_fault(FaultOp::MsrWrite, 1), HwFault);
+  // Sticky: the same (op, core) fails forever, without further draws.
+  for (int i = 0; i < 5; ++i) {
+    try {
+      injector.maybe_fault(FaultOp::MsrWrite, 1);
+      FAIL() << "sticky persistent fault must keep failing";
+    } catch (const HwFault& f) {
+      EXPECT_FALSE(f.transient());
+    }
+  }
+  // A different op on the same core has its own fate (reads never fail
+  // under this plan).
+  EXPECT_NO_THROW(injector.maybe_fault(FaultOp::MsrRead, 1));
+}
+
+TEST(FaultInjector, WrapCorruptionIsDetectedByPmuDelta) {
+  auto sys_ptr = make_loaded_system();
+  auto& sys = *sys_ptr;
+  SimPmuReader inner(sys);
+
+  FaultPlan plan;
+  plan.pmu_wrap_p = 1.0;    // corrupt every snapshot
+  plan.pmu_wrap_bits = 16;  // wrap at 65536 so a short run crosses it
+  FaultInjector injector(plan);
+  FaultInjectingPmuReader pmu(inner, injector);
+
+  sys.run(150'000);                      // counters well past 2^16
+  const auto before = inner.read_all();  // clean reference
+  sys.run(100'000);
+  const auto after = pmu.read_all();     // one core's counters wrapped below `before`
+  EXPECT_GT(injector.corrupted_snapshots(), 0u);
+
+  std::vector<bool> wrapped;
+  pmu_delta(after, before, &wrapped);
+  EXPECT_TRUE(std::any_of(wrapped.begin(), wrapped.end(), [](bool w) { return w; }));
+}
+
+TEST(FaultInjector, GarbageCorruptionReplacesOneCoreSnapshot) {
+  auto sys_ptr = make_loaded_system();
+  auto& sys = *sys_ptr;
+  SimPmuReader inner(sys);
+
+  FaultPlan plan;
+  plan.pmu_garbage_p = 1.0;
+  FaultInjector injector(plan);
+  FaultInjectingPmuReader pmu(inner, injector);
+
+  sys.run(10'000);
+  const auto truth = inner.read_all();
+  const auto corrupted = pmu.read_all();
+  ASSERT_EQ(truth.size(), corrupted.size());
+
+  unsigned differing = 0;
+  for (std::size_t c = 0; c < truth.size(); ++c) {
+    if (corrupted[c].cycles != truth[c].cycles) ++differing;
+  }
+  EXPECT_EQ(differing, 1u);  // exactly one core's snapshot is garbage
+}
+
+}  // namespace
+}  // namespace cmm::hw

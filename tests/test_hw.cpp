@@ -94,6 +94,29 @@ TEST(PmuReader, SnapshotAndDelta) {
   }
 }
 
+TEST(PmuReader, DeltaSaturatesAndFlagsWrappedCounters) {
+  // Regression: a counter that reads lower than the earlier snapshot
+  // (wrap mid-interval) must saturate to zero and set the per-core
+  // flag, never produce a huge unsigned-underflow delta.
+  std::vector<sim::PmuCounters> before(2);
+  std::vector<sim::PmuCounters> after(2);
+  before[0].cycles = 1'000;
+  before[0].instructions = 500;
+  after[0].cycles = 10;  // wrapped
+  after[0].instructions = 600;
+  before[1].cycles = 100;
+  after[1].cycles = 250;
+
+  std::vector<bool> wrapped;
+  const auto d = pmu_delta(after, before, &wrapped);
+  EXPECT_EQ(d[0].cycles, 0u);           // saturated, not 2^64 - 990
+  EXPECT_EQ(d[0].instructions, 100u);   // monotone fields stay exact
+  EXPECT_EQ(d[1].cycles, 150u);
+  ASSERT_EQ(wrapped.size(), 2u);
+  EXPECT_TRUE(wrapped[0]);
+  EXPECT_FALSE(wrapped[1]);
+}
+
 TEST(PmuReader, DeltaSizeMismatchThrows) {
   std::vector<sim::PmuCounters> a(2);
   std::vector<sim::PmuCounters> b(3);

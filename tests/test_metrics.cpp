@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "core/metrics.hpp"
 
 namespace cmm::core {
@@ -96,6 +98,39 @@ TEST(Metrics, HmIpcZeroOnStalledCore) {
   deltas[1].cycles = 1000;  // ipc 0
   EXPECT_DOUBLE_EQ(hm_ipc(deltas), 0.0);
   EXPECT_DOUBLE_EQ(hm_ipc({}), 0.0);
+}
+
+TEST(Metrics, AllZeroDeltaYieldsFiniteZeroMetrics) {
+  // The zero-denominator contract: a quarantined interval (all-zero
+  // delta) produces 0.0 everywhere, never NaN/Inf from 0/0.
+  const CoreMetrics m = compute_metrics(sim::PmuCounters{}, 2.1);
+  for (const double v : {m.l2_llc_traffic, m.l2_pref_miss_frac, m.l2_ptr, m.pga, m.l2_pmr,
+                         m.l2_ppm, m.llc_pt, m.ipc, m.stalls_l2_pending}) {
+    EXPECT_TRUE(std::isfinite(v));
+    EXPECT_DOUBLE_EQ(v, 0.0);
+  }
+}
+
+TEST(Metrics, ZeroDenominatorsWithNonZeroNumeratorsStayFinite) {
+  sim::PmuCounters c;
+  c.l2_pref_req = 100;  // PGA: pref req with zero dm req -> capped, PMR: 0 miss
+  c.dram_prefetch_bytes = 64 * 100;  // bytes but zero cycles -> llc_pt 0
+  const CoreMetrics m = compute_metrics(c, 2.1);
+  EXPECT_TRUE(std::isfinite(m.pga));
+  EXPECT_DOUBLE_EQ(m.l2_ppm, 0.0);  // 100 / 0 dm miss -> 0 by contract
+  EXPECT_DOUBLE_EQ(m.llc_pt, 0.0);
+  EXPECT_DOUBLE_EQ(m.ipc, 0.0);
+}
+
+TEST(Metrics, HmIpcZeroOnQuarantinedInterval) {
+  // One healthy core plus one quarantined (all-zero) core: the HM is
+  // 0.0 by definition — a blinded interval can never win the search.
+  std::vector<sim::PmuCounters> deltas(2);
+  deltas[0].cycles = 1000;
+  deltas[0].instructions = 2000;
+  const double hm = hm_ipc(deltas);
+  EXPECT_TRUE(std::isfinite(hm));
+  EXPECT_DOUBLE_EQ(hm, 0.0);
 }
 
 }  // namespace

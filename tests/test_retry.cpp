@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include <climits>
+#include <vector>
+
+#include "common/retry.hpp"
+
+namespace cmm {
+namespace {
+
+TEST(RetryPolicy, TransientFailuresAreRetriedUntilSuccess) {
+  RetryPolicy policy;
+  unsigned calls = 0;
+  const int result = with_retry(policy, [&] {
+    if (++calls < 3) throw HwFault(FaultClass::Transient, "busy");
+    return 7;
+  });
+  EXPECT_EQ(result, 7);
+  EXPECT_EQ(calls, 3u);
+}
+
+TEST(RetryPolicy, PersistentFaultIsNotRetried) {
+  RetryPolicy policy;
+  unsigned calls = 0;
+  EXPECT_THROW(with_retry(policy,
+                          [&]() -> int {
+                            ++calls;
+                            throw HwFault(FaultClass::Persistent, "gp fault");
+                          }),
+               HwFault);
+  EXPECT_EQ(calls, 1u);
+}
+
+TEST(RetryPolicy, TransientExhaustionPropagatesTheFault) {
+  RetryPolicy policy;
+  policy.max_attempts = 4;
+  unsigned calls = 0;
+  try {
+    with_retry(policy, [&]() -> int {
+      ++calls;
+      throw HwFault(FaultClass::Transient, "still busy");
+    });
+    FAIL() << "expected HwFault";
+  } catch (const HwFault& f) {
+    EXPECT_TRUE(f.transient());  // classification survives exhaustion
+  }
+  EXPECT_EQ(calls, 4u);
+}
+
+TEST(RetryPolicy, OnRetryHookSeesEveryAttempt) {
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  std::vector<unsigned> attempts;
+  std::vector<unsigned> backoffs;
+  policy.on_retry = [&](const RetryEvent& ev) {
+    attempts.push_back(ev.attempt);
+    backoffs.push_back(ev.backoff_units);
+    EXPECT_EQ(ev.fault, FaultClass::Transient);
+  };
+  unsigned calls = 0;
+  const int result = with_retry(policy, [&] {
+    if (++calls < 3) throw HwFault(FaultClass::Transient, "busy");
+    return 1;
+  });
+  EXPECT_EQ(result, 1);
+  EXPECT_EQ(attempts, (std::vector<unsigned>{1, 2}));
+  EXPECT_EQ(backoffs, (std::vector<unsigned>{1, 2}));  // base 1, x2
+}
+
+TEST(RetryPolicy, BackoffScheduleIsExponential) {
+  RetryPolicy policy;
+  policy.backoff_base = 3;
+  policy.backoff_multiplier = 2;
+  EXPECT_EQ(policy.backoff_units(1), 3u);
+  EXPECT_EQ(policy.backoff_units(2), 6u);
+  EXPECT_EQ(policy.backoff_units(3), 12u);
+}
+
+TEST(RetryPolicy, BackoffOverflowSaturates) {
+  RetryPolicy policy;
+  policy.backoff_base = UINT_MAX / 2;
+  policy.backoff_multiplier = 3;
+  EXPECT_EQ(policy.backoff_units(5), UINT_MAX);
+}
+
+TEST(HwFault, CarriesClassification) {
+  const HwFault t(FaultClass::Transient, "ebusy");
+  const HwFault p(FaultClass::Persistent, "gp");
+  EXPECT_TRUE(t.transient());
+  EXPECT_FALSE(p.transient());
+  EXPECT_EQ(t.fault_class(), FaultClass::Transient);
+  EXPECT_EQ(p.fault_class(), FaultClass::Persistent);
+  EXPECT_STREQ(t.what(), "ebusy");
+}
+
+}  // namespace
+}  // namespace cmm
