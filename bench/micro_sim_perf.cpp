@@ -5,8 +5,10 @@
 #include <benchmark/benchmark.h>
 
 #include "common/rng.hpp"
+#include "core/epoch_driver.hpp"
 #include "core/kmeans.hpp"
 #include "core/policy.hpp"
+#include "core/policy_cmm.hpp"
 #include "sim/cache.hpp"
 #include "sim/multicore_system.hpp"
 #include "workloads/benchmark_specs.hpp"
@@ -16,17 +18,22 @@ namespace {
 
 using namespace cmm;
 
+// Cyclic walk over a working set of `range(0)` lines in a 32 KB 8-way
+// L1 geometry (64 sets). 64 lines = one way per set (single-tag
+// probes); 512 = the full L1, so every probe scans a full set; 4096 =
+// 8x thrashing, so most probes are full-set scans that miss.
 void BM_CacheAccessHit(benchmark::State& state) {
   sim::SetAssocCache cache(sim::CacheGeometry{32 * 1024, 8, 64});
-  for (Addr line = 0; line < 64; ++line)
+  const auto working_set = static_cast<Addr>(state.range(0));
+  for (Addr line = 0; line < working_set; ++line)
     cache.fill(line, AccessType::DemandLoad, 0, 0, ~WayMask{0});
   Addr line = 0;
   for (auto _ : state) {
     benchmark::DoNotOptimize(cache.access(line, AccessType::DemandLoad, 0));
-    line = (line + 1) % 64;
+    line = (line + 1) % working_set;
   }
 }
-BENCHMARK(BM_CacheAccessHit);
+BENCHMARK(BM_CacheAccessHit)->Arg(64)->Arg(512)->Arg(4096);
 
 void BM_CacheFillEvict(benchmark::State& state) {
   sim::SetAssocCache cache(sim::CacheGeometry{32 * 1024, 8, 64});
@@ -80,6 +87,36 @@ void BM_SystemSimulation(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 10'000 * cfg.num_cores);
 }
 BENCHMARK(BM_SystemSimulation)->Unit(benchmark::kMillisecond);
+
+// Full-system throughput with the paper's complete control loop on
+// top: a fig11-style Pref Agg mix driven by the CMM policy through the
+// epoch driver (sampling, detection, k-means grouping, partition
+// search). items_processed counts *retired instructions*, so
+// items_per_second is the end-to-end simulated-ops/sec rate that every
+// figure bench's wall time is made of.
+void BM_FullSystemCmm(benchmark::State& state) {
+  const auto cfg = sim::MachineConfig::scaled(16);
+  sim::MulticoreSystem system(cfg);
+  const auto mixes = workloads::make_mixes(workloads::MixCategory::PrefAgg, 1, cfg.num_cores, 42);
+  workloads::attach_mix(system, mixes.front(), 42);
+
+  core::CmmPolicy::Options opts;
+  opts.detector.freq_ghz = cfg.freq_ghz;
+  core::CmmPolicy policy(opts);
+  core::EpochConfig epochs;
+  epochs.execution_epoch = 400'000;
+  epochs.sampling_interval = 20'000;
+  core::EpochDriver driver(system, policy, epochs);
+
+  std::uint64_t instructions = 0;
+  for (CoreId c = 0; c < cfg.num_cores; ++c) instructions -= system.pmu().core(c).instructions;
+  for (auto _ : state) {
+    driver.run(100'000);
+  }
+  for (CoreId c = 0; c < cfg.num_cores; ++c) instructions += system.pmu().core(c).instructions;
+  state.SetItemsProcessed(static_cast<std::int64_t>(instructions));
+}
+BENCHMARK(BM_FullSystemCmm)->Unit(benchmark::kMillisecond);
 
 // Ablation: size of the throttle search space — exhaustive 2^n vs the
 // paper's k-means group-level 2^k. This is the scalability argument of

@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Soft perf-regression gate for the kernel micro-benches.
+
+Compares a fresh google-benchmark JSON result (micro_sim_perf
+--benchmark_format=json) against the checked-in trajectory point
+bench/perf_baseline.json and warns — without failing — when a benchmark
+regressed by more than the threshold. Wall-clock benchmark numbers are
+machine- and load-dependent, so this is a *soft* gate: it annotates the
+CI run (GitHub `::warning::` lines) and exits 0 unless --strict.
+
+Usage:
+    compare_perf.py BASELINE.json CURRENT.json [--threshold 0.10] [--strict]
+
+Only benchmarks present in both files are compared (new benchmarks are
+reported as such). Comparison metric is cpu_time (per-iteration), the
+least scheduler-sensitive of the reported times.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_benchmarks(path):
+    with open(path, encoding="utf-8") as f:
+        data = json.load(f)
+    out = {}
+    for b in data.get("benchmarks", []):
+        # Skip aggregate rows (mean/median/stddev of repetitions).
+        if b.get("run_type") == "aggregate":
+            continue
+        out[b["name"]] = b
+    return out
+
+
+_TO_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def fmt_time(bench):
+    ns = bench["cpu_time"] * _TO_NS.get(bench.get("time_unit", "ns"), 1.0)
+    for unit, scale in (("s", 1e9), ("ms", 1e6), ("us", 1e3)):
+        if ns >= scale:
+            return f"{ns / scale:.2f} {unit}"
+    return f"{ns:.1f} ns"
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--threshold", type=float, default=0.10,
+                    help="relative slowdown that triggers a warning (default 0.10)")
+    ap.add_argument("--strict", action="store_true",
+                    help="exit 1 when any benchmark regresses past the threshold")
+    args = ap.parse_args()
+
+    baseline = load_benchmarks(args.baseline)
+    current = load_benchmarks(args.current)
+
+    regressions = []
+    improvements = []
+    width = max((len(n) for n in current), default=10)
+    print(f"{'benchmark':<{width}}  {'baseline':>10}  {'current':>10}  {'ratio':>7}")
+    for name, cur in current.items():
+        base = baseline.get(name)
+        if base is None:
+            print(f"{name:<{width}}  {'--':>10}  {fmt_time(cur):>10}      new")
+            continue
+        base_ns = base["cpu_time"] * _TO_NS.get(base.get("time_unit", "ns"), 1.0)
+        cur_ns = cur["cpu_time"] * _TO_NS.get(cur.get("time_unit", "ns"), 1.0)
+        ratio = cur_ns / base_ns if base_ns else float("inf")
+        marker = ""
+        if ratio > 1.0 + args.threshold:
+            marker = "  << REGRESSION"
+            regressions.append((name, ratio))
+        elif ratio < 1.0 - args.threshold:
+            marker = "  (faster)"
+            improvements.append((name, ratio))
+        print(f"{name:<{width}}  {fmt_time(base):>10}  "
+              f"{fmt_time(cur):>10}  {ratio:>6.2f}x{marker}")
+
+    missing = sorted(set(baseline) - set(current))
+    if missing:
+        print(f"\nnot in current run: {', '.join(missing)}")
+
+    if regressions:
+        print(f"\n{len(regressions)} benchmark(s) regressed more than "
+              f"{args.threshold:.0%} vs bench/perf_baseline.json:")
+        for name, ratio in regressions:
+            print(f"  {name}: {ratio:.2f}x")
+            # GitHub Actions annotation; harmless noise elsewhere.
+            print(f"::warning title=perf regression::{name} is {ratio:.2f}x "
+                  f"baseline cpu_time (soft gate, threshold {args.threshold:.0%})")
+        print("If the slowdown is intended (new feature, changed model), "
+              "regenerate the baseline: see EXPERIMENTS.md, 'Performance methodology'.")
+        return 1 if args.strict else 0
+
+    print(f"\nno regressions past {args.threshold:.0%}"
+          + (f"; {len(improvements)} benchmark(s) improved" if improvements else ""))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

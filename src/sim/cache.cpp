@@ -1,5 +1,6 @@
 #include "sim/cache.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <limits>
 
@@ -9,22 +10,14 @@ SetAssocCache::SetAssocCache(const CacheGeometry& geom)
     : geom_(geom),
       num_sets_(static_cast<std::uint32_t>(geom.num_sets())),
       ways_(geom.ways),
-      lines_(static_cast<std::size_t>(num_sets_) * ways_) {
+      tags_(static_cast<std::size_t>(num_sets_) * ways_, kNoTag),
+      ready_at_(static_cast<std::size_t>(num_sets_) * ways_, 0),
+      last_used_(static_cast<std::size_t>(num_sets_) * ways_, 0),
+      owner_(static_cast<std::size_t>(num_sets_) * ways_, kInvalidCore),
+      flags_(static_cast<std::size_t>(num_sets_) * ways_, 0),
+      valid_(num_sets_, 0) {
   assert(num_sets_ > 0 && (num_sets_ & (num_sets_ - 1)) == 0);
-}
-
-SetAssocCache::Line* SetAssocCache::find(Addr line_addr) {
-  const std::uint32_t set = set_index(line_addr);
-  const Addr tag = line_addr >> 0;  // full line address stored as tag
-  Line* base = &lines_[static_cast<std::size_t>(set) * ways_];
-  for (std::uint32_t w = 0; w < ways_; ++w) {
-    if (base[w].valid && base[w].tag == tag) return &base[w];
-  }
-  return nullptr;
-}
-
-const SetAssocCache::Line* SetAssocCache::find(Addr line_addr) const {
-  return const_cast<SetAssocCache*>(this)->find(line_addr);
+  assert(ways_ > 0 && ways_ <= 32 && "valid bitmask is a 32-bit WayMask");
 }
 
 LookupResult SetAssocCache::access(Addr line_addr, AccessType type, Cycle now) {
@@ -35,30 +28,32 @@ LookupResult SetAssocCache::access(Addr line_addr, AccessType type, Cycle now) {
     ++stats_.prefetch_accesses;
   }
 
-  Line* line = find(line_addr);
-  if (line == nullptr) return LookupResult{};
+  const std::uint32_t set = set_index(line_addr);
+  const int way = probe(set, line_addr);
+  if (way < 0) return LookupResult{};
+  const std::size_t idx = line_index(set, static_cast<std::uint32_t>(way));
 
   LookupResult r;
   r.hit = true;
-  r.ready_at = line->ready_at;
+  r.ready_at = ready_at_[idx];
   if (demand) {
     ++stats_.demand_hits;
-    if (line->prefetched && !line->pf_used) {
-      line->pf_used = true;
+    if ((flags_[idx] & (kFlagPrefetched | kFlagPfUsed)) == kFlagPrefetched) {
+      flags_[idx] |= kFlagPfUsed;
       ++stats_.prefetched_lines_used;
       r.first_use_of_prefetch = true;
     }
     // The first demand waiter absorbs any in-flight fill latency: it is
     // charged once (via r.ready_at) and the line is resident afterwards.
-    line->ready_at = now;
-    if (type == AccessType::DemandStore) line->dirty = true;
+    ready_at_[idx] = now;
+    if (type == AccessType::DemandStore) flags_[idx] |= kFlagDirty;
   } else {
     ++stats_.prefetch_hits;
     // A prefetch request consuming a prefetched line still counts as a
     // use for accuracy accounting (an L1 prefetch picking up a streamer
     // fill from L2 does deliver the data to the core)...
-    if (line->prefetched && !line->pf_used) {
-      line->pf_used = true;
+    if ((flags_[idx] & (kFlagPrefetched | kFlagPfUsed)) == kFlagPrefetched) {
+      flags_[idx] |= kFlagPfUsed;
       ++stats_.prefetched_lines_used;
       r.first_use_of_prefetch = true;
     }
@@ -70,89 +65,99 @@ LookupResult SetAssocCache::access(Addr line_addr, AccessType type, Cycle now) {
     return r;
   }
 
-  touch(*line);
+  touch(idx);
   return r;
 }
 
-bool SetAssocCache::contains(Addr line_addr) const { return find(line_addr) != nullptr; }
+bool SetAssocCache::contains(Addr line_addr) const {
+  return probe(set_index(line_addr), line_addr) >= 0;
+}
 
 FillResult SetAssocCache::fill(Addr line_addr, AccessType type, [[maybe_unused]] Cycle now,
                                Cycle ready_at, WayMask alloc_mask, CoreId owner) {
   FillResult result;
   if (alloc_mask == 0) return result;  // no allocatable ways: fill dropped
+  assert(line_addr != kNoTag && "~0 is reserved as the invalid-way sentinel tag");
+
+  const std::uint32_t set = set_index(line_addr);
 
   // Refill of a resident line (e.g. racing prefetch): refresh metadata.
-  if (Line* existing = find(line_addr); existing != nullptr) {
-    if (existing->ready_at > ready_at) existing->ready_at = ready_at;
-    if (type == AccessType::DemandStore) existing->dirty = true;
+  if (const int way = probe(set, line_addr); way >= 0) {
+    const std::size_t idx = line_index(set, static_cast<std::uint32_t>(way));
+    if (ready_at_[idx] > ready_at) ready_at_[idx] = ready_at;
+    if (type == AccessType::DemandStore) flags_[idx] |= kFlagDirty;
     return result;
   }
 
-  const std::uint32_t set = set_index(line_addr);
-  Line* base = &lines_[static_cast<std::size_t>(set) * ways_];
-
-  // Prefer an invalid way inside the mask.
-  std::uint32_t victim = ways_;
-  for (std::uint32_t w = 0; w < ways_; ++w) {
-    if (((alloc_mask >> w) & 1U) == 0) continue;
-    if (w >= ways_) break;
-    if (!base[w].valid) {
-      victim = w;
-      break;
-    }
-  }
-  // Otherwise evict the LRU (oldest-timestamp) line inside the mask.
-  if (victim == ways_) {
+  const WayMask usable = alloc_mask & full_mask(ways_);
+  std::uint32_t victim;
+  // Prefer the lowest invalid way inside the mask: one AND + countr_zero
+  // instead of an all-ways scan.
+  if (const WayMask invalid_ways = usable & ~valid_[set]; invalid_ways != 0) {
+    victim = static_cast<std::uint32_t>(std::countr_zero(invalid_ways));
+  } else {
+    if (usable == 0) return result;  // mask beyond associativity
+    // Evict the LRU (oldest-timestamp) line, visiting only the mask's
+    // set bits (every in-mask way is valid here).
+    victim = ways_;
     std::uint64_t oldest = std::numeric_limits<std::uint64_t>::max();
-    for (std::uint32_t w = 0; w < ways_; ++w) {
-      if (((alloc_mask >> w) & 1U) == 0) continue;
-      if (base[w].last_used < oldest) {
-        oldest = base[w].last_used;
+    const std::uint64_t* lu = &last_used_[line_index(set, 0)];
+    for (WayMask m = usable; m != 0; m &= m - 1) {
+      const auto w = static_cast<std::uint32_t>(std::countr_zero(m));
+      if (lu[w] < oldest) {
+        oldest = lu[w];
         victim = w;
       }
     }
-    if (victim == ways_) return result;  // mask beyond associativity
-    Line& v = base[victim];
+    const std::size_t vidx = line_index(set, victim);
     result.evicted_valid = true;
-    result.evicted_line = v.tag;
-    result.evicted_owner = v.owner;
-    result.evicted_dirty = v.dirty;
+    result.evicted_line = tags_[vidx];
+    result.evicted_owner = owner_[vidx];
+    result.evicted_dirty = (flags_[vidx] & kFlagDirty) != 0;
     ++stats_.evictions;
-    if (v.prefetched && !v.pf_used) {
+    if ((flags_[vidx] & (kFlagPrefetched | kFlagPfUsed)) == kFlagPrefetched) {
       result.evicted_was_prefetched_unused = true;
       ++stats_.prefetched_lines_evicted_unused;
     }
+    owner_remove(owner_[vidx]);
   }
 
-  Line& line = base[victim];
-  line.valid = true;
-  line.tag = line_addr;
-  line.ready_at = ready_at;
-  line.owner = owner;
-  line.prefetched = (type == AccessType::Prefetch);
-  line.pf_used = false;
-  line.dirty = (type == AccessType::DemandStore);
-  touch(line);
+  const std::size_t idx = line_index(set, victim);
+  valid_[set] |= WayMask{1} << victim;
+  tags_[idx] = line_addr;
+  ready_at_[idx] = ready_at;
+  owner_[idx] = owner;
+  flags_[idx] = static_cast<std::uint8_t>((type == AccessType::Prefetch ? kFlagPrefetched : 0) |
+                                          (type == AccessType::DemandStore ? kFlagDirty : 0));
+  owner_add(owner);
+  touch(idx);
   return result;
 }
 
 bool SetAssocCache::invalidate(Addr line_addr) {
-  Line* line = find(line_addr);
-  if (line == nullptr) return false;
-  if (line->prefetched && !line->pf_used) ++stats_.prefetched_lines_evicted_unused;
-  line->valid = false;
+  const std::uint32_t set = set_index(line_addr);
+  const int way = probe(set, line_addr);
+  if (way < 0) return false;
+  const std::size_t idx = line_index(set, static_cast<std::uint32_t>(way));
+  if ((flags_[idx] & (kFlagPrefetched | kFlagPfUsed)) == kFlagPrefetched) {
+    ++stats_.prefetched_lines_evicted_unused;
+  }
+  valid_[set] &= ~(WayMask{1} << static_cast<std::uint32_t>(way));
+  tags_[idx] = kNoTag;
+  owner_remove(owner_[idx]);
   return true;
 }
 
 void SetAssocCache::flush() {
-  for (auto& line : lines_) line.valid = false;
+  for (auto& t : tags_) t = kNoTag;
+  for (auto& vm : valid_) vm = 0;
+  for (auto& n : owner_occupancy_) n = 0;
 }
 
 std::vector<std::uint64_t> SetAssocCache::occupancy_by_owner(unsigned num_cores) const {
   std::vector<std::uint64_t> counts(num_cores, 0);
-  for (const auto& line : lines_) {
-    if (line.valid && line.owner < num_cores) ++counts[line.owner];
-  }
+  const std::size_t n = std::min<std::size_t>(num_cores, owner_occupancy_.size());
+  for (std::size_t i = 0; i < n; ++i) counts[i] = owner_occupancy_[i];
   return counts;
 }
 
@@ -161,12 +166,7 @@ unsigned SetAssocCache::set_occupancy(std::uint32_t set) const {
 }
 
 unsigned SetAssocCache::set_occupancy_in_mask(std::uint32_t set, WayMask mask) const {
-  unsigned n = 0;
-  const Line* base = &lines_[static_cast<std::size_t>(set) * ways_];
-  for (std::uint32_t w = 0; w < ways_; ++w) {
-    if (((mask >> w) & 1U) != 0 && base[w].valid) ++n;
-  }
-  return n;
+  return popcount(valid_[set] & mask);
 }
 
 }  // namespace cmm::sim

@@ -3,8 +3,17 @@
 // bookkeeping for accuracy statistics, and a `ready_at` timestamp per
 // line so that demand hits on still-in-flight prefetches pay the
 // residual latency (prefetch timeliness).
+//
+// Storage is structure-of-arrays (set-major): the tag probe in the hot
+// lookup path is an early-exit scan over a contiguous `Addr` slice
+// (invalid ways hold an impossible sentinel tag, so there is no per-way
+// valid check), and a per-set valid bitmask lets empty-set misses
+// short-circuit without touching the tag array at all.
+// CAT-masked victim selection iterates only the set bits of the
+// allocation mask, so a fill costs O(allowed ways), not O(associativity).
 #pragma once
 
+#include <bit>
 #include <cstdint>
 #include <vector>
 
@@ -16,6 +25,19 @@ namespace cmm::sim {
 
 /// Per-cache event counters. Separate demand/prefetch channels because
 /// every Table-I metric distinguishes them.
+///
+/// Stats contract for line removal:
+///  - `evictions` counts only *capacity* evictions: a valid line pushed
+///    out by `fill()` to make room inside the allocation mask.
+///  - `invalidate()` (back-invalidation, test teardown) and `flush()`
+///    drop lines without bumping `evictions` — they are not replacement
+///    decisions and must not skew replacement-pressure metrics.
+///  - `prefetched_lines_evicted_unused` counts every removal of a
+///    never-demand-touched prefetched line regardless of the removal
+///    path (fill eviction *or* invalidate): prefetch accuracy is a
+///    property of the prefetch, not of how the line left the cache.
+///    `flush()` is the one exception — it wipes lines *and* keeps the
+///    accuracy stats as-of the flush point (used between runs).
 struct CacheStats {
   std::uint64_t demand_accesses = 0;
   std::uint64_t demand_hits = 0;
@@ -79,7 +101,10 @@ class SetAssocCache {
   FillResult fill(Addr line_addr, AccessType type, Cycle now, Cycle ready_at,
                   WayMask alloc_mask, CoreId owner = kInvalidCore);
 
-  /// Drop a line if present (used by tests and back-invalidation studies).
+  /// Drop a line if present (used by inclusive back-invalidation, tests
+  /// and back-invalidation studies). Counts an unused prefetched line
+  /// toward `prefetched_lines_evicted_unused`, but does *not* count an
+  /// eviction — see the CacheStats contract above.
   bool invalidate(Addr line_addr);
 
   /// Invalidate everything; stats preserved.
@@ -93,7 +118,9 @@ class SetAssocCache {
   std::uint32_t num_sets() const noexcept { return num_sets_; }
 
   /// Valid-line count per owning core (kInvalidCore-owned lines are
-  /// dropped). Diagnostic: shows who holds the cache.
+  /// dropped). Diagnostic: shows who holds the cache. O(num_cores):
+  /// served from incrementally maintained per-owner counters, not a
+  /// sets x ways scan.
   std::vector<std::uint64_t> occupancy_by_owner(unsigned num_cores) const;
 
   /// Number of valid lines currently in `set` (test/diagnostic use).
@@ -106,26 +133,62 @@ class SetAssocCache {
   }
 
  private:
-  struct Line {
-    Addr tag = 0;
-    Cycle ready_at = 0;
-    std::uint64_t last_used = 0;  // global-tick timestamp (higher = newer)
-    CoreId owner = kInvalidCore;
-    bool valid = false;
-    bool prefetched = false;   // brought in by a prefetch...
-    bool pf_used = false;      // ...and demand-touched since
-    bool dirty = false;        // modified since fill (writeback needed)
-  };
+  // Packed per-line flag bits (flags_ array).
+  static constexpr std::uint8_t kFlagPrefetched = 1u << 0;  // brought in by a prefetch...
+  static constexpr std::uint8_t kFlagPfUsed = 1u << 1;      // ...and demand-touched since
+  static constexpr std::uint8_t kFlagDirty = 1u << 2;       // modified since fill
 
-  Line* find(Addr line_addr);
-  const Line* find(Addr line_addr) const;
-  void touch(Line& line) noexcept { line.last_used = ++tick_; }
+  std::size_t line_index(std::uint32_t set, std::uint32_t way) const noexcept {
+    return static_cast<std::size_t>(set) * ways_ + way;
+  }
+
+  // Tag stored in invalid ways. Probes compare tags only (no per-way
+  // valid check, no bit-scan dependency chain), which makes this value
+  // unusable as a real line address; fill() asserts it never arrives.
+  static constexpr Addr kNoTag = ~Addr{0};
+
+  /// Way of `set` holding `line_addr`, or -1. Empty sets short-circuit
+  /// on the valid bitmask; otherwise an early-exit scan over the set's
+  /// contiguous tag slice (invalid ways hold kNoTag and can never
+  /// match). Ascending order keeps the lowest-way-wins probe order.
+  int probe(std::uint32_t set, Addr line_addr) const noexcept {
+    if (valid_[set] == 0) return -1;
+    const Addr* tags = &tags_[line_index(set, 0)];
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+      if (tags[w] == line_addr) return static_cast<int>(w);
+    }
+    return -1;
+  }
+
+  void touch(std::size_t idx) noexcept { last_used_[idx] = ++tick_; }
+
+  void owner_add(CoreId o) {
+    if (o == kInvalidCore) return;
+    if (o >= owner_occupancy_.size()) owner_occupancy_.resize(o + 1, 0);
+    ++owner_occupancy_[o];
+  }
+  void owner_remove(CoreId o) noexcept {
+    if (o == kInvalidCore || o >= owner_occupancy_.size()) return;
+    --owner_occupancy_[o];
+  }
 
   CacheGeometry geom_;
   std::uint32_t num_sets_;
   std::uint32_t ways_;
-  std::vector<Line> lines_;  // set-major: lines_[set * ways_ + way]
-  std::uint64_t tick_ = 0;   // LRU clock
+
+  // SoA line metadata, set-major: index = set * ways_ + way.
+  std::vector<Addr> tags_;
+  std::vector<Cycle> ready_at_;
+  std::vector<std::uint64_t> last_used_;  // global-tick timestamp (higher = newer)
+  std::vector<CoreId> owner_;
+  std::vector<std::uint8_t> flags_;
+  std::vector<WayMask> valid_;  // per-set valid bitmask (bit w = way w holds a line)
+
+  // Valid-line count per owner, maintained on fill/evict/invalidate/
+  // flush so occupancy_by_owner() never scans the line arrays.
+  std::vector<std::uint64_t> owner_occupancy_;
+
+  std::uint64_t tick_ = 0;  // LRU clock
   CacheStats stats_;
 };
 

@@ -16,7 +16,10 @@ CoreModel::CoreModel(CoreId id, const MachineConfig& cfg, SetAssocCache& llc, co
       mem_(mem),
       pmu_(pmu) {}
 
-void CoreModel::set_op_source(std::shared_ptr<OpSource> source) { source_ = std::move(source); }
+void CoreModel::set_op_source(std::shared_ptr<OpSource> source) {
+  source_ = std::move(source);
+  batch_pos_ = batch_len_ = 0;  // drop ops buffered from the old source
+}
 
 void CoreModel::reset_microarch() {
   l1_.flush();
@@ -29,27 +32,41 @@ void CoreModel::reset_microarch() {
 
 void CoreModel::advance_to(Cycle target) {
   assert(source_ != nullptr && "core has no op source");
-  const CoreTraits traits = source_->traits();
   PmuCounters& ctr = pmu_.core(id_);
 
   while (now_ < target) {
-    const Op op = source_->next();
+    if (batch_pos_ == batch_len_) {
+      batch_len_ = source_->next_batch(std::span<Op>(op_batch_));
+      batch_pos_ = 0;
+      if (batch_len_ == 0) {  // defensive: contract requires >= 1
+        op_batch_[0] = source_->next();
+        batch_len_ = 1;
+      }
+      batch_traits_ = source_->traits();
+    }
+    // Traits are constant across the batch (next_batch contract), so
+    // the per-op virtual traits() call of the old loop is hoisted here.
+    const double base_cpi = batch_traits_.base_cpi;
+    const double mlp = batch_traits_.mlp;
 
-    double cost = static_cast<double>(op.instructions) * traits.base_cpi;
-    if (op.has_mem) cost += demand_access(op.mem);
+    while (now_ < target && batch_pos_ < batch_len_) {
+      const Op& op = op_batch_[batch_pos_++];
 
-    ctr.instructions += op.instructions;
+      double cost = static_cast<double>(op.instructions) * base_cpi;
+      if (op.has_mem) cost += demand_access(op.mem, mlp);
 
-    now_frac_ += cost;
-    const auto whole = static_cast<Cycle>(now_frac_);
-    now_frac_ -= static_cast<double>(whole);
-    now_ += (whole > 0 ? whole : 1);  // every op advances time
+      ctr.instructions += op.instructions;
+
+      now_frac_ += cost;
+      const auto whole = static_cast<Cycle>(now_frac_);
+      now_frac_ -= static_cast<double>(whole);
+      now_ += (whole > 0 ? whole : 1);  // every op advances time
+    }
   }
   ctr.cycles = now_;
 }
 
-double CoreModel::demand_access(const MemRef& ref) {
-  const CoreTraits traits = source_->traits();
+double CoreModel::demand_access(const MemRef& ref, double mlp) {
   const Addr line = ref.addr >> line_shift_;
   const AccessType type = ref.is_store ? AccessType::DemandStore : AccessType::DemandLoad;
   PmuCounters& ctr = pmu_.core(id_);
@@ -118,9 +135,11 @@ double CoreModel::demand_access(const MemRef& ref) {
   for (const Addr cand : l1_cands_) issue_l1_prefetch(cand);
   for (const Addr cand : l2_cands_) issue_l2_prefetch(cand);
 
-  // De-rate by the workload's memory-level parallelism.
-  const double penalty = extra / traits.mlp;
-  ctr.stalls_l2_pending += static_cast<std::uint64_t>(l2_pending / traits.mlp);
+  // De-rate by the workload's memory-level parallelism. (Kept as a
+  // division — not a cached reciprocal — so results stay bit-identical
+  // with the pre-batching model.)
+  const double penalty = extra / mlp;
+  ctr.stalls_l2_pending += static_cast<std::uint64_t>(l2_pending / mlp);
   return penalty;
 }
 

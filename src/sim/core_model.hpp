@@ -8,8 +8,10 @@
 #pragma once
 
 #include <array>
+#include <cstddef>
 #include <functional>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "common/types.hpp"
@@ -52,6 +54,20 @@ class OpSource {
   virtual Op next() = 0;
   virtual CoreTraits traits() const = 0;
   virtual void reset() = 0;
+
+  /// Fill `out` with the next ops of the stream; returns how many were
+  /// produced (>= 1 for a non-empty span). Batching contract: every op
+  /// placed in the batch must be produced under one `traits()` value,
+  /// and `traits()` must report that value immediately after the call —
+  /// sources whose traits change over time (phased workloads) cut the
+  /// batch at the change boundary and return a short count. The default
+  /// forwards to `next()` across the whole span, which is correct for
+  /// any constant-traits source; hot sources override it to refill the
+  /// buffer without per-op virtual dispatch.
+  virtual std::size_t next_batch(std::span<Op> out) {
+    for (auto& op : out) op = next();
+    return out.size();
+  }
 };
 
 class CoreModel {
@@ -96,7 +112,9 @@ class CoreModel {
 
  private:
   /// Execute one demand reference; returns its added latency (cycles).
-  double demand_access(const MemRef& ref);
+  /// `mlp` is the batch's memory-level-parallelism trait, hoisted out
+  /// of the per-op path by advance_to.
+  double demand_access(const MemRef& ref, double mlp);
 
   /// Issue an L1-prefetcher candidate down the hierarchy.
   void issue_l1_prefetch(Addr line);
@@ -135,6 +153,16 @@ class CoreModel {
   EvictionListener eviction_listener_;
   Cycle now_ = 0;
   double now_frac_ = 0.0;  // sub-cycle accumulator
+
+  // Op-stream batch buffer: advance_to refills it via
+  // OpSource::next_batch so the inner loop runs without per-op virtual
+  // dispatch; unconsumed ops carry over across advance_to calls (ops
+  // are time-independent, so prefetching them is behaviour-preserving).
+  static constexpr std::size_t kOpBatch = 64;
+  std::array<Op, kOpBatch> op_batch_{};
+  std::size_t batch_pos_ = 0;
+  std::size_t batch_len_ = 0;
+  CoreTraits batch_traits_{};  // traits of every op in the current batch
 
   std::vector<Addr> l1_cands_;
   std::vector<Addr> l2_cands_;

@@ -387,7 +387,7 @@ SpecOpSource::SpecOpSource(const BenchmarkSpec& spec, const sim::MachineConfig& 
       stream_(make_address_stream(spec, machine, core, seed)),
       rng_(seed ^ 0xABCDEF0123456789ULL) {}
 
-sim::Op SpecOpSource::next() {
+sim::Op SpecOpSource::produce() {
   sim::Op op;
   carry_ += inst_per_mem_;
   op.instructions = static_cast<std::uint32_t>(carry_);
@@ -397,6 +397,13 @@ sim::Op SpecOpSource::next() {
   op.mem = stream_->next();
   op.mem.is_store = rng_.next_bool(store_fraction_);
   return op;
+}
+
+sim::Op SpecOpSource::next() { return produce(); }
+
+std::size_t SpecOpSource::next_batch(std::span<sim::Op> out) {
+  for (auto& op : out) op = produce();
+  return out.size();
 }
 
 void SpecOpSource::reset() {

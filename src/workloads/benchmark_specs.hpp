@@ -86,12 +86,16 @@ class SpecOpSource final : public sim::OpSource {
                std::uint64_t seed);
 
   sim::Op next() override;
+  /// Buffer refill without per-op virtual dispatch (traits are fixed).
+  std::size_t next_batch(std::span<sim::Op> out) override;
   sim::CoreTraits traits() const override { return traits_; }
   void reset() override;
 
   const std::string& benchmark_name() const noexcept { return name_; }
 
  private:
+  sim::Op produce();
+
   std::string name_;
   sim::CoreTraits traits_;
   double inst_per_mem_;

@@ -35,6 +35,22 @@ sim::Op PhasedOpSource::next() {
   return op;
 }
 
+std::size_t PhasedOpSource::next_batch(std::span<sim::Op> out) {
+  if (out.empty()) return 0;
+  if (executed_in_phase_ >= phases_[phase_].instructions) advance_phase();
+  const std::uint64_t budget = phases_[phase_].instructions;
+  sim::OpSource& src = *sources_[phase_];
+  std::size_t n = 0;
+  // Stop at the phase's instruction budget so traits() stays valid for
+  // every op handed out (the next_batch contract).
+  while (n < out.size() && executed_in_phase_ < budget) {
+    out[n] = src.next();
+    executed_in_phase_ += out[n].instructions;
+    ++n;
+  }
+  return n;
+}
+
 sim::CoreTraits PhasedOpSource::traits() const { return sources_[phase_]->traits(); }
 
 void PhasedOpSource::reset() {

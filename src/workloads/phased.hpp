@@ -27,6 +27,9 @@ class PhasedOpSource final : public sim::OpSource {
   sim::Op next() override;
   /// Traits of the *current* phase (the timing model re-reads them).
   sim::CoreTraits traits() const override;
+  /// Batches never straddle a phase boundary, so every op of a batch is
+  /// costed with the traits of the phase that produced it.
+  std::size_t next_batch(std::span<sim::Op> out) override;
   void reset() override;
 
   std::size_t current_phase() const noexcept { return phase_; }

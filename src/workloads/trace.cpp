@@ -55,7 +55,7 @@ TraceOpSource::TraceOpSource(std::vector<sim::MemRef> refs, sim::CoreTraits trai
   if (refs_.empty()) throw std::invalid_argument("TraceOpSource: empty trace");
 }
 
-sim::Op TraceOpSource::next() {
+sim::Op TraceOpSource::produce() {
   sim::Op op;
   carry_ += inst_per_mem_;
   op.instructions = static_cast<std::uint32_t>(carry_);
@@ -68,6 +68,13 @@ sim::Op TraceOpSource::next() {
     ++wraps_;
   }
   return op;
+}
+
+sim::Op TraceOpSource::next() { return produce(); }
+
+std::size_t TraceOpSource::next_batch(std::span<sim::Op> out) {
+  for (auto& op : out) op = produce();
+  return out.size();
 }
 
 void TraceOpSource::reset() {

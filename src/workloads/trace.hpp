@@ -33,6 +33,8 @@ class TraceOpSource final : public sim::OpSource {
   TraceOpSource(std::vector<sim::MemRef> refs, sim::CoreTraits traits, double inst_per_mem = 4.0);
 
   sim::Op next() override;
+  /// Buffer refill without per-op virtual dispatch (traits are fixed).
+  std::size_t next_batch(std::span<sim::Op> out) override;
   sim::CoreTraits traits() const override { return traits_; }
   void reset() override;
 
@@ -41,6 +43,8 @@ class TraceOpSource final : public sim::OpSource {
   std::uint64_t wraps() const noexcept { return wraps_; }
 
  private:
+  sim::Op produce();
+
   std::vector<sim::MemRef> refs_;
   sim::CoreTraits traits_;
   double inst_per_mem_;

@@ -179,6 +179,51 @@ TEST(Cache, OwnerTracking) {
   EXPECT_EQ(occ[0], 0u);
 }
 
+// Pins the stats contract documented on CacheStats: `evictions` counts
+// only capacity evictions made by fill(); invalidate() never bumps it,
+// but *does* count a never-used prefetched line toward
+// `prefetched_lines_evicted_unused` (prefetch accuracy is a property of
+// the prefetch, not of how the line left the cache). flush() bumps
+// neither.
+TEST(Cache, InvalidateCountsUnusedPrefetchButNotEviction) {
+  SetAssocCache cache(tiny_geom());
+
+  // Invalidate an unused prefetched line: accuracy penalty, no eviction.
+  cache.fill(1, AccessType::Prefetch, 0, 0, ~WayMask{0});
+  EXPECT_TRUE(cache.invalidate(1));
+  EXPECT_EQ(cache.stats().evictions, 0u);
+  EXPECT_EQ(cache.stats().prefetched_lines_evicted_unused, 1u);
+
+  // Invalidate a *used* prefetched line: no accuracy penalty either.
+  cache.fill(2, AccessType::Prefetch, 0, 0, ~WayMask{0});
+  cache.access(2, AccessType::DemandLoad, 1);
+  EXPECT_TRUE(cache.invalidate(2));
+  EXPECT_EQ(cache.stats().evictions, 0u);
+  EXPECT_EQ(cache.stats().prefetched_lines_evicted_unused, 1u);
+
+  // Invalidate a demand-filled line: neither counter moves.
+  cache.fill(3, AccessType::DemandLoad, 0, 0, ~WayMask{0});
+  EXPECT_TRUE(cache.invalidate(3));
+  EXPECT_EQ(cache.stats().evictions, 0u);
+  EXPECT_EQ(cache.stats().prefetched_lines_evicted_unused, 1u);
+
+  // Missing line: no stats effect, returns false.
+  EXPECT_FALSE(cache.invalidate(77));
+  EXPECT_EQ(cache.stats().evictions, 0u);
+
+  // flush() wipes lines without touching either counter.
+  cache.fill(4, AccessType::Prefetch, 0, 0, ~WayMask{0});
+  cache.flush();
+  EXPECT_EQ(cache.stats().evictions, 0u);
+  EXPECT_EQ(cache.stats().prefetched_lines_evicted_unused, 1u);
+
+  // Only a capacity eviction from fill() bumps `evictions`.
+  for (std::uint64_t k = 0; k < 5; ++k) {
+    cache.fill(line_in_set(cache, 0, k), AccessType::DemandLoad, k, k, ~WayMask{0});
+  }
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
 TEST(Cache, StatsChannelsSeparate) {
   SetAssocCache cache(tiny_geom());
   cache.access(1, AccessType::DemandLoad, 0);
