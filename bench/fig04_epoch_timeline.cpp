@@ -3,10 +3,14 @@
 // actual timeline the EpochDriver executed for one workload under
 // CMM-a, making the structure (and the ~50:1 epoch:sample ratio)
 // visible and checkable.
+#include <cstdlib>
 #include <iostream>
+#include <memory>
 
 #include "bench_common.hpp"
 #include "core/epoch_driver.hpp"
+#include "obs/jsonl_sink.hpp"
+#include "obs/metrics_registry.hpp"
 #include "sim/multicore_system.hpp"
 
 int main() {
@@ -19,7 +23,19 @@ int main() {
   sim::MulticoreSystem system(env.params.machine);
   workloads::attach_mix(system, mixes.front(), env.params.seed);
   auto policy = analysis::make_policy("cmm_a", env.params.detector());
-  core::EpochDriver driver(system, *policy, env.params.epochs);
+
+  // CMM_TRACE_FILE=<path> writes the run's full JSONL event trace (see
+  // EXPERIMENTS.md "Observability"; scripts/trace_report.py renders it).
+  core::EpochConfig epochs = env.params.epochs;
+  std::unique_ptr<obs::JsonlTraceSink> sink;
+  obs::MetricsRegistry registry;
+  if (const char* path = std::getenv("CMM_TRACE_FILE"); path != nullptr && *path != '\0') {
+    sink = std::make_unique<obs::JsonlTraceSink>(std::string(path));
+    epochs.sink = sink.get();
+    epochs.metrics = &registry;
+  }
+
+  core::EpochDriver driver(system, *policy, epochs);
   driver.run(env.params.run_cycles);
 
   analysis::Table table({"t(start)", "kind", "length", "prefetch bits", "mask[core0]"});
@@ -38,5 +54,10 @@ int main() {
             << static_cast<double>(env.params.epochs.execution_epoch) /
                    static_cast<double>(env.params.epochs.sampling_interval)
             << " (paper: 50:1)\n";
+  if (sink != nullptr) {
+    sink->flush();
+    std::cout << "trace: " << sink->events() << " events -> " << std::getenv("CMM_TRACE_FILE")
+              << "\nmetrics: " << registry.json() << "\n";
+  }
   return 0;
 }

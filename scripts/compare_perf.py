@@ -10,15 +10,23 @@ CI run (GitHub `::warning::` lines) and exits 0 unless --strict.
 
 Usage:
     compare_perf.py BASELINE.json CURRENT.json [--threshold 0.10] [--strict]
+    compare_perf.py --self-test
 
-Only benchmarks present in both files are compared (new benchmarks are
-reported as such). Comparison metric is cpu_time (per-iteration), the
-least scheduler-sensitive of the reported times.
+Only benchmarks present in both files are compared by time. Benchmarks
+present on one side only are *never* a silent pass: added ones are
+listed, removed ones (present in the baseline but not in the current
+run — a renamed or accidentally dropped bench) are listed with a CI
+warning annotation, and --strict fails on them just like on a
+regression. Comparison metric is cpu_time (per-iteration), the least
+scheduler-sensitive of the reported times.
 """
 
 import argparse
 import json
+import os
+import subprocess
 import sys
+import tempfile
 
 
 def load_benchmarks(path):
@@ -59,6 +67,8 @@ def main():
 
     regressions = []
     improvements = []
+    added = sorted(set(current) - set(baseline))
+    removed = sorted(set(baseline) - set(current))
     width = max((len(n) for n in current), default=10)
     print(f"{'benchmark':<{width}}  {'baseline':>10}  {'current':>10}  {'ratio':>7}")
     for name, cur in current.items():
@@ -79,10 +89,21 @@ def main():
         print(f"{name:<{width}}  {fmt_time(base):>10}  "
               f"{fmt_time(cur):>10}  {ratio:>6.2f}x{marker}")
 
-    missing = sorted(set(baseline) - set(current))
-    if missing:
-        print(f"\nnot in current run: {', '.join(missing)}")
+    # Coverage drift is reported explicitly, not silently passed over:
+    # an added bench needs a baseline entry eventually, a removed one
+    # usually means a rename that lost its perf history.
+    print(f"\ncoverage: {len(current) - len(added)} compared, "
+          f"{len(added)} added, {len(removed)} removed")
+    if added:
+        print(f"added (no baseline entry yet): {', '.join(added)}")
+    if removed:
+        print(f"removed (in baseline, missing from current run): {', '.join(removed)}")
+        for name in removed:
+            print(f"::warning title=benchmark removed::{name} is in "
+                  "bench/perf_baseline.json but absent from the current run; "
+                  "regenerate the baseline or restore the bench")
 
+    failed = bool(regressions) or bool(removed)
     if regressions:
         print(f"\n{len(regressions)} benchmark(s) regressed more than "
               f"{args.threshold:.0%} vs bench/perf_baseline.json:")
@@ -93,6 +114,7 @@ def main():
                   f"baseline cpu_time (soft gate, threshold {args.threshold:.0%})")
         print("If the slowdown is intended (new feature, changed model), "
               "regenerate the baseline: see EXPERIMENTS.md, 'Performance methodology'.")
+    if failed:
         return 1 if args.strict else 0
 
     print(f"\nno regressions past {args.threshold:.0%}"
@@ -100,5 +122,67 @@ def main():
     return 0
 
 
+def self_test():
+    """Exercise the CLI end-to-end on synthetic inputs; exits non-zero
+    on the first unexpected outcome. Run by CI and by ctest."""
+
+    def bench(name, cpu_time):
+        return {"name": name, "run_type": "iteration",
+                "cpu_time": cpu_time, "real_time": cpu_time, "time_unit": "ns"}
+
+    def run(baseline, current, *flags):
+        with tempfile.TemporaryDirectory() as d:
+            b = os.path.join(d, "baseline.json")
+            c = os.path.join(d, "current.json")
+            with open(b, "w", encoding="utf-8") as f:
+                json.dump({"benchmarks": baseline}, f)
+            with open(c, "w", encoding="utf-8") as f:
+                json.dump({"benchmarks": current}, f)
+            proc = subprocess.run(
+                [sys.executable, os.path.abspath(__file__), b, c, *flags],
+                capture_output=True, text=True, check=False)
+            return proc.returncode, proc.stdout
+
+    checks = []
+
+    def expect(label, cond, output):
+        checks.append((label, cond))
+        status = "ok" if cond else "FAIL"
+        print(f"[{status}] {label}")
+        if not cond:
+            print(output)
+
+    same = [bench("BM_A", 100.0), bench("BM_B", 200.0)]
+
+    code, out = run(same, same)
+    expect("identical runs pass", code == 0 and "0 added, 0 removed" in out, out)
+
+    code, out = run(same, [bench("BM_A", 100.0), bench("BM_B", 500.0)], "--strict")
+    expect("regression fails --strict", code == 1 and "REGRESSION" in out, out)
+
+    code, out = run(same, [bench("BM_A", 100.0)])
+    expect("removed bench is reported", code == 0 and "1 removed" in out
+           and "BM_B" in out and "benchmark removed" in out, out)
+
+    code, out = run(same, [bench("BM_A", 100.0)], "--strict")
+    expect("removed bench fails --strict", code == 1, out)
+
+    code, out = run(same, same + [bench("BM_C", 50.0)])
+    expect("added bench is reported", code == 0 and "1 added" in out
+           and "BM_C" in out, out)
+
+    code, out = run(same, same + [bench("BM_C", 50.0)], "--strict")
+    expect("added bench alone does not fail --strict", code == 0, out)
+
+    failures = [label for label, ok in checks if not ok]
+    if failures:
+        print(f"\nself-test: {len(failures)}/{len(checks)} check(s) failed")
+        return 1
+    print(f"\nself-test: all {len(checks)} checks passed")
+    return 0
+
+
 if __name__ == "__main__":
+    if "--self-test" in sys.argv[1:]:
+        sys.exit(self_test())
     sys.exit(main())

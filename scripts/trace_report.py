@@ -1,0 +1,269 @@
+#!/usr/bin/env python3
+"""Render a CMM control-loop JSONL trace (obs::JsonlTraceSink output).
+
+Every line is one JSON object with a "type" discriminator, a monotonic
+simulated-time stamp "t" and an execution-epoch index "epoch"; resource
+configurations appear as a per-core prefetch bit string plus a list of
+decimal way masks. Event types and their fields:
+
+    epoch_start       t epoch len policy prefetch masks
+    detector_verdict  t epoch core pga pmr ptr agg
+    sample_result     t epoch sample hm_ipc prefetch masks
+    config_applied    t epoch source prefetch masks
+    degradation_step  t epoch step core detail note
+    fault_retry       t epoch attempt backoff what
+
+The report reconstructs the paper's Fig. 4 timeline — one row per
+execution epoch: configuration in force, cores flagged Agg by the
+Fig. 5 detector, number of sampling intervals, the winning candidate
+(best hm_ipc) and the configuration finally applied — followed by a
+per-policy decision summary.
+
+Usage:
+    trace_report.py TRACE.jsonl              # validate + report
+    trace_report.py TRACE.jsonl --validate-only
+    trace_report.py --self-test
+"""
+
+import argparse
+import json
+import sys
+
+# type -> {field: allowed types}; every event also carries t/epoch.
+SCHEMA = {
+    "epoch_start": {"len": int, "policy": str, "prefetch": str, "masks": list},
+    "detector_verdict": {"core": int, "pga": (int, float), "pmr": (int, float),
+                         "ptr": (int, float), "agg": bool},
+    "sample_result": {"sample": int, "hm_ipc": (int, float), "prefetch": str,
+                      "masks": list},
+    "config_applied": {"source": str, "prefetch": str, "masks": list},
+    "degradation_step": {"step": str, "core": int, "detail": int, "note": str},
+    "fault_retry": {"attempt": int, "backoff": int, "what": str},
+}
+
+APPLY_SOURCES = {"initial", "sample", "final", "watchdog"}
+
+
+def validate_event(ev, lineno):
+    """Return a list of schema violations for one parsed event."""
+    errors = []
+    etype = ev.get("type")
+    if etype not in SCHEMA:
+        return [f"line {lineno}: unknown event type {etype!r}"]
+    for field, ftype in (("t", int), ("epoch", int)):
+        if not isinstance(ev.get(field), ftype) or isinstance(ev.get(field), bool):
+            errors.append(f"line {lineno}: {etype}.{field} missing or not an integer")
+    for field, ftypes in SCHEMA[etype].items():
+        value = ev.get(field)
+        if value is None or not isinstance(value, ftypes) or (
+                isinstance(value, bool) and ftypes is not bool):
+            errors.append(f"line {lineno}: {etype}.{field} missing or wrong type")
+    if etype == "config_applied" and ev.get("source") not in APPLY_SOURCES:
+        errors.append(f"line {lineno}: config_applied.source {ev.get('source')!r} "
+                      f"not in {sorted(APPLY_SOURCES)}")
+    if "prefetch" in SCHEMA[etype] and isinstance(ev.get("prefetch"), str):
+        if not all(c in "01" for c in ev["prefetch"]):
+            errors.append(f"line {lineno}: {etype}.prefetch is not a bit string")
+    if "masks" in SCHEMA[etype] and isinstance(ev.get("masks"), list):
+        if not all(isinstance(m, int) and not isinstance(m, bool) and m >= 0
+                   for m in ev["masks"]):
+            errors.append(f"line {lineno}: {etype}.masks has a non-integer entry")
+    return errors
+
+
+def load_trace(path):
+    """Parse + validate; returns (events, errors)."""
+    events, errors = [], []
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                ev = json.loads(line)
+            except json.JSONDecodeError as e:
+                errors.append(f"line {lineno}: invalid JSON: {e}")
+                continue
+            errors.extend(validate_event(ev, lineno))
+            events.append(ev)
+    last_t = None
+    for i, ev in enumerate(events):
+        t = ev.get("t")
+        if isinstance(t, int) and last_t is not None and t < last_t:
+            errors.append(f"event {i}: time went backwards ({t} < {last_t})")
+        if isinstance(t, int):
+            last_t = t
+    return events, errors
+
+
+def fmt_config(ev):
+    masks = ev.get("masks") or []
+    mask0 = f"0x{masks[0]:x}" if masks else "-"
+    return f"{ev.get('prefetch') or '-'} / {mask0}"
+
+
+def report(events, out=sys.stdout):
+    epochs = {}
+    policies = set()
+    for ev in events:
+        e = epochs.setdefault(ev["epoch"], {
+            "start": None, "verdicts": [], "samples": [], "applied": [],
+            "degradations": [], "retries": 0})
+        etype = ev["type"]
+        if etype == "epoch_start":
+            e["start"] = ev
+            policies.add(ev["policy"])
+        elif etype == "detector_verdict":
+            e["verdicts"].append(ev)
+        elif etype == "sample_result":
+            e["samples"].append(ev)
+        elif etype == "config_applied":
+            e["applied"].append(ev)
+        elif etype == "degradation_step":
+            e["degradations"].append(ev)
+        elif etype == "fault_retry":
+            e["retries"] += 1
+
+    header = (f"{'epoch':>5}  {'t(start)':>10}  {'length':>9}  {'agg cores':<12}  "
+              f"{'samples':>7}  {'best hm_ipc':>11}  {'winning config':<22}  "
+              f"{'final config':<22}")
+    print(header, file=out)
+    print("-" * len(header), file=out)
+    for idx in sorted(k for k in epochs if epochs[k]["start"] is not None):
+        e = epochs[idx]
+        start = e["start"]
+        agg = [str(v["core"]) for v in e["verdicts"] if v["agg"]]
+        agg_text = ",".join(agg) if agg else "-"
+        best = max(e["samples"], key=lambda s: s["hm_ipc"], default=None)
+        final = next((a for a in e["applied"] if a["source"] in ("final", "watchdog")),
+                     None)
+        best_text = f"{best['hm_ipc']:>11.4f}" if best else f"{'-':>11}"
+        win_text = fmt_config(best) if best else "-"
+        final_text = fmt_config(final) if final else "-"
+        print(f"{idx:>5}  {start['t']:>10}  {start['len']:>9}  {agg_text:<12}  "
+              f"{len(e['samples']):>7}  {best_text}  {win_text:<22}  {final_text:<22}",
+              file=out)
+
+    total_samples = sum(len(e["samples"]) for e in epochs.values())
+    total_verdicts = sum(len(e["verdicts"]) for e in epochs.values())
+    total_agg = sum(1 for e in epochs.values() for v in e["verdicts"] if v["agg"])
+    total_deg = sum(len(e["degradations"]) for e in epochs.values())
+    total_retries = sum(e["retries"] for e in epochs.values())
+    print(f"\npolicy decision summary ({', '.join(sorted(policies)) or 'unknown'}):",
+          file=out)
+    print(f"  execution epochs : {sum(1 for e in epochs.values() if e['start'])}",
+          file=out)
+    print(f"  sampling intervals: {total_samples}", file=out)
+    print(f"  detector verdicts : {total_verdicts} ({total_agg} flagged Agg)", file=out)
+    print(f"  degradation steps : {total_deg}", file=out)
+    print(f"  fault retries     : {total_retries}", file=out)
+    steps = {}
+    for e in epochs.values():
+        for d in e["degradations"]:
+            steps[d["step"]] = steps.get(d["step"], 0) + 1
+    for step in sorted(steps):
+        print(f"    {step}: {steps[step]}", file=out)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("trace", help="JSONL trace written by obs::JsonlTraceSink")
+    ap.add_argument("--validate-only", action="store_true",
+                    help="check the schema and exit; print nothing on success")
+    args = ap.parse_args()
+
+    events, errors = load_trace(args.trace)
+    if errors:
+        for e in errors[:50]:
+            print(f"schema error: {e}", file=sys.stderr)
+        print(f"{len(errors)} schema error(s) in {args.trace}", file=sys.stderr)
+        return 1
+    if not events:
+        print(f"{args.trace}: empty trace", file=sys.stderr)
+        return 1
+    if args.validate_only:
+        print(f"{args.trace}: {len(events)} events, schema OK")
+        return 0
+    report(events)
+    return 0
+
+
+def self_test():
+    import io
+    import os
+    import tempfile
+
+    sample = [
+        {"type": "epoch_start", "t": 0, "epoch": 0, "len": 2000000,
+         "policy": "cmm_a", "prefetch": "1111", "masks": [15, 15, 15, 15]},
+        {"type": "config_applied", "t": 0, "epoch": 0, "source": "initial",
+         "prefetch": "1111", "masks": [15, 15, 15, 15]},
+        {"type": "detector_verdict", "t": 2000000, "epoch": 0, "core": 0,
+         "pga": 2.5, "pmr": 0.9, "ptr": 3e7, "agg": True},
+        {"type": "detector_verdict", "t": 2000000, "epoch": 0, "core": 1,
+         "pga": 0.1, "pmr": 0.2, "ptr": 1e5, "agg": False},
+        {"type": "sample_result", "t": 2040000, "epoch": 0, "sample": 0,
+         "hm_ipc": 0.91, "prefetch": "1111", "masks": [15, 15, 15, 15]},
+        {"type": "sample_result", "t": 2080000, "epoch": 0, "sample": 1,
+         "hm_ipc": 1.02, "prefetch": "0111", "masks": [15, 15, 15, 15]},
+        {"type": "config_applied", "t": 2080000, "epoch": 0, "source": "final",
+         "prefetch": "0111", "masks": [3, 15, 15, 15]},
+        {"type": "degradation_step", "t": 2090000, "epoch": 0,
+         "step": "sample_partial_discarded", "core": -1, "detail": 5000, "note": ""},
+        {"type": "fault_retry", "t": 2090000, "epoch": 0, "attempt": 1,
+         "backoff": 2, "what": "msr write"},
+    ]
+    checks = []
+
+    def expect(label, cond):
+        checks.append((label, cond))
+        print(f"[{'ok' if cond else 'FAIL'}] {label}")
+
+    with tempfile.TemporaryDirectory() as d:
+        good = os.path.join(d, "good.jsonl")
+        with open(good, "w", encoding="utf-8") as f:
+            for ev in sample:
+                f.write(json.dumps(ev) + "\n")
+        events, errors = load_trace(good)
+        expect("valid trace has no schema errors", not errors and len(events) == 9)
+
+        buf = io.StringIO()
+        report(events, out=buf)
+        text = buf.getvalue()
+        expect("timeline row shows the winning hm_ipc", "1.0200" in text)
+        expect("timeline row shows the Agg core", " 0 " in text.splitlines()[2])
+        expect("final config column shows applied masks", "0x3" in text)
+        expect("summary counts degradation steps",
+               "sample_partial_discarded: 1" in text)
+
+        bad = os.path.join(d, "bad.jsonl")
+        with open(bad, "w", encoding="utf-8") as f:
+            f.write(json.dumps({"type": "epoch_start", "t": 0, "epoch": 0}) + "\n")
+            f.write(json.dumps({"type": "bogus", "t": 1, "epoch": 0}) + "\n")
+            f.write("not json\n")
+        _, errors = load_trace(bad)
+        expect("missing fields are flagged",
+               any("epoch_start.len" in e for e in errors))
+        expect("unknown type is flagged", any("bogus" in e for e in errors))
+        expect("invalid JSON is flagged", any("invalid JSON" in e for e in errors))
+
+        mono = os.path.join(d, "mono.jsonl")
+        with open(mono, "w", encoding="utf-8") as f:
+            f.write(json.dumps(dict(sample[0], t=100)) + "\n")
+            f.write(json.dumps(dict(sample[1], t=50)) + "\n")
+        _, errors = load_trace(mono)
+        expect("non-monotonic time is flagged",
+               any("time went backwards" in e for e in errors))
+
+    failures = [label for label, ok in checks if not ok]
+    if failures:
+        print(f"\nself-test: {len(failures)}/{len(checks)} check(s) failed")
+        return 1
+    print(f"\nself-test: all {len(checks)} checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    if "--self-test" in sys.argv[1:]:
+        sys.exit(self_test())
+    sys.exit(main())

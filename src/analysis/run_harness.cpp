@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "analysis/solo_cache.hpp"
+#include "analysis/speedup_metrics.hpp"
 #include "common/bitmask.hpp"
 #include "common/parallel.hpp"
 #include "core/metrics.hpp"
@@ -137,7 +138,17 @@ FaultRunOutcome run_mix_with_faults(const workloads::WorkloadMix& mix, core::Pol
     out.result.cores.push_back(make_stats(mix.benchmarks[c], exec[c], params.machine.freq_ghz));
     out.result.measured_cycles = std::max<Cycle>(out.result.measured_cycles, exec[c].cycles);
   }
-  out.hm_ipc = core::hm_ipc(exec);
+  // hm_ipc contract (see core::hm_ipc): a core with zero measured IPC
+  // pins the harmonic mean at 0. That is right for a stalled core, but
+  // a core that never executed a measured cycle (offline before the
+  // first epoch completed) carries no evidence at all — exclude it
+  // instead of reporting a meaningless 0 for the whole mix.
+  std::vector<sim::PmuCounters> measured;
+  measured.reserve(exec.size());
+  for (const auto& d : exec) {
+    if (d.cycles > 0) measured.push_back(d);
+  }
+  out.hm_ipc = core::hm_ipc(measured);
 
   // The watchdog invariant: whatever happened during the run, the
   // hardware must not be left in a non-baseline state the controller no
@@ -214,18 +225,37 @@ std::vector<RunResult> run_solo_batch(const std::vector<SoloQuery>& queries,
 std::vector<RunResult> for_each_mix(const std::vector<workloads::WorkloadMix>& mixes,
                                     const std::vector<std::string>& policies,
                                     const RunParams& params, const BatchOptions& opts,
-                                    BatchStats* stats) {
+                                    BatchStats* stats, obs::MetricsRegistry* registry) {
   const std::size_t n = mixes.size() * policies.size();
   std::vector<RunResult> results(n);
+  std::vector<obs::MetricsRegistry> job_metrics(registry != nullptr ? n : 0);
   const auto s = run_batch(
       n,
       [&](std::size_t i) {
         const auto& mix = mixes[i / policies.size()];
         const auto& name = policies[i % policies.size()];
         const auto policy = make_policy(name, params.detector());
-        results[i] = run_mix(mix, *policy, params);
+        RunParams job_params = params;
+        if (registry != nullptr) job_params.epochs.metrics = &job_metrics[i];
+        results[i] = run_mix(mix, *policy, job_params);
       },
       opts);
+  if (registry != nullptr) {
+    for (const auto& m : job_metrics) registry->merge(m);
+    for (std::size_t mi = 0; mi < mixes.size() && !policies.empty(); ++mi) {
+      std::size_t best = 0;
+      double best_hm = -1.0;
+      for (std::size_t pi = 0; pi < policies.size(); ++pi) {
+        const auto ipcs = results[mi * policies.size() + pi].ipcs();
+        const double hm = harmonic_mean(ipcs);
+        if (hm > best_hm) {
+          best_hm = hm;
+          best = pi;
+        }
+      }
+      registry->count("win." + policies[best]);
+    }
+  }
   if (stats != nullptr) *stats = s;
   return results;
 }

@@ -14,6 +14,7 @@
 #include "core/health.hpp"
 #include "core/policy.hpp"
 #include "hw/fault_injection.hpp"
+#include "obs/metrics_registry.hpp"
 #include "sim/machine_config.hpp"
 #include "workloads/benchmark_specs.hpp"
 #include "workloads/workload_mix.hpp"
@@ -139,10 +140,18 @@ std::vector<RunResult> run_solo_batch(const std::vector<SoloQuery>& queries,
 /// Run every (mix, policy) pair concurrently; each job owns its own
 /// MulticoreSystem and policy instance. Results indexed
 /// [mix_index * policies.size() + policy_index].
+///
+/// When `registry` is non-null every job records driver metrics into
+/// its own private registry; after the batch they are merged in job
+/// order (deterministic at any thread count) together with one
+/// `win.<policy>` counter per mix (the policy with the best
+/// harmonic-mean IPC on that mix). Jobs never share a registry, so the
+/// driver hot path stays single-threaded and lock-free.
 std::vector<RunResult> for_each_mix(const std::vector<workloads::WorkloadMix>& mixes,
                                     const std::vector<std::string>& policies,
                                     const RunParams& params, const BatchOptions& opts = {},
-                                    BatchStats* stats = nullptr);
+                                    BatchStats* stats = nullptr,
+                                    obs::MetricsRegistry* registry = nullptr);
 
 // ----------------------------------------------------------- policies
 

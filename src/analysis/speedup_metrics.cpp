@@ -1,5 +1,7 @@
 #include "analysis/speedup_metrics.hpp"
 
+#include <stdexcept>
+
 namespace cmm::analysis {
 
 double harmonic_speedup(std::span<const double> ipc_together, std::span<const double> ipc_alone) {
@@ -46,7 +48,8 @@ double harmonic_mean(std::span<const double> values) {
   if (values.empty()) return 0.0;
   double denom = 0.0;
   for (const double v : values) {
-    if (v <= 0.0) return 0.0;
+    if (v < 0.0) throw std::invalid_argument("harmonic_mean: negative value");
+    if (v == 0.0) return 0.0;  // a zero-throughput member pins the HM at 0
     denom += 1.0 / v;
   }
   return static_cast<double>(values.size()) / denom;

@@ -26,6 +26,11 @@ double weighted_speedup(std::span<const double> ipc_x, std::span<const double> i
 double worst_case_speedup(std::span<const double> ipc_x, std::span<const double> ipc_baseline);
 
 /// Harmonic mean of raw IPCs (the paper's online hm_ipc proxy).
+/// Contract: an empty span or any zero value yields 0.0 (a stalled or
+/// dead core has zero throughput, which pins the HM at zero); a
+/// negative value is a caller bug, not a measurement, and throws
+/// std::invalid_argument. Callers with cores that were never measured
+/// must filter them out first (see run_mix_with_faults).
 double harmonic_mean(std::span<const double> values);
 
 /// Arithmetic mean helper for category aggregation.

@@ -4,6 +4,11 @@ namespace cmm::core {
 
 std::vector<CoreId> detect_aggressive(const std::vector<CoreMetrics>& metrics,
                                       const DetectorConfig& cfg) {
+  return detect_aggressive(metrics, cfg, obs::Trace{});
+}
+
+std::vector<CoreId> detect_aggressive(const std::vector<CoreMetrics>& metrics,
+                                      const DetectorConfig& cfg, obs::Trace trace) {
   std::vector<CoreId> agg;
   if (metrics.empty()) return agg;
 
@@ -14,12 +19,17 @@ std::vector<CoreId> detect_aggressive(const std::vector<CoreMetrics>& metrics,
   for (CoreId c = 0; c < metrics.size(); ++c) {
     const CoreMetrics& m = metrics[c];
     // Step 1: prefetch generation ability above the cross-core mean.
-    if (m.pga < cfg.pga_floor || m.pga < cfg.pga_rel_mean * mean_pga) continue;
+    const bool step1 = !(m.pga < cfg.pga_floor || m.pga < cfg.pga_rel_mean * mean_pga);
     // Step 2: drop high-L2-locality prefetching (hits absorbed by L2).
-    if (m.l2_pmr < cfg.pmr_threshold) continue;
+    const bool step2 = !(m.l2_pmr < cfg.pmr_threshold);
     // Step 3: require real prefetch bandwidth pressure on the LLC.
-    if (m.l2_ptr < cfg.ptr_threshold_per_sec) continue;
-    agg.push_back(c);
+    const bool step3 = !(m.l2_ptr < cfg.ptr_threshold_per_sec);
+    const bool is_agg = step1 && step2 && step3;
+    if (trace.on()) {
+      trace.emit(obs::DetectorVerdict{trace.now(), trace.epoch(), c, m.pga, m.l2_pmr,
+                                      m.l2_ptr, is_agg});
+    }
+    if (is_agg) agg.push_back(c);
   }
   return agg;
 }

@@ -8,6 +8,7 @@
 
 #include "common/types.hpp"
 #include "core/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace cmm::core {
 
@@ -43,6 +44,12 @@ struct DetectorConfig {
 /// Fig. 5 pipeline. Returns core ids in ascending order.
 std::vector<CoreId> detect_aggressive(const std::vector<CoreMetrics>& metrics,
                                       const DetectorConfig& cfg);
+
+/// Traced variant: same result, but emits one obs::DetectorVerdict per
+/// core — every core, not just survivors, so a trace shows why a core
+/// was *not* flagged — when the trace is on.
+std::vector<CoreId> detect_aggressive(const std::vector<CoreMetrics>& metrics,
+                                      const DetectorConfig& cfg, obs::Trace trace);
 
 /// Split `agg_set` into friendly cores using the on/off IPC probe:
 /// `ipc_on[i]`, `ipc_off[i]` indexed by core id. Returns a parallel

@@ -3,8 +3,15 @@
 #include <algorithm>
 
 #include "common/bitmask.hpp"
+#include "core/metrics.hpp"
 
 namespace cmm::core {
+
+namespace {
+obs::ConfigView view_of(const ResourceConfig& cfg) {
+  return {&cfg.prefetch_on, &cfg.way_masks};
+}
+}  // namespace
 
 EpochDriver::EpochDriver(sim::MulticoreSystem& system, Policy& policy, const EpochConfig& cfg)
     : system_(system),
@@ -40,10 +47,30 @@ void EpochDriver::init() {
   core_prefetch_ok_.assign(cores, true);
   applied_prefetch_.assign(cores, true);  // hardware reset state: all enabled
   last_snapshot_.assign(cores, sim::PmuCounters{});
+
+  tctx_.now = system_.now();
+  trace_ = obs::Trace(cfg_.sink, &tctx_);
+  metrics_ = cfg_.metrics;
+  policy_.set_trace(trace_);
+}
+
+void EpochDriver::record_health(HealthEventKind kind, CoreId core, std::uint64_t detail,
+                                std::string note) {
+  if (trace_.on()) {
+    trace_.emit(obs::DegradationStep{system_.now(), tctx_.epoch, to_string(kind), core,
+                                     detail, note});
+  }
+  if (metrics_ != nullptr) metrics_->count("health." + std::string(to_string(kind)));
+  health_.record(kind, system_.now(), core, detail, std::move(note));
 }
 
 RetryPolicy EpochDriver::logging_retry(RetryPolicy base) {
   base.on_retry = [this](const RetryEvent& ev) {
+    if (trace_.on()) {
+      trace_.emit(obs::FaultRetry{system_.now(), tctx_.epoch, ev.attempt, ev.backoff_units,
+                                  ev.what});
+    }
+    if (metrics_ != nullptr) metrics_->count("health.hw_retry");
     health_.record(HealthEventKind::HwRetry, system_.now(), kInvalidCore, ev.attempt,
                    std::string(ev.what) + " (backoff " + std::to_string(ev.backoff_units) +
                        "u)");
@@ -62,17 +89,17 @@ void EpochDriver::notify_policy_degraded() noexcept {
 void EpochDriver::check_management_lost() {
   if (!prefetch_ok_ && !cat_ok_ && !management_lost_logged_) {
     management_lost_logged_ = true;
-    health_.record(HealthEventKind::ManagementLost, system_.now());
+    record_health(HealthEventKind::ManagementLost);
   }
 }
 
 void EpochDriver::mark_core_prefetch_dead(CoreId core, const char* what) {
   core_prefetch_ok_[core] = false;
-  health_.record(HealthEventKind::CorePrefetchOffline, system_.now(), core, 0, what);
+  record_health(HealthEventKind::CorePrefetchOffline, core, 0, what);
   if (std::none_of(core_prefetch_ok_.begin(), core_prefetch_ok_.end(),
                    [](bool ok) { return ok; })) {
     prefetch_ok_ = false;
-    health_.record(HealthEventKind::CpOnlyFallback, system_.now());
+    record_health(HealthEventKind::CpOnlyFallback);
     notify_policy_degraded();
   }
   check_management_lost();
@@ -89,13 +116,12 @@ void EpochDriver::mark_cat_dead(const char* what) {
     reset_ok = true;
   } catch (...) {
   }
-  health_.record(HealthEventKind::PtOnlyFallback, system_.now(), kInvalidCore,
-                 reset_ok ? 1 : 0, what);
+  record_health(HealthEventKind::PtOnlyFallback, kInvalidCore, reset_ok ? 1 : 0, what);
   notify_policy_degraded();
   check_management_lost();
 }
 
-void EpochDriver::apply(const ResourceConfig& cfg) {
+void EpochDriver::apply(const ResourceConfig& cfg, std::string_view source) {
   // `effective` tracks what actually lands on hardware; with every knob
   // healthy it equals `cfg` bit for bit.
   ResourceConfig effective = cfg;
@@ -126,6 +152,9 @@ void EpochDriver::apply(const ResourceConfig& cfg) {
   }
 
   current_ = effective;
+  if (trace_.on()) {
+    trace_.emit(obs::ConfigApplied{system_.now(), tctx_.epoch, source, view_of(current_)});
+  }
 }
 
 bool EpochDriver::plausible_snapshot(const std::vector<sim::PmuCounters>& snapshot) const {
@@ -149,7 +178,7 @@ std::vector<sim::PmuCounters> EpochDriver::read_counters() {
     // bounded number of times rather than blind the whole span.
     for (unsigned attempt = 1;
          attempt < retry_.max_attempts && !plausible_snapshot(snapshot); ++attempt) {
-      health_.record(HealthEventKind::PmuSnapshotReread, system_.now(), kInvalidCore, attempt);
+      record_health(HealthEventKind::PmuSnapshotReread, kInvalidCore, attempt);
       snapshot = with_retry(retry_, [&] { return pmu_->read_all(); });
     }
     // A still-implausible snapshot is returned as-is (the span-level
@@ -161,7 +190,7 @@ std::vector<sim::PmuCounters> EpochDriver::read_counters() {
     // Persistent PMU failure: substitute the last good snapshot, which
     // turns this span's delta into zeros (downstream metrics define
     // 0/0 as 0, so a blind interval is harmless).
-    health_.record(HealthEventKind::PmuReadFailed, system_.now(), kInvalidCore, 0, f.what());
+    record_health(HealthEventKind::PmuReadFailed, kInvalidCore, 0, f.what());
     return last_snapshot_;
   }
 }
@@ -184,10 +213,8 @@ EpochDriver::SpanDelta EpochDriver::run_span(Cycle span) {
     const double instructions = static_cast<double>(d.instructions);
     const bool garbage = cycles > 2.0 * static_cast<double>(span) + 100'000.0 ||
                          instructions > 16.0 * cycles + 100'000.0;
-    if (wrapped[c])
-      health_.record(HealthEventKind::PmuWrapSaturated, system_.now(), c);
-    if (garbage)
-      health_.record(HealthEventKind::PmuGarbageDetected, system_.now(), c, d.cycles);
+    if (wrapped[c]) record_health(HealthEventKind::PmuWrapSaturated, c);
+    if (garbage) record_health(HealthEventKind::PmuGarbageDetected, c, d.cycles);
     if (wrapped[c] || garbage) {
       d = sim::PmuCounters{};  // never let a corrupt core poison downstream math
       result.any_implausible = true;
@@ -222,11 +249,13 @@ void EpochDriver::watchdog_restore(const std::string& cause) {
   const bool baseline =
       std::all_of(masks.begin(), masks.end(), [full](WayMask m) { return m == full; }) &&
       std::all_of(applied_prefetch_.begin(), applied_prefetch_.end(), [](bool on) { return on; });
-  health_.record(HealthEventKind::WatchdogRestore, system_.now(), kInvalidCore,
-                 baseline ? 1 : 0, cause);
+  record_health(HealthEventKind::WatchdogRestore, kInvalidCore, baseline ? 1 : 0, cause);
 
   current_.prefetch_on = applied_prefetch_;
   current_.way_masks = masks;
+  if (trace_.on()) {
+    trace_.emit(obs::ConfigApplied{system_.now(), tctx_.epoch, "watchdog", view_of(current_)});
+  }
 }
 
 void EpochDriver::run(Cycle total_cycles) {
@@ -235,16 +264,27 @@ void EpochDriver::run(Cycle total_cycles) {
     guarded(
         [&] { initial = policy_.initial_config(system_.num_cores(), cat_->llc_ways()); },
         "initial_config");
-    apply(initial);
+    apply(initial, "initial");
     started_ = true;
   }
 
   const Cycle end = system_.now() + total_cycles;
   while (system_.now() < end) {
     // ---- Execution epoch ----
+    tctx_.now = system_.now();
     const Cycle exec_len = std::min<Cycle>(cfg_.execution_epoch, end - system_.now());
+    if (trace_.on()) {
+      trace_.emit(obs::EpochStart{system_.now(), tctx_.epoch, exec_len, policy_.name(),
+                                  view_of(current_)});
+    }
+    if (metrics_ != nullptr) {
+      metrics_->count("driver.epochs");
+      metrics_->observe("driver.epoch_cycles", static_cast<double>(exec_len),
+                        {1e5, 5e5, 1e6, 2e6, 5e6, 1e7});
+    }
     log_.push_back({EpochLogEntry::Kind::Execution, system_.now(), exec_len, current_});
     const SpanDelta epoch = run_span(exec_len);
+    tctx_.now = system_.now();
     for (CoreId c = 0; c < epoch.per_core.size(); ++c) {
       auto& acc = exec_accum_[c];
       const auto& d = epoch.per_core[c];
@@ -275,29 +315,46 @@ void EpochDriver::run(Cycle total_cycles) {
       }
       if (!request.has_value()) break;
       if (samples >= cfg_.max_samples_per_epoch) {
-        health_.record(HealthEventKind::SampleCapTruncated, system_.now(), kInvalidCore,
-                       samples);
+        record_health(HealthEventKind::SampleCapTruncated, kInvalidCore, samples);
         break;
       }
-      apply(*request);
+      apply(*request, "sample");
       Cycle len = std::min<Cycle>(cfg_.sampling_interval, end - system_.now());
       log_.push_back({EpochLogEntry::Kind::Sample, system_.now(), len, current_});
       SpanDelta sample = run_span(len);
       if (sample.any_implausible && system_.now() < end) {
         // Quarantine: discard the interval and re-run it once; the
         // configuration under test is still applied to hardware.
-        health_.record(HealthEventKind::SampleQuarantined, system_.now(), kInvalidCore,
-                       samples);
+        record_health(HealthEventKind::SampleQuarantined, kInvalidCore, samples);
         len = std::min<Cycle>(cfg_.sampling_interval, end - system_.now());
         log_.push_back({EpochLogEntry::Kind::Sample, system_.now(), len, current_});
         sample = run_span(len);
         if (sample.any_implausible) {
           // Still implausible: give up on the measurement (its corrupt
           // cores are already zeroed) rather than loop forever.
-          health_.record(HealthEventKind::SampleDiscarded, system_.now(), kInvalidCore,
-                         samples);
+          record_health(HealthEventKind::SampleDiscarded, kInvalidCore, samples);
         }
       }
+      tctx_.now = system_.now();
+      if (len < cfg_.sampling_interval) {
+        // End-of-run truncation: the partial interval's PMU delta is
+        // not comparable to the full-interval samples the policy is
+        // ranking by hm_ipc, so it must not reach report_sample().
+        // Trace/metrics only — a HealthLog entry here would break the
+        // fault campaign's bit-identity invariants. The run is over
+        // (now == end), so nothing downstream sees the gap.
+        if (metrics_ != nullptr) metrics_->count("driver.sample_partial_discarded");
+        if (trace_.on()) {
+          trace_.emit(obs::DegradationStep{system_.now(), tctx_.epoch,
+                                           "sample_partial_discarded", kInvalidCore, len, {}});
+        }
+        break;
+      }
+      if (trace_.on()) {
+        trace_.emit(obs::SampleResult{system_.now(), tctx_.epoch, samples,
+                                      hm_ipc(sample.per_core), view_of(*request)});
+      }
+      if (metrics_ != nullptr) metrics_->count("driver.samples");
       SampleStats stats;
       stats.config = *request;
       stats.per_core = std::move(sample.per_core);
@@ -307,12 +364,17 @@ void EpochDriver::run(Cycle total_cycles) {
       }
       ++samples;
     }
+    if (metrics_ != nullptr) {
+      metrics_->observe("driver.samples_per_epoch", static_cast<double>(samples),
+                        {0, 1, 2, 4, 8, 16, 32});
+    }
     if (!watchdog_fired) {
       ResourceConfig final_cfg;
       if (guarded([&] { final_cfg = policy_.final_config(); }, "final_config")) {
-        apply(final_cfg);
+        apply(final_cfg, "final");
       }
     }
+    ++tctx_.epoch;
   }
 }
 

@@ -29,6 +29,8 @@
 #include "common/retry.hpp"
 #include "core/health.hpp"
 #include "core/policy.hpp"
+#include "obs/metrics_registry.hpp"
+#include "obs/trace.hpp"
 #include "hw/cat_controller.hpp"
 #include "hw/msr_device.hpp"
 #include "hw/pmu_reader.hpp"
@@ -41,6 +43,12 @@ struct EpochConfig {
   Cycle sampling_interval = 40'000;
   unsigned max_samples_per_epoch = 24;  // enforced; overruns land in the HealthLog
   RetryPolicy retry{};                  // per-HAL-call retry budget
+
+  /// Observability hooks, both borrowed and optional. Null (the
+  /// default) keeps the hot path untouched: no event is ever built,
+  /// every emission site is guarded by a single pointer test.
+  obs::TraceSink* sink = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// One line of the Fig. 4 timeline, for tests and the fig04 bench.
@@ -91,7 +99,13 @@ class EpochDriver {
   void init();
   RetryPolicy logging_retry(RetryPolicy base);
 
-  void apply(const ResourceConfig& cfg);
+  /// HealthLog entry plus its observability mirror: a DegradationStep
+  /// trace event and a `health.<kind>` counter. The HealthLog content
+  /// stays byte-identical to the untraced build.
+  void record_health(HealthEventKind kind, CoreId core = kInvalidCore,
+                     std::uint64_t detail = 0, std::string note = {});
+
+  void apply(const ResourceConfig& cfg, std::string_view source);
   SpanDelta run_span(Cycle span);
   std::vector<sim::PmuCounters> read_counters();
   bool plausible_snapshot(const std::vector<sim::PmuCounters>& snapshot) const;
@@ -131,6 +145,13 @@ class EpochDriver {
   hw::PmuReader* pmu_;
   RetryPolicy retry_;  // cfg_.retry with the HealthLog-recording hook
   hw::PrefetchControl prefetch_;
+
+  // Observability: the context is the driver-owned stamp (sim time +
+  // epoch index) every event carries; trace_ strips a disabled sink at
+  // construction so emission guards cost one pointer compare.
+  obs::TraceContext tctx_;
+  obs::Trace trace_;
+  obs::MetricsRegistry* metrics_ = nullptr;
 
   bool started_ = false;
   ResourceConfig current_;  // config most recently applied to hardware

@@ -24,6 +24,29 @@ KMeansResult kmeans_1d(const std::vector<double>& values, unsigned k, unsigned m
     r.centroids[c] = sorted[idx];
   }
 
+  // Heavily tied values make quantile seeds collide, and duplicate
+  // seeds break Lloyd outright: the first duplicate wins every
+  // assignment, the rest converge empty with stale centroids, and
+  // distinct value levels are never separated. When (and only when)
+  // seeds collide, reseed from the distinct values — quantile indices
+  // over `uniq` are provably distinct once uniq.size() > k, and with
+  // uniq.size() <= k the distinct values themselves are the exact
+  // clustering. Seed-unique inputs are untouched.
+  if (std::adjacent_find(r.centroids.begin(), r.centroids.end()) != r.centroids.end()) {
+    std::vector<double> uniq = sorted;
+    uniq.erase(std::unique(uniq.begin(), uniq.end()), uniq.end());
+    if (uniq.size() <= k) {
+      k = static_cast<unsigned>(uniq.size());
+      r.k = k;
+      r.centroids = uniq;
+    } else {
+      for (unsigned c = 0; c < k; ++c) {
+        const std::size_t idx = (uniq.size() - 1) * (2 * c + 1) / (2 * k);
+        r.centroids[c] = uniq[idx];
+      }
+    }
+  }
+
   std::vector<double> sums(k);
   std::vector<std::size_t> counts(k);
   for (unsigned iter = 0; iter < max_iters; ++iter) {
@@ -53,6 +76,31 @@ KMeansResult kmeans_1d(const std::vector<double>& values, unsigned k, unsigned m
       if (counts[c] > 0) r.centroids[c] = sums[c] / static_cast<double>(counts[c]);
     }
     if (!changed) break;
+  }
+
+  // Tied-value pathology: quantile initialisation seeds duplicate
+  // centroids when values are heavily tied (e.g. one dominant PTR
+  // level), and a cluster that converges empty keeps its stale seed
+  // centroid forever. Collapse such clusters so callers never see
+  // phantom groups — they would widen the throttle search and skew the
+  // group-level PT split. A clustering with no empty clusters passes
+  // through bit-identically.
+  std::vector<std::size_t> occupancy(k, 0);
+  for (const unsigned a : r.assignment) ++occupancy[a];
+  if (std::any_of(occupancy.begin(), occupancy.end(),
+                  [](std::size_t n) { return n == 0; })) {
+    std::vector<unsigned> remap(k, 0);
+    std::vector<double> kept_centroids;
+    unsigned kept = 0;
+    for (unsigned c = 0; c < k; ++c) {
+      if (occupancy[c] == 0) continue;
+      remap[c] = kept++;
+      kept_centroids.push_back(r.centroids[c]);
+    }
+    for (auto& a : r.assignment) a = remap[a];
+    r.centroids = std::move(kept_centroids);
+    r.k = kept;
+    k = kept;
   }
 
   // Relabel clusters so centroid order is ascending (stable contract

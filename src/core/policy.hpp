@@ -15,6 +15,7 @@
 #include "common/bitmask.hpp"
 #include "common/types.hpp"
 #include "core/detector.hpp"
+#include "obs/trace.hpp"
 #include "sim/pmu.hpp"
 
 namespace cmm::core {
@@ -67,6 +68,14 @@ class Policy {
     (void)prefetch_available;
     (void)cat_available;
   }
+
+  /// Observability wiring from the EpochDriver: the handle shares the
+  /// driver's sink and time stamps so policy-side decisions (detector
+  /// verdicts) land in the same event stream. Default handle is off.
+  void set_trace(obs::Trace trace) noexcept { trace_ = trace; }
+
+ protected:
+  obs::Trace trace_{};
 };
 
 // ---------------------------------------------------------------------

@@ -109,7 +109,7 @@ void CmmPolicy::report_sample(const SampleStats& stats) {
   switch (phase_) {
     case Phase::ProbeOn: {
       probe_metrics_ = compute_all_metrics(stats.per_core, opts_.detector.freq_ghz);
-      agg_set_ = detect_aggressive(probe_metrics_, opts_.detector);
+      agg_set_ = detect_aggressive(probe_metrics_, opts_.detector, trace_);
       for (CoreId c = 0; c < cores_; ++c) ipc_on_[c] = stats.per_core[c].ipc();
 
       if (agg_set_.empty()) {

@@ -84,7 +84,7 @@ std::optional<ResourceConfig> CpPolicy::next_sample() {
 void CpPolicy::report_sample(const SampleStats& stats) {
   if (probe_index_ == 0) {
     const auto metrics = compute_all_metrics(stats.per_core, opts_.detector.freq_ghz);
-    agg_set_ = detect_aggressive(metrics, opts_.detector);
+    agg_set_ = detect_aggressive(metrics, opts_.detector, trace_);
     for (CoreId c = 0; c < cores_; ++c) ipc_on_[c] = stats.per_core[c].ipc();
     probe_index_ = agg_set_.empty() ? 2 : 1;
     return;

@@ -53,7 +53,7 @@ void PtPolicy::report_sample(const SampleStats& stats) {
   if (sample_hm_.empty()) {
     // Interval 0 results: run detection, build the search space.
     const auto metrics = compute_all_metrics(stats.per_core, opts_.detector.freq_ghz);
-    agg_set_ = detect_aggressive(metrics, opts_.detector);
+    agg_set_ = detect_aggressive(metrics, opts_.detector, trace_);
     for (CoreId c = 0; c < cores_; ++c) ipc_on_[c] = stats.per_core[c].ipc();
 
     if (!agg_set_.empty()) {

@@ -1,0 +1,201 @@
+#include "obs/jsonl_sink.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <ostream>
+#include <stdexcept>
+
+namespace cmm::obs {
+
+namespace {
+
+void append_escaped(std::string& out, std::string_view text) {
+  out += '"';
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char hex[8];
+          std::snprintf(hex, sizeof hex, "\\u%04x", c);
+          out += hex;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%" PRIu64, v);
+  out += buf;
+}
+
+/// %.9g is enough to round-trip every value the loop produces (IPCs,
+/// rates) and, being printf-based, is byte-stable across runs — the
+/// determinism suite compares traces with memcmp.
+void append_double(std::string& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  out += buf;
+}
+
+void append_core(std::string& out, CoreId core) {
+  // kInvalidCore serializes as -1: "no specific core".
+  if (core == kInvalidCore) {
+    out += "-1";
+  } else {
+    append_u64(out, core);
+  }
+}
+
+void append_config(std::string& out, const ConfigView& config) {
+  out += "\"prefetch\":\"";
+  if (config.prefetch_on != nullptr) {
+    for (const bool on : *config.prefetch_on) out += on ? '1' : '0';
+  }
+  out += "\",\"masks\":[";
+  if (config.way_masks != nullptr) {
+    bool first = true;
+    for (const WayMask m : *config.way_masks) {
+      if (!first) out += ',';
+      first = false;
+      append_u64(out, m);
+    }
+  }
+  out += ']';
+}
+
+void append_header(std::string& out, std::string_view type, Cycle time, std::uint64_t epoch) {
+  out += "{\"type\":";
+  append_escaped(out, type);
+  out += ",\"t\":";
+  append_u64(out, time);
+  out += ",\"epoch\":";
+  append_u64(out, epoch);
+}
+
+}  // namespace
+
+JsonlTraceSink::JsonlTraceSink(std::ostream& out, std::size_t flush_bytes)
+    : out_(&out), flush_bytes_(flush_bytes) {
+  buffer_.reserve(flush_bytes_ + 512);
+}
+
+JsonlTraceSink::JsonlTraceSink(const std::string& path, std::size_t flush_bytes)
+    : file_(path), out_(&file_), flush_bytes_(flush_bytes) {
+  if (!file_) throw std::runtime_error("JsonlTraceSink: cannot open " + path);
+  buffer_.reserve(flush_bytes_ + 512);
+}
+
+JsonlTraceSink::~JsonlTraceSink() { flush(); }
+
+void JsonlTraceSink::line(const std::string& text) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  buffer_ += text;
+  buffer_ += '\n';
+  ++events_;
+  if (buffer_.size() >= flush_bytes_) {
+    out_->write(buffer_.data(), static_cast<std::streamsize>(buffer_.size()));
+    buffer_.clear();
+  }
+}
+
+void JsonlTraceSink::flush() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (!buffer_.empty()) {
+    out_->write(buffer_.data(), static_cast<std::streamsize>(buffer_.size()));
+    buffer_.clear();
+  }
+  out_->flush();
+}
+
+void JsonlTraceSink::emit(const EpochStart& ev) {
+  std::string s;
+  append_header(s, "epoch_start", ev.time, ev.epoch);
+  s += ",\"len\":";
+  append_u64(s, ev.length);
+  s += ",\"policy\":";
+  append_escaped(s, ev.policy);
+  s += ',';
+  append_config(s, ev.config);
+  s += '}';
+  line(s);
+}
+
+void JsonlTraceSink::emit(const DetectorVerdict& ev) {
+  std::string s;
+  append_header(s, "detector_verdict", ev.time, ev.epoch);
+  s += ",\"core\":";
+  append_core(s, ev.core);
+  s += ",\"pga\":";
+  append_double(s, ev.pga);
+  s += ",\"pmr\":";
+  append_double(s, ev.pmr);
+  s += ",\"ptr\":";
+  append_double(s, ev.ptr);
+  s += ",\"agg\":";
+  s += ev.agg ? "true" : "false";
+  s += '}';
+  line(s);
+}
+
+void JsonlTraceSink::emit(const SampleResult& ev) {
+  std::string s;
+  append_header(s, "sample_result", ev.time, ev.epoch);
+  s += ",\"sample\":";
+  append_u64(s, ev.sample);
+  s += ",\"hm_ipc\":";
+  append_double(s, ev.hm_ipc);
+  s += ',';
+  append_config(s, ev.config);
+  s += '}';
+  line(s);
+}
+
+void JsonlTraceSink::emit(const ConfigApplied& ev) {
+  std::string s;
+  append_header(s, "config_applied", ev.time, ev.epoch);
+  s += ",\"source\":";
+  append_escaped(s, ev.source);
+  s += ',';
+  append_config(s, ev.config);
+  s += '}';
+  line(s);
+}
+
+void JsonlTraceSink::emit(const DegradationStep& ev) {
+  std::string s;
+  append_header(s, "degradation_step", ev.time, ev.epoch);
+  s += ",\"step\":";
+  append_escaped(s, ev.step);
+  s += ",\"core\":";
+  append_core(s, ev.core);
+  s += ",\"detail\":";
+  append_u64(s, ev.detail);
+  s += ",\"note\":";
+  append_escaped(s, ev.note);
+  s += '}';
+  line(s);
+}
+
+void JsonlTraceSink::emit(const FaultRetry& ev) {
+  std::string s;
+  append_header(s, "fault_retry", ev.time, ev.epoch);
+  s += ",\"attempt\":";
+  append_u64(s, ev.attempt);
+  s += ",\"backoff\":";
+  append_u64(s, ev.backoff_units);
+  s += ",\"what\":";
+  append_escaped(s, ev.what);
+  s += '}';
+  line(s);
+}
+
+}  // namespace cmm::obs

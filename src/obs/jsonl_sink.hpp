@@ -1,0 +1,55 @@
+// Observability layer: JSONL trace sink. One JSON object per line, one
+// line per event, schema documented in EXPERIMENTS.md ("Observability")
+// and validated by scripts/trace_report.py.
+#pragma once
+
+#include <fstream>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+
+#include "obs/trace.hpp"
+
+namespace cmm::obs {
+
+/// Buffered JSONL writer. Events are formatted immediately (they carry
+/// non-owning views) into an in-memory buffer that is flushed to the
+/// underlying stream only when it crosses `flush_bytes`, on flush(), or
+/// on destruction — the sim never blocks on file I/O mid-epoch. A
+/// single mutex guards the buffer; within one EpochDriver all events
+/// come from one thread, so the lock is uncontended and exists only to
+/// keep shared-sink setups (and TSan) honest.
+class JsonlTraceSink final : public TraceSink {
+ public:
+  /// Write to a caller-owned stream (must outlive the sink).
+  explicit JsonlTraceSink(std::ostream& out, std::size_t flush_bytes = 64 * 1024);
+
+  /// Convenience: own an output file. Throws std::runtime_error when
+  /// the file cannot be opened.
+  explicit JsonlTraceSink(const std::string& path, std::size_t flush_bytes = 64 * 1024);
+
+  ~JsonlTraceSink() override;
+
+  void emit(const EpochStart& ev) override;
+  void emit(const DetectorVerdict& ev) override;
+  void emit(const SampleResult& ev) override;
+  void emit(const ConfigApplied& ev) override;
+  void emit(const DegradationStep& ev) override;
+  void emit(const FaultRetry& ev) override;
+
+  void flush() override;
+
+  std::uint64_t events() const noexcept { return events_; }
+
+ private:
+  void line(const std::string& text);
+
+  std::ofstream file_;   // used only by the path constructor
+  std::ostream* out_;    // always valid
+  std::size_t flush_bytes_;
+  std::string buffer_;
+  std::uint64_t events_ = 0;
+  std::mutex mutex_;
+};
+
+}  // namespace cmm::obs

@@ -1,0 +1,128 @@
+#include "obs/metrics_registry.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cinttypes>
+#include <cstdio>
+
+namespace cmm::obs {
+
+namespace {
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%" PRIu64, v);
+  out += buf;
+}
+
+void append_double(std::string& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  out += buf;
+}
+
+void append_key(std::string& out, const std::string& name) {
+  // Metric names are identifiers chosen by instrumentation code
+  // (letters, digits, '.', '_'), so no escaping is needed.
+  out += '"';
+  out += name;
+  out += "\":";
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds(std::move(upper_bounds)), counts(bounds.size() + 1, 0) {}
+
+void Histogram::observe(double value) {
+  const auto it = std::lower_bound(bounds.begin(), bounds.end(), value);
+  ++counts[static_cast<std::size_t>(it - bounds.begin())];
+  sum += value;
+  ++count;
+}
+
+void MetricsRegistry::count(const std::string& name, std::uint64_t delta) {
+  counters_[name] += delta;
+}
+
+void MetricsRegistry::gauge(const std::string& name, double value) {
+  gauges_[name] = value;
+}
+
+void MetricsRegistry::observe(const std::string& name, double value,
+                              const std::vector<double>& bounds) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(name, Histogram(bounds)).first;
+  }
+  it->second.observe(value);
+}
+
+std::uint64_t MetricsRegistry::counter(const std::string& name) const {
+  const auto it = counters_.find(name);
+  return it != counters_.end() ? it->second : 0;
+}
+
+void MetricsRegistry::merge(const MetricsRegistry& other) {
+  for (const auto& [name, value] : other.counters_) counters_[name] += value;
+  for (const auto& [name, value] : other.gauges_) gauges_[name] = value;
+  for (const auto& [name, hist] : other.histograms_) {
+    auto it = histograms_.find(name);
+    if (it == histograms_.end()) {
+      histograms_.emplace(name, hist);
+      continue;
+    }
+    Histogram& mine = it->second;
+    assert(mine.bounds == hist.bounds && "histogram bounds mismatch on merge");
+    for (std::size_t i = 0; i < mine.counts.size() && i < hist.counts.size(); ++i) {
+      mine.counts[i] += hist.counts[i];
+    }
+    mine.sum += hist.sum;
+    mine.count += hist.count;
+  }
+}
+
+std::string MetricsRegistry::json() const {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : counters_) {
+    if (!first) out += ',';
+    first = false;
+    append_key(out, name);
+    append_u64(out, value);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : gauges_) {
+    if (!first) out += ',';
+    first = false;
+    append_key(out, name);
+    append_double(out, value);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, hist] : histograms_) {
+    if (!first) out += ',';
+    first = false;
+    append_key(out, name);
+    out += "{\"bounds\":[";
+    for (std::size_t i = 0; i < hist.bounds.size(); ++i) {
+      if (i != 0) out += ',';
+      append_double(out, hist.bounds[i]);
+    }
+    out += "],\"counts\":[";
+    for (std::size_t i = 0; i < hist.counts.size(); ++i) {
+      if (i != 0) out += ',';
+      append_u64(out, hist.counts[i]);
+    }
+    out += "],\"sum\":";
+    append_double(out, hist.sum);
+    out += ",\"count\":";
+    append_u64(out, hist.count);
+    out += '}';
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace cmm::obs

@@ -1,0 +1,73 @@
+// Observability layer, part 2: named counters / gauges / histograms.
+//
+// A MetricsRegistry is a passive bag of numbers the control loop bumps
+// as it runs (epochs driven, samples taken, health events by kind,
+// per-policy win counts) plus fixed-bucket histograms for distributions
+// the paper cares about (samples per profiling epoch, epoch lengths).
+// It is snapshotable to deterministic JSON (std::map ordering, printf
+// formatting) and mergeable, so batch runs can keep one registry per
+// mix/job and fold them in a fixed order — results are identical at any
+// CMM_THREADS.
+//
+// Not thread-safe by design: one registry per single-threaded run (or
+// per harness job), merged after the fact. That keeps increments to a
+// map lookup + add on the instrumented path and needs no atomics.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace cmm::obs {
+
+/// Fixed-bucket histogram: counts[i] holds observations <= bounds[i],
+/// with one extra overflow bucket at the end. Bounds are set once at
+/// registration and never change, so merging is bucket-wise addition.
+struct Histogram {
+  std::vector<double> bounds;   // ascending upper bounds
+  std::vector<std::uint64_t> counts;  // bounds.size() + 1 (overflow last)
+  double sum = 0.0;
+  std::uint64_t count = 0;
+
+  explicit Histogram(std::vector<double> upper_bounds = {});
+
+  void observe(double value);
+};
+
+class MetricsRegistry {
+ public:
+  /// Add `delta` to the named counter, creating it at zero first.
+  void count(const std::string& name, std::uint64_t delta = 1);
+
+  /// Set the named gauge to `value` (last write wins on merge order).
+  void gauge(const std::string& name, double value);
+
+  /// Record `value` into the named histogram, registering it with
+  /// `bounds` on first use. Bounds passed on later calls are ignored —
+  /// first registration wins, mirroring Prometheus semantics.
+  void observe(const std::string& name, double value,
+               const std::vector<double>& bounds);
+
+  std::uint64_t counter(const std::string& name) const;
+
+  bool empty() const noexcept {
+    return counters_.empty() && gauges_.empty() && histograms_.empty();
+  }
+
+  /// Fold `other` into this registry: counters and histogram buckets
+  /// add, gauges overwrite. Histogram bounds must match (they do when
+  /// both sides were bumped by the same instrumentation).
+  void merge(const MetricsRegistry& other);
+
+  /// Deterministic single-line JSON snapshot:
+  /// {"counters":{...},"gauges":{...},"histograms":{...}}
+  std::string json() const;
+
+ private:
+  std::map<std::string, std::uint64_t> counters_;
+  std::map<std::string, double> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace cmm::obs

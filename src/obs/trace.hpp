@@ -1,0 +1,151 @@
+// Observability layer, part 1: structured epoch traces.
+//
+// The CMM control loop makes one opaque decision per epoch (which cores
+// are Agg, which candidate configurations were sampled, which hm_ipc
+// won); the paper's evaluation (Figs. 4-6, 13) is an explanation of
+// those decisions. This header defines the typed event vocabulary the
+// loop emits so that a trace, not a debugger, can tell the story:
+//
+//   EpochStart       an execution epoch began (length + config in force)
+//   DetectorVerdict  per-core Table-I metrics (PGA/PMR/PTR) + Agg flag
+//   SampleResult     one sampling interval's candidate config + hm_ipc
+//   ConfigApplied    a configuration landed on hardware (and why)
+//   DegradationStep  a rung of the fault ladder fired
+//   FaultRetry       a transient HAL fault was re-attempted
+//
+// All timestamps are monotonic *simulated* time, so traces are
+// bit-deterministic at any CMM_THREADS (every EpochDriver is driven by
+// exactly one thread; parallel batches give each run its own sink).
+//
+// Cost model: instrumented code holds a `Trace` handle and guards every
+// emission with `if (trace.on())`. With no sink (or a NullSink) that is
+// a single pointer test — no event is built, nothing is formatted, the
+// hot path is untouched. Sinks receive *views* (string_view, ConfigView
+// pointers) and must serialize before returning.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace cmm::obs {
+
+/// Non-owning view of a ResourceConfig (mirrors core::ResourceConfig
+/// without depending on cmm_core; obs sits below core in the link
+/// graph so policies can hold Trace handles).
+struct ConfigView {
+  const std::vector<bool>* prefetch_on = nullptr;
+  const std::vector<WayMask>* way_masks = nullptr;
+};
+
+struct EpochStart {
+  Cycle time = 0;
+  std::uint64_t epoch = 0;
+  Cycle length = 0;
+  std::string_view policy;
+  ConfigView config;
+};
+
+struct DetectorVerdict {
+  Cycle time = 0;
+  std::uint64_t epoch = 0;
+  CoreId core = kInvalidCore;
+  double pga = 0.0;  // M-4: prefetch generation ability
+  double pmr = 0.0;  // M-5: L2 prefetch miss ratio
+  double ptr = 0.0;  // M-3: L2 prefetch traffic rate (per second)
+  bool agg = false;  // survived all three detection steps
+};
+
+struct SampleResult {
+  Cycle time = 0;
+  std::uint64_t epoch = 0;
+  std::uint64_t sample = 0;  // index within the profiling epoch
+  double hm_ipc = 0.0;       // objective value of this interval
+  ConfigView config;         // candidate configuration measured
+};
+
+struct ConfigApplied {
+  Cycle time = 0;
+  std::uint64_t epoch = 0;
+  std::string_view source;  // "initial" | "sample" | "final" | "watchdog"
+  ConfigView config;        // effective config (post degradation ladder)
+};
+
+struct DegradationStep {
+  Cycle time = 0;
+  std::uint64_t epoch = 0;
+  std::string_view step;  // health-event name, e.g. "pt_only_fallback"
+  CoreId core = kInvalidCore;
+  std::uint64_t detail = 0;
+  std::string_view note;
+};
+
+struct FaultRetry {
+  Cycle time = 0;
+  std::uint64_t epoch = 0;
+  std::uint32_t attempt = 0;
+  std::uint64_t backoff_units = 0;
+  std::string_view what;
+};
+
+/// Event consumer. Default implementations drop everything, so a sink
+/// overrides only the events it cares about. `enabled()` lets the
+/// Trace handle strip a disabled sink at wiring time (NullSink).
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+
+  virtual bool enabled() const noexcept { return true; }
+
+  virtual void emit(const EpochStart&) {}
+  virtual void emit(const DetectorVerdict&) {}
+  virtual void emit(const SampleResult&) {}
+  virtual void emit(const ConfigApplied&) {}
+  virtual void emit(const DegradationStep&) {}
+  virtual void emit(const FaultRetry&) {}
+
+  virtual void flush() {}
+};
+
+/// The default sink: tracing compiled in, permanently off. Kept as a
+/// distinct type so "tracing disabled" is an explicit, testable state
+/// (the determinism suite pins NullSink bit-identity against no sink).
+class NullSink final : public TraceSink {
+ public:
+  bool enabled() const noexcept override { return false; }
+};
+
+/// Shared stamp the event producer (EpochDriver) keeps current so that
+/// consumers wired deeper in (policies, detector) emit events carrying
+/// the same simulated time / epoch index without owning a clock.
+struct TraceContext {
+  Cycle now = 0;
+  std::uint64_t epoch = 0;
+};
+
+/// Nullable, copyable handle instrumented code holds. Default
+/// constructed it is off; `on()` is one pointer compare, so call sites
+/// guard event construction with it and pay nothing when disabled.
+class Trace {
+ public:
+  Trace() = default;
+  explicit Trace(TraceSink* sink, const TraceContext* ctx = nullptr) noexcept
+      : sink_(sink != nullptr && sink->enabled() ? sink : nullptr), ctx_(ctx) {}
+
+  bool on() const noexcept { return sink_ != nullptr; }
+  Cycle now() const noexcept { return ctx_ != nullptr ? ctx_->now : 0; }
+  std::uint64_t epoch() const noexcept { return ctx_ != nullptr ? ctx_->epoch : 0; }
+
+  template <typename Event>
+  void emit(const Event& event) const {
+    if (sink_ != nullptr) sink_->emit(event);
+  }
+
+ private:
+  TraceSink* sink_ = nullptr;
+  const TraceContext* ctx_ = nullptr;
+};
+
+}  // namespace cmm::obs

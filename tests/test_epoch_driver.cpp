@@ -189,6 +189,35 @@ TEST(EpochDriver, BaselinePolicyRunsFlat) {
   EXPECT_TRUE(sys.core(0).prefetch_msr().all_enabled());
 }
 
+TEST(EpochDriver, PartialEndOfRunSampleIsDiscarded) {
+  auto sys_ptr = make_system();
+  auto& sys = *sys_ptr;
+  ProbePolicy policy(4);
+  EpochDriver driver(sys, policy, epochs());
+  // 200K execution epoch + a 5K tail: the only sampling interval is
+  // truncated to half the configured 10K. Its partial PMU delta is not
+  // comparable to full intervals and must never reach the policy's
+  // hm_ipc ranking (regression: it used to be reported like a full
+  // sample). The discard is also not a fault: the HealthLog stays
+  // empty on a fault-free run.
+  driver.run(205'000);
+  EXPECT_EQ(policy.profiling_rounds, 1u);
+  EXPECT_TRUE(policy.reported.empty());
+  EXPECT_TRUE(driver.health().empty());
+}
+
+TEST(EpochDriver, FullTailSampleStillReported) {
+  // Control for the discard: a tail that fits one whole sampling
+  // interval is reported exactly as before.
+  auto sys_ptr = make_system();
+  auto& sys = *sys_ptr;
+  ProbePolicy policy(4);
+  EpochDriver driver(sys, policy, epochs());
+  driver.run(210'000);  // 200K epoch + exactly one full 10K interval
+  EXPECT_EQ(policy.reported.size(), 1u);
+  EXPECT_TRUE(driver.health().empty());
+}
+
 TEST(EpochDriver, ResumableAcrossRunCalls) {
   auto sys_ptr = make_system();
   auto& sys = *sys_ptr;

@@ -49,6 +49,38 @@ TEST(KMeans, IdenticalValues) {
   for (const unsigned a : r.assignment) EXPECT_LT(a, r.k);
 }
 
+TEST(KMeans, TiedValuesCollapseEmptyClusters) {
+  // Heavily tied values seed duplicate quantile centroids; a cluster
+  // that converges empty must be collapsed, not reported as a phantom
+  // group (regression: k=3 over {5,5,5,5,5,9} kept an empty cluster
+  // with a stale duplicate centroid, inflating the group count the
+  // PT split is built from).
+  const std::vector<double> values{5, 5, 5, 5, 5, 9};
+  const KMeansResult r = kmeans_1d(values, 3);
+  ASSERT_EQ(r.centroids.size(), r.k);
+  // Every reported cluster is occupied...
+  std::vector<unsigned> counts(r.k, 0);
+  for (const unsigned a : r.assignment) {
+    ASSERT_LT(a, r.k);
+    ++counts[a];
+  }
+  for (const unsigned n : counts) EXPECT_GT(n, 0u);
+  // ...centroids are strictly ascending (no duplicates survive)...
+  for (unsigned c = 1; c < r.k; ++c) EXPECT_LT(r.centroids[c - 1], r.centroids[c]);
+  // ...and the natural two-group structure is recovered.
+  EXPECT_EQ(r.k, 2u);
+  EXPECT_EQ(r.assignment[0], r.assignment[4]);
+  EXPECT_NE(r.assignment[0], r.assignment[5]);
+}
+
+TEST(KMeans, AllTiedValuesCollapseToOneCluster) {
+  const std::vector<double> values(6, 42.0);
+  const KMeansResult r = kmeans_1d(values, 3);
+  EXPECT_EQ(r.k, 1u);
+  ASSERT_EQ(r.centroids.size(), 1u);
+  EXPECT_DOUBLE_EQ(r.centroids[0], 42.0);
+}
+
 TEST(KMeans, Deterministic) {
   const std::vector<double> values{9, 1, 7, 3, 8, 2};
   const auto a = kmeans_1d(values, 2);

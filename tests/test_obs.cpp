@@ -1,0 +1,320 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/run_harness.hpp"
+#include "obs/jsonl_sink.hpp"
+#include "obs/metrics_registry.hpp"
+#include "obs/trace.hpp"
+#include "workloads/workload_mix.hpp"
+
+namespace cmm::obs {
+namespace {
+
+// ------------------------------------------------------- Trace handle
+
+/// Counts one event type; everything else falls through to the no-op
+/// defaults, which is itself part of the TraceSink contract under test.
+class CountingSink final : public TraceSink {
+ public:
+  void emit(const EpochStart&) override { ++epoch_starts; }
+  unsigned epoch_starts = 0;
+};
+
+TEST(ObsTrace, DefaultHandleIsOff) {
+  const Trace trace;
+  EXPECT_FALSE(trace.on());
+  EXPECT_EQ(trace.now(), 0u);
+  EXPECT_EQ(trace.epoch(), 0u);
+  trace.emit(EpochStart{});  // must be a harmless no-op
+}
+
+TEST(ObsTrace, NullSinkIsStrippedAtWiringTime) {
+  NullSink null;
+  const Trace trace(&null);
+  EXPECT_FALSE(trace.on());
+  trace.emit(EpochStart{});
+}
+
+TEST(ObsTrace, EnabledSinkReceivesEventsWithContextStamps) {
+  CountingSink sink;
+  TraceContext ctx{123, 7};
+  const Trace trace(&sink, &ctx);
+  ASSERT_TRUE(trace.on());
+  EXPECT_EQ(trace.now(), 123u);
+  EXPECT_EQ(trace.epoch(), 7u);
+  trace.emit(EpochStart{trace.now(), trace.epoch(), 1000, "probe", {}});
+  trace.emit(FaultRetry{});  // default no-op override
+  EXPECT_EQ(sink.epoch_starts, 1u);
+
+  ctx.now = 456;  // producer advances the shared stamp, handle follows
+  EXPECT_EQ(trace.now(), 456u);
+}
+
+// -------------------------------------------------- MetricsRegistry
+
+TEST(ObsMetricsRegistry, CountersAccumulateAndDefaultToZero) {
+  MetricsRegistry reg;
+  EXPECT_TRUE(reg.empty());
+  EXPECT_EQ(reg.counter("driver.epochs"), 0u);
+  reg.count("driver.epochs");
+  reg.count("driver.epochs", 4);
+  EXPECT_EQ(reg.counter("driver.epochs"), 5u);
+  EXPECT_FALSE(reg.empty());
+}
+
+TEST(ObsMetricsRegistry, HistogramBucketsIncludingOverflow) {
+  MetricsRegistry reg;
+  const std::vector<double> bounds{1.0, 2.0, 4.0};
+  reg.observe("h", 0.5, bounds);
+  reg.observe("h", 2.0, bounds);  // on a bound: counts into that bucket
+  reg.observe("h", 9.0, bounds);  // past every bound: overflow bucket
+  EXPECT_EQ(reg.json(),
+            "{\"counters\":{},\"gauges\":{},\"histograms\":{"
+            "\"h\":{\"bounds\":[1,2,4],\"counts\":[1,1,0,1],\"sum\":11.5,\"count\":3}}}");
+}
+
+TEST(ObsMetricsRegistry, FirstHistogramRegistrationWins) {
+  MetricsRegistry reg;
+  reg.observe("h", 0.5, {1.0, 2.0});
+  reg.observe("h", 0.5, {42.0});  // later bounds ignored (Prometheus rule)
+  EXPECT_NE(reg.json().find("\"bounds\":[1,2]"), std::string::npos);
+}
+
+TEST(ObsMetricsRegistry, MergeAddsCountersAndBucketsGaugesOverwrite) {
+  MetricsRegistry a;
+  a.count("driver.epochs", 3);
+  a.gauge("last_hm_ipc", 0.5);
+  a.observe("h", 1.5, {1.0, 2.0});
+
+  MetricsRegistry b;
+  b.count("driver.epochs", 2);
+  b.count("driver.samples", 7);
+  b.gauge("last_hm_ipc", 0.75);
+  b.observe("h", 9.0, {1.0, 2.0});
+
+  a.merge(b);
+  EXPECT_EQ(a.counter("driver.epochs"), 5u);
+  EXPECT_EQ(a.counter("driver.samples"), 7u);
+  const std::string json = a.json();
+  EXPECT_NE(json.find("\"last_hm_ipc\":0.75"), std::string::npos);
+  EXPECT_NE(json.find("\"counts\":[0,1,1]"), std::string::npos);
+  EXPECT_NE(json.find("\"sum\":10.5,\"count\":2"), std::string::npos);
+}
+
+TEST(ObsMetricsRegistry, JsonIsSortedAndInsertionOrderIndependent) {
+  MetricsRegistry a;
+  a.count("zeta");
+  a.count("alpha");
+  MetricsRegistry b;
+  b.count("alpha");
+  b.count("zeta");
+  EXPECT_EQ(a.json(), b.json());
+  EXPECT_LT(a.json().find("alpha"), a.json().find("zeta"));
+
+  const MetricsRegistry empty;
+  EXPECT_EQ(empty.json(), "{\"counters\":{},\"gauges\":{},\"histograms\":{}}");
+}
+
+// ----------------------------------------------------- JsonlTraceSink
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  for (std::string line; std::getline(in, line);) lines.push_back(line);
+  return lines;
+}
+
+TEST(ObsJsonlSink, SerializesOneJsonObjectPerLine) {
+  std::ostringstream out;
+  JsonlTraceSink sink(out);
+  const std::vector<bool> prefetch{true, false};
+  const std::vector<WayMask> masks{15, 3};
+  const ConfigView config{&prefetch, &masks};
+
+  sink.emit(EpochStart{10, 0, 1000, "cmm_a", config});
+  sink.emit(DetectorVerdict{20, 0, 1, 2.5, 0.75, 3e7, true});
+  sink.emit(SampleResult{30, 0, 2, 0.5, config});
+  sink.emit(ConfigApplied{40, 1, "final", config});
+  sink.emit(DegradationStep{50, 1, "pt_only_fallback", kInvalidCore, 7, "cat \"dead\"\n"});
+  sink.emit(FaultRetry{60, 1, 2, 4, "msr write"});
+  EXPECT_EQ(sink.events(), 6u);
+  sink.flush();
+
+  const auto lines = split_lines(out.str());
+  ASSERT_EQ(lines.size(), 6u);
+  EXPECT_EQ(lines[0],
+            "{\"type\":\"epoch_start\",\"t\":10,\"epoch\":0,\"len\":1000,"
+            "\"policy\":\"cmm_a\",\"prefetch\":\"10\",\"masks\":[15,3]}");
+  EXPECT_EQ(lines[1],
+            "{\"type\":\"detector_verdict\",\"t\":20,\"epoch\":0,\"core\":1,"
+            "\"pga\":2.5,\"pmr\":0.75,\"ptr\":30000000,\"agg\":true}");
+  EXPECT_EQ(lines[2],
+            "{\"type\":\"sample_result\",\"t\":30,\"epoch\":0,\"sample\":2,"
+            "\"hm_ipc\":0.5,\"prefetch\":\"10\",\"masks\":[15,3]}");
+  EXPECT_EQ(lines[3],
+            "{\"type\":\"config_applied\",\"t\":40,\"epoch\":1,\"source\":\"final\","
+            "\"prefetch\":\"10\",\"masks\":[15,3]}");
+  // kInvalidCore serializes as -1; quote and newline are escaped.
+  EXPECT_EQ(lines[4],
+            "{\"type\":\"degradation_step\",\"t\":50,\"epoch\":1,"
+            "\"step\":\"pt_only_fallback\",\"core\":-1,\"detail\":7,"
+            "\"note\":\"cat \\\"dead\\\"\\n\"}");
+  EXPECT_EQ(lines[5],
+            "{\"type\":\"fault_retry\",\"t\":60,\"epoch\":1,\"attempt\":2,"
+            "\"backoff\":4,\"what\":\"msr write\"}");
+}
+
+TEST(ObsJsonlSink, BuffersUntilThresholdOrFlush) {
+  std::ostringstream out;
+  JsonlTraceSink sink(out);  // default 64 KiB threshold
+  sink.emit(FaultRetry{1, 0, 1, 2, "x"});
+  // Small event stays in the buffer: the sim never blocks on stream
+  // I/O mid-epoch.
+  EXPECT_TRUE(out.str().empty());
+  sink.flush();
+  EXPECT_FALSE(out.str().empty());
+}
+
+TEST(ObsJsonlSink, DestructorFlushes) {
+  std::ostringstream out;
+  {
+    JsonlTraceSink sink(out);
+    sink.emit(FaultRetry{1, 0, 1, 2, "x"});
+  }
+  EXPECT_EQ(split_lines(out.str()).size(), 1u);
+}
+
+TEST(ObsJsonlSink, PathConstructorThrowsWhenUnopenable) {
+  EXPECT_THROW(JsonlTraceSink("/nonexistent-dir/trace.jsonl"), std::runtime_error);
+}
+
+TEST(ObsJsonlSink, SharedSinkCountsEveryEventAcrossThreads) {
+  // One sink shared by a thread pool — not the normal wiring (each
+  // driver owns its sink) but the mutex must keep it safe; the TSan
+  // preset runs this suite.
+  std::ostringstream out;
+  JsonlTraceSink sink(out, 128);  // tiny threshold: exercise mid-run writes
+  analysis::run_batch(
+      64,
+      [&](std::size_t i) {
+        sink.emit(DegradationStep{static_cast<Cycle>(i), i, "stress", kInvalidCore, i, {}});
+      },
+      analysis::BatchOptions{4});
+  sink.flush();
+  EXPECT_EQ(sink.events(), 64u);
+  const std::string text = out.str();
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 64);
+}
+
+// ------------------------------------------------- determinism suite
+
+analysis::RunParams fast_params() {
+  analysis::RunParams p;
+  p.machine = sim::MachineConfig::scaled(16);
+  p.warmup_cycles = 100'000;
+  p.run_cycles = 400'000;
+  p.epochs.execution_epoch = 100'000;
+  p.epochs.sampling_interval = 10'000;
+  return p;
+}
+
+std::vector<workloads::WorkloadMix> test_mixes(unsigned count) {
+  return workloads::make_mixes(workloads::MixCategory::PrefNoAgg, count,
+                               fast_params().machine.num_cores, 3);
+}
+
+/// Run one traced mix/policy job and return the raw JSONL bytes.
+std::string traced_run(const workloads::WorkloadMix& mix, const std::string& policy_name) {
+  std::ostringstream out;
+  JsonlTraceSink sink(out);
+  analysis::RunParams p = fast_params();
+  p.epochs.sink = &sink;
+  const auto policy = analysis::make_policy(policy_name, p.detector());
+  analysis::run_mix(mix, *policy, p);
+  sink.flush();
+  return out.str();
+}
+
+TEST(ObsDeterminism, TraceBytesIdenticalAcrossRuns) {
+  const auto mixes = test_mixes(1);
+  const std::string a = traced_run(mixes.front(), "cmm_a");
+  const std::string b = traced_run(mixes.front(), "cmm_a");
+  ASSERT_FALSE(a.empty());
+  EXPECT_EQ(a, b);
+  // The run actually exercised the control loop, not just the header.
+  EXPECT_NE(a.find("\"type\":\"epoch_start\""), std::string::npos);
+  EXPECT_NE(a.find("\"type\":\"detector_verdict\""), std::string::npos);
+  EXPECT_NE(a.find("\"type\":\"config_applied\""), std::string::npos);
+}
+
+TEST(ObsDeterminism, TraceBytesIdenticalAtAnyThreadCount) {
+  const auto mixes = test_mixes(2);
+  const std::vector<std::string> policies{"cmm_a", "pt"};
+  const auto batch = [&](unsigned threads) {
+    std::vector<std::string> traces(mixes.size() * policies.size());
+    analysis::run_batch(
+        traces.size(),
+        [&](std::size_t i) {
+          traces[i] = traced_run(mixes[i / policies.size()], policies[i % policies.size()]);
+        },
+        analysis::BatchOptions{threads});
+    return traces;
+  };
+  const auto serial = batch(1);
+  const auto threaded = batch(4);
+  ASSERT_EQ(serial.size(), threaded.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_FALSE(serial[i].empty()) << "job " << i;
+    EXPECT_EQ(serial[i], threaded[i]) << "job " << i;
+  }
+}
+
+TEST(ObsDeterminism, SinkChoiceNeverPerturbsResults) {
+  const auto mixes = test_mixes(1);
+  const auto run_with = [&](TraceSink* sink) {
+    analysis::RunParams p = fast_params();
+    p.epochs.sink = sink;
+    const auto policy = analysis::make_policy("cmm_a", p.detector());
+    return analysis::run_mix(mixes.front(), *policy, p);
+  };
+
+  const analysis::RunResult plain = run_with(nullptr);
+  NullSink null;
+  const analysis::RunResult with_null = run_with(&null);
+  std::ostringstream out;
+  JsonlTraceSink jsonl(out);
+  const analysis::RunResult with_jsonl = run_with(&jsonl);
+
+  // NullSink (the compiled-in default) and a live JSONL sink both
+  // observe without perturbing: RunResult is bit-identical.
+  EXPECT_EQ(plain, with_null);
+  EXPECT_EQ(plain, with_jsonl);
+  EXPECT_GT(jsonl.events(), 0u);
+}
+
+TEST(ObsDeterminism, BatchRegistryIdenticalAtAnyThreadCount) {
+  const auto mixes = test_mixes(2);
+  const std::vector<std::string> policies{"cmm_a", "pt"};
+  const auto registry_at = [&](unsigned threads) {
+    MetricsRegistry reg;
+    analysis::for_each_mix(mixes, policies, fast_params(), analysis::BatchOptions{threads},
+                           nullptr, &reg);
+    return reg;
+  };
+  const MetricsRegistry serial = registry_at(1);
+  const MetricsRegistry threaded = registry_at(4);
+  EXPECT_EQ(serial.json(), threaded.json());
+  EXPECT_GT(serial.counter("driver.epochs"), 0u);
+  EXPECT_GT(serial.counter("driver.samples"), 0u);
+  // Exactly one winner per mix.
+  std::uint64_t wins = 0;
+  for (const auto& name : policies) wins += serial.counter("win." + name);
+  EXPECT_EQ(wins, mixes.size());
+}
+
+}  // namespace
+}  // namespace cmm::obs

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "analysis/speedup_metrics.hpp"
 
 namespace cmm::analysis {
@@ -62,6 +64,21 @@ TEST(SpeedupMetrics, HarmonicMean) {
   EXPECT_DOUBLE_EQ(harmonic_mean(v), 1.5);
   EXPECT_DOUBLE_EQ(harmonic_mean({}), 0.0);
   EXPECT_DOUBLE_EQ(harmonic_mean(std::vector<double>{1.0, 0.0}), 0.0);
+}
+
+TEST(SpeedupMetrics, HarmonicMeanZeroIpcPinsResultAtZero) {
+  // Contract: a dead/quarantined core samples at IPC 0 and pins the
+  // harmonic mean at exactly 0 — never NaN or Inf.
+  EXPECT_DOUBLE_EQ(harmonic_mean(std::vector<double>{0.0}), 0.0);
+  EXPECT_DOUBLE_EQ(harmonic_mean(std::vector<double>{2.0, 0.0, 1.0}), 0.0);
+  EXPECT_DOUBLE_EQ(harmonic_mean(std::vector<double>{0.0, 0.0}), 0.0);
+}
+
+TEST(SpeedupMetrics, HarmonicMeanNegativeValueThrows) {
+  // A negative IPC cannot be measured; it is a caller bug and must not
+  // be silently folded into the zero case (regression: it used to be).
+  EXPECT_THROW(harmonic_mean(std::vector<double>{-1.0}), std::invalid_argument);
+  EXPECT_THROW(harmonic_mean(std::vector<double>{1.0, -0.5, 2.0}), std::invalid_argument);
 }
 
 TEST(SpeedupMetrics, HarmonicMeanLeqArithmetic) {
