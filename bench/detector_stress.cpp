@@ -1,0 +1,48 @@
+// Detector-stress sweep: the fig05 workload categories under every
+// prefetcher-engine profile from the zoo (homogeneous + a heterogeneous
+// rotation), scoring the CMM detector's Agg-set verdicts against the
+// benchmark suite's ground-truth labels. Prints the per-scenario table
+// and the misclassification matrix as a JSON artifact (tagged
+// "detector_stress"), which CI diffs against the checked-in baseline
+// tests/golden/detector_stress_matrix.json.
+#include <iostream>
+#include <sstream>
+
+#include "bench_common.hpp"
+#include "core/detector_eval.hpp"
+
+int main() {
+  using namespace cmm;
+  const auto env = bench::BenchEnv::from_env();
+  bench::print_preamble(env, "Detector stress",
+                        "Agg-set misclassification across prefetcher engine profiles");
+
+  const auto outcomes =
+      core::run_stress_suite(env.params.machine, env.params.detector(), env.params.seed,
+                             /*warmup_cycles=*/1'000'000, /*measure_cycles=*/200'000);
+
+  analysis::Table table({"scenario", "flagged", "expected", "tp", "fn", "fp", "tn"});
+  for (const auto& o : outcomes) {
+    std::ostringstream flagged, expected;
+    for (const auto c : o.flagged) flagged << c << ' ';
+    for (const auto c : o.expected) expected << c << ' ';
+    table.add_row({o.scenario, flagged.str(), expected.str(), std::to_string(o.tp),
+                   std::to_string(o.fn), std::to_string(o.fp), std::to_string(o.tn)});
+  }
+  table.print(std::cout);
+  std::cout << "\n";
+
+  // Single-line variant of the matrix for golden diffing (the pretty
+  // multi-line artifact lives in the detector-stress test suite).
+  std::string line = core::misclassification_json(outcomes);
+  for (std::size_t i = 0; i < line.size();) {  // strip newlines + indent
+    if (line[i] == '\n') {
+      line.erase(i, 1);
+      while (i < line.size() && line[i] == ' ') line.erase(i, 1);
+    } else {
+      ++i;
+    }
+  }
+  std::cout << line << "\n";
+  return 0;
+}

@@ -52,6 +52,25 @@ int main() {
     }
     table.print(std::cout);
     std::cout << "\n";
+
+    // Machine-readable verdict line, one per category: pinned as golden
+    // JSON by scripts/check_golden.py (ctest Golden.fig05_detection) so
+    // detector-verdict drift fails loudly instead of shifting figures.
+    std::cout << "{\"fig05\":{\"mix\":\"" << mix.name << "\",\"mean_pga\":"
+              << analysis::Table::fmt(mean_pga, 4) << ",\"cores\":[";
+    for (CoreId c = 0; c < metrics.size(); ++c) {
+      const auto& m = metrics[c];
+      const bool p1 = m.pga >= det.pga_floor && m.pga >= det.pga_rel_mean * mean_pga;
+      const bool p2 = p1 && m.l2_pmr >= det.pmr_threshold;
+      const bool p3 = p2 && m.l2_ptr >= det.ptr_threshold_per_sec;
+      const bool in_agg = std::find(agg.begin(), agg.end(), c) != agg.end();
+      std::cout << (c ? "," : "") << "{\"core\":" << c << ",\"benchmark\":\""
+                << mix.benchmarks[c] << "\",\"pga\":" << analysis::Table::fmt(m.pga, 4)
+                << ",\"pmr\":" << analysis::Table::fmt(m.l2_pmr, 4) << ",\"ptr_mps\":"
+                << analysis::Table::fmt(m.l2_ptr / 1e6, 4) << ",\"pass\":[" << p1 << ',' << p2
+                << ',' << p3 << "],\"agg\":" << in_agg << '}';
+    }
+    std::cout << "]}}\n";
   }
   return 0;
 }

@@ -19,6 +19,12 @@ std::string SoloRunCache::key_of(const std::string& benchmark, const RunParams& 
      << '|' << m.freq_ghz << '|' << m.dram_peak_bytes_per_cycle << '|' << m.bandwidth_window << '|'
      << m.quantum << '|' << m.instant_prefetch_fills << m.bandwidth_queueing << m.inclusive_llc
      << m.model_writebacks;
+  // Per-core prefetcher engine sets (empty = default Intel set). Runs
+  // with heterogeneous engine mixes must not collide with default runs.
+  for (const auto& set : m.core_prefetchers) {
+    os << '|';
+    for (const auto kind : set) os << static_cast<unsigned>(kind) << ',';
+  }
   return std::move(os).str();
 }
 

@@ -1,0 +1,115 @@
+#include "core/detector_eval.hpp"
+
+#include <algorithm>
+#include <array>
+#include <map>
+#include <sstream>
+
+#include "core/metrics.hpp"
+#include "hw/pmu_reader.hpp"
+#include "sim/multicore_system.hpp"
+#include "workloads/benchmark_specs.hpp"
+#include "workloads/workload_mix.hpp"
+
+namespace cmm::core {
+
+StressOutcome evaluate_stress_scenario(const workloads::StressScenario& scenario,
+                                       const sim::MachineConfig& machine,
+                                       const DetectorConfig& det, std::uint64_t seed,
+                                       Cycle warmup_cycles, Cycle measure_cycles) {
+  sim::MachineConfig cfg = machine;
+  cfg.core_prefetchers = scenario.core_prefetchers;
+
+  const auto mixes = workloads::make_mixes(scenario.category, 1, cfg.num_cores, seed);
+  const auto& mix = mixes.front();
+
+  sim::MulticoreSystem system(cfg);
+  workloads::attach_mix(system, mix, seed);
+  system.run(warmup_cycles);
+  const auto before = system.pmu().snapshot();
+  system.run(measure_cycles);
+  const auto metrics =
+      compute_all_metrics(hw::pmu_delta(system.pmu().snapshot(), before), cfg.freq_ghz);
+
+  StressOutcome out;
+  out.scenario = scenario.name;
+  out.category = std::string(to_string(scenario.category));
+  out.profile = scenario.profile;
+  out.benchmarks = mix.benchmarks;
+  out.flagged = detect_aggressive(metrics, det);
+  for (CoreId c = 0; c < cfg.num_cores; ++c) {
+    if (workloads::spec_by_name(mix.benchmarks[c]).expect_prefetch_aggressive)
+      out.expected.push_back(c);
+  }
+  for (CoreId c = 0; c < cfg.num_cores; ++c) {
+    const bool flagged = std::find(out.flagged.begin(), out.flagged.end(), c) != out.flagged.end();
+    const bool expected =
+        std::find(out.expected.begin(), out.expected.end(), c) != out.expected.end();
+    if (expected && flagged) ++out.tp;
+    if (expected && !flagged) ++out.fn;
+    if (!expected && flagged) ++out.fp;
+    if (!expected && !flagged) ++out.tn;
+  }
+  return out;
+}
+
+std::vector<StressOutcome> run_stress_suite(const sim::MachineConfig& machine,
+                                            const DetectorConfig& det, std::uint64_t seed,
+                                            Cycle warmup_cycles, Cycle measure_cycles) {
+  std::vector<StressOutcome> outcomes;
+  for (const auto& scenario : workloads::make_stress_scenarios(machine.num_cores)) {
+    outcomes.push_back(
+        evaluate_stress_scenario(scenario, machine, det, seed, warmup_cycles, measure_cycles));
+  }
+  return outcomes;
+}
+
+namespace {
+void append_core_list(std::ostringstream& os, const std::vector<CoreId>& cores) {
+  os << '[';
+  for (std::size_t i = 0; i < cores.size(); ++i) os << (i ? "," : "") << cores[i];
+  os << ']';
+}
+}  // namespace
+
+std::string misclassification_json(const std::vector<StressOutcome>& outcomes) {
+  std::ostringstream os;
+  unsigned tp = 0, fn = 0, fp = 0, tn = 0;
+  std::map<std::string, std::array<unsigned, 4>> by_profile;  // ordered => stable output
+
+  os << "{\n  \"detector_stress\": {\n    \"scenarios\": [\n";
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    const auto& o = outcomes[i];
+    os << "      {\"name\": \"" << o.scenario << "\", \"category\": \"" << o.category
+       << "\", \"profile\": \"" << o.profile << "\", \"benchmarks\": [";
+    for (std::size_t b = 0; b < o.benchmarks.size(); ++b)
+      os << (b ? "," : "") << '"' << o.benchmarks[b] << '"';
+    os << "], \"flagged\": ";
+    append_core_list(os, o.flagged);
+    os << ", \"expected\": ";
+    append_core_list(os, o.expected);
+    os << ", \"tp\": " << o.tp << ", \"fn\": " << o.fn << ", \"fp\": " << o.fp
+       << ", \"tn\": " << o.tn << '}' << (i + 1 < outcomes.size() ? "," : "") << '\n';
+    tp += o.tp;
+    fn += o.fn;
+    fp += o.fp;
+    tn += o.tn;
+    auto& prof = by_profile[o.profile];
+    prof[0] += o.tp;
+    prof[1] += o.fn;
+    prof[2] += o.fp;
+    prof[3] += o.tn;
+  }
+  os << "    ],\n    \"by_profile\": {";
+  bool first = true;
+  for (const auto& [name, m] : by_profile) {
+    os << (first ? "" : ", ") << '"' << name << "\": {\"tp\": " << m[0] << ", \"fn\": " << m[1]
+       << ", \"fp\": " << m[2] << ", \"tn\": " << m[3] << '}';
+    first = false;
+  }
+  os << "},\n    \"totals\": {\"tp\": " << tp << ", \"fn\": " << fn << ", \"fp\": " << fp
+     << ", \"tn\": " << tn << "}\n  }\n}\n";
+  return std::move(os).str();
+}
+
+}  // namespace cmm::core

@@ -1,0 +1,52 @@
+// Detector-stress evaluation: run the adversarial scenario sweep
+// (workloads/stress_scenarios.hpp) and score the CMM detector's
+// Agg-set verdicts against the benchmark suite's ground-truth labels,
+// accumulating a misclassification matrix. The matrix is a tracked
+// artifact: the detector-stress test suite pins it as golden JSON and
+// CI diffs the regenerated copy against the checked-in baseline, so
+// any drift in how the Intel-tuned thresholds read the zoo engines is
+// an explicit, reviewed change.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "core/detector.hpp"
+#include "sim/machine_config.hpp"
+#include "workloads/stress_scenarios.hpp"
+
+namespace cmm::core {
+
+/// Verdicts vs ground truth for one scenario. "Positive" = prefetch
+/// aggressive: tp = labelled-aggressive cores the detector flagged,
+/// fn = labelled-aggressive cores it missed, fp = non-aggressive cores
+/// it flagged, tn = the rest.
+struct StressOutcome {
+  std::string scenario;  // "<category>/<profile>"
+  std::string category;
+  std::string profile;
+  std::vector<std::string> benchmarks;  // per core
+  std::vector<CoreId> flagged;          // detector Agg set
+  std::vector<CoreId> expected;         // spec-labelled aggressive cores
+  unsigned tp = 0, fn = 0, fp = 0, tn = 0;
+};
+
+/// Simulate one scenario (warmup, then a measured interval, as in the
+/// Fig. 5 trace) and score the detector on the measured interval.
+StressOutcome evaluate_stress_scenario(const workloads::StressScenario& scenario,
+                                       const sim::MachineConfig& machine,
+                                       const DetectorConfig& det, std::uint64_t seed,
+                                       Cycle warmup_cycles, Cycle measure_cycles);
+
+/// The full sweep of make_stress_scenarios(machine.num_cores).
+std::vector<StressOutcome> run_stress_suite(const sim::MachineConfig& machine,
+                                            const DetectorConfig& det, std::uint64_t seed,
+                                            Cycle warmup_cycles, Cycle measure_cycles);
+
+/// Canonical JSON rendering of the misclassification matrix (stable
+/// key order and formatting — the string is golden-diffed verbatim).
+std::string misclassification_json(const std::vector<StressOutcome>& outcomes);
+
+}  // namespace cmm::core

@@ -20,7 +20,8 @@ FdpController::FdpController(sim::MulticoreSystem& system, const Options& opts)
       last_accuracy_(system.num_cores(), 0.0),
       until_next_(opts.interval) {
   for (CoreId c = 0; c < system_.num_cores(); ++c) {
-    system_.core(c).streamer().set_degree(ladder()[ladder_pos_[c]]);
+    if (auto* streamer = system_.core(c).find_streamer())
+      streamer->set_degree(ladder()[ladder_pos_[c]]);
     const auto& stats = system_.core(c).l2().stats();
     snapshots_[c] = {stats.prefetched_lines_used, stats.prefetched_lines_evicted_unused};
   }
@@ -49,7 +50,8 @@ void FdpController::adjust() {
     } else if (accuracy < opts_.low_accuracy) {
       ladder_pos_[c] = ladder_pos_[c] > 0 ? ladder_pos_[c] - 1 : 0;
     }
-    system_.core(c).streamer().set_degree(ladder()[ladder_pos_[c]]);
+    if (auto* streamer = system_.core(c).find_streamer())
+      streamer->set_degree(ladder()[ladder_pos_[c]]);
   }
 }
 

@@ -27,7 +27,7 @@ void PrefetchControl::write_msr(CoreId core, std::uint64_t value) {
 }
 
 void PrefetchControl::set_core_prefetchers(CoreId core, bool on) {
-  write_msr(core, on ? 0x0ULL : 0xFULL);
+  write_msr(core, on ? 0x0ULL : sim::kPrefetchDisableAllMask);
 }
 
 bool PrefetchControl::core_prefetchers_on(CoreId core) const { return read_msr(core) == 0; }

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "sim/prefetcher_registry.hpp"
+
 namespace cmm::sim {
 
 CoreModel::CoreModel(CoreId id, const MachineConfig& cfg, SetAssocCache& llc, const CatModel& cat,
@@ -14,7 +16,17 @@ CoreModel::CoreModel(CoreId id, const MachineConfig& cfg, SetAssocCache& llc, co
       llc_(llc),
       cat_(cat),
       mem_(mem),
-      pmu_(pmu) {}
+      pmu_(pmu) {
+  for (const PrefetcherKind kind : cfg.prefetchers_for(id)) {
+    engines_.push_back(make_prefetcher(kind));
+    Prefetcher* p = engines_.back().get();
+    const bool at_l1 = level_of(kind) == PrefetchLevel::L1;
+    (at_l1 ? l1_engines_ : l2_engines_).push_back(p);
+    if (!at_l1 && p->observes_prefetch_traffic()) l2_pf_traffic_engines_.push_back(p);
+    if (p->wants_cache_fill()) (at_l1 ? l1_fill_observers_ : l2_fill_observers_).push_back(p);
+    if (kind == PrefetcherKind::L2Streamer) streamer_ = static_cast<StreamerPrefetcher*>(p);
+  }
+}
 
 void CoreModel::set_op_source(std::shared_ptr<OpSource> source) {
   source_ = std::move(source);
@@ -24,10 +36,7 @@ void CoreModel::set_op_source(std::shared_ptr<OpSource> source) {
 void CoreModel::reset_microarch() {
   l1_.flush();
   l2_.flush();
-  pf_next_line_.reset();
-  pf_ip_stride_.reset();
-  pf_streamer_.reset();
-  pf_adjacent_.reset();
+  for (auto& p : engines_) p->reset();
 }
 
 void CoreModel::advance_to(Cycle target) {
@@ -77,8 +86,9 @@ double CoreModel::demand_access(const MemRef& ref, double mlp) {
   // ---- L1 ----
   const LookupResult l1r = l1_.access(line, type, now_);
   const PrefetchObservation l1_obs{line, ref.ip, !l1r.hit};
-  if (msr_.enabled(PrefetcherKind::DcuNextLine)) pf_next_line_.observe(l1_obs, l1_cands_);
-  if (msr_.enabled(PrefetcherKind::DcuIpStride)) pf_ip_stride_.observe(l1_obs, l1_cands_);
+  for (Prefetcher* p : l1_engines_) {
+    if (msr_.enabled(p->kind())) p->observe(l1_obs, l1_cands_);
+  }
 
   // `extra` accumulates latency beyond the (pipelined) L1 hit latency:
   // the level-to-level path cost plus any in-flight prefetch residual.
@@ -101,14 +111,16 @@ double CoreModel::demand_access(const MemRef& ref, double mlp) {
     ++ctr.l2_dm_req;
     const LookupResult l2r = l2_.access(line, type, now_);
     const PrefetchObservation l2_obs{line, ref.ip, !l2r.hit};
-    if (msr_.enabled(PrefetcherKind::L2Streamer)) pf_streamer_.observe(l2_obs, l2_cands_);
-    if (msr_.enabled(PrefetcherKind::L2Adjacent)) pf_adjacent_.observe(l2_obs, l2_cands_);
+    for (Prefetcher* p : l2_engines_) {
+      if (msr_.enabled(p->kind())) p->observe(l2_obs, l2_cands_);
+    }
 
     if (l2r.hit) {
       const double wait = residual(l2r.ready_at, static_cast<double>(now_ + cfg_.l2_latency));
       extra = static_cast<double>(cfg_.l2_latency - cfg_.l1_latency) + wait;
       l2_pending = wait;
       l1_.fill(line, type, now_, now_, ~WayMask{0});
+      notify_fill(l1_fill_observers_, line, false);
     } else {
       ++ctr.l2_dm_miss;
 
@@ -128,6 +140,8 @@ double CoreModel::demand_access(const MemRef& ref, double mlp) {
       }
       l2_.fill(line, type, now_, now_, ~WayMask{0});
       l1_.fill(line, type, now_, now_, ~WayMask{0});
+      notify_fill(l2_fill_observers_, line, false);
+      notify_fill(l1_fill_observers_, line, false);
     }
   }
 
@@ -165,12 +179,15 @@ void CoreModel::issue_l1_prefetch(Addr line) {
   // section describes — "requests arriving at L2 will trigger L2's
   // prefetchers", so they train the streamer/adjacent prefetchers.
   const LookupResult l2r = l2_.access(line, AccessType::Prefetch, now_);
-  // Only the streamer trains on prefetch-triggered requests; letting
-  // the adjacent prefetcher chain off them would cascade prefetch-on-
-  // prefetch indefinitely.
+  // Only engines reporting observes_prefetch_traffic() (the streamer)
+  // train on prefetch-triggered requests; letting e.g. the adjacent
+  // prefetcher chain off them would cascade prefetch-on-prefetch
+  // indefinitely.
   const PrefetchObservation l2_obs{line, 0, !l2r.hit};
   l2_cands_from_l1_.clear();
-  if (msr_.enabled(PrefetcherKind::L2Streamer)) pf_streamer_.observe(l2_obs, l2_cands_from_l1_);
+  for (Prefetcher* p : l2_pf_traffic_engines_) {
+    if (msr_.enabled(p->kind())) p->observe(l2_obs, l2_cands_from_l1_);
+  }
   for (const Addr cand : l2_cands_from_l1_) issue_l2_prefetch(cand);
   Cycle ready;
   if (l2r.hit) {
@@ -186,8 +203,10 @@ void CoreModel::issue_l1_prefetch(Addr line) {
       fill_llc(line, AccessType::Prefetch, ready);
     }
     l2_.fill(line, AccessType::Prefetch, now_, ready, ~WayMask{0});
+    notify_fill(l2_fill_observers_, line, true);
   }
   l1_.fill(line, AccessType::Prefetch, now_, ready, ~WayMask{0});
+  notify_fill(l1_fill_observers_, line, true);
 }
 
 void CoreModel::issue_l2_prefetch(Addr line) {
@@ -209,6 +228,7 @@ void CoreModel::issue_l2_prefetch(Addr line) {
     fill_llc(line, AccessType::Prefetch, ready);
   }
   l2_.fill(line, AccessType::Prefetch, now_, ready, ~WayMask{0});
+  notify_fill(l2_fill_observers_, line, true);
 }
 
 }  // namespace cmm::sim

@@ -89,9 +89,17 @@ class CoreModel {
     eviction_listener_ = std::move(listener);
   }
 
-  /// Direct access to the L2 streamer (hardware-level controllers such
-  /// as the FDP baseline tune its aggressiveness).
-  StreamerPrefetcher& streamer() noexcept { return pf_streamer_; }
+  /// The core's L2 streamer, if its engine set includes one
+  /// (hardware-level controllers such as the FDP baseline tune its
+  /// aggressiveness). Null for cores configured without a streamer.
+  StreamerPrefetcher* find_streamer() noexcept { return streamer_; }
+
+  /// Every prefetcher engine this core instantiated, in config order
+  /// (diagnostics and the differential test harness read issued()
+  /// odometers and per-engine state through this).
+  const std::vector<std::unique_ptr<Prefetcher>>& prefetchers() const noexcept {
+    return engines_;
+  }
 
   /// Run ops until the local clock reaches `target` cycles.
   void advance_to(Cycle target);
@@ -143,11 +151,27 @@ class CoreModel {
   MemoryController& mem_;
   Pmu& pmu_;
 
+  /// Deliver a fill notification to every engine in `observers`.
+  static void notify_fill(const std::vector<Prefetcher*>& observers, Addr line,
+                          bool prefetch_fill) {
+    for (Prefetcher* p : observers) p->cache_fill(line, prefetch_fill);
+  }
+
   PrefetchMsr msr_;
-  NextLinePrefetcher pf_next_line_;
-  IpStridePrefetcher pf_ip_stride_;
-  StreamerPrefetcher pf_streamer_;
-  AdjacentLinePrefetcher pf_adjacent_;
+
+  // Prefetcher engines, built from cfg.prefetchers_for(id) via the
+  // registry. The per-level lists preserve config order (the default
+  // set reproduces the historical call order: streamer, adjacent at
+  // L2; next-line, IP-stride at L1). The observer lists are the
+  // opted-in subsets so the hot path skips empty fan-outs — all empty
+  // for the default Intel set.
+  std::vector<std::unique_ptr<Prefetcher>> engines_;
+  std::vector<Prefetcher*> l1_engines_;
+  std::vector<Prefetcher*> l2_engines_;
+  std::vector<Prefetcher*> l2_pf_traffic_engines_;  // observes_prefetch_traffic()
+  std::vector<Prefetcher*> l1_fill_observers_;      // wants_cache_fill()
+  std::vector<Prefetcher*> l2_fill_observers_;
+  StreamerPrefetcher* streamer_ = nullptr;
 
   std::shared_ptr<OpSource> source_;
   EvictionListener eviction_listener_;

@@ -2,9 +2,18 @@
 
 #include <algorithm>
 
+#include "sim/prefetcher_registry.hpp"
+
 namespace cmm::sim {
 
 MachineConfig MachineConfig::broadwell_ep() { return MachineConfig{}; }
+
+const std::vector<PrefetcherKind>& MachineConfig::prefetchers_for(CoreId core) const noexcept {
+  if (core < core_prefetchers.size() && !core_prefetchers[core].empty()) {
+    return core_prefetchers[core];
+  }
+  return default_prefetcher_set();
+}
 
 MachineConfig MachineConfig::scaled(unsigned divisor) {
   MachineConfig cfg;
@@ -30,11 +39,29 @@ bool geometry_valid(const CacheGeometry& g) noexcept {
 }
 }  // namespace
 
+namespace {
+bool prefetcher_sets_valid(const std::vector<std::vector<PrefetcherKind>>& sets,
+                           std::uint32_t num_cores) noexcept {
+  if (sets.size() > num_cores) return false;
+  for (const auto& set : sets) {
+    std::uint32_t seen = 0;  // bitmask over kind values
+    for (const PrefetcherKind kind : set) {
+      const auto bit = static_cast<unsigned>(kind);
+      if (bit >= kNumPrefetcherKinds) return false;     // unregistered kind
+      if ((seen >> bit) & 1u) return false;             // duplicate engine
+      seen |= 1u << bit;
+    }
+  }
+  return true;
+}
+}  // namespace
+
 bool MachineConfig::valid() const noexcept {
   return num_cores > 0 && num_cores <= 64 && geometry_valid(l1d) && geometry_valid(l2) &&
          geometry_valid(llc) && llc.ways <= 32 && l1_latency < l2_latency &&
          l2_latency < llc_latency && llc_latency < dram_base_latency &&
-         dram_peak_bytes_per_cycle > 0.0 && bandwidth_window > 0 && quantum > 0;
+         dram_peak_bytes_per_cycle > 0.0 && bandwidth_window > 0 && quantum > 0 &&
+         prefetcher_sets_valid(core_prefetchers, num_cores);
 }
 
 }  // namespace cmm::sim

@@ -9,8 +9,10 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "common/types.hpp"
+#include "sim/prefetcher.hpp"
 
 namespace cmm::sim {
 
@@ -67,6 +69,22 @@ struct MachineConfig {
   /// Fidelity: dirty LLC evictions issue DRAM writebacks that consume
   /// bandwidth (store-heavy workloads press the bus harder).
   bool model_writebacks = false;
+
+  // ---- Per-core prefetcher engine sets ----
+
+  /// Which prefetcher engines each core instantiates, outer-indexed by
+  /// core. Empty (the default) means every core runs the Intel-modelled
+  /// set (sim::default_prefetcher_set()); an empty inner list likewise
+  /// falls back to the default set for that core. Cores beyond the
+  /// outer size also get the default set, so a config for cores 0..k
+  /// need not enumerate the rest. Heterogeneous mixes are how the
+  /// detector-stress suites probe the CMM detector with non-Intel
+  /// prefetch behaviour.
+  std::vector<std::vector<PrefetcherKind>> core_prefetchers;
+
+  /// The engine set core `core` should instantiate (applies the
+  /// fallback rules above).
+  const std::vector<PrefetcherKind>& prefetchers_for(CoreId core) const noexcept;
 
   /// Paper-faithful Broadwell-EP configuration.
   static MachineConfig broadwell_ep();

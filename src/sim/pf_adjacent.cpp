@@ -1,10 +1,11 @@
+#include "sim/pf_common.hpp"
 #include "sim/prefetcher.hpp"
 
 namespace cmm::sim {
 
 void AdjacentLinePrefetcher::observe(const PrefetchObservation& obs, std::vector<Addr>& out) {
   if (!obs.miss) return;
-  out.push_back(obs.line_addr ^ 1ULL);  // buddy within the 128 B pair
+  out.push_back(buddy_line(obs.line_addr));  // buddy within the 128 B pair
   note_issued(1);
 }
 

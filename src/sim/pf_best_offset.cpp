@@ -1,0 +1,114 @@
+// Best-offset prefetcher (Michaud, "Best-Offset Hardware Prefetching",
+// HPCA 2016; winner of DPC-2), ported to the sim:: plug-in contract as
+// an L2 engine.
+//
+// Port simplifications vs. the original:
+//  - trains on every L2 demand access, not only misses + prefetched
+//    hits (the observation stream does not flag prefetched hits);
+//  - the recent-requests table is direct-mapped on the base line
+//    address instead of Michaud's banked/hashed layout;
+//  - no delay queue: a completed fill inserts its base immediately.
+// All state is integral, so behaviour is bit-deterministic.
+#include "sim/pf_common.hpp"
+#include "sim/prefetcher.hpp"
+
+namespace cmm::sim {
+
+namespace {
+// Empty slot sentinel for the recent-requests table; line addresses
+// this large never occur (they would sit above the simulated DRAM).
+constexpr Addr kNoEntry = ~Addr{0};
+}  // namespace
+
+const std::vector<int>& BestOffsetPrefetcher::offset_list() {
+  // Michaud's list keeps offsets whose prime factors are <= 5; trimmed
+  // here to magnitudes below one 64-line page so every candidate can
+  // pass the page clamp, plus a few negative offsets for backward
+  // streams.
+  static const std::vector<int> list = {1,  2,  3,  4,  5,  6,  8,  9,  10, 12, 15, 16, 18, 20,
+                                        24, 25, 27, 30, 32, 36, 40, 45, 48, 50, 54, 60,
+                                        -1, -2, -3, -4, -6, -8};
+  return list;
+}
+
+BestOffsetPrefetcher::BestOffsetPrefetcher() : BestOffsetPrefetcher(Config{}) {}
+
+BestOffsetPrefetcher::BestOffsetPrefetcher(const Config& cfg)
+    : cfg_(cfg), rr_table_(cfg.rr_entries, kNoEntry), scores_(offset_list().size(), 0) {}
+
+void BestOffsetPrefetcher::cache_fill(Addr line, bool prefetch_fill) {
+  // A completed prefetch fill for line Y = X + D proves base X was
+  // requested recently enough for an offset-D prefetch to be timely:
+  // record X. Demand fills record themselves (keeps the table warm
+  // while prefetching is switched off after a bad round).
+  Addr base = line;
+  if (prefetch_fill) {
+    if (best_offset_ == 0) return;
+    const std::int64_t b = signed_line_target(line, -best_offset_);
+    if (b < 0 || !same_page(line, static_cast<Addr>(b), cfg_.lines_per_page)) return;
+    base = static_cast<Addr>(b);
+  }
+  rr_table_[base % cfg_.rr_entries] = base;
+}
+
+void BestOffsetPrefetcher::observe(const PrefetchObservation& obs, std::vector<Addr>& out) {
+  const auto& offsets = offset_list();
+  const Addr line = obs.line_addr;
+  const std::uint32_t offset = page_offset(line, cfg_.lines_per_page);
+
+  // Learning: test the next candidate offset d in round-robin order —
+  // would a prefetch at d have covered this access? (i.e. is X - d in
+  // the recent-requests table, within the same page?)
+  const int d = offsets[test_index_];
+  const std::int64_t base_off = page_local_offset(offset, -d, cfg_.lines_per_page);
+  bool round_ended = false;
+  if (base_off >= 0) {
+    const Addr base =
+        line_in_page(page_of(line, cfg_.lines_per_page), static_cast<std::uint32_t>(base_off),
+                     cfg_.lines_per_page);
+    if (rr_table_[base % cfg_.rr_entries] == base && ++scores_[test_index_] >= cfg_.score_max) {
+      end_round();  // a saturated score wins the round immediately
+      round_ended = true;
+    }
+  }
+  if (!round_ended) {
+    test_index_ = (test_index_ + 1) % static_cast<unsigned>(offsets.size());
+    if (++round_updates_ >= cfg_.round_max * offsets.size()) end_round();
+  }
+
+  // Emission: one candidate at the current best offset, page-clamped.
+  if (best_offset_ != 0) {
+    const std::int64_t target = page_local_offset(offset, best_offset_, cfg_.lines_per_page);
+    if (target >= 0) {
+      out.push_back(line_in_page(page_of(line, cfg_.lines_per_page),
+                                 static_cast<std::uint32_t>(target), cfg_.lines_per_page));
+      note_issued(1);
+    }
+  }
+}
+
+void BestOffsetPrefetcher::end_round() {
+  const auto& offsets = offset_list();
+  unsigned best_score = 0;
+  unsigned best_index = 0;
+  for (unsigned i = 0; i < scores_.size(); ++i) {
+    if (scores_[i] > best_score) {  // strict: ties keep the earlier offset
+      best_score = scores_[i];
+      best_index = i;
+    }
+  }
+  best_offset_ = best_score >= cfg_.bad_score ? offsets[best_index] : 0;
+  std::fill(scores_.begin(), scores_.end(), 0u);
+  test_index_ = 0;
+  round_updates_ = 0;
+}
+
+void BestOffsetPrefetcher::reset() {
+  std::fill(rr_table_.begin(), rr_table_.end(), kNoEntry);
+  std::fill(scores_.begin(), scores_.end(), 0u);
+  test_index_ = 0;
+  round_updates_ = 0;
+  best_offset_ = 1;
+}
+
+}  // namespace cmm::sim

@@ -1,0 +1,59 @@
+// Shared page-boundary and line-alignment arithmetic for the
+// prefetcher models. Hardware prefetch engines reason in line
+// addresses within 4 KB page frames; every design needs the same three
+// operations — split a line address into (page, offset), clamp a
+// signed delta to the page, and find the 128 B buddy line — and the
+// off-by-one edge cases (offset 0 going down, offset lines_per_page-1
+// going up) are exactly where hand-rolled copies diverge. One header,
+// unit-tested in tests/test_pf_common.cpp.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace cmm::sim {
+
+/// Page frame number of a line address.
+constexpr Addr page_of(Addr line, unsigned lines_per_page) noexcept {
+  return line / lines_per_page;
+}
+
+/// Line offset within its page, in [0, lines_per_page).
+constexpr std::uint32_t page_offset(Addr line, unsigned lines_per_page) noexcept {
+  return static_cast<std::uint32_t>(line % lines_per_page);
+}
+
+/// Line address of (page, offset).
+constexpr Addr line_in_page(Addr page, std::uint32_t offset, unsigned lines_per_page) noexcept {
+  return page * lines_per_page + offset;
+}
+
+/// The other half of the 128-byte-aligned line pair. Never leaves the
+/// page: the pair is 128 B-aligned and pages are 4 KB-aligned.
+constexpr Addr buddy_line(Addr line) noexcept { return line ^ 1ULL; }
+
+/// `offset + delta` if it stays inside the page, else -1. This is the
+/// clamp every page-local engine applies before emitting a candidate;
+/// both edges are exclusive of escape (offset 0 with delta -1 and
+/// offset lines_per_page-1 with delta +1 are out).
+constexpr std::int64_t page_local_offset(std::uint32_t offset, std::int64_t delta,
+                                         unsigned lines_per_page) noexcept {
+  const std::int64_t target = static_cast<std::int64_t>(offset) + delta;
+  if (target < 0 || target >= static_cast<std::int64_t>(lines_per_page)) return -1;
+  return target;
+}
+
+/// `line + delta` as a signed value; negative means the target runs off
+/// the bottom of the address space (the stride engines' clamp — they
+/// may cross pages, but not address zero).
+constexpr std::int64_t signed_line_target(Addr line, std::int64_t delta) noexcept {
+  return static_cast<std::int64_t>(line) + delta;
+}
+
+/// True if `a` and `b` share a 4 KB page.
+constexpr bool same_page(Addr a, Addr b, unsigned lines_per_page) noexcept {
+  return page_of(a, lines_per_page) == page_of(b, lines_per_page);
+}
+
+}  // namespace cmm::sim

@@ -1,3 +1,4 @@
+#include "sim/pf_common.hpp"
 #include "sim/prefetcher.hpp"
 
 namespace cmm::sim {
@@ -31,9 +32,9 @@ void IpStridePrefetcher::observe(const PrefetchObservation& obs, std::vector<Add
 
   if (e.confidence >= cfg_.confidence_threshold) {
     for (unsigned k = 1; k <= cfg_.degree; ++k) {
-      const std::int64_t target = static_cast<std::int64_t>(obs.line_addr) +
-                                  e.stride * static_cast<std::int64_t>(k);
-      if (target < 0) break;
+      const std::int64_t target =
+          signed_line_target(obs.line_addr, e.stride * static_cast<std::int64_t>(k));
+      if (target < 0) break;  // strides may cross pages, but not address zero
       out.push_back(static_cast<Addr>(target));
     }
     note_issued(cfg_.degree);

@@ -1,0 +1,104 @@
+// Sandbox prefetcher (Pugsley, Chishti, Wilkerson, Chuang, Scott,
+// Cheng, Li, Balasubramonian, "Sandbox Prefetching: Safe Run-Time
+// Evaluation of Aggressive Prefetchers", HPCA 2014), ported to the
+// sim:: plug-in contract as an L2 engine.
+//
+// Port simplifications vs. the original:
+//  - the sandbox is a direct-mapped address table instead of a Bloom
+//    filter (no false positives; deterministic);
+//  - one candidate offset auditions at a time instead of the original's
+//    sixteen parallel sandboxes;
+//  - accepted offsets issue with degree 1 each rather than the
+//    cumulative-score degree ramp.
+// All state is integral, so behaviour is bit-deterministic.
+#include <algorithm>
+
+#include "sim/pf_common.hpp"
+#include "sim/prefetcher.hpp"
+
+namespace cmm::sim {
+
+namespace {
+constexpr Addr kNoEntry = ~Addr{0};
+}  // namespace
+
+const std::vector<int>& SandboxPrefetcher::candidate_list() {
+  // The audition rota: forward then backward offsets, nearest first
+  // (the original evaluates +/-1..8).
+  static const std::vector<int> list = {1, -1, 2, -2, 3, -3, 4, -4, 5, -5, 6, -6, 7, -7, 8, -8};
+  return list;
+}
+
+SandboxPrefetcher::SandboxPrefetcher() : SandboxPrefetcher(Config{}) {}
+
+SandboxPrefetcher::SandboxPrefetcher(const Config& cfg)
+    : cfg_(cfg), sandbox_(cfg.sandbox_entries, kNoEntry) {}
+
+void SandboxPrefetcher::observe(const PrefetchObservation& obs, std::vector<Addr>& out) {
+  const Addr line = obs.line_addr;
+  const Addr page = page_of(line, cfg_.lines_per_page);
+  const std::uint32_t offset = page_offset(line, cfg_.lines_per_page);
+  const int d = candidate_list()[candidate_index_];
+
+  // Score: did an earlier sandboxed pseudo-prefetch cover this access?
+  if (sandbox_[line % cfg_.sandbox_entries] == line) ++score_;
+
+  // Record what a prefetch at the offset under test would have fetched.
+  const std::int64_t t = page_local_offset(offset, d, cfg_.lines_per_page);
+  if (t >= 0) {
+    const Addr target = line_in_page(page, static_cast<std::uint32_t>(t), cfg_.lines_per_page);
+    sandbox_[target % cfg_.sandbox_entries] = target;
+  }
+
+  if (++audition_pos_ >= cfg_.audition_accesses) end_audition();
+
+  // Real prefetches: one candidate per accepted offset, page-clamped.
+  std::size_t emitted = 0;
+  for (const int a : accepted_) {
+    const std::int64_t ao = page_local_offset(offset, a, cfg_.lines_per_page);
+    if (ao < 0) continue;
+    out.push_back(line_in_page(page, static_cast<std::uint32_t>(ao), cfg_.lines_per_page));
+    ++emitted;
+  }
+  note_issued(emitted);
+}
+
+void SandboxPrefetcher::end_audition() {
+  const int d = candidate_list()[candidate_index_];
+  const auto pos = std::find(accepted_.begin(), accepted_.end(), d);
+  if (score_ >= cfg_.accept_score) {
+    if (pos != accepted_.end()) {
+      accepted_scores_[static_cast<std::size_t>(pos - accepted_.begin())] = score_;
+    } else {
+      accepted_.push_back(d);
+      accepted_scores_.push_back(score_);
+      if (accepted_.size() > cfg_.max_accepted) {
+        // Drop the weakest (earliest on ties) to keep the live set small.
+        const auto weakest =
+            std::min_element(accepted_scores_.begin(), accepted_scores_.end());
+        const auto i = static_cast<std::size_t>(weakest - accepted_scores_.begin());
+        accepted_.erase(accepted_.begin() + static_cast<std::ptrdiff_t>(i));
+        accepted_scores_.erase(weakest);
+      }
+    }
+  } else if (pos != accepted_.end()) {
+    // Re-audition failed: the offset stopped paying for itself.
+    accepted_scores_.erase(accepted_scores_.begin() + (pos - accepted_.begin()));
+    accepted_.erase(pos);
+  }
+  std::fill(sandbox_.begin(), sandbox_.end(), kNoEntry);
+  score_ = 0;
+  audition_pos_ = 0;
+  candidate_index_ = (candidate_index_ + 1) % static_cast<unsigned>(candidate_list().size());
+}
+
+void SandboxPrefetcher::reset() {
+  std::fill(sandbox_.begin(), sandbox_.end(), kNoEntry);
+  accepted_.clear();
+  accepted_scores_.clear();
+  candidate_index_ = 0;
+  audition_pos_ = 0;
+  score_ = 0;
+}
+
+}  // namespace cmm::sim

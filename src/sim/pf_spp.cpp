@@ -1,0 +1,114 @@
+// Signature-path prefetcher (SPP-style; Kim, Pugsley, Gratz, Reddy,
+// Wilkerson, Chishti, "Path Confidence based Lookahead Prefetching",
+// MICRO 2016), ported to the sim:: plug-in contract as an L2 engine.
+//
+// Port simplifications vs. the original:
+//  - no global history register (cross-page path continuation) and no
+//    PPF-style filter: a new page starts a fresh signature;
+//  - path confidence is the product of per-step counter ratios without
+//    the global accuracy scaling term;
+//  - tables are direct-mapped with tag checks instead of set-assoc.
+// All predictor state is integral; the confidence product over small
+// integer ratios is IEEE-exact, so behaviour is bit-deterministic.
+#include "sim/pf_common.hpp"
+#include "sim/prefetcher.hpp"
+
+namespace cmm::sim {
+
+SppPrefetcher::SppPrefetcher() : SppPrefetcher(Config{}) {}
+
+SppPrefetcher::SppPrefetcher(const Config& cfg)
+    : cfg_(cfg), pages_(cfg.signature_table_entries), patterns_(cfg.pattern_table_entries) {
+  for (auto& p : patterns_) p.slots.resize(cfg_.deltas_per_entry);
+}
+
+std::uint16_t SppPrefetcher::advance_signature(std::uint16_t sig, int delta) noexcept {
+  // 12-bit signature; the delta folds in as 7-bit sign-magnitude, the
+  // shift ages out deltas more than four steps back.
+  const std::uint32_t mag = static_cast<std::uint32_t>(delta < 0 ? -delta : delta) & 0x3F;
+  const std::uint32_t folded = mag | (delta < 0 ? 0x40u : 0u);
+  return static_cast<std::uint16_t>(((static_cast<std::uint32_t>(sig) << 3) ^ folded) & 0xFFF);
+}
+
+SppPrefetcher::PatternEntry& SppPrefetcher::pattern_slot(std::uint16_t sig) {
+  return patterns_[sig % cfg_.pattern_table_entries];
+}
+
+void SppPrefetcher::train(std::uint16_t sig, int delta) {
+  PatternEntry& p = pattern_slot(sig);
+  if (!p.valid || p.signature != sig) {
+    p.signature = sig;
+    p.valid = true;
+    for (auto& s : p.slots) s = DeltaSlot{};
+  }
+  const auto d16 = static_cast<std::int16_t>(delta);
+  DeltaSlot* victim = &p.slots[0];
+  for (auto& s : p.slots) {
+    if (s.counter != 0 && s.delta == d16) {
+      if (s.counter < cfg_.counter_max) ++s.counter;
+      return;
+    }
+    if (s.counter < victim->counter) victim = &s;  // min counter, earliest slot on ties
+  }
+  victim->delta = d16;
+  victim->counter = 1;
+}
+
+void SppPrefetcher::observe(const PrefetchObservation& obs, std::vector<Addr>& out) {
+  const Addr page = page_of(obs.line_addr, cfg_.lines_per_page);
+  const std::uint32_t offset = page_offset(obs.line_addr, cfg_.lines_per_page);
+
+  PageEntry& e = pages_[page % cfg_.signature_table_entries];
+  if (!e.valid || e.page != page) {
+    e = PageEntry{};
+    e.page = page;
+    e.valid = true;
+    e.last_offset = offset;
+    e.has_last = true;
+    return;
+  }
+  const int delta = static_cast<int>(offset) - static_cast<int>(e.last_offset);
+  if (delta == 0) return;  // same line, no information
+
+  train(e.signature, delta);
+  e.signature = advance_signature(e.signature, delta);
+  e.last_offset = offset;
+
+  // Lookahead: walk the signature path while the compounded confidence
+  // holds, emitting one candidate per step, clamped to the page.
+  std::uint16_t sig = e.signature;
+  std::uint32_t cur = offset;
+  double confidence = 1.0;
+  std::size_t emitted = 0;
+  for (unsigned step = 0; step < cfg_.degree; ++step) {
+    const PatternEntry& p = pattern_slot(sig);
+    if (!p.valid || p.signature != sig) break;
+    unsigned total = 0;
+    const DeltaSlot* best = nullptr;
+    for (const auto& s : p.slots) {
+      total += s.counter;
+      if (s.counter != 0 && (best == nullptr || s.counter > best->counter)) best = &s;
+    }
+    if (best == nullptr) break;
+    confidence *= static_cast<double>(best->counter) / static_cast<double>(total);
+    if (confidence < cfg_.confidence_threshold) break;
+    const std::int64_t next = page_local_offset(cur, best->delta, cfg_.lines_per_page);
+    if (next < 0) break;
+    cur = static_cast<std::uint32_t>(next);
+    out.push_back(line_in_page(page, cur, cfg_.lines_per_page));
+    ++emitted;
+    sig = advance_signature(sig, best->delta);
+  }
+  note_issued(emitted);
+}
+
+void SppPrefetcher::reset() {
+  for (auto& e : pages_) e = PageEntry{};
+  for (auto& p : patterns_) {
+    p.signature = 0;
+    p.valid = false;
+    for (auto& s : p.slots) s = DeltaSlot{};
+  }
+}
+
+}  // namespace cmm::sim

@@ -1,3 +1,4 @@
+#include "sim/pf_common.hpp"
 #include "sim/prefetcher.hpp"
 
 namespace cmm::sim {
@@ -30,8 +31,8 @@ StreamerPrefetcher::Tracker* StreamerPrefetcher::find_or_alloc(Addr page) {
 }
 
 void StreamerPrefetcher::observe(const PrefetchObservation& obs, std::vector<Addr>& out) {
-  const Addr page = obs.line_addr / cfg_.lines_per_page;
-  const auto offset = static_cast<std::uint32_t>(obs.line_addr % cfg_.lines_per_page);
+  const Addr page = page_of(obs.line_addr, cfg_.lines_per_page);
+  const std::uint32_t offset = page_offset(obs.line_addr, cfg_.lines_per_page);
 
   Tracker* t = find_or_alloc(page);
   t->lru = ++tick_;
@@ -56,17 +57,17 @@ void StreamerPrefetcher::observe(const PrefetchObservation& obs, std::vector<Add
   if (t->confidence >= cfg_.confidence_threshold && t->direction != 0) {
     std::size_t emitted = 0;
     for (unsigned k = 1; k <= cfg_.degree; ++k) {
-      const std::int64_t target_offset =
-          static_cast<std::int64_t>(offset) + t->direction * static_cast<std::int64_t>(k);
-      if (target_offset < 0 || target_offset >= static_cast<std::int64_t>(cfg_.lines_per_page))
-        break;  // streamers do not cross the 4 KB page
+      const std::int64_t target_offset = page_local_offset(
+          offset, t->direction * static_cast<std::int64_t>(k), cfg_.lines_per_page);
+      if (target_offset < 0) break;  // streamers do not cross the 4 KB page
       // Advance through the page: never re-request covered offsets.
       if (t->issued_until >= 0) {
         if (t->direction > 0 && target_offset <= t->issued_until) continue;
         if (t->direction < 0 && target_offset >= t->issued_until) continue;
       }
       t->issued_until = static_cast<std::int32_t>(target_offset);
-      out.push_back(page * cfg_.lines_per_page + static_cast<Addr>(target_offset));
+      out.push_back(
+          line_in_page(page, static_cast<std::uint32_t>(target_offset), cfg_.lines_per_page));
       ++emitted;
     }
     note_issued(emitted);

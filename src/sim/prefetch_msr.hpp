@@ -6,8 +6,20 @@
 //   bit 1: L2 adjacent cache line prefetcher disable
 //   bit 2: DCU (L1 next-line) prefetcher disable
 //   bit 3: DCU IP (L1 stride) prefetcher disable
+//
+// The simulated register extends the layout with model-fictional
+// disable bits for the research-zoo engines (bit position == the
+// PrefetcherKind value):
+//
+//   bit 4: best-offset (BOP) L2 prefetcher disable
+//   bit 5: signature-path (SPP-style) L2 prefetcher disable
+//   bit 6: sandbox L2 prefetcher disable
+//
+// Writes saturate to the defined bits: unknown high bits are dropped,
+// exactly like hardware reserved-bit masking.
 #pragma once
 
+#include <array>
 #include <cstdint>
 
 #include "sim/prefetcher.hpp"
@@ -16,14 +28,18 @@ namespace cmm::sim {
 
 inline constexpr std::uint32_t kMsrMiscFeatureControl = 0x1A4;
 
+/// Mask of defined (writable) bits: one disable bit per registered
+/// PrefetcherKind.
+inline constexpr std::uint64_t kPrefetchDisableAllMask = (1ULL << kNumPrefetcherKinds) - 1;
+
 /// Per-core prefetcher enable state. Defaults to all enabled (value 0),
 /// matching hardware reset state and the paper's baseline.
 class PrefetchMsr {
  public:
-  /// Raw MSR value (only the low 4 bits are defined).
+  /// Raw MSR value (only the low kNumPrefetcherKinds bits are defined).
   std::uint64_t read() const noexcept { return value_; }
 
-  void write(std::uint64_t value) noexcept { value_ = value & 0xFULL; }
+  void write(std::uint64_t value) noexcept { value_ = value & kPrefetchDisableAllMask; }
 
   bool enabled(PrefetcherKind kind) const noexcept {
     return ((value_ >> static_cast<unsigned>(kind)) & 1ULL) == 0;
@@ -38,12 +54,34 @@ class PrefetchMsr {
     }
   }
 
-  /// Enable or disable all four prefetchers at once (the paper's PT
-  /// policy treats the four per-core prefetchers as a single entity).
-  void set_all(bool on) noexcept { value_ = on ? 0ULL : 0xFULL; }
+  /// Enable or disable every registered prefetcher at once (the paper's
+  /// PT policy treats a core's prefetchers as a single entity).
+  void set_all(bool on) noexcept { value_ = on ? 0ULL : kPrefetchDisableAllMask; }
 
   bool all_enabled() const noexcept { return value_ == 0; }
-  bool all_disabled() const noexcept { return value_ == 0xF; }
+  bool all_disabled() const noexcept { return value_ == kPrefetchDisableAllMask; }
+
+  /// Encode per-kind enable flags into an MSR value (set bit =
+  /// disabled). Inverse of decode() over the defined bits.
+  static constexpr std::uint64_t encode(
+      const std::array<bool, kNumPrefetcherKinds>& enabled_kinds) noexcept {
+    std::uint64_t value = 0;
+    for (unsigned i = 0; i < kNumPrefetcherKinds; ++i) {
+      if (!enabled_kinds[i]) value |= 1ULL << i;
+    }
+    return value;
+  }
+
+  /// Decode an MSR value into per-kind enable flags. Undefined high
+  /// bits are ignored (they read back as "enabled" after the write
+  /// mask drops them).
+  static constexpr std::array<bool, kNumPrefetcherKinds> decode(std::uint64_t value) noexcept {
+    std::array<bool, kNumPrefetcherKinds> enabled_kinds{};
+    for (unsigned i = 0; i < kNumPrefetcherKinds; ++i) {
+      enabled_kinds[i] = ((value >> i) & 1ULL) == 0;
+    }
+    return enabled_kinds;
+  }
 
  private:
   std::uint64_t value_ = 0;

@@ -8,8 +8,26 @@ std::string_view to_string(PrefetcherKind kind) noexcept {
     case PrefetcherKind::L2Adjacent: return "l2_adjacent";
     case PrefetcherKind::DcuNextLine: return "dcu_next_line";
     case PrefetcherKind::DcuIpStride: return "dcu_ip_stride";
+    case PrefetcherKind::L2BestOffset: return "l2_best_offset";
+    case PrefetcherKind::L2Spp: return "l2_spp";
+    case PrefetcherKind::L2Sandbox: return "l2_sandbox";
   }
   return "unknown";
+}
+
+PrefetchLevel level_of(PrefetcherKind kind) noexcept {
+  switch (kind) {
+    case PrefetcherKind::DcuNextLine:
+    case PrefetcherKind::DcuIpStride:
+      return PrefetchLevel::L1;
+    case PrefetcherKind::L2Streamer:
+    case PrefetcherKind::L2Adjacent:
+    case PrefetcherKind::L2BestOffset:
+    case PrefetcherKind::L2Spp:
+    case PrefetcherKind::L2Sandbox:
+      return PrefetchLevel::L2;
+  }
+  return PrefetchLevel::L2;
 }
 
 }  // namespace cmm::sim

@@ -1,8 +1,32 @@
-// Hardware-prefetcher models. A modern Intel core has four data
-// prefetchers (SDM vol.3 / MSR 0x1A4): two at L1D (DCU next-line and
-// DCU IP-stride) and two at L2 (streamer and adjacent-cache-line).
-// Each model observes the demand-access stream arriving at its cache
-// level and emits candidate prefetch line addresses.
+// Hardware-prefetcher models behind a uniform plug-in contract
+// (ChampSim-style: construct / observe / cache-fill-notify / reset).
+//
+// The first four kinds model a modern Intel core's data prefetchers
+// (SDM vol.3 / MSR 0x1A4): two at L1D (DCU next-line and DCU IP-stride)
+// and two at L2 (streamer and adjacent-cache-line). The remaining kinds
+// are ports of published designs from the research zoo — best-offset
+// (Michaud, DPC-2/HPCA'16), an SPP-style signature-path prefetcher
+// (Kim et al., MICRO'16), and a sandbox prefetcher (Pugsley et al.,
+// HPCA'14) — modelled as alternative L2 engines so heterogeneous
+// per-core prefetcher mixes can probe where the CMM detector's
+// Intel-tuned metrics misclassify.
+//
+// Contract (enforced by tests/test_prefetcher_conformance.cpp on every
+// registered kind):
+//   - observe() appends candidate prefetch line addresses to `out`
+//     (never cleared) and is deterministic: identical observation
+//     sequences produce identical candidate sequences.
+//   - observe() appends at most max_candidates() addresses per call.
+//   - reset() restores the *predictive* state to construction
+//     equivalence; the issued() odometer deliberately persists (it is
+//     an observability counter, not predictor state).
+//   - kinds reporting page_local() never emit a candidate outside the
+//     triggering access's 4 KB page.
+//   - cache_fill() is a notification that a line completed its fill at
+//     the prefetcher's cache level; engines opt in via
+//     wants_cache_fill() so the core skips the fan-out otherwise.
+//   - the core gates observe() on the per-core prefetch MSR; a disabled
+//     kind sees no traffic and must therefore emit nothing.
 #pragma once
 
 #include <cstdint>
@@ -13,18 +37,28 @@
 
 namespace cmm::sim {
 
-/// The four per-core prefetchers, numbered by their disable bit in
-/// IA32 MSR 0x1A4 (MISC_FEATURE_CONTROL).
+/// Per-core prefetcher kinds. The first four are numbered by their
+/// disable bit in IA32 MSR 0x1A4 (MISC_FEATURE_CONTROL); the zoo kinds
+/// extend the register with model-fictional disable bits 4..6 (real
+/// hardware has no such bits — the simulated MSR simply keeps the
+/// "set bit disables" convention for every registered engine).
 enum class PrefetcherKind : std::uint8_t {
   L2Streamer = 0,    // MSR bit 0
   L2Adjacent = 1,    // MSR bit 1
   DcuNextLine = 2,   // MSR bit 2
   DcuIpStride = 3,   // MSR bit 3
+  L2BestOffset = 4,  // zoo: best-offset (BOP)
+  L2Spp = 5,         // zoo: signature-path (SPP-style)
+  L2Sandbox = 6,     // zoo: sandbox/score
 };
 
-inline constexpr unsigned kNumPrefetcherKinds = 4;
+inline constexpr unsigned kNumPrefetcherKinds = 7;
+
+/// Cache level a prefetcher engine observes and fills into.
+enum class PrefetchLevel : std::uint8_t { L1, L2 };
 
 std::string_view to_string(PrefetcherKind kind) noexcept;
+PrefetchLevel level_of(PrefetcherKind kind) noexcept;
 
 /// What a prefetcher sees: one demand access at its cache level.
 struct PrefetchObservation {
@@ -42,8 +76,34 @@ class Prefetcher {
   /// already cached; the hierarchy filters those.
   virtual void observe(const PrefetchObservation& obs, std::vector<Addr>& out) = 0;
 
+  /// Restore predictive state to construction equivalence (the
+  /// issued() odometer persists — see the contract above).
   virtual void reset() = 0;
   virtual PrefetcherKind kind() const noexcept = 0;
+
+  /// Notification that `line` completed a fill at this prefetcher's
+  /// cache level (`prefetch_fill` distinguishes prefetch from demand
+  /// fills). Only delivered to engines with wants_cache_fill().
+  virtual void cache_fill(Addr line, bool prefetch_fill) {
+    (void)line;
+    (void)prefetch_fill;
+  }
+
+  /// Engine wants cache_fill() notifications (lets the core model skip
+  /// the fan-out entirely for engines that don't).
+  virtual bool wants_cache_fill() const noexcept { return false; }
+
+  /// Engine also trains on prefetch-triggered requests arriving at its
+  /// level (Intel's streamer does; see CoreModel::issue_l1_prefetch).
+  virtual bool observes_prefetch_traffic() const noexcept { return false; }
+
+  /// Candidates never leave the triggering access's 4 KB page
+  /// (conformance-checked for kinds that report true).
+  virtual bool page_local() const noexcept = 0;
+
+  /// Upper bound on candidates appended by a single observe() call
+  /// (conformance-checked).
+  virtual unsigned max_candidates() const noexcept = 0;
 
   /// Total candidates this prefetcher has emitted (pre-filter).
   std::uint64_t issued() const noexcept { return issued_; }
@@ -62,6 +122,8 @@ class NextLinePrefetcher final : public Prefetcher {
   void observe(const PrefetchObservation& obs, std::vector<Addr>& out) override;
   void reset() override;
   PrefetcherKind kind() const noexcept override { return PrefetcherKind::DcuNextLine; }
+  bool page_local() const noexcept override { return false; }  // X+1 may cross the page
+  unsigned max_candidates() const noexcept override { return 1; }
 
  private:
   Addr last_line_ = 0;
@@ -83,6 +145,8 @@ class IpStridePrefetcher final : public Prefetcher {
   void observe(const PrefetchObservation& obs, std::vector<Addr>& out) override;
   void reset() override;
   PrefetcherKind kind() const noexcept override { return PrefetcherKind::DcuIpStride; }
+  bool page_local() const noexcept override { return false; }  // strides cross pages
+  unsigned max_candidates() const noexcept override { return cfg_.degree; }
 
  private:
   struct Entry {
@@ -117,6 +181,9 @@ class StreamerPrefetcher final : public Prefetcher {
   void observe(const PrefetchObservation& obs, std::vector<Addr>& out) override;
   void reset() override;
   PrefetcherKind kind() const noexcept override { return PrefetcherKind::L2Streamer; }
+  bool observes_prefetch_traffic() const noexcept override { return true; }
+  bool page_local() const noexcept override { return true; }
+  unsigned max_candidates() const noexcept override { return cfg_.degree; }
 
   /// Aggressiveness control for feedback-directed schemes (FDP): the
   /// number of lines fetched ahead once a stream is confirmed.
@@ -154,6 +221,154 @@ class AdjacentLinePrefetcher final : public Prefetcher {
   void observe(const PrefetchObservation& obs, std::vector<Addr>& out) override;
   void reset() override {}
   PrefetcherKind kind() const noexcept override { return PrefetcherKind::L2Adjacent; }
+  // The 128 B buddy pair never straddles a 4 KB page.
+  bool page_local() const noexcept override { return true; }
+  unsigned max_candidates() const noexcept override { return 1; }
+};
+
+/// Best-offset prefetcher (Michaud, HPCA'16 / DPC-2 winner), L2 port.
+/// Learns the single best prefetch offset D by scoring a fixed
+/// candidate list in rounds: an access to line X votes for offset d if
+/// X - d was recently requested (recent-requests table, filled at
+/// cache-fill time), i.e. a prefetch at offset d would have been
+/// timely. The winning offset prefetches X + D; a round whose best
+/// score is below bad_score turns prefetching off until the next round.
+class BestOffsetPrefetcher final : public Prefetcher {
+ public:
+  struct Config {
+    unsigned rr_entries = 64;      // recent-requests table (direct-mapped)
+    unsigned score_max = 31;       // round ends when a score saturates
+    unsigned round_max = 100;      // ...or after this many test updates
+    unsigned bad_score = 1;        // best < bad_score => prefetch off
+    unsigned lines_per_page = 64;  // 4 KB / 64 B
+  };
+
+  BestOffsetPrefetcher();
+  explicit BestOffsetPrefetcher(const Config& cfg);
+
+  void observe(const PrefetchObservation& obs, std::vector<Addr>& out) override;
+  void reset() override;
+  PrefetcherKind kind() const noexcept override { return PrefetcherKind::L2BestOffset; }
+  void cache_fill(Addr line, bool prefetch_fill) override;
+  bool wants_cache_fill() const noexcept override { return true; }
+  bool page_local() const noexcept override { return true; }
+  unsigned max_candidates() const noexcept override { return 1; }
+
+  /// Currently selected offset (0 = prefetching off). Test/diagnostic.
+  int current_offset() const noexcept { return best_offset_; }
+
+  /// The candidate offset list (Michaud's list trimmed to in-page
+  /// magnitudes; shared with the conformance suite).
+  static const std::vector<int>& offset_list();
+
+ private:
+  void end_round();
+
+  Config cfg_;
+  std::vector<Addr> rr_table_;      // recent base addresses (0 = empty)
+  std::vector<unsigned> scores_;    // parallel to offset_list()
+  unsigned test_index_ = 0;         // next offset to test (round-robin)
+  unsigned round_updates_ = 0;
+  int best_offset_ = 1;             // start like a next-line prefetcher
+};
+
+/// Signature-path prefetcher (SPP-style, Kim et al. MICRO'16), L2 port.
+/// Each page's recent delta history is compressed into a signature; a
+/// pattern table maps signatures to observed next-deltas with
+/// confidence counters. On an access the signature's best delta is
+/// speculatively chained `degree` steps down the path, with per-step
+/// compounding confidence, clamped to the page.
+class SppPrefetcher final : public Prefetcher {
+ public:
+  struct Config {
+    unsigned signature_table_entries = 64;  // page trackers (direct-mapped)
+    unsigned pattern_table_entries = 512;   // signature -> delta predictions
+    unsigned deltas_per_entry = 4;
+    unsigned degree = 4;            // max lookahead depth per trigger
+    double confidence_threshold = 0.25;  // stop the path below this
+    unsigned counter_max = 15;      // 4-bit saturating counters
+    unsigned lines_per_page = 64;
+  };
+
+  SppPrefetcher();
+  explicit SppPrefetcher(const Config& cfg);
+
+  void observe(const PrefetchObservation& obs, std::vector<Addr>& out) override;
+  void reset() override;
+  PrefetcherKind kind() const noexcept override { return PrefetcherKind::L2Spp; }
+  bool page_local() const noexcept override { return true; }
+  unsigned max_candidates() const noexcept override { return cfg_.degree; }
+
+ private:
+  struct PageEntry {
+    Addr page = 0;
+    std::uint16_t signature = 0;
+    std::uint32_t last_offset = 0;
+    bool valid = false;
+    bool has_last = false;
+  };
+  struct DeltaSlot {
+    std::int16_t delta = 0;
+    std::uint8_t counter = 0;  // saturating
+  };
+  struct PatternEntry {
+    std::uint16_t signature = 0;
+    bool valid = false;
+    std::vector<DeltaSlot> slots;
+  };
+
+  static std::uint16_t advance_signature(std::uint16_t sig, int delta) noexcept;
+  PatternEntry& pattern_slot(std::uint16_t sig);
+  void train(std::uint16_t sig, int delta);
+
+  Config cfg_;
+  std::vector<PageEntry> pages_;
+  std::vector<PatternEntry> patterns_;
+};
+
+/// Sandbox prefetcher (Pugsley et al., HPCA'14), L2 port. Candidate
+/// offsets are auditioned one at a time in a "sandbox": while offset d
+/// is under test, every access to line X records X + d in the sandbox
+/// filter; an access that *hits* the filter proves a prefetch at d
+/// would have been used, scoring the candidate. After a fixed audition
+/// length the candidate is accepted if its score clears the threshold.
+/// Accepted offsets (up to max_accepted, best scores win) issue real
+/// prefetches, page-clamped.
+class SandboxPrefetcher final : public Prefetcher {
+ public:
+  struct Config {
+    unsigned sandbox_entries = 256;   // direct-mapped filter
+    unsigned audition_accesses = 256; // sandbox period length
+    unsigned accept_score = 32;       // score needed to accept an offset
+    unsigned max_accepted = 4;        // live offsets issuing prefetches
+    unsigned lines_per_page = 64;
+  };
+
+  SandboxPrefetcher();
+  explicit SandboxPrefetcher(const Config& cfg);
+
+  void observe(const PrefetchObservation& obs, std::vector<Addr>& out) override;
+  void reset() override;
+  PrefetcherKind kind() const noexcept override { return PrefetcherKind::L2Sandbox; }
+  bool page_local() const noexcept override { return true; }
+  unsigned max_candidates() const noexcept override { return cfg_.max_accepted; }
+
+  /// Offsets currently issuing real prefetches (test/diagnostic).
+  const std::vector<int>& accepted_offsets() const noexcept { return accepted_; }
+
+  /// The audition rota (shared with the conformance suite).
+  static const std::vector<int>& candidate_list();
+
+ private:
+  void end_audition();
+
+  Config cfg_;
+  std::vector<Addr> sandbox_;   // lines a test-offset prefetch would have fetched
+  std::vector<int> accepted_;   // offsets that cleared the audition
+  std::vector<unsigned> accepted_scores_;  // parallel to accepted_
+  unsigned candidate_index_ = 0;  // rota position of the offset under test
+  unsigned audition_pos_ = 0;
+  unsigned score_ = 0;
 };
 
 }  // namespace cmm::sim

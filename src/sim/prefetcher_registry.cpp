@@ -1,0 +1,67 @@
+#include "sim/prefetcher_registry.hpp"
+
+#include <cassert>
+
+namespace cmm::sim {
+
+namespace {
+
+template <typename T>
+std::unique_ptr<Prefetcher> make_default() {
+  return std::make_unique<T>();
+}
+
+}  // namespace
+
+const std::vector<PrefetcherInfo>& prefetcher_registry() {
+  static const std::vector<PrefetcherInfo> registry = {
+      {PrefetcherKind::L2Streamer, PrefetchLevel::L2, "l2_streamer",
+       &make_default<StreamerPrefetcher>},
+      {PrefetcherKind::L2Adjacent, PrefetchLevel::L2, "l2_adjacent",
+       &make_default<AdjacentLinePrefetcher>},
+      {PrefetcherKind::DcuNextLine, PrefetchLevel::L1, "dcu_next_line",
+       &make_default<NextLinePrefetcher>},
+      {PrefetcherKind::DcuIpStride, PrefetchLevel::L1, "dcu_ip_stride",
+       &make_default<IpStridePrefetcher>},
+      {PrefetcherKind::L2BestOffset, PrefetchLevel::L2, "l2_best_offset",
+       &make_default<BestOffsetPrefetcher>},
+      {PrefetcherKind::L2Spp, PrefetchLevel::L2, "l2_spp", &make_default<SppPrefetcher>},
+      {PrefetcherKind::L2Sandbox, PrefetchLevel::L2, "l2_sandbox",
+       &make_default<SandboxPrefetcher>},
+  };
+  static_assert(kNumPrefetcherKinds == 7, "update the registry table with the new kind");
+  assert(registry.size() == kNumPrefetcherKinds);
+  return registry;
+}
+
+const PrefetcherInfo& prefetcher_info(PrefetcherKind kind) {
+  const auto& registry = prefetcher_registry();
+  const auto index = static_cast<std::size_t>(kind);
+  assert(index < registry.size() && registry[index].kind == kind);
+  return registry[index];
+}
+
+std::unique_ptr<Prefetcher> make_prefetcher(PrefetcherKind kind) {
+  auto p = prefetcher_info(kind).make();
+  assert(p->kind() == kind);
+  return p;
+}
+
+std::optional<PrefetcherKind> prefetcher_from_string(std::string_view name) noexcept {
+  for (const auto& info : prefetcher_registry()) {
+    if (info.name == name) return info.kind;
+  }
+  return std::nullopt;
+}
+
+const std::vector<PrefetcherKind>& default_prefetcher_set() {
+  static const std::vector<PrefetcherKind> set = {
+      PrefetcherKind::L2Streamer,
+      PrefetcherKind::L2Adjacent,
+      PrefetcherKind::DcuNextLine,
+      PrefetcherKind::DcuIpStride,
+  };
+  return set;
+}
+
+}  // namespace cmm::sim

@@ -1,0 +1,49 @@
+// Registry of every prefetcher engine the simulator can instantiate.
+//
+// The registry is the single source of truth the rest of the system
+// keys off: CoreModel builds its per-level engine lists from it,
+// MachineConfig validates per-core kind lists against it, and the
+// conformance/differential test suites iterate it so a newly
+// registered engine is automatically covered without touching the
+// tests. Adding an engine = add the PrefetcherKind, implement the
+// Prefetcher contract, and append one entry to the table in
+// prefetcher_registry.cpp.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "sim/prefetcher.hpp"
+
+namespace cmm::sim {
+
+/// One registered engine: identity plus a factory for a
+/// default-configured instance.
+struct PrefetcherInfo {
+  PrefetcherKind kind;
+  PrefetchLevel level;
+  std::string_view name;  // matches to_string(kind)
+  std::unique_ptr<Prefetcher> (*make)();
+};
+
+/// All registered engines, ordered by PrefetcherKind value (== MSR
+/// disable-bit position). Exactly kNumPrefetcherKinds entries.
+const std::vector<PrefetcherInfo>& prefetcher_registry();
+
+/// Registry entry for one kind.
+const PrefetcherInfo& prefetcher_info(PrefetcherKind kind);
+
+/// Construct a default-configured instance of `kind`.
+std::unique_ptr<Prefetcher> make_prefetcher(PrefetcherKind kind);
+
+/// Reverse lookup by registry name; nullopt for unknown names.
+std::optional<PrefetcherKind> prefetcher_from_string(std::string_view name) noexcept;
+
+/// The default per-core engine set: the four Intel-modelled
+/// prefetchers, in the order CoreModel has always consulted them
+/// (L2 streamer, L2 adjacent, then the two L1 DCU engines).
+const std::vector<PrefetcherKind>& default_prefetcher_set();
+
+}  // namespace cmm::sim

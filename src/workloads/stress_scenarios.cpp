@@ -1,0 +1,55 @@
+#include "workloads/stress_scenarios.hpp"
+
+#include "sim/prefetcher_registry.hpp"
+
+namespace cmm::workloads {
+
+std::vector<sim::PrefetcherKind> EngineProfile::core_set() const {
+  if (l2_engines.empty()) return {};  // default Intel set
+  std::vector<sim::PrefetcherKind> set = l2_engines;
+  set.push_back(sim::PrefetcherKind::DcuNextLine);
+  set.push_back(sim::PrefetcherKind::DcuIpStride);
+  return set;
+}
+
+const std::vector<EngineProfile>& engine_profiles() {
+  static const std::vector<EngineProfile> profiles = {
+      {"intel", {}},
+      {"bop", {sim::PrefetcherKind::L2BestOffset}},
+      {"spp", {sim::PrefetcherKind::L2Spp}},
+      {"sandbox", {sim::PrefetcherKind::L2Sandbox}},
+  };
+  return profiles;
+}
+
+std::vector<StressScenario> make_stress_scenarios(unsigned num_cores) {
+  std::vector<StressScenario> scenarios;
+  const auto categories = {MixCategory::PrefFri, MixCategory::PrefAgg, MixCategory::PrefUnfri,
+                           MixCategory::PrefNoAgg};
+  for (const auto category : categories) {
+    for (const auto& profile : engine_profiles()) {
+      StressScenario s;
+      s.category = category;
+      s.profile = profile.name;
+      s.name = std::string(to_string(category)) + "/" + profile.name;
+      const auto set = profile.core_set();
+      if (!set.empty()) s.core_prefetchers.assign(num_cores, set);
+      scenarios.push_back(std::move(s));
+    }
+    // Heterogeneous assignment: rotate the profiles across cores so one
+    // run mixes all four engine behaviours behind one shared LLC.
+    StressScenario hetero;
+    hetero.category = category;
+    hetero.profile = "hetero";
+    hetero.name = std::string(to_string(category)) + "/hetero";
+    for (unsigned c = 0; c < num_cores; ++c) {
+      auto set = engine_profiles()[c % engine_profiles().size()].core_set();
+      if (set.empty()) set = sim::default_prefetcher_set();  // keep outer size == num_cores
+      hetero.core_prefetchers.push_back(std::move(set));
+    }
+    scenarios.push_back(std::move(hetero));
+  }
+  return scenarios;
+}
+
+}  // namespace cmm::workloads

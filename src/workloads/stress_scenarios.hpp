@@ -1,0 +1,49 @@
+// Adversarial detector-stress scenarios: the fig05-shaped workload
+// categories crossed with per-core prefetcher engine profiles drawn
+// from the registry zoo. The CMM detector's PGA/PMR/PTR thresholds are
+// tuned for the Intel-modelled engines; sweeping the same workloads
+// under best-offset / SPP / sandbox engines (and heterogeneous
+// per-core mixes of all four profiles) probes where those thresholds
+// misclassify. Scenario definitions live here so the bench binary and
+// the detector-stress test suite evaluate the identical sweep.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/prefetcher.hpp"
+#include "workloads/workload_mix.hpp"
+
+namespace cmm::workloads {
+
+/// A named per-core engine profile. An empty `l2_engines` means the
+/// default Intel set verbatim; otherwise a core runs the profile's L2
+/// engines plus the two L1 DCU engines (the L1 side is core-internal
+/// and stays Intel-modelled in every profile).
+struct EngineProfile {
+  std::string name;
+  std::vector<sim::PrefetcherKind> l2_engines;
+
+  /// Full per-core engine set (L2 engines + DCU next-line/IP-stride).
+  std::vector<sim::PrefetcherKind> core_set() const;
+};
+
+/// The swept profiles: intel (default set), bop, spp, sandbox.
+const std::vector<EngineProfile>& engine_profiles();
+
+/// One stress scenario: a workload category run under one machine-wide
+/// engine assignment. `core_prefetchers` is ready to drop into
+/// MachineConfig::core_prefetchers (empty = all-default machine).
+struct StressScenario {
+  std::string name;  // "<category>/<profile>"
+  MixCategory category{};
+  std::string profile;
+  std::vector<std::vector<sim::PrefetcherKind>> core_prefetchers;
+};
+
+/// The full sweep for an `num_cores`-way machine: every category under
+/// every homogeneous profile, plus a "hetero" assignment rotating the
+/// profiles across cores (core c runs profile c % 4).
+std::vector<StressScenario> make_stress_scenarios(unsigned num_cores);
+
+}  // namespace cmm::workloads

@@ -1,0 +1,151 @@
+// Detector-stress suite (ctest label: detector-stress).
+//
+// Runs the adversarial scenario sweep — the four fig05 workload
+// categories under every prefetcher-engine profile, homogeneous and
+// heterogeneous — and pins the detector's misclassification matrix as
+// a golden artifact. The regenerated matrix is also written next to
+// the test binary (detector_stress_matrix.json) so CI can upload and
+// diff it against the checked-in baseline.
+//
+// Regenerate after an intentional change with:
+//   CMM_UPDATE_GOLDEN=1 ./test_detector_stress
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <numeric>
+#include <sstream>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/detector.hpp"
+#include "core/detector_eval.hpp"
+#include "sim/machine_config.hpp"
+
+namespace cmm::core {
+namespace {
+
+sim::MachineConfig stress_machine() { return sim::MachineConfig::scaled(16); }
+
+DetectorConfig stress_detector() {
+  DetectorConfig det;
+  det.freq_ghz = stress_machine().freq_ghz;
+  return det;
+}
+
+TEST(DetectorStress, MisclassificationMatrixMatchesGolden) {
+  const auto outcomes = run_stress_suite(stress_machine(), stress_detector(), /*seed=*/42,
+                                         /*warmup_cycles=*/1'000'000,
+                                         /*measure_cycles=*/200'000);
+  // 4 categories x (4 homogeneous profiles + hetero).
+  ASSERT_EQ(outcomes.size(), 20u);
+  const std::string matrix = misclassification_json(outcomes);
+
+  // Always emit the artifact for CI upload/diff, pass or fail.
+  {
+    std::ofstream artifact("detector_stress_matrix.json", std::ios::trunc);
+    ASSERT_TRUE(artifact.good());
+    artifact << matrix;
+  }
+
+  const std::string golden_path =
+      std::string(CMM_TEST_GOLDEN_DIR) + "/detector_stress_matrix.json";
+  if (std::getenv("CMM_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(golden_path, std::ios::trunc);
+    ASSERT_TRUE(out.good()) << "cannot write " << golden_path;
+    out << matrix;
+    GTEST_SKIP() << "golden regenerated at " << golden_path;
+  }
+
+  std::ifstream in(golden_path);
+  ASSERT_TRUE(in.good()) << "missing golden file " << golden_path
+                         << " (regenerate with CMM_UPDATE_GOLDEN=1)";
+  std::stringstream expected;
+  expected << in.rdbuf();
+  EXPECT_EQ(matrix, expected.str())
+      << "misclassification matrix drifted; if intentional, regenerate with "
+         "CMM_UPDATE_GOLDEN=1 and review the diff";
+}
+
+// Sanity floor independent of the golden pin: under the Intel profile
+// the detector must be doing real work — some true positives across
+// the sweep and no labelled-aggressive core missed in the PrefAgg /
+// PrefUnfri categories' intel scenarios. (The zoo profiles are
+// *allowed* to misclassify; that is what the matrix tracks.)
+TEST(DetectorStress, IntelProfileDetectsAggressiveCores) {
+  const auto outcomes = run_stress_suite(stress_machine(), stress_detector(), /*seed=*/42,
+                                         /*warmup_cycles=*/1'000'000,
+                                         /*measure_cycles=*/200'000);
+  unsigned intel_tp = 0;
+  for (const auto& o : outcomes) {
+    if (o.profile != "intel") continue;
+    intel_tp += o.tp;
+    if (o.category == "pref_agg" || o.category == "pref_unfri") {
+      EXPECT_EQ(o.fn, 0u) << o.scenario
+                          << ": intel profile missed a labelled-aggressive core";
+      EXPECT_EQ(o.fp, 0u) << o.scenario << ": intel profile flagged a non-aggressive core";
+    }
+  }
+  EXPECT_GT(intel_tp, 0u);
+}
+
+// ---- Verdict stability under core permutation (property test) ----
+//
+// detect_aggressive() compares each core against the all-core mean, so
+// a core's verdict must depend only on the multiset of metrics, never
+// on the order cores are presented in.
+
+CoreMetrics synth_metrics(Rng& rng) {
+  CoreMetrics m;
+  // Ranges straddle every detector threshold so all three pipeline
+  // stages flip across samples.
+  m.pga = rng.next_double() * 4.0;               // threshold region ~0.4*mean, floor 1.0
+  m.l2_pmr = rng.next_double();                  // threshold 0.7
+  m.l2_ptr = rng.next_double() * 60e6;           // threshold 20e6
+  m.l2_llc_traffic = rng.next_double() * 1e4;
+  m.l2_pref_miss_frac = rng.next_double();
+  m.l2_ppm = rng.next_double() * 8.0;
+  m.llc_pt = rng.next_double() * 10e9;
+  m.ipc = rng.next_double() * 2.0;
+  m.stalls_l2_pending = rng.next_double() * 1e5;
+  return m;
+}
+
+TEST(DetectorStress, VerdictsInvariantUnderCorePermutation) {
+  const DetectorConfig det = stress_detector();
+  Rng rng(/*seed=*/99);
+  for (unsigned trial = 0; trial < 200; ++trial) {
+    const unsigned n = 2 + static_cast<unsigned>(rng.next_below(7));
+    std::vector<CoreMetrics> metrics;
+    for (unsigned i = 0; i < n; ++i) metrics.push_back(synth_metrics(rng));
+
+    const auto base = detect_aggressive(metrics, det);
+    std::vector<bool> base_flag(n, false);
+    for (const CoreId c : base) base_flag[c] = true;
+
+    // Fisher-Yates with the deterministic Rng; perm[j] = original index
+    // now sitting at position j.
+    std::vector<unsigned> perm(n);
+    std::iota(perm.begin(), perm.end(), 0u);
+    for (unsigned i = n - 1; i > 0; --i) {
+      const auto j = static_cast<unsigned>(rng.next_below(i + 1));
+      std::swap(perm[i], perm[j]);
+    }
+    std::vector<CoreMetrics> shuffled;
+    for (unsigned j = 0; j < n; ++j) shuffled.push_back(metrics[perm[j]]);
+
+    const auto permuted = detect_aggressive(shuffled, det);
+    std::vector<bool> perm_flag(n, false);
+    for (const CoreId c : permuted) perm_flag[c] = true;
+
+    for (unsigned j = 0; j < n; ++j) {
+      EXPECT_EQ(perm_flag[j], base_flag[perm[j]])
+          << "trial " << trial << ": verdict for original core " << perm[j]
+          << " changed when presented at position " << j;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cmm::core

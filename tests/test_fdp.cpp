@@ -24,7 +24,8 @@ TEST(Fdp, StartsMidLadder) {
     sys.set_op_source(c, workloads::make_op_source("povray", sys.config(), c, c));
   FdpController fdp(sys);
   EXPECT_EQ(fdp.degree(0), 4u);
-  EXPECT_EQ(sys.core(0).streamer().degree(), 4u);
+  ASSERT_NE(sys.core(0).find_streamer(), nullptr);
+  EXPECT_EQ(sys.core(0).find_streamer()->degree(), 4u);
 }
 
 TEST(Fdp, RampsUpAccurateStreams) {

@@ -1,0 +1,73 @@
+// Page-edge behaviour of the shared prefetcher address helpers.
+// Every engine clamps through these, so off-by-ones here would skew
+// all page-local prefetchers at once.
+#include <gtest/gtest.h>
+
+#include "sim/pf_common.hpp"
+
+namespace cmm::sim {
+namespace {
+
+constexpr unsigned kLpp = 64;  // 4 KB page / 64 B line
+
+TEST(PfCommon, PageDecomposition) {
+  EXPECT_EQ(page_of(0, kLpp), 0u);
+  EXPECT_EQ(page_of(63, kLpp), 0u);
+  EXPECT_EQ(page_of(64, kLpp), 1u);
+  EXPECT_EQ(page_offset(63, kLpp), 63u);
+  EXPECT_EQ(page_offset(64, kLpp), 0u);
+  const Addr line = 7 * 64 + 13;
+  EXPECT_EQ(line_in_page(page_of(line, kLpp), page_offset(line, kLpp), kLpp), line);
+}
+
+TEST(PfCommon, BuddyLinePairsWithinPage) {
+  EXPECT_EQ(buddy_line(0), 1u);
+  EXPECT_EQ(buddy_line(1), 0u);
+  EXPECT_EQ(buddy_line(62), 63u);
+  EXPECT_EQ(buddy_line(63), 62u);
+  // The buddy pair never straddles a page: line 63's buddy is 62, not 64.
+  EXPECT_EQ(page_of(buddy_line(63), kLpp), page_of(Addr{63}, kLpp));
+}
+
+TEST(PfCommon, PageLocalOffsetForwardEdge) {
+  // Last line of the page: +1 falls off, +0 stays.
+  EXPECT_EQ(page_local_offset(63, 1, kLpp), -1);
+  EXPECT_EQ(page_local_offset(63, 0, kLpp), 63);
+  // One before the edge: +1 is the last in-page target.
+  EXPECT_EQ(page_local_offset(62, 1, kLpp), 63);
+  EXPECT_EQ(page_local_offset(62, 2, kLpp), -1);
+  // Full-page reach from offset 0.
+  EXPECT_EQ(page_local_offset(0, 63, kLpp), 63);
+  EXPECT_EQ(page_local_offset(0, 64, kLpp), -1);
+}
+
+TEST(PfCommon, PageLocalOffsetBackwardEdge) {
+  EXPECT_EQ(page_local_offset(0, -1, kLpp), -1);
+  EXPECT_EQ(page_local_offset(1, -1, kLpp), 0);
+  EXPECT_EQ(page_local_offset(63, -63, kLpp), 0);
+  EXPECT_EQ(page_local_offset(63, -64, kLpp), -1);
+}
+
+TEST(PfCommon, SignedLineTargetClampsAtZero) {
+  EXPECT_EQ(signed_line_target(0, -1), -1);
+  EXPECT_EQ(signed_line_target(5, -5), 0);
+  EXPECT_EQ(signed_line_target(5, -6), -1);
+  EXPECT_EQ(signed_line_target(5, 3), 8);
+}
+
+TEST(PfCommon, SamePage) {
+  EXPECT_TRUE(same_page(0, 63, kLpp));
+  EXPECT_FALSE(same_page(63, 64, kLpp));
+  EXPECT_TRUE(same_page(64, 127, kLpp));
+}
+
+TEST(PfCommon, NonDefaultPageSize) {
+  // Helpers are parameterised by lines-per-page; a 16-line page clamps
+  // at 15.
+  EXPECT_EQ(page_local_offset(15, 1, 16), -1);
+  EXPECT_EQ(page_local_offset(14, 1, 16), 15);
+  EXPECT_EQ(page_of(16, 16), 1u);
+}
+
+}  // namespace
+}  // namespace cmm::sim

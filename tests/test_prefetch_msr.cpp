@@ -43,15 +43,51 @@ TEST(PrefetchMsr, SetAll) {
   PrefetchMsr msr;
   msr.set_all(false);
   EXPECT_TRUE(msr.all_disabled());
-  EXPECT_EQ(msr.read(), 0xFu);
+  EXPECT_EQ(msr.read(), kPrefetchDisableAllMask);
+  EXPECT_EQ(msr.read(), 0x7Fu);  // one disable bit per registered kind
   msr.set_all(true);
   EXPECT_TRUE(msr.all_enabled());
 }
 
 TEST(PrefetchMsr, WriteMasksReservedBits) {
   PrefetchMsr msr;
-  msr.write(0xFFFF'FFFF'FFFF'FFF5ULL);
-  EXPECT_EQ(msr.read(), 0x5u);  // only the low 4 bits are defined
+  msr.write(0xFFFF'FFFF'FFFF'FF85ULL);
+  EXPECT_EQ(msr.read(), 0x5u);  // bits >= kNumPrefetcherKinds are reserved
+}
+
+// Property: encode(decode(v)) == v and write/read round-trips for
+// every per-kind enable-bit combination (exhaustive over 2^kinds).
+TEST(PrefetchMsr, EncodeDecodeRoundTripAllCombinations) {
+  for (std::uint64_t v = 0; v < (1ULL << kNumPrefetcherKinds); ++v) {
+    const auto enabled = PrefetchMsr::decode(v);
+    EXPECT_EQ(PrefetchMsr::encode(enabled), v);
+
+    PrefetchMsr msr;
+    msr.write(v);
+    EXPECT_EQ(msr.read(), v);
+    for (unsigned k = 0; k < kNumPrefetcherKinds; ++k) {
+      EXPECT_EQ(msr.enabled(static_cast<PrefetcherKind>(k)), enabled[k])
+          << "value " << v << " kind " << k;
+    }
+    EXPECT_EQ(msr.all_enabled(), v == 0);
+    EXPECT_EQ(msr.all_disabled(), v == kPrefetchDisableAllMask);
+  }
+}
+
+// Property: bits above the defined range saturate away on write and
+// never leak through decode, for any defined-bit payload underneath.
+TEST(PrefetchMsr, UnknownKindBitsSaturate) {
+  for (const std::uint64_t junk :
+       {std::uint64_t{1} << kNumPrefetcherKinds, std::uint64_t{0x100},
+        std::uint64_t{0x8000'0000'0000'0000}, ~kPrefetchDisableAllMask}) {
+    for (const std::uint64_t defined :
+         {std::uint64_t{0}, std::uint64_t{0x2A}, kPrefetchDisableAllMask}) {
+      PrefetchMsr msr;
+      msr.write(junk | defined);
+      EXPECT_EQ(msr.read(), defined);
+      EXPECT_EQ(PrefetchMsr::encode(PrefetchMsr::decode(junk | defined)), defined);
+    }
+  }
 }
 
 }  // namespace

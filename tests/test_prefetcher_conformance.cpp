@@ -1,0 +1,179 @@
+// Conformance suite: the plug-in contract every registered prefetcher
+// engine must satisfy (see the contract comment in sim/prefetcher.hpp).
+// The suite iterates sim::prefetcher_registry(), so registering a new
+// engine automatically puts it under every check here.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sim/multicore_system.hpp"
+#include "sim/pf_common.hpp"
+#include "sim/prefetcher_registry.hpp"
+#include "workloads/benchmark_specs.hpp"
+
+namespace cmm::sim {
+namespace {
+
+constexpr unsigned kLpp = 64;
+
+/// A fixed-seed observation stream exercising the behaviours engines
+/// key on: sequential runs, strides, random pages, and page-edge
+/// hammering (offsets 0/1/62/63). Misses dominate, as at a real L2.
+std::vector<PrefetchObservation> conformance_stream(std::uint64_t seed) {
+  std::vector<PrefetchObservation> stream;
+  Rng rng(seed);
+
+  // Sequential forward runs across several pages.
+  for (Addr page = 16; page < 20; ++page) {
+    for (std::uint32_t off = 0; off < kLpp; off += 1) {
+      stream.push_back({page * kLpp + off, 1, true});
+    }
+  }
+  // Strided run (stride 3 lines) under one IP.
+  for (unsigned i = 0; i < 200; ++i) {
+    stream.push_back({Addr{2048} + 3 * i, 2, (i % 4) != 0});
+  }
+  // Backward run.
+  for (std::uint32_t off = kLpp; off-- > 0;) {
+    stream.push_back({40 * kLpp + off, 3, true});
+  }
+  // Random lines within a small page set (trains nothing coherent but
+  // must not perturb determinism or bounds).
+  for (unsigned i = 0; i < 300; ++i) {
+    stream.push_back({64 * kLpp + rng.next_below(8 * kLpp),
+                      static_cast<IpId>(4 + rng.next_below(4)), rng.next_bool(0.8)});
+  }
+  // Page-edge hammering: first/last offsets of consecutive pages.
+  for (Addr page = 100; page < 108; ++page) {
+    for (const std::uint32_t off : {0u, 1u, kLpp - 2, kLpp - 1}) {
+      stream.push_back({page * kLpp + off, 9, true});
+    }
+  }
+  return stream;
+}
+
+/// Replay `stream` through `p`, emulating fill completions for engines
+/// that want them, and checking per-call bounds and page locality as
+/// we go. Returns the concatenated candidate sequence.
+std::vector<Addr> replay(Prefetcher& p, const std::vector<PrefetchObservation>& stream) {
+  std::vector<Addr> all;
+  std::vector<Addr> cands;
+  for (const auto& obs : stream) {
+    cands.clear();
+    p.observe(obs, cands);
+    EXPECT_LE(cands.size(), p.max_candidates())
+        << to_string(p.kind()) << " exceeded max_candidates()";
+    if (p.page_local()) {
+      for (const Addr cand : cands) {
+        EXPECT_TRUE(same_page(obs.line_addr, cand, kLpp))
+            << to_string(p.kind()) << " emitted " << cand << " outside the page of "
+            << obs.line_addr;
+      }
+    }
+    if (p.wants_cache_fill()) {
+      // Emulate the core: candidates complete as prefetch fills; the
+      // demand line itself fills on a miss.
+      for (const Addr cand : cands) p.cache_fill(cand, true);
+      if (obs.miss) p.cache_fill(obs.line_addr, false);
+    }
+    all.insert(all.end(), cands.begin(), cands.end());
+  }
+  return all;
+}
+
+class PrefetcherConformance : public ::testing::TestWithParam<PrefetcherKind> {};
+
+TEST(PrefetcherRegistry, WellFormed) {
+  const auto& registry = prefetcher_registry();
+  ASSERT_EQ(registry.size(), kNumPrefetcherKinds);
+  for (unsigned i = 0; i < registry.size(); ++i) {
+    const auto& info = registry[i];
+    EXPECT_EQ(static_cast<unsigned>(info.kind), i) << "registry must be ordered by kind value";
+    EXPECT_EQ(info.name, to_string(info.kind));
+    EXPECT_EQ(info.level, level_of(info.kind));
+    EXPECT_EQ(prefetcher_from_string(info.name), info.kind);
+    auto p = info.make();
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(p->kind(), info.kind);
+    EXPECT_GE(p->max_candidates(), 1u);
+  }
+  EXPECT_EQ(prefetcher_from_string("no_such_engine"), std::nullopt);
+  // The default set is the Intel-modelled quartet.
+  EXPECT_EQ(default_prefetcher_set().size(), 4u);
+  for (const auto kind : default_prefetcher_set()) {
+    EXPECT_LT(static_cast<unsigned>(kind), 4u);
+  }
+}
+
+TEST_P(PrefetcherConformance, DeterministicUnderFixedSeed) {
+  const auto stream = conformance_stream(/*seed=*/42);
+  auto a = make_prefetcher(GetParam());
+  auto b = make_prefetcher(GetParam());
+  EXPECT_EQ(replay(*a, stream), replay(*b, stream));
+  EXPECT_EQ(a->issued(), b->issued());
+}
+
+TEST_P(PrefetcherConformance, ResetRestoresConstructionState) {
+  const auto warm = conformance_stream(/*seed=*/7);
+  const auto probe = conformance_stream(/*seed=*/42);
+  auto reset_one = make_prefetcher(GetParam());
+  replay(*reset_one, warm);  // dirty every table
+  reset_one->reset();
+  auto fresh = make_prefetcher(GetParam());
+  EXPECT_EQ(replay(*reset_one, probe), replay(*fresh, probe))
+      << "reset() must be equivalent to construction";
+}
+
+TEST_P(PrefetcherConformance, BoundsAndClampingOnEdgeStream) {
+  // replay() itself asserts per-call bounds and page locality; this
+  // case exists to drive them over the edge-heavy stream with a second
+  // seed so the random section differs.
+  auto p = make_prefetcher(GetParam());
+  const auto emitted = replay(*p, conformance_stream(/*seed=*/1234));
+  EXPECT_EQ(p->issued(), emitted.size())
+      << "issued() odometer must count exactly the emitted candidates";
+}
+
+TEST_P(PrefetcherConformance, NoEmissionWhenMsrDisabled) {
+  auto cfg = MachineConfig::scaled(16);
+  cfg.num_cores = 1;
+  cfg.core_prefetchers = {{GetParam()}};
+  ASSERT_TRUE(cfg.valid());
+
+  MulticoreSystem sys(cfg);
+  ASSERT_EQ(sys.core(0).prefetchers().size(), 1u);
+  const Prefetcher& engine = *sys.core(0).prefetchers()[0];
+  sys.core(0).prefetch_msr().set_enabled(GetParam(), false);
+  sys.set_op_source(0, workloads::make_op_source("libquantum", cfg, 0, /*seed=*/1));
+  sys.run(500'000);
+  EXPECT_EQ(engine.issued(), 0u) << "disabled engine saw traffic or emitted candidates";
+}
+
+TEST_P(PrefetcherConformance, EmitsOnStreamingWorkloadWhenEnabled) {
+  auto cfg = MachineConfig::scaled(16);
+  cfg.num_cores = 1;
+  cfg.core_prefetchers = {{GetParam()}};
+
+  MulticoreSystem sys(cfg);
+  const Prefetcher& engine = *sys.core(0).prefetchers()[0];
+  sys.set_op_source(0, workloads::make_op_source("libquantum", cfg, 0, /*seed=*/1));
+  sys.run(500'000);
+  EXPECT_GT(engine.issued(), 0u)
+      << "a sequential stream should trigger every registered engine";
+}
+
+std::vector<PrefetcherKind> all_kinds() {
+  std::vector<PrefetcherKind> kinds;
+  for (const auto& info : prefetcher_registry()) kinds.push_back(info.kind);
+  return kinds;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEngines, PrefetcherConformance, ::testing::ValuesIn(all_kinds()),
+                         [](const ::testing::TestParamInfo<PrefetcherKind>& info) {
+                           return std::string(to_string(info.param));
+                         });
+
+}  // namespace
+}  // namespace cmm::sim

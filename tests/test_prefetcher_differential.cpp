@@ -1,0 +1,166 @@
+// Differential harness: replay identical workloads through every
+// registered prefetcher engine (one engine per run, prefetch on vs.
+// off) and pin the resulting accuracy / coverage / timeliness stats as
+// golden JSON. Any change to an engine's emission behaviour — or to
+// the shared clamping helpers — shows up as a reviewable golden diff
+// instead of silently shifting figure results.
+//
+// Regenerate after an intentional change with:
+//   CMM_UPDATE_GOLDEN=1 ./test_prefetcher_differential
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/multicore_system.hpp"
+#include "sim/prefetcher_registry.hpp"
+#include "workloads/benchmark_specs.hpp"
+
+namespace cmm::sim {
+namespace {
+
+constexpr Cycle kRunCycles = 600'000;
+constexpr std::uint64_t kSeed = 1;
+
+// One streaming, one irregular, one random workload: between them they
+// exercise stride learning, signature paths, and pollution behaviour.
+const std::vector<std::string>& workload_names() {
+  static const std::vector<std::string> names = {"libquantum", "omnetpp", "hash_probe"};
+  return names;
+}
+
+struct RunStats {
+  std::uint64_t issued = 0;
+  std::uint64_t pref_accesses = 0;
+  std::uint64_t pref_used = 0;
+  std::uint64_t pref_evicted_unused = 0;
+  std::uint64_t demand_misses = 0;  // at the engine's cache level
+  std::uint64_t stalls_l2_pending = 0;
+  std::uint64_t instructions = 0;
+  std::uint64_t cycles = 0;
+};
+
+RunStats run_one(PrefetcherKind kind, const std::string& bench, bool prefetch_on) {
+  auto cfg = MachineConfig::scaled(16);
+  cfg.num_cores = 1;
+  cfg.core_prefetchers = {{kind}};
+
+  MulticoreSystem sys(cfg);
+  if (!prefetch_on) sys.core(0).prefetch_msr().set_all(false);
+  sys.set_op_source(0, workloads::make_op_source(bench, cfg, 0, kSeed));
+  sys.run(kRunCycles);
+
+  const auto& level_cache =
+      level_of(kind) == PrefetchLevel::L1 ? sys.core(0).l1() : sys.core(0).l2();
+  const auto& stats = level_cache.stats();
+  const auto& ctr = sys.pmu().core(0);
+
+  RunStats r;
+  r.issued = sys.core(0).prefetchers()[0]->issued();
+  r.pref_accesses = stats.prefetch_accesses;
+  r.pref_used = stats.prefetched_lines_used;
+  r.pref_evicted_unused = stats.prefetched_lines_evicted_unused;
+  r.demand_misses = stats.demand_misses();
+  r.stalls_l2_pending = ctr.stalls_l2_pending;
+  r.instructions = ctr.instructions;
+  r.cycles = ctr.cycles;
+  return r;
+}
+
+std::string fmt(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6f", v);
+  return buf;
+}
+
+double ratio(std::uint64_t num, std::uint64_t den) {
+  return den == 0 ? 0.0 : static_cast<double>(num) / static_cast<double>(den);
+}
+
+/// Canonical JSON for the whole sweep: engines in registry order,
+/// workloads in fixed order, stable key order and double formatting.
+std::string differential_json() {
+  std::ostringstream os;
+  os << "{\n  \"prefetcher_differential\": {\n";
+  os << "    \"run_cycles\": " << kRunCycles << ", \"seed\": " << kSeed << ",\n";
+  os << "    \"engines\": {\n";
+  const auto& registry = prefetcher_registry();
+  for (std::size_t k = 0; k < registry.size(); ++k) {
+    const auto kind = registry[k].kind;
+    os << "      \"" << registry[k].name << "\": {\n";
+    for (std::size_t w = 0; w < workload_names().size(); ++w) {
+      const auto& bench = workload_names()[w];
+      const RunStats on = run_one(kind, bench, true);
+      const RunStats off = run_one(kind, bench, false);
+      // accuracy: fraction of prefetched lines that served a demand hit
+      // before eviction. coverage: demand misses removed relative to
+      // the prefetch-off run. timeliness: fraction of the off-run's
+      // sub-L2 stall cycles eliminated (late prefetches keep stalls).
+      const double accuracy = ratio(on.pref_used, on.pref_used + on.pref_evicted_unused);
+      const double coverage =
+          off.demand_misses == 0
+              ? 0.0
+              : 1.0 - ratio(on.demand_misses, off.demand_misses);
+      const double timeliness =
+          off.stalls_l2_pending == 0
+              ? 0.0
+              : 1.0 - ratio(on.stalls_l2_pending, off.stalls_l2_pending);
+      os << "        \"" << bench << "\": {\"issued\": " << on.issued
+         << ", \"pref_accesses\": " << on.pref_accesses << ", \"pref_used\": " << on.pref_used
+         << ", \"pref_evicted_unused\": " << on.pref_evicted_unused
+         << ", \"demand_misses_on\": " << on.demand_misses
+         << ", \"demand_misses_off\": " << off.demand_misses
+         << ", \"stalls_on\": " << on.stalls_l2_pending
+         << ", \"stalls_off\": " << off.stalls_l2_pending << ", \"ipc_on\": "
+         << fmt(ratio(on.instructions, on.cycles)) << ", \"ipc_off\": "
+         << fmt(ratio(off.instructions, off.cycles)) << ", \"accuracy\": " << fmt(accuracy)
+         << ", \"coverage\": " << fmt(coverage) << ", \"timeliness\": " << fmt(timeliness)
+         << '}' << (w + 1 < workload_names().size() ? "," : "") << '\n';
+    }
+    os << "      }" << (k + 1 < registry.size() ? "," : "") << '\n';
+  }
+  os << "    }\n  }\n}\n";
+  return std::move(os).str();
+}
+
+TEST(PrefetcherDifferential, GoldenStats) {
+  const std::string golden_path =
+      std::string(CMM_TEST_GOLDEN_DIR) + "/prefetcher_differential.json";
+  const std::string actual = differential_json();
+
+  if (std::getenv("CMM_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(golden_path, std::ios::trunc);
+    ASSERT_TRUE(out.good()) << "cannot write " << golden_path;
+    out << actual;
+    GTEST_SKIP() << "golden regenerated at " << golden_path;
+  }
+
+  std::ifstream in(golden_path);
+  ASSERT_TRUE(in.good()) << "missing golden file " << golden_path
+                         << " (regenerate with CMM_UPDATE_GOLDEN=1)";
+  std::stringstream expected;
+  expected << in.rdbuf();
+  EXPECT_EQ(actual, expected.str())
+      << "differential stats drifted from the golden pin; if the change is intentional, "
+         "regenerate with CMM_UPDATE_GOLDEN=1 and review the diff";
+}
+
+// The off-run must be engine-independent: with the MSR disabling
+// everything, a core configured with any single engine behaves
+// identically to any other (prefetching contributes nothing).
+TEST(PrefetcherDifferential, DisabledRunsAreEngineIndependent) {
+  const RunStats base = run_one(PrefetcherKind::L2Streamer, "omnetpp", false);
+  for (const auto& info : prefetcher_registry()) {
+    const RunStats r = run_one(info.kind, "omnetpp", false);
+    EXPECT_EQ(r.instructions, base.instructions) << info.name;
+    EXPECT_EQ(r.cycles, base.cycles) << info.name;
+    EXPECT_EQ(r.issued, 0u) << info.name;
+  }
+}
+
+}  // namespace
+}  // namespace cmm::sim
