@@ -78,7 +78,7 @@ const analysis::BatchStats& MixEvaluator::warm(const std::vector<workloads::Work
     } else {
       const auto& name = solos[i - mix_jobs.size()];
       solo_ipcs[i - mix_jobs.size()] =
-          analysis::run_solo_cached(name, env_.params, /*prefetch_on=*/true).cores.front().ipc;
+          analysis::run_solo_cached(name, env_.params, /*prefetch_on=*/true)->cores.front().ipc;
     }
   });
   for (std::size_t i = 0; i < mix_jobs.size(); ++i) {
@@ -100,7 +100,7 @@ const analysis::RunResult& MixEvaluator::run(const workloads::WorkloadMix& mix,
 double MixEvaluator::alone_ipc(const std::string& benchmark) {
   if (const auto it = alone_.find(benchmark); it != alone_.end()) return it->second;
   const double ipc =
-      analysis::run_solo_cached(benchmark, env_.params, /*prefetch_on=*/true).cores.front().ipc;
+      analysis::run_solo_cached(benchmark, env_.params, /*prefetch_on=*/true)->cores.front().ipc;
   alone_[benchmark] = ipc;
   return ipc;
 }

@@ -12,22 +12,32 @@ decimal way masks. Event types and their fields:
     config_applied    t epoch source prefetch masks
     degradation_step  t epoch step core detail note
     fault_retry       t epoch attempt backoff what
+    tenant_attach     t epoch core tenant slo solo_ipc
+    tenant_detach     t epoch core tenant epochs_served mean_ipc
+    slo_breach        t epoch core tenant ipc floor
+    recovery_probe    t epoch axis core ok
 
 The report reconstructs the paper's Fig. 4 timeline — one row per
 execution epoch: configuration in force, cores flagged Agg by the
 Fig. 5 detector, number of sampling intervals, the winning candidate
 (best hm_ipc) and the configuration finally applied — followed by a
-per-policy decision summary.
+per-policy decision summary covering service-mode tenant lifecycle
+and recovery-ladder traffic.
+
+--follow tails a live soak trace (bench/soak_churn with CMM_SOAK_TRACE)
+and prints a rolling SLO/health summary line as events stream in.
 
 Usage:
     trace_report.py TRACE.jsonl              # validate + report
     trace_report.py TRACE.jsonl --validate-only
+    trace_report.py TRACE.jsonl --follow [--poll S] [--idle-timeout S]
     trace_report.py --self-test
 """
 
 import argparse
 import json
 import sys
+import time
 
 # type -> {field: allowed types}; every event also carries t/epoch.
 SCHEMA = {
@@ -39,9 +49,16 @@ SCHEMA = {
     "config_applied": {"source": str, "prefetch": str, "masks": list},
     "degradation_step": {"step": str, "core": int, "detail": int, "note": str},
     "fault_retry": {"attempt": int, "backoff": int, "what": str},
+    "tenant_attach": {"core": int, "tenant": str, "slo": (int, float),
+                      "solo_ipc": (int, float)},
+    "tenant_detach": {"core": int, "tenant": str, "epochs_served": int,
+                      "mean_ipc": (int, float)},
+    "slo_breach": {"core": int, "tenant": str, "ipc": (int, float),
+                   "floor": (int, float)},
+    "recovery_probe": {"axis": str, "core": int, "ok": bool},
 }
 
-APPLY_SOURCES = {"initial", "sample", "final", "watchdog"}
+APPLY_SOURCES = {"initial", "sample", "final", "watchdog", "reseed"}
 
 
 def validate_event(ev, lineno):
@@ -105,6 +122,8 @@ def fmt_config(ev):
 def report(events, out=sys.stdout):
     epochs = {}
     policies = set()
+    service = {"tenant_attach": 0, "tenant_detach": 0, "slo_breach": 0,
+               "recovery_probe": 0, "probe_ok": 0}
     for ev in events:
         e = epochs.setdefault(ev["epoch"], {
             "start": None, "verdicts": [], "samples": [], "applied": [],
@@ -123,6 +142,10 @@ def report(events, out=sys.stdout):
             e["degradations"].append(ev)
         elif etype == "fault_retry":
             e["retries"] += 1
+        elif etype in service:
+            service[etype] += 1
+            if etype == "recovery_probe" and ev.get("ok"):
+                service["probe_ok"] += 1
 
     header = (f"{'epoch':>5}  {'t(start)':>10}  {'length':>9}  {'agg cores':<12}  "
               f"{'samples':>7}  {'best hm_ipc':>11}  {'winning config':<22}  "
@@ -163,6 +186,100 @@ def report(events, out=sys.stdout):
             steps[d["step"]] = steps.get(d["step"], 0) + 1
     for step in sorted(steps):
         print(f"    {step}: {steps[step]}", file=out)
+    if any(service.values()):
+        print("  service mode:", file=out)
+        print(f"    tenant attaches   : {service['tenant_attach']}", file=out)
+        print(f"    tenant detaches   : {service['tenant_detach']}", file=out)
+        print(f"    SLO breaches      : {service['slo_breach']}", file=out)
+        print(f"    recovery probes   : {service['recovery_probe']} "
+              f"({service['probe_ok']} ok)", file=out)
+
+
+class FollowState:
+    """Rolling summary over a live (still-being-written) soak trace."""
+
+    def __init__(self):
+        self.events = 0
+        self.last_t = 0
+        self.last_epoch = 0
+        self.tenants = {}       # core -> tenant name
+        self.attaches = 0
+        self.detaches = 0
+        self.breaches = 0
+        self.probes = 0
+        self.probes_ok = 0
+        self.degradations = 0
+        self.errors = 0
+
+    def feed(self, line, lineno):
+        line = line.strip()
+        if not line:
+            return
+        try:
+            ev = json.loads(line)
+        except json.JSONDecodeError:
+            self.errors += 1
+            return
+        if validate_event(ev, lineno):
+            self.errors += 1
+            return
+        self.events += 1
+        self.last_t = ev["t"]
+        self.last_epoch = ev["epoch"]
+        etype = ev["type"]
+        if etype == "tenant_attach":
+            self.attaches += 1
+            self.tenants[ev["core"]] = ev["tenant"]
+        elif etype == "tenant_detach":
+            self.detaches += 1
+            self.tenants.pop(ev["core"], None)
+        elif etype == "slo_breach":
+            self.breaches += 1
+        elif etype == "recovery_probe":
+            self.probes += 1
+            if ev["ok"]:
+                self.probes_ok += 1
+        elif etype == "degradation_step":
+            self.degradations += 1
+
+    def summary_line(self):
+        resident = ",".join(self.tenants[c] for c in sorted(self.tenants)) or "-"
+        return (f"t={self.last_t} epoch={self.last_epoch} events={self.events} "
+                f"tenants={len(self.tenants)}[{resident}] "
+                f"churn={self.attaches}/{self.detaches} breaches={self.breaches} "
+                f"probes={self.probes_ok}/{self.probes} "
+                f"degradations={self.degradations} schema_errors={self.errors}")
+
+
+def follow(path, out=sys.stdout, poll=0.5, idle_timeout=None):
+    """Tail a live JSONL trace, printing a rolling summary per batch.
+
+    Exits 0 when `idle_timeout` seconds pass with no new data (None =
+    follow forever, until interrupted).
+    """
+    state = FollowState()
+    lineno = 0
+    idle = 0.0
+    partial = ""
+    with open(path, encoding="utf-8") as f:
+        while True:
+            chunk = f.read()
+            if chunk:
+                idle = 0.0
+                partial += chunk
+                lines = partial.split("\n")
+                partial = lines.pop()  # possibly mid-line: keep for next read
+                for line in lines:
+                    lineno += 1
+                    state.feed(line, lineno)
+                print(state.summary_line(), file=out, flush=True)
+            else:
+                if idle_timeout is not None and idle >= idle_timeout:
+                    break
+                time.sleep(poll)
+                idle += poll
+    print(f"follow done: {state.summary_line()}", file=out, flush=True)
+    return 1 if state.errors else 0
 
 
 def main():
@@ -170,7 +287,17 @@ def main():
     ap.add_argument("trace", help="JSONL trace written by obs::JsonlTraceSink")
     ap.add_argument("--validate-only", action="store_true",
                     help="check the schema and exit; print nothing on success")
+    ap.add_argument("--follow", action="store_true",
+                    help="tail a live trace; rolling SLO/health summary")
+    ap.add_argument("--poll", type=float, default=0.5,
+                    help="follow mode: seconds between reads (default 0.5)")
+    ap.add_argument("--idle-timeout", type=float, default=None,
+                    help="follow mode: exit after this many idle seconds "
+                         "(default: follow forever)")
     args = ap.parse_args()
+
+    if args.follow:
+        return follow(args.trace, poll=args.poll, idle_timeout=args.idle_timeout)
 
     events, errors = load_trace(args.trace)
     if errors:
@@ -212,6 +339,16 @@ def self_test():
          "step": "sample_partial_discarded", "core": -1, "detail": 5000, "note": ""},
         {"type": "fault_retry", "t": 2090000, "epoch": 0, "attempt": 1,
          "backoff": 2, "what": "msr write"},
+        {"type": "config_applied", "t": 2095000, "epoch": 0, "source": "reseed",
+         "prefetch": "1111", "masks": [15, 15, 15, 15]},
+        {"type": "tenant_attach", "t": 2100000, "epoch": 1, "core": 2,
+         "tenant": "lbm", "slo": 0.5, "solo_ipc": 1.25},
+        {"type": "slo_breach", "t": 2200000, "epoch": 1, "core": 2,
+         "tenant": "lbm", "ipc": 0.5, "floor": 0.625},
+        {"type": "recovery_probe", "t": 2300000, "epoch": 1, "axis": "cat",
+         "core": -1, "ok": True},
+        {"type": "tenant_detach", "t": 2400000, "epoch": 2, "core": 2,
+         "tenant": "lbm", "epochs_served": 7, "mean_ipc": 0.75},
     ]
     checks = []
 
@@ -225,7 +362,7 @@ def self_test():
             for ev in sample:
                 f.write(json.dumps(ev) + "\n")
         events, errors = load_trace(good)
-        expect("valid trace has no schema errors", not errors and len(events) == 9)
+        expect("valid trace has no schema errors", not errors and len(events) == 14)
 
         buf = io.StringIO()
         report(events, out=buf)
@@ -235,6 +372,48 @@ def self_test():
         expect("final config column shows applied masks", "0x3" in text)
         expect("summary counts degradation steps",
                "sample_partial_discarded: 1" in text)
+        expect("summary counts tenant lifecycle",
+               "tenant attaches   : 1" in text and "tenant detaches   : 1" in text)
+        expect("summary counts SLO breaches", "SLO breaches      : 1" in text)
+        expect("summary counts recovery probes", "recovery probes   : 1 (1 ok)" in text)
+
+        svc_bad = os.path.join(d, "svc_bad.jsonl")
+        with open(svc_bad, "w", encoding="utf-8") as f:
+            f.write(json.dumps({"type": "recovery_probe", "t": 1, "epoch": 0,
+                                "axis": "cat", "core": -1}) + "\n")  # missing ok
+            f.write(json.dumps({"type": "config_applied", "t": 2, "epoch": 0,
+                                "source": "hotpatch", "prefetch": "1",
+                                "masks": [1]}) + "\n")  # unknown source
+        _, errors = load_trace(svc_bad)
+        expect("recovery_probe missing field is flagged",
+               any("recovery_probe.ok" in e for e in errors))
+        expect("unknown apply source is flagged",
+               any("hotpatch" in e for e in errors))
+
+        # Follow mode against a file that grows while we tail it.
+        import threading
+
+        live = os.path.join(d, "live.jsonl")
+        with open(live, "w", encoding="utf-8") as f:
+            f.write(json.dumps(sample[10]) + "\n")  # tenant_attach
+
+        def append_later():
+            time.sleep(0.2)
+            with open(live, "a", encoding="utf-8") as f:
+                f.write(json.dumps(sample[11]) + "\n")  # slo_breach
+                f.write(json.dumps(sample[13]) + "\n")  # tenant_detach
+
+        writer = threading.Thread(target=append_later)
+        writer.start()
+        fbuf = io.StringIO()
+        rc = follow(live, out=fbuf, poll=0.1, idle_timeout=1.0)
+        writer.join()
+        ftext = fbuf.getvalue()
+        expect("follow exits clean on idle timeout", rc == 0)
+        expect("follow saw the resident tenant", "tenants=1[lbm]" in ftext)
+        expect("follow rolled up the late-arriving events",
+               "follow done:" in ftext and "breaches=1" in ftext
+               and "churn=1/1" in ftext and "tenants=0[-]" in ftext.splitlines()[-1])
 
         bad = os.path.join(d, "bad.jsonl")
         with open(bad, "w", encoding="utf-8") as f:

@@ -215,7 +215,7 @@ std::vector<RunResult> run_solo_batch(const std::vector<SoloQuery>& queries,
       queries.size(),
       [&](std::size_t i) {
         const auto& q = queries[i];
-        results[i] = run_solo_cached(q.benchmark, params, q.prefetch_on, q.ways);
+        results[i] = *run_solo_cached(q.benchmark, params, q.prefetch_on, q.ways);
       },
       opts);
   if (stats != nullptr) *stats = s;

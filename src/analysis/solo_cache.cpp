@@ -18,7 +18,7 @@ std::string SoloRunCache::key_of(const std::string& benchmark, const RunParams& 
   os << m.l1_latency << '|' << m.l2_latency << '|' << m.llc_latency << '|' << m.dram_base_latency
      << '|' << m.freq_ghz << '|' << m.dram_peak_bytes_per_cycle << '|' << m.bandwidth_window << '|'
      << m.quantum << '|' << m.instant_prefetch_fills << m.bandwidth_queueing << m.inclusive_llc
-     << m.model_writebacks;
+     << m.model_writebacks << '|' << m.idle_cpi;
   // Per-core prefetcher engine sets (empty = default Intel set). Runs
   // with heterogeneous engine mixes must not collide with default runs.
   for (const auto& set : m.core_prefetchers) {
@@ -28,26 +28,54 @@ std::string SoloRunCache::key_of(const std::string& benchmark, const RunParams& 
   return std::move(os).str();
 }
 
-const RunResult& SoloRunCache::get_or_run(const std::string& benchmark, const RunParams& params,
-                                          bool prefetch_on, unsigned ways) {
+void SoloRunCache::enforce_capacity_locked() {
+  if (capacity_ == 0) return;
+  while (entries_.size() > capacity_) {
+    const std::string victim = lru_.back();
+    lru_.pop_back();
+    entries_.erase(victim);
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+std::shared_ptr<const RunResult> SoloRunCache::get_or_run(const std::string& benchmark,
+                                                          const RunParams& params,
+                                                          bool prefetch_on, unsigned ways) {
   const std::string key = key_of(benchmark, params, prefetch_on, ways);
-  Entry* entry = nullptr;
+  std::shared_ptr<Entry> entry;
   {
     std::lock_guard lock(mu_);
     const auto [it, inserted] = entries_.try_emplace(key);
     if (inserted) {
-      it->second = std::make_unique<Entry>();
+      it->second = std::make_shared<Entry>();
+      lru_.push_front(key);
+      it->second->lru_pos = lru_.begin();
       misses_.fetch_add(1, std::memory_order_relaxed);
+      enforce_capacity_locked();
     } else {
+      lru_.splice(lru_.begin(), lru_, it->second->lru_pos);  // touch
       hits_.fetch_add(1, std::memory_order_relaxed);
     }
-    entry = it->second.get();
+    entry = it->second;
   }
   std::call_once(entry->once, [&] {
     entry->result = run_solo(benchmark, params, prefetch_on, ways);
     computed_.fetch_add(1, std::memory_order_relaxed);
   });
-  return entry->result;
+  // Alias: the result shares ownership with its Entry, so eviction
+  // can never dangle a caller's pointer.
+  return std::shared_ptr<const RunResult>(entry, &entry->result);
+}
+
+void SoloRunCache::set_capacity(std::size_t n) {
+  std::lock_guard lock(mu_);
+  capacity_ = n;
+  enforce_capacity_locked();
+}
+
+std::size_t SoloRunCache::capacity() const {
+  std::lock_guard lock(mu_);
+  return capacity_;
 }
 
 std::size_t SoloRunCache::size() const {
@@ -58,9 +86,11 @@ std::size_t SoloRunCache::size() const {
 void SoloRunCache::clear() {
   std::lock_guard lock(mu_);
   entries_.clear();
+  lru_.clear();
   hits_.store(0, std::memory_order_relaxed);
   misses_.store(0, std::memory_order_relaxed);
   computed_.store(0, std::memory_order_relaxed);
+  evictions_.store(0, std::memory_order_relaxed);
 }
 
 SoloRunCache& SoloRunCache::global() {
@@ -68,8 +98,9 @@ SoloRunCache& SoloRunCache::global() {
   return cache;
 }
 
-const RunResult& run_solo_cached(const std::string& benchmark, const RunParams& params,
-                                 bool prefetch_on, unsigned ways) {
+std::shared_ptr<const RunResult> run_solo_cached(const std::string& benchmark,
+                                                 const RunParams& params, bool prefetch_on,
+                                                 unsigned ways) {
   return SoloRunCache::global().get_or_run(benchmark, params, prefetch_on, ways);
 }
 

@@ -4,10 +4,19 @@
 // Sec. IV-B classifier keep asking for the same ones. The cache is
 // thread-safe: concurrent lookups of one key run the simulation exactly
 // once (losers block on the winner's std::call_once).
+//
+// Long-running service soaks churn through the workload catalog at many
+// machine configs, so the cache supports an optional LRU capacity:
+// `set_capacity(n)` bounds the resident entry count, evicting the
+// least-recently-used result. Entries are handed out as shared_ptr, so
+// an evicted result stays valid for every caller still holding it; a
+// later lookup of an evicted key recomputes (bit-identically — run_solo
+// is deterministic).
 #pragma once
 
 #include <atomic>
 #include <cstddef>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -23,11 +32,12 @@ class SoloRunCache {
   SoloRunCache(const SoloRunCache&) = delete;
   SoloRunCache& operator=(const SoloRunCache&) = delete;
 
-  /// Lookup, simulating on first use. The returned reference stays
-  /// valid for the cache's lifetime — entries are never evicted.
-  /// clear() must not race with lookups.
-  const RunResult& get_or_run(const std::string& benchmark, const RunParams& params,
-                              bool prefetch_on, unsigned ways = 0);
+  /// Lookup, simulating on first use. The returned pointer is never
+  /// null and stays valid for as long as the caller holds it, even if
+  /// the entry is evicted concurrently.
+  std::shared_ptr<const RunResult> get_or_run(const std::string& benchmark,
+                                              const RunParams& params, bool prefetch_on,
+                                              unsigned ways = 0);
 
   /// Canonical cache key. Covers every input run_solo reads — the full
   /// machine config (geometry, latencies, bandwidth, model knobs),
@@ -35,6 +45,11 @@ class SoloRunCache {
   /// distinct configurations can never collide.
   static std::string key_of(const std::string& benchmark, const RunParams& params,
                             bool prefetch_on, unsigned ways);
+
+  /// Bound the resident entry count (0 = unbounded, the default).
+  /// Shrinking below the current size evicts LRU entries immediately.
+  void set_capacity(std::size_t n);
+  std::size_t capacity() const;
 
   /// Lookups that found an existing entry (they may still have waited
   /// for the entry's first computation to finish).
@@ -44,6 +59,8 @@ class SoloRunCache {
   /// Simulations actually executed; equals misses() in steady state —
   /// the "exactly once per key" guarantee made observable.
   std::size_t computed() const noexcept { return computed_.load(std::memory_order_relaxed); }
+  /// Entries dropped by the LRU capacity bound.
+  std::size_t evictions() const noexcept { return evictions_.load(std::memory_order_relaxed); }
 
   std::size_t size() const;
   void clear();
@@ -55,17 +72,25 @@ class SoloRunCache {
   struct Entry {
     std::once_flag once;
     RunResult result;
+    std::list<std::string>::iterator lru_pos;
   };
 
+  /// Drop LRU entries until the size respects capacity_. mu_ held.
+  void enforce_capacity_locked();
+
   mutable std::mutex mu_;
-  std::unordered_map<std::string, std::unique_ptr<Entry>> entries_;
+  std::unordered_map<std::string, std::shared_ptr<Entry>> entries_;
+  std::list<std::string> lru_;  // front = most recently used
+  std::size_t capacity_ = 0;
   std::atomic<std::size_t> hits_{0};
   std::atomic<std::size_t> misses_{0};
   std::atomic<std::size_t> computed_{0};
+  std::atomic<std::size_t> evictions_{0};
 };
 
 /// run_solo through the global memo cache; bit-identical to run_solo.
-const RunResult& run_solo_cached(const std::string& benchmark, const RunParams& params,
-                                 bool prefetch_on, unsigned ways = 0);
+std::shared_ptr<const RunResult> run_solo_cached(const std::string& benchmark,
+                                                 const RunParams& params, bool prefetch_on,
+                                                 unsigned ways = 0);
 
 }  // namespace cmm::analysis

@@ -24,7 +24,8 @@ EpochDriver::EpochDriver(sim::MulticoreSystem& system, Policy& policy, const Epo
       cat_(owned_cat_.get()),
       pmu_(owned_pmu_.get()),
       retry_(logging_retry(cfg.retry)),
-      prefetch_(*msr_, retry_) {
+      prefetch_(*msr_, retry_),
+      probe_prefetch_(*msr_, RetryPolicy{.max_attempts = 1}) {
   init();
 }
 
@@ -37,7 +38,8 @@ EpochDriver::EpochDriver(sim::MulticoreSystem& system, Policy& policy, hw::MsrDe
       cat_(&cat),
       pmu_(&pmu),
       retry_(logging_retry(cfg.retry)),
-      prefetch_(*msr_, retry_) {
+      prefetch_(*msr_, retry_),
+      probe_prefetch_(*msr_, RetryPolicy{.max_attempts = 1}) {
   init();
 }
 
@@ -47,6 +49,7 @@ void EpochDriver::init() {
   core_prefetch_ok_.assign(cores, true);
   applied_prefetch_.assign(cores, true);  // hardware reset state: all enabled
   last_snapshot_.assign(cores, sim::PmuCounters{});
+  prefetch_probe_.assign(cores, ProbeState{});
 
   tctx_.now = system_.now();
   trace_ = obs::Trace(cfg_.sink, &tctx_);
@@ -57,8 +60,22 @@ void EpochDriver::init() {
 void EpochDriver::record_health(HealthEventKind kind, CoreId core, std::uint64_t detail,
                                 std::string note) {
   if (trace_.on()) {
-    trace_.emit(obs::DegradationStep{system_.now(), tctx_.epoch, to_string(kind), core,
-                                     detail, note});
+    switch (kind) {
+      case HealthEventKind::RecoveryProbe:
+        // Typed event: the note is the probed axis, the detail the outcome.
+        trace_.emit(obs::RecoveryProbe{system_.now(), tctx_.epoch, note, core, detail != 0});
+        break;
+      case HealthEventKind::TenantAttach:
+      case HealthEventKind::TenantDetach:
+      case HealthEventKind::SloBreach:
+        // The ServiceDriver emits the richer typed events for these
+        // itself; a DegradationStep mirror here would double-log them.
+        break;
+      default:
+        trace_.emit(obs::DegradationStep{system_.now(), tctx_.epoch, to_string(kind), core,
+                                         detail, note});
+        break;
+    }
   }
   if (metrics_ != nullptr) metrics_->count("health." + std::string(to_string(kind)));
   health_.record(kind, system_.now(), core, detail, std::move(note));
@@ -93,8 +110,84 @@ void EpochDriver::check_management_lost() {
   }
 }
 
+void EpochDriver::arm_probe(ProbeState& ps) {
+  if (cfg_.probe_period_epochs == 0) return;
+  ps.streak = 0;
+  ps.interval = cfg_.probe_period_epochs;
+  ps.next_epoch = tctx_.epoch + ps.interval;
+}
+
+void EpochDriver::run_recovery_probes() {
+  if (cfg_.probe_period_epochs == 0) return;
+  const std::uint64_t epoch = tctx_.epoch;
+  const std::uint64_t max_interval =
+      static_cast<std::uint64_t>(cfg_.probe_period_epochs) * 32;
+  const unsigned needed = std::max(1u, cfg_.probe_successes_required);
+  const unsigned backoff = std::max(1u, cfg_.probe_backoff_multiplier);
+
+  const auto reschedule = [&](ProbeState& ps, bool ok) {
+    if (ok) {
+      ++ps.streak;
+      ps.interval = cfg_.probe_period_epochs;
+    } else {
+      ps.streak = 0;
+      ps.interval = std::min(ps.interval * backoff, max_interval);
+    }
+    ps.next_epoch = epoch + ps.interval;
+  };
+
+  // Per-core prefetch axis: re-write the state the hardware is believed
+  // to hold. A success is a no-op write; `needed` consecutive successes
+  // end the core's probation.
+  for (CoreId c = 0; c < core_prefetch_ok_.size(); ++c) {
+    if (core_prefetch_ok_[c]) continue;
+    auto& ps = prefetch_probe_[c];
+    if (epoch < ps.next_epoch) continue;
+    bool ok = false;
+    try {
+      probe_prefetch_.set_core_prefetchers(c, applied_prefetch_[c]);
+      ok = true;
+    } catch (...) {
+    }
+    record_health(HealthEventKind::RecoveryProbe, c, ok ? 1 : 0, "prefetch");
+    reschedule(ps, ok);
+    if (ps.streak < needed) continue;
+    core_prefetch_ok_[c] = true;
+    ps = ProbeState{};
+    record_health(HealthEventKind::CorePrefetchRestored, c);
+    if (!prefetch_ok_) {
+      // At least one core's prefetch knob is back: leave CP-only.
+      prefetch_ok_ = true;
+      management_lost_logged_ = false;
+      record_health(HealthEventKind::CpOnlyRecovered);
+      notify_policy_degraded();
+    }
+  }
+
+  // CAT axis: re-apply the masks the hardware currently holds.
+  if (!cat_ok_ && epoch >= cat_probe_.next_epoch) {
+    bool ok = false;
+    try {
+      cat_->apply(cat_->current());
+      ok = true;
+    } catch (...) {
+    }
+    record_health(HealthEventKind::RecoveryProbe, kInvalidCore, ok ? 1 : 0, "cat");
+    reschedule(cat_probe_, ok);
+    if (cat_probe_.streak >= needed) {
+      cat_ok_ = true;
+      cat_probe_ = ProbeState{};
+      management_lost_logged_ = false;
+      current_.way_masks = cat_->current();
+      record_health(HealthEventKind::PtOnlyRecovered);
+      notify_policy_degraded();
+    }
+  }
+}
+
 void EpochDriver::mark_core_prefetch_dead(CoreId core, const char* what) {
   core_prefetch_ok_[core] = false;
+  arm_probe(prefetch_probe_[core]);
   record_health(HealthEventKind::CorePrefetchOffline, core, 0, what);
   if (std::none_of(core_prefetch_ok_.begin(), core_prefetch_ok_.end(),
                    [](bool ok) { return ok; })) {
@@ -107,6 +200,7 @@ void EpochDriver::mark_core_prefetch_dead(CoreId core, const char* what) {
 
 void EpochDriver::mark_cat_dead(const char* what) {
   cat_ok_ = false;
+  arm_probe(cat_probe_);
   // Best-effort: drop any stale partition so no core stays stuck with a
   // tiny mask the controller can no longer manage (success recorded in
   // the event's detail field).
@@ -272,6 +366,7 @@ void EpochDriver::run(Cycle total_cycles) {
   while (system_.now() < end) {
     // ---- Execution epoch ----
     tctx_.now = system_.now();
+    run_recovery_probes();
     const Cycle exec_len = std::min<Cycle>(cfg_.execution_epoch, end - system_.now());
     if (trace_.on()) {
       trace_.emit(obs::EpochStart{system_.now(), tctx_.epoch, exec_len, policy_.name(),

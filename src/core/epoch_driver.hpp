@@ -44,6 +44,25 @@ struct EpochConfig {
   unsigned max_samples_per_epoch = 24;  // enforced; overruns land in the HealthLog
   RetryPolicy retry{};                  // per-HAL-call retry budget
 
+  // ---- Recovery ladder (probation / recovery transitions) ----
+
+  /// Every this-many execution epochs, each axis parked on a
+  /// degradation rung (CorePrefetchOffline / PtOnlyFallback) is
+  /// re-probed with a single-attempt write of its current state. 0
+  /// (the default) disables probing entirely — the PR-2 one-way-ladder
+  /// behaviour, byte-identical logs and traces.
+  unsigned probe_period_epochs = 0;
+
+  /// Hysteresis: this many *consecutive* successful probes are needed
+  /// before a rung is left (prevents a flapping knob from oscillating
+  /// the policy between full-CMM and fallback modes).
+  unsigned probe_successes_required = 2;
+
+  /// After a failed probe the axis's probe interval is multiplied by
+  /// this (capped at 32x the base period), backing off from a knob
+  /// that stays dead; any successful probe resets it to the base.
+  unsigned probe_backoff_multiplier = 2;
+
   /// Observability hooks, both borrowed and optional. Null (the
   /// default) keeps the hot path untouched: no event is ever built,
   /// every emission site is guarded by a single pointer test.
@@ -87,6 +106,34 @@ class EpochDriver {
   /// Degradation-ladder state: knobs still believed usable.
   bool prefetch_available() const noexcept { return prefetch_ok_; }
   bool cat_available() const noexcept { return cat_ok_; }
+  bool core_prefetch_available(CoreId core) const { return core_prefetch_ok_.at(core); }
+
+  /// Execution epochs completed so far (the trace epoch stamp).
+  std::uint64_t epoch_index() const noexcept { return tctx_.epoch; }
+
+  /// Configuration most recently applied to hardware.
+  const ResourceConfig& current_config() const noexcept { return current_; }
+
+  // ---- Service-mode hooks (used by service::ServiceDriver) ----
+
+  /// Re-apply a configuration outside the normal schedule (tenant
+  /// churn invalidates the partition the policy converged on). Emitted
+  /// with apply-source "reseed".
+  void reseed(const ResourceConfig& cfg) { apply(cfg, "reseed"); }
+
+  /// Record a tenant-lifecycle / SLO event into this driver's
+  /// HealthLog with the standard trace + metrics mirror.
+  void record_service_event(HealthEventKind kind, CoreId core = kInvalidCore,
+                            std::uint64_t detail = 0, std::string note = {}) {
+    record_health(kind, core, detail, std::move(note));
+  }
+
+  /// Cap the HealthLog ring (see HealthLog::set_capacity).
+  void set_health_capacity(std::size_t n) { health_.set_capacity(n); }
+
+  /// Trace handle stamped with this driver's simulated time / epoch,
+  /// for the service layer's typed tenant events.
+  const obs::Trace& trace() const noexcept { return trace_; }
 
  private:
   /// One measured span: sanitized per-core deltas plus plausibility
@@ -132,6 +179,20 @@ class EpochDriver {
   void check_management_lost();
   void notify_policy_degraded() noexcept;
 
+  // ---- Recovery ladder ----
+
+  /// Per-axis probation bookkeeping. Armed when the axis's rung is
+  /// entered; `next_epoch`/`interval` implement the failure backoff,
+  /// `streak` the consecutive-success hysteresis.
+  struct ProbeState {
+    unsigned streak = 0;
+    std::uint64_t interval = 0;
+    std::uint64_t next_epoch = 0;
+  };
+
+  void arm_probe(ProbeState& ps);
+  void run_recovery_probes();
+
   sim::MulticoreSystem& system_;
   Policy& policy_;
   EpochConfig cfg_;
@@ -145,6 +206,7 @@ class EpochDriver {
   hw::PmuReader* pmu_;
   RetryPolicy retry_;  // cfg_.retry with the HealthLog-recording hook
   hw::PrefetchControl prefetch_;
+  hw::PrefetchControl probe_prefetch_;  // single-attempt: probes never burn retries
 
   // Observability: the context is the driver-owned stamp (sim time +
   // epoch index) every event carries; trace_ strips a disabled sink at
@@ -165,6 +227,8 @@ class EpochDriver {
   std::vector<bool> core_prefetch_ok_;  // per-core prefetch MSR usable
   std::vector<bool> applied_prefetch_;  // prefetch state actually on hardware
   std::vector<sim::PmuCounters> last_snapshot_;  // last successful PMU read
+  std::vector<ProbeState> prefetch_probe_;  // per-core probation clocks
+  ProbeState cat_probe_;
 };
 
 }  // namespace cmm::core

@@ -1,7 +1,5 @@
 #include "core/health.hpp"
 
-#include <algorithm>
-#include <array>
 #include <sstream>
 
 namespace cmm::core {
@@ -21,35 +19,38 @@ std::string_view to_string(HealthEventKind kind) noexcept {
     case HealthEventKind::PtOnlyFallback: return "pt_only_fallback";
     case HealthEventKind::ManagementLost: return "management_lost";
     case HealthEventKind::WatchdogRestore: return "watchdog_restore";
+    case HealthEventKind::RecoveryProbe: return "recovery_probe";
+    case HealthEventKind::CorePrefetchRestored: return "core_prefetch_restored";
+    case HealthEventKind::CpOnlyRecovered: return "cp_only_recovered";
+    case HealthEventKind::PtOnlyRecovered: return "pt_only_recovered";
+    case HealthEventKind::TenantAttach: return "tenant_attach";
+    case HealthEventKind::TenantDetach: return "tenant_detach";
+    case HealthEventKind::TenantRejected: return "tenant_rejected";
+    case HealthEventKind::TenantQueued: return "tenant_queued";
+    case HealthEventKind::SloBreach: return "slo_breach";
   }
   return "unknown";
 }
 
-std::size_t HealthLog::count(HealthEventKind kind) const noexcept {
-  return static_cast<std::size_t>(
-      std::count_if(events_.begin(), events_.end(),
-                    [kind](const HealthEvent& e) { return e.kind == kind; }));
+void HealthLog::set_capacity(std::size_t n) {
+  capacity_ = n;
+  if (capacity_ > 0) {
+    while (events_.size() > capacity_) {
+      events_.pop_front();
+      ++dropped_;
+    }
+  }
 }
 
 std::string HealthLog::summary_json() const {
-  constexpr std::array kinds{
-      HealthEventKind::HwRetry,           HealthEventKind::PmuWrapSaturated,
-      HealthEventKind::PmuGarbageDetected, HealthEventKind::PmuSnapshotReread,
-      HealthEventKind::SampleQuarantined,
-      HealthEventKind::SampleDiscarded,   HealthEventKind::PmuReadFailed,
-      HealthEventKind::SampleCapTruncated, HealthEventKind::CorePrefetchOffline,
-      HealthEventKind::CpOnlyFallback,    HealthEventKind::PtOnlyFallback,
-      HealthEventKind::ManagementLost,    HealthEventKind::WatchdogRestore,
-  };
   std::ostringstream os;
   os << '{';
   bool first = true;
-  for (const auto kind : kinds) {
-    const std::size_t n = count(kind);
-    if (n == 0) continue;
+  for (std::size_t i = 0; i < kNumHealthEventKinds; ++i) {
+    if (totals_[i] == 0) continue;
     if (!first) os << ',';
     first = false;
-    os << '"' << to_string(kind) << "\":" << n;
+    os << '"' << to_string(static_cast<HealthEventKind>(i)) << "\":" << totals_[i];
   }
   os << '}';
   return std::move(os).str();

@@ -6,10 +6,11 @@
 // FaultPlan seed yields an identical event sequence on every run.
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <deque>
 #include <string>
 #include <string_view>
-#include <vector>
 
 #include "common/types.hpp"
 
@@ -29,7 +30,21 @@ enum class HealthEventKind : std::uint8_t {
   PtOnlyFallback,       // CAT programming lost -> PT-only
   ManagementLost,       // both knobs lost; baseline from here on
   WatchdogRestore,      // a policy step threw; baseline state restored
+  // ---- Recovery ladder (bidirectional transitions) ----
+  RecoveryProbe,        // probation re-probe of a faulted axis (detail=ok)
+  CorePrefetchRestored, // a per-core prefetch MSR works again
+  CpOnlyRecovered,      // prefetch axis healed -> CP-only rung left
+  PtOnlyRecovered,      // CAT axis healed -> PT-only rung left
+  // ---- Service-mode tenant lifecycle ----
+  TenantAttach,         // tenant admitted and installed on a core
+  TenantDetach,         // tenant departed; core hotplugged out
+  TenantRejected,       // admission denied (projected pressure breach)
+  TenantQueued,         // admission deferred; tenant waits for headroom
+  SloBreach,            // a tenant's epoch IPC fell under its SLO floor
 };
+
+inline constexpr std::size_t kNumHealthEventKinds =
+    static_cast<std::size_t>(HealthEventKind::SloBreach) + 1;
 
 std::string_view to_string(HealthEventKind kind) noexcept;
 
@@ -43,17 +58,41 @@ struct HealthEvent {
   bool operator==(const HealthEvent&) const = default;
 };
 
+/// Bounded by an optional ring capacity: hour-scale service soaks emit
+/// events forever, so `set_capacity(n)` keeps only the newest n events
+/// while per-kind totals (count/has/summary_json) and the dropped-event
+/// counter stay exact over the whole run. Capacity 0 (the default) is
+/// unbounded — the PR-2 batch behaviour.
 class HealthLog {
  public:
   void record(HealthEventKind kind, Cycle time, CoreId core = kInvalidCore,
               std::uint64_t detail = 0, std::string note = {}) {
+    ++totals_[static_cast<std::size_t>(kind)];
     events_.push_back({kind, time, core, detail, std::move(note)});
+    if (capacity_ > 0) {
+      while (events_.size() > capacity_) {
+        events_.pop_front();
+        ++dropped_;
+      }
+    }
   }
 
-  const std::vector<HealthEvent>& events() const noexcept { return events_; }
+  /// Retained events, oldest first (the newest `capacity` when bounded).
+  const std::deque<HealthEvent>& events() const noexcept { return events_; }
   bool empty() const noexcept { return events_.empty(); }
 
-  std::size_t count(HealthEventKind kind) const noexcept;
+  /// Cap the retained ring at `n` events (0 = unbounded). Shrinking
+  /// below the current size drops the oldest events immediately.
+  void set_capacity(std::size_t n);
+  std::size_t capacity() const noexcept { return capacity_; }
+  /// Events trimmed from the ring so far (totals still include them).
+  std::uint64_t dropped() const noexcept { return dropped_; }
+
+  /// Total recorded events of `kind`, including any trimmed from the
+  /// ring.
+  std::size_t count(HealthEventKind kind) const noexcept {
+    return static_cast<std::size_t>(totals_[static_cast<std::size_t>(kind)]);
+  }
   bool has(HealthEventKind kind) const noexcept { return count(kind) > 0; }
 
   /// One-line {"hw_retry":N,...} summary over non-zero kinds, for the
@@ -63,7 +102,10 @@ class HealthLog {
   bool operator==(const HealthLog&) const = default;
 
  private:
-  std::vector<HealthEvent> events_;
+  std::deque<HealthEvent> events_;
+  std::array<std::uint64_t, kNumHealthEventKinds> totals_{};
+  std::size_t capacity_ = 0;
+  std::uint64_t dropped_ = 0;
 };
 
 }  // namespace cmm::core

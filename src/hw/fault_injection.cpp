@@ -62,9 +62,18 @@ void FaultInjector::throw_fault(FaultClass cls, FaultOp op, CoreId core) {
 }
 
 void FaultInjector::maybe_fault(FaultOp op, CoreId core) {
+  ++calls_;
   const auto key = std::make_pair(static_cast<std::uint8_t>(op), core);
-  if (offline(core) || persistent_.contains(key)) {
-    throw_fault(FaultClass::Persistent, op, core);
+  if (offline(core)) throw_fault(FaultClass::Persistent, op, core);
+  if (const auto it = persistent_.find(key); it != persistent_.end()) {
+    if (plan_.repair_after_calls > 0 && calls_ - it->second >= plan_.repair_after_calls) {
+      // The repair window elapsed: the knob works again. Fall through
+      // to the probabilistic path so a healed op can fault anew.
+      persistent_.erase(it);
+      ++repaired_;
+    } else {
+      throw_fault(FaultClass::Persistent, op, core);
+    }
   }
   const double p = fail_probability(op);
   if (p <= 0.0) return;
@@ -72,7 +81,7 @@ void FaultInjector::maybe_fault(FaultOp op, CoreId core) {
   const bool transient =
       plan_.transient_fraction >= 1.0 ||
       (plan_.transient_fraction > 0.0 && rng_.next_bool(plan_.transient_fraction));
-  if (!transient) persistent_.insert(key);
+  if (!transient) persistent_.emplace(key, calls_);
   throw_fault(transient ? FaultClass::Transient : FaultClass::Persistent, op, core);
 }
 

@@ -19,7 +19,7 @@
 #pragma once
 
 #include <cstdint>
-#include <set>
+#include <map>
 #include <utility>
 #include <vector>
 
@@ -61,6 +61,16 @@ struct FaultPlan {
   /// Ops targeting these cores always fail persistently (hotplug).
   std::vector<CoreId> offline_cores;
 
+  /// Repair window: a persistent (op, core) fault heals after this many
+  /// subsequent maybe_fault() calls (any op), modelling a driver reload
+  /// or re-onlined knob — what lets the recovery ladder's probes
+  /// eventually succeed. 0 (default) = persistent faults never heal,
+  /// the PR-2 behaviour. Counter-based, not RNG-based, so enabling it
+  /// does not shift the fault stream of unaffected calls, and plans
+  /// with rate 0 stay bit-identical to the fault-free path.
+  /// offline_cores never heal.
+  std::uint64_t repair_after_calls = 0;
+
   /// Uniform transient-fault plan over every throwing op.
   static FaultPlan transient_everywhere(double rate, std::uint64_t seed);
 
@@ -86,6 +96,8 @@ class FaultInjector {
 
   std::uint64_t injected_faults() const noexcept { return injected_; }
   std::uint64_t corrupted_snapshots() const noexcept { return corrupted_; }
+  /// Persistent faults healed by the plan's repair window so far.
+  std::uint64_t repaired_faults() const noexcept { return repaired_; }
 
  private:
   double fail_probability(FaultOp op) const noexcept;
@@ -96,7 +108,11 @@ class FaultInjector {
   Rng rng_;
   std::uint64_t injected_ = 0;
   std::uint64_t corrupted_ = 0;
-  std::set<std::pair<std::uint8_t, CoreId>> persistent_;  // sticky failures
+  std::uint64_t repaired_ = 0;
+  std::uint64_t calls_ = 0;  // maybe_fault() invocations (repair clock)
+  // Sticky failures -> maybe_fault call index at which each was
+  // injected (the repair window anchors here).
+  std::map<std::pair<std::uint8_t, CoreId>, std::uint64_t> persistent_;
 };
 
 /// MsrDevice decorator: injects faults before delegating.

@@ -83,13 +83,16 @@ void append_header(std::string& out, std::string_view type, Cycle time, std::uin
 
 }  // namespace
 
-JsonlTraceSink::JsonlTraceSink(std::ostream& out, std::size_t flush_bytes)
-    : out_(&out), flush_bytes_(flush_bytes) {
+JsonlTraceSink::JsonlTraceSink(std::ostream& out, std::size_t flush_bytes,
+                               std::uint64_t flush_every_events)
+    : out_(&out), flush_bytes_(flush_bytes), flush_every_events_(flush_every_events) {
   buffer_.reserve(flush_bytes_ + 512);
 }
 
-JsonlTraceSink::JsonlTraceSink(const std::string& path, std::size_t flush_bytes)
-    : file_(path), out_(&file_), flush_bytes_(flush_bytes) {
+JsonlTraceSink::JsonlTraceSink(const std::string& path, std::size_t flush_bytes,
+                               std::uint64_t flush_every_events)
+    : file_(path), out_(&file_), flush_bytes_(flush_bytes),
+      flush_every_events_(flush_every_events) {
   if (!file_) throw std::runtime_error("JsonlTraceSink: cannot open " + path);
   buffer_.reserve(flush_bytes_ + 512);
 }
@@ -101,9 +104,11 @@ void JsonlTraceSink::line(const std::string& text) {
   buffer_ += text;
   buffer_ += '\n';
   ++events_;
-  if (buffer_.size() >= flush_bytes_) {
+  const bool interval_hit = flush_every_events_ != 0 && events_ % flush_every_events_ == 0;
+  if (buffer_.size() >= flush_bytes_ || interval_hit) {
     out_->write(buffer_.data(), static_cast<std::streamsize>(buffer_.size()));
     buffer_.clear();
+    if (interval_hit) out_->flush();  // a live tail must see the bytes
   }
 }
 
@@ -194,6 +199,64 @@ void JsonlTraceSink::emit(const FaultRetry& ev) {
   append_u64(s, ev.backoff_units);
   s += ",\"what\":";
   append_escaped(s, ev.what);
+  s += '}';
+  line(s);
+}
+
+void JsonlTraceSink::emit(const TenantAttach& ev) {
+  std::string s;
+  append_header(s, "tenant_attach", ev.time, ev.epoch);
+  s += ",\"core\":";
+  append_core(s, ev.core);
+  s += ",\"tenant\":";
+  append_escaped(s, ev.tenant);
+  s += ",\"slo\":";
+  append_double(s, ev.slo);
+  s += ",\"solo_ipc\":";
+  append_double(s, ev.solo_ipc);
+  s += '}';
+  line(s);
+}
+
+void JsonlTraceSink::emit(const TenantDetach& ev) {
+  std::string s;
+  append_header(s, "tenant_detach", ev.time, ev.epoch);
+  s += ",\"core\":";
+  append_core(s, ev.core);
+  s += ",\"tenant\":";
+  append_escaped(s, ev.tenant);
+  s += ",\"epochs_served\":";
+  append_u64(s, ev.epochs_served);
+  s += ",\"mean_ipc\":";
+  append_double(s, ev.mean_ipc);
+  s += '}';
+  line(s);
+}
+
+void JsonlTraceSink::emit(const SloBreach& ev) {
+  std::string s;
+  append_header(s, "slo_breach", ev.time, ev.epoch);
+  s += ",\"core\":";
+  append_core(s, ev.core);
+  s += ",\"tenant\":";
+  append_escaped(s, ev.tenant);
+  s += ",\"ipc\":";
+  append_double(s, ev.ipc);
+  s += ",\"floor\":";
+  append_double(s, ev.floor);
+  s += '}';
+  line(s);
+}
+
+void JsonlTraceSink::emit(const RecoveryProbe& ev) {
+  std::string s;
+  append_header(s, "recovery_probe", ev.time, ev.epoch);
+  s += ",\"axis\":";
+  append_escaped(s, ev.axis);
+  s += ",\"core\":";
+  append_core(s, ev.core);
+  s += ",\"ok\":";
+  s += ev.ok ? "true" : "false";
   s += '}';
   line(s);
 }

@@ -14,19 +14,24 @@ namespace cmm::obs {
 
 /// Buffered JSONL writer. Events are formatted immediately (they carry
 /// non-owning views) into an in-memory buffer that is flushed to the
-/// underlying stream only when it crosses `flush_bytes`, on flush(), or
-/// on destruction — the sim never blocks on file I/O mid-epoch. A
-/// single mutex guards the buffer; within one EpochDriver all events
-/// come from one thread, so the lock is uncontended and exists only to
-/// keep shared-sink setups (and TSan) honest.
+/// underlying stream when it crosses `flush_bytes`, every
+/// `flush_every_events` events (when non-zero — the bound long-run
+/// soaks rely on so a live tail sees progress and memory stays flat
+/// even if single events are huge), on flush(), or on destruction — the
+/// sim never blocks on file I/O mid-epoch. A single mutex guards the
+/// buffer; within one EpochDriver all events come from one thread, so
+/// the lock is uncontended and exists only to keep shared-sink setups
+/// (and TSan) honest.
 class JsonlTraceSink final : public TraceSink {
  public:
   /// Write to a caller-owned stream (must outlive the sink).
-  explicit JsonlTraceSink(std::ostream& out, std::size_t flush_bytes = 64 * 1024);
+  explicit JsonlTraceSink(std::ostream& out, std::size_t flush_bytes = 64 * 1024,
+                          std::uint64_t flush_every_events = 0);
 
   /// Convenience: own an output file. Throws std::runtime_error when
   /// the file cannot be opened.
-  explicit JsonlTraceSink(const std::string& path, std::size_t flush_bytes = 64 * 1024);
+  explicit JsonlTraceSink(const std::string& path, std::size_t flush_bytes = 64 * 1024,
+                          std::uint64_t flush_every_events = 0);
 
   ~JsonlTraceSink() override;
 
@@ -36,6 +41,10 @@ class JsonlTraceSink final : public TraceSink {
   void emit(const ConfigApplied& ev) override;
   void emit(const DegradationStep& ev) override;
   void emit(const FaultRetry& ev) override;
+  void emit(const TenantAttach& ev) override;
+  void emit(const TenantDetach& ev) override;
+  void emit(const SloBreach& ev) override;
+  void emit(const RecoveryProbe& ev) override;
 
   void flush() override;
 
@@ -47,6 +56,7 @@ class JsonlTraceSink final : public TraceSink {
   std::ofstream file_;   // used only by the path constructor
   std::ostream* out_;    // always valid
   std::size_t flush_bytes_;
+  std::uint64_t flush_every_events_;
   std::string buffer_;
   std::uint64_t events_ = 0;
   std::mutex mutex_;

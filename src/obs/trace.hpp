@@ -13,6 +13,13 @@
 //   DegradationStep  a rung of the fault ladder fired
 //   FaultRetry       a transient HAL fault was re-attempted
 //
+// Service-mode events (runtime tenant churn, PR-6):
+//
+//   TenantAttach     a tenant was admitted and installed on a core
+//   TenantDetach     a tenant departed; its core was hotplugged out
+//   SloBreach        a tenant's epoch IPC fell under its SLO floor
+//   RecoveryProbe    a probation re-probe of a degraded axis ran
+//
 // All timestamps are monotonic *simulated* time, so traces are
 // bit-deterministic at any CMM_THREADS (every EpochDriver is driven by
 // exactly one thread; parallel batches give each run its own sink).
@@ -90,6 +97,41 @@ struct FaultRetry {
   std::string_view what;
 };
 
+struct TenantAttach {
+  Cycle time = 0;
+  std::uint64_t epoch = 0;
+  CoreId core = kInvalidCore;
+  std::string_view tenant;   // benchmark name of the admitted workload
+  double slo = 0.0;          // min-IPC-vs-solo floor (fraction of solo)
+  double solo_ipc = 0.0;     // memoized solo IPC the floor is scaled by
+};
+
+struct TenantDetach {
+  Cycle time = 0;
+  std::uint64_t epoch = 0;
+  CoreId core = kInvalidCore;
+  std::string_view tenant;
+  std::uint64_t epochs_served = 0;
+  double mean_ipc = 0.0;  // over the tenant's service epochs
+};
+
+struct SloBreach {
+  Cycle time = 0;
+  std::uint64_t epoch = 0;
+  CoreId core = kInvalidCore;
+  std::string_view tenant;
+  double ipc = 0.0;    // measured epoch IPC
+  double floor = 0.0;  // slo * solo_ipc
+};
+
+struct RecoveryProbe {
+  Cycle time = 0;
+  std::uint64_t epoch = 0;
+  std::string_view axis;  // "prefetch" | "cat"
+  CoreId core = kInvalidCore;
+  bool ok = false;
+};
+
 /// Event consumer. Default implementations drop everything, so a sink
 /// overrides only the events it cares about. `enabled()` lets the
 /// Trace handle strip a disabled sink at wiring time (NullSink).
@@ -105,6 +147,10 @@ class TraceSink {
   virtual void emit(const ConfigApplied&) {}
   virtual void emit(const DegradationStep&) {}
   virtual void emit(const FaultRetry&) {}
+  virtual void emit(const TenantAttach&) {}
+  virtual void emit(const TenantDetach&) {}
+  virtual void emit(const SloBreach&) {}
+  virtual void emit(const RecoveryProbe&) {}
 
   virtual void flush() {}
 };

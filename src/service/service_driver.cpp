@@ -1,0 +1,227 @@
+#include "service/service_driver.hpp"
+
+#include <utility>
+
+#include "analysis/solo_cache.hpp"
+#include "common/bitmask.hpp"
+#include "workloads/benchmark_specs.hpp"
+
+namespace cmm::service {
+
+namespace {
+
+core::EpochConfig with_obs(core::EpochConfig epochs, obs::TraceSink* sink,
+                           obs::MetricsRegistry* metrics) {
+  epochs.sink = sink;
+  epochs.metrics = metrics;
+  return epochs;
+}
+
+}  // namespace
+
+ServiceDriver::ServiceDriver(const ServiceConfig& cfg, std::unique_ptr<core::Policy> policy,
+                             const hw::FaultPlan& faults, obs::TraceSink* sink,
+                             obs::MetricsRegistry* metrics)
+    : cfg_(cfg),
+      policy_(std::move(policy)),
+      system_(cfg.params.machine),
+      sim_msr_(system_),
+      sim_pmu_(system_),
+      sim_cat_(system_),
+      metrics_(metrics),
+      tenants_(cfg.params.machine.num_cores) {
+  tick_cycles_ = cfg_.tick_cycles != 0
+                     ? cfg_.tick_cycles
+                     : cfg_.params.epochs.execution_epoch + 8 * cfg_.params.epochs.sampling_interval;
+
+  // The service starts empty: every core runs the idle loop until a
+  // tenant is admitted.
+  for (CoreId c = 0; c < system_.num_cores(); ++c) system_.detach_core(c);
+
+  const core::EpochConfig epochs = with_obs(cfg_.params.epochs, sink, metrics);
+  if (faults.enabled() || cfg_.force_fault_decorators) {
+    injector_ = std::make_unique<hw::FaultInjector>(faults);
+    f_msr_ = std::make_unique<hw::FaultInjectingMsrDevice>(sim_msr_, *injector_);
+    f_pmu_ = std::make_unique<hw::FaultInjectingPmuReader>(sim_pmu_, *injector_);
+    f_cat_ = std::make_unique<hw::FaultInjectingCatController>(sim_cat_, *injector_);
+    driver_ = std::make_unique<core::EpochDriver>(system_, *policy_, *f_msr_, *f_pmu_, *f_cat_,
+                                                  epochs);
+  } else {
+    driver_ = std::make_unique<core::EpochDriver>(system_, *policy_, sim_msr_, sim_pmu_,
+                                                  sim_cat_, epochs);
+  }
+  if (cfg_.health_capacity > 0) driver_->set_health_capacity(cfg_.health_capacity);
+}
+
+double ServiceDriver::peak_gbs() const noexcept {
+  return cfg_.params.machine.dram_peak_bytes_per_cycle * cfg_.params.machine.freq_ghz;
+}
+
+double ServiceDriver::projected_pressure(double extra_gbs) const noexcept {
+  double sum = extra_gbs;
+  for (const auto& t : tenants_) {
+    if (t.has_value()) sum += t->solo_gbs;
+  }
+  return sum;
+}
+
+bool ServiceDriver::admissible(double solo_gbs) const noexcept {
+  return projected_pressure(solo_gbs) <= cfg_.admission_headroom * peak_gbs();
+}
+
+CoreId ServiceDriver::free_core() const noexcept {
+  for (CoreId c = 0; c < tenants_.size(); ++c) {
+    if (!tenants_[c].has_value()) return c;
+  }
+  return kInvalidCore;
+}
+
+std::size_t ServiceDriver::active_tenants() const noexcept {
+  std::size_t n = 0;
+  for (const auto& t : tenants_) n += t.has_value() ? 1 : 0;
+  return n;
+}
+
+void ServiceDriver::warm_solo(TenantSpec spec, double& solo_ipc, double& solo_gbs) const {
+  // Solo-IPC re-warm: the characterisation run is a pure function of
+  // (benchmark, machine config), so churned tenants hit the process-
+  // wide memo cache after their first admission.
+  const auto solo = analysis::run_solo_cached(spec.benchmark, cfg_.params,
+                                              /*prefetch_on=*/true);
+  solo_ipc = solo->cores.front().ipc;
+  solo_gbs = solo->cores.front().total_gbs();
+}
+
+CoreId ServiceDriver::install(const TenantSpec& spec, double solo_ipc, double solo_gbs) {
+  const CoreId core = free_core();
+  system_.attach_core(
+      core, workloads::make_op_source(spec.benchmark, cfg_.params.machine, core,
+                                      spec.seed + 0x1000ULL * core));
+
+  TenantState st;
+  st.spec = spec;
+  st.core = core;
+  st.solo_ipc = solo_ipc;
+  st.solo_gbs = solo_gbs;
+  st.attach_tick = ticks_;
+  st.last_counters = driver_->execution_counters()[core];
+  tenants_[core] = std::move(st);
+  ++attaches_;
+
+  driver_->record_service_event(core::HealthEventKind::TenantAttach, core, 0, spec.benchmark);
+  if (const auto& tr = driver_->trace(); tr.on()) {
+    tr.emit(obs::TenantAttach{system_.now(), driver_->epoch_index(), core, spec.benchmark,
+                              spec.slo, solo_ipc});
+  }
+  if (cfg_.reseed_on_churn) reseed_baseline();
+  return core;
+}
+
+AdmissionResult ServiceDriver::attach(const TenantSpec& spec) {
+  double solo_ipc = 0.0;
+  double solo_gbs = 0.0;
+  warm_solo(spec, solo_ipc, solo_gbs);
+
+  // FIFO fairness: while earlier requests wait, new arrivals go behind
+  // them even if they would fit right now.
+  if (queue_.empty() && free_core() != kInvalidCore && admissible(solo_gbs)) {
+    return {AdmissionDecision::Admitted, install(spec, solo_ipc, solo_gbs)};
+  }
+  if (queue_.size() < cfg_.max_queue) {
+    queue_.push_back(spec);
+    ++queued_total_;
+    driver_->record_service_event(core::HealthEventKind::TenantQueued, kInvalidCore,
+                                  queue_.size(), spec.benchmark);
+    return {AdmissionDecision::Queued, kInvalidCore};
+  }
+  ++rejections_;
+  driver_->record_service_event(core::HealthEventKind::TenantRejected, kInvalidCore,
+                                queue_.size(), spec.benchmark);
+  return {AdmissionDecision::Rejected, kInvalidCore};
+}
+
+bool ServiceDriver::detach(CoreId core) {
+  if (core >= tenants_.size() || !tenants_[core].has_value()) return false;
+  const TenantState st = *tenants_[core];
+  const double mean_ipc = st.ticks_served > 0
+                              ? st.ipc_sum / static_cast<double>(st.ticks_served)
+                              : 0.0;
+
+  driver_->record_service_event(core::HealthEventKind::TenantDetach, core, st.ticks_served,
+                                st.spec.benchmark);
+  if (const auto& tr = driver_->trace(); tr.on()) {
+    tr.emit(obs::TenantDetach{system_.now(), driver_->epoch_index(), core, st.spec.benchmark,
+                              st.ticks_served, mean_ipc});
+  }
+
+  system_.detach_core(core);
+  tenants_[core].reset();
+  ++detaches_;
+  if (cfg_.reseed_on_churn) reseed_baseline();
+  drain_queue();
+  return true;
+}
+
+void ServiceDriver::reseed_baseline() {
+  driver_->reseed(
+      core::ResourceConfig::baseline(system_.num_cores(), system_.cat().llc_ways()));
+}
+
+void ServiceDriver::account_tick() {
+  const auto& exec = driver_->execution_counters();
+  for (CoreId c = 0; c < tenants_.size(); ++c) {
+    if (!tenants_[c].has_value()) continue;
+    auto& st = *tenants_[c];
+    const sim::PmuCounters delta = exec[c].delta_since(st.last_counters);
+    st.last_counters = exec[c];
+    st.last_ipc = delta.ipc();
+    ++st.ticks_served;
+    st.ipc_sum += st.last_ipc;
+    if (st.spec.slo <= 0.0) continue;
+    const double floor = st.spec.slo * st.solo_ipc;
+    if (st.last_ipc >= floor) continue;
+    ++st.breaches;
+    ++slo_breaches_;
+    driver_->record_service_event(core::HealthEventKind::SloBreach, c, st.breaches,
+                                  st.spec.benchmark);
+    if (const auto& tr = driver_->trace(); tr.on()) {
+      tr.emit(obs::SloBreach{system_.now(), driver_->epoch_index(), c, st.spec.benchmark,
+                             st.last_ipc, floor});
+    }
+  }
+}
+
+void ServiceDriver::drain_queue() {
+  while (!queue_.empty()) {
+    if (free_core() == kInvalidCore) break;
+    double solo_ipc = 0.0;
+    double solo_gbs = 0.0;
+    warm_solo(queue_.front(), solo_ipc, solo_gbs);  // memo-cache hit
+    if (!admissible(solo_gbs)) break;  // head-of-line: FIFO order is the contract
+    const TenantSpec spec = queue_.front();
+    queue_.pop_front();
+    install(spec, solo_ipc, solo_gbs);
+  }
+}
+
+void ServiceDriver::tick() {
+  driver_->run(tick_cycles_);
+  ++ticks_;
+  account_tick();
+  drain_queue();
+  if (metrics_ != nullptr) {
+    metrics_->count("service.ticks");
+    metrics_->gauge("service.active_tenants", static_cast<double>(active_tenants()));
+    metrics_->gauge("service.queue_depth", static_cast<double>(queue_.size()));
+  }
+}
+
+bool ServiceDriver::all_tenants_within_slo() const noexcept {
+  for (const auto& t : tenants_) {
+    if (!t.has_value() || t->spec.slo <= 0.0 || t->ticks_served == 0) continue;
+    if (t->last_ipc < t->spec.slo * t->solo_ipc) return false;
+  }
+  return true;
+}
+
+}  // namespace cmm::service

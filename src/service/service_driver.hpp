@@ -1,0 +1,188 @@
+// Resilient service mode: the batch EpochDriver wrapped into a
+// long-running multi-tenant controller. Tenants (benchmark workloads)
+// arrive and depart at runtime; each attach hotplugs a core in (cold
+// microarchitectural state, solo-IPC re-warm through the memo cache,
+// partition re-seed so the policy re-converges for the new occupancy),
+// each detach hotplugs it out onto the configuration-independent idle
+// loop.
+//
+// Admission control guards existing tenants' SLOs: a tenant is admitted
+// only onto a free core *and* while the projected DRAM pressure — the
+// sum of all resident tenants' solo bandwidth demand plus the
+// candidate's — stays under `admission_headroom` of the machine's peak.
+// Requests that do not fit are queued FIFO (drained head-first as
+// departures free capacity) or rejected when the queue is full.
+//
+// Per-tenant SLO targets are min-IPC-vs-solo floors: after every
+// service tick each tenant's execution-epoch IPC is compared against
+// slo * solo_ipc; shortfalls are recorded as SloBreach health + trace
+// events. Everything is deterministic: same seeds, same churn, same
+// fault plan -> bit-identical HealthLog, trace bytes, and counters at
+// any harness thread count.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/run_harness.hpp"
+#include "core/epoch_driver.hpp"
+#include "hw/fault_injection.hpp"
+#include "obs/metrics_registry.hpp"
+#include "obs/trace.hpp"
+#include "sim/multicore_system.hpp"
+
+namespace cmm::service {
+
+/// One workload requesting service.
+struct TenantSpec {
+  std::string benchmark;   // name from workloads::benchmark_suite()
+  double slo = 0.0;        // min-IPC floor as a fraction of solo IPC (0 = none)
+  std::uint64_t seed = 42; // op-source seed (stream identity)
+};
+
+enum class AdmissionDecision : std::uint8_t { Admitted, Queued, Rejected };
+
+struct AdmissionResult {
+  AdmissionDecision decision = AdmissionDecision::Rejected;
+  CoreId core = kInvalidCore;  // valid when Admitted
+};
+
+struct ServiceConfig {
+  /// Machine + epoch schedule + solo-run parameters. The solo re-warm
+  /// runs use these params verbatim (so memoized results are shared
+  /// with the figure benches at equal configs).
+  analysis::RunParams params{};
+
+  /// Simulated cycles per tick() call. 0 = one execution epoch plus a
+  /// profiling budget of 8 sampling intervals.
+  Cycle tick_cycles = 0;
+
+  /// Admission: projected solo-demand sum must stay under this fraction
+  /// of peak DRAM bandwidth.
+  double admission_headroom = 0.85;
+
+  /// Pending attach requests kept FIFO; beyond this they are rejected.
+  std::size_t max_queue = 8;
+
+  /// HealthLog ring bound (0 = unbounded).
+  std::size_t health_capacity = 0;
+
+  /// Re-seed the partition/prefetch state to baseline on every attach
+  /// and detach, forcing the policy to re-converge for the new tenant
+  /// set instead of serving a stale partition.
+  bool reseed_on_churn = true;
+
+  /// Wrap the HAL in fault-injecting decorators even for a plan that
+  /// can never fire (used by tests to pin rate-0 transparency).
+  bool force_fault_decorators = false;
+};
+
+/// Resident-tenant bookkeeping, exposed read-only for tests/reports.
+struct TenantState {
+  TenantSpec spec;
+  CoreId core = kInvalidCore;
+  double solo_ipc = 0.0;        // memoized solo re-warm result
+  double solo_gbs = 0.0;        // solo DRAM pressure (admission currency)
+  std::uint64_t attach_tick = 0;
+  std::uint64_t ticks_served = 0;
+  std::uint64_t breaches = 0;   // SLO shortfall ticks
+  double last_ipc = 0.0;        // most recent service-tick IPC
+  double ipc_sum = 0.0;         // over served ticks (mean on detach)
+  sim::PmuCounters last_counters;  // exec-counter snapshot at last tick
+};
+
+class ServiceDriver {
+ public:
+  ServiceDriver(const ServiceConfig& cfg, std::unique_ptr<core::Policy> policy,
+                const hw::FaultPlan& faults = {}, obs::TraceSink* sink = nullptr,
+                obs::MetricsRegistry* metrics = nullptr);
+
+  ServiceDriver(const ServiceDriver&) = delete;
+  ServiceDriver& operator=(const ServiceDriver&) = delete;
+
+  /// Request admission. Admitted tenants start executing at the next
+  /// tick(); queued ones wait for capacity in FIFO order.
+  AdmissionResult attach(const TenantSpec& spec);
+
+  /// Remove the tenant on `core` (hotplug out). False when idle.
+  bool detach(CoreId core);
+
+  /// Advance the service by one tick: run the epoch schedule for
+  /// tick_cycles, account per-tenant IPC against SLO floors, then
+  /// drain the admission queue into any freed capacity.
+  void tick();
+
+  std::uint64_t ticks() const noexcept { return ticks_; }
+
+  // ---- introspection ----
+  const std::vector<std::optional<TenantState>>& tenants() const noexcept { return tenants_; }
+  std::size_t active_tenants() const noexcept;
+  std::size_t queue_depth() const noexcept { return queue_.size(); }
+  unsigned num_cores() const noexcept { return system_.num_cores(); }
+
+  std::uint64_t attaches() const noexcept { return attaches_; }
+  std::uint64_t detaches() const noexcept { return detaches_; }
+  std::uint64_t rejections() const noexcept { return rejections_; }
+  std::uint64_t queued_total() const noexcept { return queued_total_; }
+  std::uint64_t slo_breaches() const noexcept { return slo_breaches_; }
+
+  /// All surviving tenants at or above their SLO floor as of the most
+  /// recent tick (vacuously true for tenants without a floor or that
+  /// have not completed a tick yet).
+  bool all_tenants_within_slo() const noexcept;
+
+  const core::EpochDriver& driver() const noexcept { return *driver_; }
+  const core::HealthLog& health() const noexcept { return driver_->health(); }
+  sim::MulticoreSystem& system() noexcept { return system_; }
+  const hw::FaultInjector* injector() const noexcept { return injector_.get(); }
+
+ private:
+  /// Projected DRAM pressure (GB/s) with `extra_gbs` added.
+  double projected_pressure(double extra_gbs) const noexcept;
+  double peak_gbs() const noexcept;
+
+  /// Lowest-index idle core, or kInvalidCore.
+  CoreId free_core() const noexcept;
+
+  /// Solo re-warm through the global memo cache.
+  void warm_solo(TenantSpec spec, double& solo_ipc, double& solo_gbs) const;
+
+  bool admissible(double solo_gbs) const noexcept;
+  CoreId install(const TenantSpec& spec, double solo_ipc, double solo_gbs);
+  void drain_queue();
+  void reseed_baseline();
+  void account_tick();
+
+  ServiceConfig cfg_;
+  Cycle tick_cycles_ = 0;
+  std::unique_ptr<core::Policy> policy_;
+  sim::MulticoreSystem system_;
+
+  // HAL stack: sim devices at the bottom; fault decorators on top only
+  // when the plan can fire (or tests force them).
+  hw::SimMsrDevice sim_msr_;
+  hw::SimPmuReader sim_pmu_;
+  hw::SimCatController sim_cat_;
+  std::unique_ptr<hw::FaultInjector> injector_;
+  std::unique_ptr<hw::FaultInjectingMsrDevice> f_msr_;
+  std::unique_ptr<hw::FaultInjectingPmuReader> f_pmu_;
+  std::unique_ptr<hw::FaultInjectingCatController> f_cat_;
+  std::unique_ptr<core::EpochDriver> driver_;
+
+  obs::MetricsRegistry* metrics_ = nullptr;
+
+  std::vector<std::optional<TenantState>> tenants_;  // indexed by core
+  std::deque<TenantSpec> queue_;
+  std::uint64_t ticks_ = 0;
+  std::uint64_t attaches_ = 0;
+  std::uint64_t detaches_ = 0;
+  std::uint64_t rejections_ = 0;
+  std::uint64_t queued_total_ = 0;
+  std::uint64_t slo_breaches_ = 0;
+};
+
+}  // namespace cmm::service

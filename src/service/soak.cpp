@@ -1,0 +1,140 @@
+#include "service/soak.hpp"
+
+#include <iomanip>
+#include <sstream>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "workloads/benchmark_specs.hpp"
+
+namespace cmm::service {
+
+namespace {
+
+/// Pair each degrade rung with its matching recovery, accumulating the
+/// simulated-cycle latency. The ladder records at most one outstanding
+/// fallback per axis, so a single pending slot per kind suffices.
+struct LadderPairing {
+  std::uint64_t pairs = 0;
+  double total_cycles = 0.0;
+
+  void scan(const core::HealthLog& log, core::HealthEventKind down,
+            core::HealthEventKind up) {
+    bool pending = false;
+    Cycle down_time = 0;
+    for (const auto& e : log.events()) {
+      if (e.kind == down) {
+        pending = true;
+        down_time = e.time;
+      } else if (e.kind == up && pending) {
+        ++pairs;
+        total_cycles += static_cast<double>(e.time - down_time);
+        pending = false;
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::string SoakSummary::json() const {
+  std::ostringstream out;
+  out << std::setprecision(17);
+  out << '{' << "\"ticks\":" << ticks << ",\"epochs\":" << epochs
+      << ",\"attaches\":" << attaches << ",\"detaches\":" << detaches
+      << ",\"rejections\":" << rejections << ",\"queued_total\":" << queued_total
+      << ",\"slo_breaches\":" << slo_breaches << ",\"survivors\":" << survivors
+      << ",\"queue_depth\":" << queue_depth
+      << ",\"all_within_slo\":" << (all_within_slo ? "true" : "false")
+      << ",\"cp_degrades\":" << cp_degrades << ",\"cp_recoveries\":" << cp_recoveries
+      << ",\"pt_degrades\":" << pt_degrades << ",\"pt_recoveries\":" << pt_recoveries
+      << ",\"recovery_probes\":" << recovery_probes << ",\"full_cycles\":" << full_cycles
+      << ",\"mean_recovery_cycles\":" << mean_recovery_cycles
+      << ",\"injected_faults\":" << injected_faults
+      << ",\"repaired_faults\":" << repaired_faults
+      << ",\"health_retained\":" << health_retained
+      << ",\"health_dropped\":" << health_dropped << ",\"health\":" << health_json << '}';
+  return out.str();
+}
+
+SoakSummary run_service(const SoakConfig& cfg, obs::TraceSink* sink,
+                        obs::MetricsRegistry* metrics) {
+  ServiceConfig sc;
+  sc.params = cfg.params;
+  if (sc.params.epochs.probe_period_epochs == 0) sc.params.epochs.probe_period_epochs = 3;
+  sc.tick_cycles = cfg.tick_cycles;
+  sc.admission_headroom = cfg.admission_headroom;
+  sc.max_queue = cfg.max_queue;
+  sc.health_capacity = cfg.health_capacity;
+
+  auto policy = analysis::make_policy(cfg.policy, cfg.params.detector());
+  ServiceDriver svc(sc, std::move(policy), cfg.faults, sink, metrics);
+
+  std::vector<std::string> names;
+  for (const auto& spec : workloads::benchmark_suite()) names.push_back(spec.name);
+
+  Rng churn(cfg.churn_seed);
+  std::size_t next_name = 0;
+  std::uint64_t arrival_no = 0;
+  for (std::uint64_t t = 0; t < cfg.ticks; ++t) {
+    // Draw both Bernoullis every tick so the churn stream is a fixed
+    // function of the seed, independent of admission outcomes.
+    const bool arrive = churn.next_bool(cfg.arrival_p);
+    const bool depart = churn.next_bool(cfg.departure_p);
+
+    if (arrive) {
+      TenantSpec spec;
+      spec.benchmark = names[next_name++ % names.size()];
+      spec.slo = cfg.slo;
+      spec.seed = cfg.churn_seed + 100 + arrival_no++;
+      svc.attach(spec);
+    }
+    if (depart && svc.active_tenants() > 0) {
+      // Victim pick over the core-ordered resident list (deterministic).
+      std::vector<CoreId> occupied;
+      for (CoreId c = 0; c < svc.tenants().size(); ++c) {
+        if (svc.tenants()[c].has_value()) occupied.push_back(c);
+      }
+      svc.detach(occupied[churn.next_below(occupied.size())]);
+    }
+    svc.tick();
+  }
+
+  const auto& health = svc.health();
+  SoakSummary s;
+  s.ticks = svc.ticks();
+  s.epochs = svc.driver().epoch_index();
+  s.attaches = svc.attaches();
+  s.detaches = svc.detaches();
+  s.rejections = svc.rejections();
+  s.queued_total = svc.queued_total();
+  s.slo_breaches = svc.slo_breaches();
+  s.survivors = svc.active_tenants();
+  s.queue_depth = svc.queue_depth();
+  s.all_within_slo = svc.all_tenants_within_slo();
+
+  using K = core::HealthEventKind;
+  s.cp_degrades = health.count(K::CpOnlyFallback);
+  s.cp_recoveries = health.count(K::CpOnlyRecovered);
+  s.pt_degrades = health.count(K::PtOnlyFallback);
+  s.pt_recoveries = health.count(K::PtOnlyRecovered);
+  s.recovery_probes = health.count(K::RecoveryProbe);
+
+  LadderPairing pairing;
+  pairing.scan(health, K::CpOnlyFallback, K::CpOnlyRecovered);
+  pairing.scan(health, K::PtOnlyFallback, K::PtOnlyRecovered);
+  s.full_cycles = pairing.pairs;
+  s.mean_recovery_cycles =
+      pairing.pairs > 0 ? pairing.total_cycles / static_cast<double>(pairing.pairs) : 0.0;
+
+  if (svc.injector() != nullptr) {
+    s.injected_faults = svc.injector()->injected_faults();
+    s.repaired_faults = svc.injector()->repaired_faults();
+  }
+  s.health_retained = health.events().size();
+  s.health_dropped = health.dropped();
+  s.health_json = health.summary_json();
+  return s;
+}
+
+}  // namespace cmm::service

@@ -1,0 +1,95 @@
+// Deterministic service-mode soak: seeded tenant arrival/departure over
+// the workload catalog, composed with a FaultPlan chaos schedule, run
+// through the ServiceDriver for a fixed number of ticks. The summary is
+// a pure function of (SoakConfig) — same config, same bytes, at any
+// harness thread count — which is what the soak bench and CI gate on.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "analysis/run_harness.hpp"
+#include "hw/fault_injection.hpp"
+#include "obs/metrics_registry.hpp"
+#include "obs/trace.hpp"
+#include "service/service_driver.hpp"
+
+namespace cmm::service {
+
+struct SoakConfig {
+  /// Machine + epoch schedule; also the solo re-warm parameters.
+  analysis::RunParams params{};
+
+  /// Policy under soak (analysis::make_policy name).
+  std::string policy = "cmm_c";
+
+  /// Service ticks to run.
+  std::uint64_t ticks = 200;
+
+  /// Seed for the churn process (arrivals, departures, victim picks).
+  /// Independent of params.seed so workload streams do not shift when
+  /// the churn schedule changes.
+  std::uint64_t churn_seed = 7;
+
+  /// Per-tick Bernoulli rates for tenant arrival and departure.
+  double arrival_p = 0.45;
+  double departure_p = 0.20;
+
+  /// SLO floor assigned to every arriving tenant (fraction of solo IPC;
+  /// 0 disables SLO tracking).
+  double slo = 0.20;
+
+  /// Chaos schedule (rate 0 = fault-free soak).
+  hw::FaultPlan faults{};
+
+  // Pass-through ServiceConfig knobs.
+  double admission_headroom = 0.85;
+  std::size_t max_queue = 8;
+  std::size_t health_capacity = 0;
+  Cycle tick_cycles = 0;
+};
+
+/// Everything the soak gates on. Deterministic: operator== and json()
+/// are bit-stable across repeats of the same config.
+struct SoakSummary {
+  std::uint64_t ticks = 0;
+  std::uint64_t epochs = 0;  // execution epochs completed
+  std::uint64_t attaches = 0;
+  std::uint64_t detaches = 0;
+  std::uint64_t rejections = 0;
+  std::uint64_t queued_total = 0;
+  std::uint64_t slo_breaches = 0;
+  std::size_t survivors = 0;    // tenants resident at end
+  std::size_t queue_depth = 0;  // still waiting at end
+  bool all_within_slo = false;  // survivors at/above floor on last tick
+
+  // Degradation/recovery ladder traffic (from HealthLog totals).
+  std::uint64_t cp_degrades = 0;
+  std::uint64_t cp_recoveries = 0;
+  std::uint64_t pt_degrades = 0;
+  std::uint64_t pt_recoveries = 0;
+  std::uint64_t recovery_probes = 0;
+  /// Paired degrade->recover transitions observed (both axes).
+  std::uint64_t full_cycles = 0;
+  /// Mean simulated cycles from a degrade rung to its matching
+  /// recovery (0 when no pair completed).
+  double mean_recovery_cycles = 0.0;
+
+  std::uint64_t injected_faults = 0;
+  std::uint64_t repaired_faults = 0;
+  std::uint64_t health_retained = 0;  // events still in the ring
+  std::uint64_t health_dropped = 0;   // trimmed by the ring bound
+  std::string health_json;            // HealthLog::summary_json()
+
+  std::string json() const;
+  bool operator==(const SoakSummary&) const = default;
+};
+
+/// Run the soak. When the epoch schedule leaves the recovery ladder
+/// disabled (probe_period_epochs == 0), service mode defaults it on
+/// with a 3-epoch probation period — a soak without re-probes cannot
+/// demonstrate a degrade->recover cycle.
+SoakSummary run_service(const SoakConfig& cfg, obs::TraceSink* sink = nullptr,
+                        obs::MetricsRegistry* metrics = nullptr);
+
+}  // namespace cmm::service

@@ -148,6 +148,28 @@ bool SetAssocCache::invalidate(Addr line_addr) {
   return true;
 }
 
+std::size_t SetAssocCache::invalidate_owner(CoreId owner) {
+  if (owner == kInvalidCore) return 0;
+  std::size_t dropped = 0;
+  for (std::uint32_t set = 0; set < num_sets_; ++set) {
+    WayMask valid = valid_[set];
+    while (valid != 0) {
+      const auto way = static_cast<std::uint32_t>(std::countr_zero(valid));
+      valid &= valid - 1;
+      const std::size_t idx = line_index(set, way);
+      if (owner_[idx] != owner) continue;
+      if ((flags_[idx] & (kFlagPrefetched | kFlagPfUsed)) == kFlagPrefetched) {
+        ++stats_.prefetched_lines_evicted_unused;
+      }
+      valid_[set] &= ~(WayMask{1} << way);
+      tags_[idx] = kNoTag;
+      owner_remove(owner);
+      ++dropped;
+    }
+  }
+  return dropped;
+}
+
 void SetAssocCache::flush() {
   for (auto& t : tags_) t = kNoTag;
   for (auto& vm : valid_) vm = 0;

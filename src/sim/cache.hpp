@@ -110,6 +110,12 @@ class SetAssocCache {
   /// Invalidate everything; stats preserved.
   void flush();
 
+  /// Drop every valid line owned by `owner` (service-mode hotplug: a
+  /// detaching tenant's LLC footprint must not leak into the next
+  /// tenant's run). Cold path: full sets x ways scan. Counts unused
+  /// prefetched lines like invalidate(); returns lines dropped.
+  std::size_t invalidate_owner(CoreId owner);
+
   const CacheStats& stats() const noexcept { return stats_; }
   CacheStats& mutable_stats() noexcept { return stats_; }
   void reset_stats() { stats_.reset(); }

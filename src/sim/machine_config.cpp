@@ -61,7 +61,7 @@ bool MachineConfig::valid() const noexcept {
          geometry_valid(llc) && llc.ways <= 32 && l1_latency < l2_latency &&
          l2_latency < llc_latency && llc_latency < dram_base_latency &&
          dram_peak_bytes_per_cycle > 0.0 && bandwidth_window > 0 && quantum > 0 &&
-         prefetcher_sets_valid(core_prefetchers, num_cores);
+         idle_cpi > 0.0 && prefetcher_sets_valid(core_prefetchers, num_cores);
 }
 
 }  // namespace cmm::sim

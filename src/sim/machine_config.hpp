@@ -70,6 +70,13 @@ struct MachineConfig {
   /// bandwidth (store-heavy workloads press the bus harder).
   bool model_writebacks = false;
 
+  /// CPI of the synthetic idle loop a detached (hotplugged-out) core
+  /// runs in service mode. The idle loop issues no memory references,
+  /// so its IPC (1 / idle_cpi) is configuration-independent: an idle
+  /// core contributes a constant term to hm_ipc and can never change
+  /// which sampled configuration the policy ranks best.
+  double idle_cpi = 1.0;
+
   // ---- Per-core prefetcher engine sets ----
 
   /// Which prefetcher engines each core instantiates, outer-indexed by

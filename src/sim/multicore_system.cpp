@@ -12,6 +12,7 @@ MulticoreSystem::MulticoreSystem(const MachineConfig& cfg)
   for (CoreId id = 0; id < cfg.num_cores; ++id) {
     cores_.push_back(std::make_unique<CoreModel>(id, cfg_, llc_, cat_, mem_, pmu_));
   }
+  idle_.assign(cfg.num_cores, false);
   if (cfg_.inclusive_llc) {
     for (auto& core : cores_) {
       core->set_eviction_listener([this](Addr line, CoreId owner) {
@@ -25,6 +26,33 @@ MulticoreSystem::MulticoreSystem(const MachineConfig& cfg)
 
 void MulticoreSystem::set_op_source(CoreId id, std::shared_ptr<OpSource> source) {
   cores_.at(id)->set_op_source(std::move(source));
+}
+
+std::size_t MulticoreSystem::attach_core(CoreId id, std::shared_ptr<OpSource> source) {
+  auto& core = *cores_.at(id);
+  // Cold deterministic start: drop whatever the previous occupant (or
+  // the idle loop) left in the private caches and prefetcher engines,
+  // then reclaim its LLC footprint.
+  core.reset_microarch();
+  const std::size_t dropped = llc_.invalidate_owner(id);
+  core.set_op_source(std::move(source));
+  idle_.at(id) = false;
+  return dropped;
+}
+
+std::size_t MulticoreSystem::detach_core(CoreId id) {
+  auto& core = *cores_.at(id);
+  core.reset_microarch();
+  const std::size_t dropped = llc_.invalidate_owner(id);
+  core.set_op_source(std::make_shared<IdleOpSource>(cfg_.idle_cpi));
+  idle_.at(id) = true;
+  return dropped;
+}
+
+unsigned MulticoreSystem::num_idle_cores() const noexcept {
+  unsigned n = 0;
+  for (const bool b : idle_) n += b ? 1u : 0u;
+  return n;
 }
 
 void MulticoreSystem::run(Cycle cycles) {

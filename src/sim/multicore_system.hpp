@@ -17,6 +17,28 @@
 
 namespace cmm::sim {
 
+/// Op stream of a hotplugged-out core: single-instruction ops with no
+/// memory reference at a fixed CPI. Because the idle loop never touches
+/// the memory hierarchy, its IPC is configuration-independent — it adds
+/// a constant term to hm_ipc that preserves the relative ranking of
+/// sampled configurations — and it leaves no cache or bandwidth
+/// footprint a later tenant could inherit.
+class IdleOpSource final : public OpSource {
+ public:
+  explicit IdleOpSource(double cpi) : traits_{cpi, 1.0} {}
+
+  Op next() override { return Op{1, false, {}}; }
+  CoreTraits traits() const override { return traits_; }
+  void reset() override {}
+  std::size_t next_batch(std::span<Op> out) override {
+    for (auto& op : out) op = Op{1, false, {}};
+    return out.size();
+  }
+
+ private:
+  CoreTraits traits_;
+};
+
 class MulticoreSystem {
  public:
   explicit MulticoreSystem(const MachineConfig& cfg);
@@ -47,6 +69,29 @@ class MulticoreSystem {
   /// Attach the program each core runs.
   void set_op_source(CoreId id, std::shared_ptr<OpSource> source);
 
+  // ---- Service-mode core hotplug ----
+  //
+  // attach_core/detach_core reconfigure one core between runs of the
+  // interleaved driver (never mid-run). Both flush the core's private
+  // caches + prefetcher state and drop its LLC footprint, so a tenant
+  // always starts cold and deterministically — nothing of the previous
+  // occupant's microarchitectural state leaks across the hotplug
+  // boundary. PMU counters are deliberately NOT reset: the EpochDriver
+  // requires monotone counters, and per-tenant accounting is done with
+  // attach-time snapshots one level up.
+
+  /// Install a tenant on `id`. Returns the number of LLC lines the
+  /// previous occupant left behind (now invalidated).
+  std::size_t attach_core(CoreId id, std::shared_ptr<OpSource> source);
+
+  /// Remove the tenant from `id`; the core runs the idle loop
+  /// (MachineConfig::idle_cpi) until the next attach_core.
+  std::size_t detach_core(CoreId id);
+
+  /// True when `id` currently runs the hotplug idle loop.
+  bool core_idle(CoreId id) const { return idle_.at(id); }
+  unsigned num_idle_cores() const noexcept;
+
   /// Advance all cores by `cycles` in interleaved quanta.
   void run(Cycle cycles);
 
@@ -60,6 +105,7 @@ class MulticoreSystem {
   MemoryController mem_;
   Pmu pmu_;
   std::vector<std::unique_ptr<CoreModel>> cores_;
+  std::vector<bool> idle_;  // core runs the hotplug idle loop
   Cycle global_cycle_ = 0;
 };
 

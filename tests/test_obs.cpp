@@ -168,6 +168,59 @@ TEST(ObsJsonlSink, SerializesOneJsonObjectPerLine) {
             "\"backoff\":4,\"what\":\"msr write\"}");
 }
 
+TEST(ObsJsonlSink, SerializesServiceModeEvents) {
+  std::ostringstream out;
+  JsonlTraceSink sink(out);
+  sink.emit(TenantAttach{10, 2, 1, "lbm", 0.5, 1.25});
+  sink.emit(TenantDetach{20, 3, 1, "lbm", 7, 0.75});
+  sink.emit(SloBreach{30, 4, 1, "lbm", 0.5, 0.625});
+  sink.emit(RecoveryProbe{40, 5, "cat", kInvalidCore, true});
+  sink.emit(RecoveryProbe{50, 6, "prefetch", 2, false});
+  sink.flush();
+
+  const auto lines = split_lines(out.str());
+  ASSERT_EQ(lines.size(), 5u);
+  EXPECT_EQ(lines[0],
+            "{\"type\":\"tenant_attach\",\"t\":10,\"epoch\":2,\"core\":1,"
+            "\"tenant\":\"lbm\",\"slo\":0.5,\"solo_ipc\":1.25}");
+  EXPECT_EQ(lines[1],
+            "{\"type\":\"tenant_detach\",\"t\":20,\"epoch\":3,\"core\":1,"
+            "\"tenant\":\"lbm\",\"epochs_served\":7,\"mean_ipc\":0.75}");
+  EXPECT_EQ(lines[2],
+            "{\"type\":\"slo_breach\",\"t\":30,\"epoch\":4,\"core\":1,"
+            "\"tenant\":\"lbm\",\"ipc\":0.5,\"floor\":0.625}");
+  EXPECT_EQ(lines[3],
+            "{\"type\":\"recovery_probe\",\"t\":40,\"epoch\":5,\"axis\":\"cat\","
+            "\"core\":-1,\"ok\":true}");
+  EXPECT_EQ(lines[4],
+            "{\"type\":\"recovery_probe\",\"t\":50,\"epoch\":6,\"axis\":\"prefetch\","
+            "\"core\":2,\"ok\":false}");
+}
+
+TEST(ObsJsonlSink, FlushEveryEventsBoundsTheBuffer) {
+  std::ostringstream out;
+  JsonlTraceSink sink(out, /*flush_bytes=*/64 * 1024, /*flush_every_events=*/2);
+  sink.emit(FaultRetry{1, 0, 1, 2, "x"});
+  EXPECT_TRUE(out.str().empty());  // below both thresholds: buffered
+  sink.emit(FaultRetry{2, 0, 1, 2, "x"});
+  // The interval flush writes *and* flushes the stream, so a live tail
+  // (trace_report.py --follow) sees the bytes without waiting for 64 KiB.
+  EXPECT_EQ(split_lines(out.str()).size(), 2u);
+  sink.emit(FaultRetry{3, 0, 1, 2, "x"});
+  EXPECT_EQ(split_lines(out.str()).size(), 2u);  // next interval not yet hit
+}
+
+TEST(ObsJsonlSink, DestructorFlushGuaranteeWithIntervalConfigured) {
+  // The flush-on-destruction guarantee holds regardless of where the
+  // event count sits relative to the flush interval.
+  std::ostringstream out;
+  {
+    JsonlTraceSink sink(out, 64 * 1024, /*flush_every_events=*/8);
+    for (int i = 0; i < 3; ++i) sink.emit(FaultRetry{1, 0, 1, 2, "x"});
+  }
+  EXPECT_EQ(split_lines(out.str()).size(), 3u);
+}
+
 TEST(ObsJsonlSink, BuffersUntilThresholdOrFlush) {
   std::ostringstream out;
   JsonlTraceSink sink(out);  // default 64 KiB threshold

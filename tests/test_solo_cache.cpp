@@ -21,11 +21,11 @@ RunParams fast_params() {
 TEST(SoloRunCache, HitReturnsSameStatsValue) {
   SoloRunCache cache;
   const auto params = fast_params();
-  const RunResult& first = cache.get_or_run("libquantum", params, true);
-  const RunResult& second = cache.get_or_run("libquantum", params, true);
-  EXPECT_EQ(&first, &second);  // entries are stable, never copied
-  EXPECT_EQ(first, second);
-  EXPECT_EQ(first, run_solo("libquantum", params, true));
+  const auto first = cache.get_or_run("libquantum", params, true);
+  const auto second = cache.get_or_run("libquantum", params, true);
+  EXPECT_EQ(first.get(), second.get());  // a hit aliases the same entry
+  EXPECT_EQ(*first, *second);
+  EXPECT_EQ(*first, run_solo("libquantum", params, true));
   EXPECT_EQ(cache.misses(), 1u);
   EXPECT_EQ(cache.hits(), 1u);
   EXPECT_EQ(cache.computed(), 1u);
@@ -48,8 +48,8 @@ TEST(SoloRunCache, DistinctTuplesNeverCollide) {
   EXPECT_EQ(cache.hits(), 0u);
 
   // The gated runs really are different results, not aliased entries.
-  EXPECT_NE(cache.get_or_run("libquantum", params, true, 0),
-            cache.get_or_run("libquantum", params, false, 0));
+  EXPECT_NE(*cache.get_or_run("libquantum", params, true, 0),
+            *cache.get_or_run("libquantum", params, false, 0));
 }
 
 TEST(SoloRunCache, KeyCoversMachineConfigAndCycles) {
@@ -77,7 +77,7 @@ TEST(SoloRunCache, ConcurrentSameKeyComputesExactlyOnce) {
   constexpr std::size_t kLookups = 8;
   std::vector<RunResult> seen(kLookups);
   parallel_for(kLookups, kLookups, [&](std::size_t i) {
-    seen[i] = cache.get_or_run("libquantum", params, true);
+    seen[i] = *cache.get_or_run("libquantum", params, true);
   });
   EXPECT_EQ(cache.computed(), 1u);
   EXPECT_EQ(cache.size(), 1u);
@@ -97,10 +97,49 @@ TEST(SoloRunCache, ConcurrentDistinctKeysAllComputed) {
 
 TEST(SoloRunCache, GlobalCachedMatchesUncached) {
   const auto params = fast_params();
-  const auto& cached = run_solo_cached("soplex", params, true, 3);
-  EXPECT_EQ(cached, run_solo("soplex", params, true, 3));
+  const auto cached = run_solo_cached("soplex", params, true, 3);
+  EXPECT_EQ(*cached, run_solo("soplex", params, true, 3));
   // Second lookup is a hit on the same entry.
-  EXPECT_EQ(&run_solo_cached("soplex", params, true, 3), &cached);
+  EXPECT_EQ(run_solo_cached("soplex", params, true, 3).get(), cached.get());
+}
+
+TEST(SoloRunCache, LruCapacityEvictsColdestAndCounts) {
+  SoloRunCache cache;
+  const auto params = fast_params();
+  cache.set_capacity(2);
+  const auto a = cache.get_or_run("libquantum", params, true);  // {lq}
+  cache.get_or_run("lbm", params, true);                        // {lq, lbm}
+  cache.get_or_run("libquantum", params, true);                 // touch lq -> lbm is LRU
+  cache.get_or_run("povray", params, true);                     // evicts lbm
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.evictions(), 1u);
+
+  // The evicted key recomputes (a miss), the retained ones hit.
+  const std::size_t computed_before = cache.computed();
+  cache.get_or_run("libquantum", params, true);
+  EXPECT_EQ(cache.computed(), computed_before);
+  cache.get_or_run("lbm", params, true);
+  EXPECT_EQ(cache.computed(), computed_before + 1);
+
+  // The caller-held pointer from before the eviction chain is intact
+  // and still bit-identical to a fresh run.
+  EXPECT_EQ(*a, run_solo("libquantum", params, true));
+}
+
+TEST(SoloRunCache, ShrinkingCapacityEvictsImmediately) {
+  SoloRunCache cache;
+  const auto params = fast_params();
+  cache.get_or_run("libquantum", params, true);
+  cache.get_or_run("lbm", params, true);
+  cache.get_or_run("povray", params, true);
+  EXPECT_EQ(cache.size(), 3u);
+  cache.set_capacity(1);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.evictions(), 2u);
+  // The most recently used entry survived.
+  const std::size_t computed_before = cache.computed();
+  cache.get_or_run("povray", params, true);
+  EXPECT_EQ(cache.computed(), computed_before);
 }
 
 TEST(SoloRunCache, ClearResetsEverything) {
