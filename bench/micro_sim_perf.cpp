@@ -35,6 +35,38 @@ void BM_CacheAccessHit(benchmark::State& state) {
 }
 BENCHMARK(BM_CacheAccessHit)->Arg(64)->Arg(512)->Arg(4096);
 
+// Pure tag-probe throughput on the paper's 20-way LLC geometry: the
+// SIMD hot path with no LRU/fill bookkeeping. `contains` is probe-only,
+// so these two are the cleanest view of the vector compare. "Hit"
+// probes resident lines (the match lands in a different way each
+// probe); "Miss" probes absent lines, so every probe scans all 20 ways
+// and falls through — the case the vector compare collapses hardest.
+void BM_CacheProbeHit(benchmark::State& state) {
+  sim::SetAssocCache cache(sim::CacheGeometry{20 * 1024 * 1024 / 16, 20, 64});
+  const auto resident = static_cast<Addr>(cache.num_sets()) * 20;
+  for (Addr line = 0; line < resident; ++line)
+    cache.fill(line, AccessType::DemandLoad, 0, 0, ~WayMask{0});
+  Addr line = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.contains(line));
+    if (++line == resident) line = 0;  // not a power of two: avoid div in the loop
+  }
+}
+BENCHMARK(BM_CacheProbeHit);
+
+void BM_CacheProbeMiss(benchmark::State& state) {
+  sim::SetAssocCache cache(sim::CacheGeometry{20 * 1024 * 1024 / 16, 20, 64});
+  const auto resident = static_cast<Addr>(cache.num_sets()) * 20;
+  for (Addr line = 0; line < resident; ++line)
+    cache.fill(line, AccessType::DemandLoad, 0, 0, ~WayMask{0});
+  Addr line = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.contains(resident + line));
+    if (++line == resident) line = 0;
+  }
+}
+BENCHMARK(BM_CacheProbeMiss);
+
 void BM_CacheFillEvict(benchmark::State& state) {
   sim::SetAssocCache cache(sim::CacheGeometry{32 * 1024, 8, 64});
   Addr line = 0;

@@ -1,15 +1,21 @@
 #!/usr/bin/env python3
-"""Soft perf-regression gate for the kernel micro-benches.
+"""Two-tier perf-regression gate for the kernel micro-benches.
 
 Compares a fresh google-benchmark JSON result (micro_sim_perf
 --benchmark_format=json) against the checked-in trajectory point
-bench/perf_baseline.json and warns — without failing — when a benchmark
-regressed by more than the threshold. Wall-clock benchmark numbers are
-machine- and load-dependent, so this is a *soft* gate: it annotates the
-CI run (GitHub `::warning::` lines) and exits 0 unless --strict.
+bench/perf_baseline.json. Wall-clock benchmark numbers are machine- and
+load-dependent, so small drift only warns; gross regressions block:
+
+  - ratio > 1 + --threshold       (default 10%): CI warning, exit 0
+  - ratio > 1 + --fail-threshold  (default 25%): CI error,   exit 1
+
+`--fail-threshold 0` disables the blocking tier (pure warn-only mode);
+--strict additionally fails on any warning-tier regression or removed
+benchmark.
 
 Usage:
-    compare_perf.py BASELINE.json CURRENT.json [--threshold 0.10] [--strict]
+    compare_perf.py BASELINE.json CURRENT.json
+        [--threshold 0.10] [--fail-threshold 0.25] [--strict]
     compare_perf.py --self-test
 
 Only benchmarks present in both files are compared by time. Benchmarks
@@ -58,6 +64,9 @@ def main():
     ap.add_argument("current")
     ap.add_argument("--threshold", type=float, default=0.10,
                     help="relative slowdown that triggers a warning (default 0.10)")
+    ap.add_argument("--fail-threshold", type=float, default=0.25,
+                    help="relative slowdown that blocks (exit 1) regardless of "
+                         "--strict (default 0.25; 0 disables the blocking tier)")
     ap.add_argument("--strict", action="store_true",
                     help="exit 1 when any benchmark regresses past the threshold")
     args = ap.parse_args()
@@ -66,6 +75,7 @@ def main():
     current = load_benchmarks(args.current)
 
     regressions = []
+    blocking = []
     improvements = []
     added = sorted(set(current) - set(baseline))
     removed = sorted(set(baseline) - set(current))
@@ -80,7 +90,10 @@ def main():
         cur_ns = cur["cpu_time"] * _TO_NS.get(cur.get("time_unit", "ns"), 1.0)
         ratio = cur_ns / base_ns if base_ns else float("inf")
         marker = ""
-        if ratio > 1.0 + args.threshold:
+        if args.fail_threshold > 0 and ratio > 1.0 + args.fail_threshold:
+            marker = "  << REGRESSION (blocking)"
+            blocking.append((name, ratio))
+        elif ratio > 1.0 + args.threshold:
             marker = "  << REGRESSION"
             regressions.append((name, ratio))
         elif ratio < 1.0 - args.threshold:
@@ -112,8 +125,20 @@ def main():
             # GitHub Actions annotation; harmless noise elsewhere.
             print(f"::warning title=perf regression::{name} is {ratio:.2f}x "
                   f"baseline cpu_time (soft gate, threshold {args.threshold:.0%})")
+    if blocking:
+        print(f"\n{len(blocking)} benchmark(s) regressed more than "
+              f"{args.fail_threshold:.0%} vs bench/perf_baseline.json "
+              "(blocking gate):")
+        for name, ratio in blocking:
+            print(f"  {name}: {ratio:.2f}x")
+            print(f"::error title=perf regression::{name} is {ratio:.2f}x "
+                  f"baseline cpu_time (blocking gate, threshold "
+                  f"{args.fail_threshold:.0%})")
+    if regressions or blocking:
         print("If the slowdown is intended (new feature, changed model), "
               "regenerate the baseline: see EXPERIMENTS.md, 'Performance methodology'.")
+    if blocking:
+        return 1
     if failed:
         return 1 if args.strict else 0
 
@@ -159,6 +184,20 @@ def self_test():
 
     code, out = run(same, [bench("BM_A", 100.0), bench("BM_B", 500.0)], "--strict")
     expect("regression fails --strict", code == 1 and "REGRESSION" in out, out)
+
+    # Two-tier gate: >25% blocks without --strict, 10-25% only warns,
+    # and --fail-threshold 0 restores pure warn-only mode.
+    code, out = run(same, [bench("BM_A", 100.0), bench("BM_B", 500.0)])
+    expect("gross regression blocks without --strict",
+           code == 1 and "blocking" in out, out)
+
+    code, out = run(same, [bench("BM_A", 100.0), bench("BM_B", 230.0)])
+    expect("mid-tier regression only warns",
+           code == 0 and "REGRESSION" in out and "blocking" not in out, out)
+
+    code, out = run(same, [bench("BM_A", 100.0), bench("BM_B", 500.0)],
+                    "--fail-threshold", "0")
+    expect("--fail-threshold 0 disables the blocking tier", code == 0, out)
 
     code, out = run(same, [bench("BM_A", 100.0)])
     expect("removed bench is reported", code == 0 and "1 removed" in out

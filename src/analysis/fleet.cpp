@@ -1,0 +1,197 @@
+#include "analysis/fleet.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "analysis/speedup_metrics.hpp"
+#include "common/rng.hpp"
+#include "core/epoch_driver.hpp"
+#include "sim/multicore_system.hpp"
+#include "workloads/workload_mix.hpp"
+
+namespace cmm::analysis {
+
+namespace {
+
+std::string shard_name(std::uint32_t d) { return "fleet_d" + std::to_string(d); }
+
+/// The machine + params one shard simulates: the domain's single-LLC
+/// slice of the fleet machine, same cycles/seed/epoch schedule.
+RunParams shard_params(const RunParams& fleet, std::uint32_t d) {
+  RunParams p = fleet;
+  p.machine = fleet.machine.domain_config(d);
+  return p;
+}
+
+}  // namespace
+
+std::uint64_t FleetResult::total_churn_swaps() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& d : domains) n += d.churn_swaps;
+  return n;
+}
+
+std::vector<workloads::WorkloadMix> plan_placement(const std::vector<std::string>& benchmarks,
+                                                   PlacementMode mode, const RunParams& params,
+                                                   const BatchOptions& opts) {
+  const sim::MachineConfig& m = params.machine;
+  if (benchmarks.size() != m.num_cores)
+    throw std::invalid_argument("plan_placement: one benchmark per fleet core required");
+  const std::uint32_t domains = m.num_llc_domains;
+  const std::uint32_t cpd = m.cores_per_domain();
+
+  std::vector<workloads::WorkloadMix> mixes(domains);
+  for (std::uint32_t d = 0; d < domains; ++d) {
+    mixes[d].name = shard_name(d);
+    mixes[d].benchmarks.reserve(cpd);
+  }
+
+  if (mode == PlacementMode::RoundRobin) {
+    for (std::size_t i = 0; i < benchmarks.size(); ++i) {
+      mixes[i % domains].benchmarks.push_back(benchmarks[i]);
+    }
+    return mixes;
+  }
+
+  // BandwidthBalanced: memoized solo demand bandwidth per distinct
+  // benchmark (one parallel batch), then greedy heaviest-first onto the
+  // least-loaded domain. All ties break by index, so the placement is a
+  // pure function of (benchmarks, params).
+  std::vector<std::string> distinct;
+  for (const auto& b : benchmarks) {
+    if (std::find(distinct.begin(), distinct.end(), b) == distinct.end()) distinct.push_back(b);
+  }
+  std::vector<SoloQuery> queries;
+  queries.reserve(distinct.size());
+  for (const auto& b : distinct) queries.push_back({b, /*prefetch_on=*/true, 0});
+  // Solo characterisation on the *domain* machine: that is the box the
+  // tenant will actually run on (and the key the solo memo cache keys).
+  const RunParams solo_params = shard_params(params, 0);
+  const auto solos = run_solo_batch(queries, solo_params, opts);
+
+  std::vector<double> bw(benchmarks.size(), 0.0);
+  for (std::size_t i = 0; i < benchmarks.size(); ++i) {
+    const auto it = std::find(distinct.begin(), distinct.end(), benchmarks[i]);
+    bw[i] = solos[static_cast<std::size_t>(it - distinct.begin())].cores.front().total_gbs();
+  }
+
+  std::vector<std::size_t> order(benchmarks.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) { return bw[a] > bw[b]; });
+
+  std::vector<double> load(domains, 0.0);
+  for (const std::size_t i : order) {
+    std::uint32_t best = 0;
+    for (std::uint32_t d = 1; d < domains; ++d) {
+      // Full domains can take no more tenants; otherwise least load
+      // wins, lowest domain id on ties.
+      if (mixes[d].benchmarks.size() < cpd &&
+          (mixes[best].benchmarks.size() >= cpd || load[d] < load[best])) {
+        best = d;
+      }
+    }
+    mixes[best].benchmarks.push_back(benchmarks[i]);
+    load[best] += bw[i];
+  }
+  return mixes;
+}
+
+FleetResult run_fleet(const FleetConfig& cfg,
+                      const std::vector<workloads::WorkloadMix>& shard_mixes,
+                      const BatchOptions& opts) {
+  const sim::MachineConfig& m = cfg.params.machine;
+  if (!m.valid()) throw std::invalid_argument("run_fleet: invalid fleet MachineConfig");
+  if (shard_mixes.size() != m.num_llc_domains)
+    throw std::invalid_argument("run_fleet: one shard mix per LLC domain required");
+  const std::uint32_t cpd = m.cores_per_domain();
+  for (const auto& mix : shard_mixes) {
+    if (mix.benchmarks.size() != cpd)
+      throw std::invalid_argument("run_fleet: shard mix size != cores_per_domain");
+  }
+
+  FleetResult fleet;
+  fleet.domains.resize(shard_mixes.size());
+  std::vector<obs::MetricsRegistry> job_metrics(shard_mixes.size());
+
+  fleet.batch = run_batch(
+      shard_mixes.size(),
+      [&](std::size_t d) {
+        // The shard job owns every mutable object it touches: system,
+        // policy, driver, churn RNG, metrics registry. Nothing is
+        // shared across jobs, which is the whole determinism story.
+        RunParams params = shard_params(cfg.params, static_cast<std::uint32_t>(d));
+        params.epochs.metrics = &job_metrics[d];
+
+        sim::MulticoreSystem system(params.machine);
+        workloads::attach_mix(system, shard_mixes[d], params.seed);
+        const auto policy = make_policy(cfg.policy, params.detector());
+        core::EpochDriver driver(system, *policy, params.epochs);
+
+        DomainShardResult& shard = fleet.domains[d];
+        std::vector<std::string> running = shard_mixes[d].benchmarks;
+
+        if (cfg.churn_slice == 0 || cfg.churn_catalog.empty()) {
+          driver.run(params.run_cycles);
+        } else {
+          // Tenant churn between slices, the service-mode pattern:
+          // detach + attach a replacement + reseed the partition to
+          // baseline (churn invalidates what the policy converged on).
+          // The RNG is a pure function of (churn_seed, domain), so the
+          // swap schedule is thread-count independent.
+          Rng churn(cfg.churn_seed ^ (0x9E3779B97F4A7C15ULL * (d + 1)));
+          Cycle remaining = params.run_cycles;
+          std::uint64_t attach_serial = 0;
+          while (remaining > 0) {
+            const Cycle slice = std::min(cfg.churn_slice, remaining);
+            driver.run(slice);
+            remaining -= slice;
+            if (remaining == 0 || churn.next_below(1000) >= cfg.churn_per_mille) continue;
+            const auto core = static_cast<CoreId>(churn.next_below(cpd));
+            const auto& next =
+                cfg.churn_catalog[churn.next_below(cfg.churn_catalog.size())];
+            system.detach_core(core);
+            system.attach_core(
+                core, workloads::make_op_source(
+                          next, params.machine, core,
+                          params.seed + 0x1000ULL * core + 0x517D00ULL * (++attach_serial)));
+            running[core] = next;
+            driver.reseed(core::ResourceConfig::baseline(cpd, system.cat().llc_ways()));
+            ++shard.churn_swaps;
+          }
+        }
+
+        const auto& exec = driver.execution_counters();
+        for (CoreId c = 0; c < exec.size(); ++c) {
+          shard.result.cores.push_back(
+              make_core_stats(running[c], exec[c], params.machine.freq_ghz));
+          shard.result.measured_cycles =
+              std::max<Cycle>(shard.result.measured_cycles, exec[c].cycles);
+        }
+        shard.hm_ipc = harmonic_mean(shard.result.ipcs());
+        shard.epochs_completed = driver.epoch_index();
+      },
+      opts);
+
+  // Coordinator-side merge, all in domain (job) order — deterministic
+  // at any thread count.
+  for (std::size_t d = 0; d < fleet.domains.size(); ++d) {
+    fleet.metrics.merge(job_metrics[d]);
+    const auto& shard = fleet.domains[d];
+    for (const auto& core : shard.result.cores) fleet.merged.cores.push_back(core);
+    fleet.merged.measured_cycles =
+        std::max(fleet.merged.measured_cycles, shard.result.measured_cycles);
+    fleet.metrics.count("fleet.domains");
+    if (shard.churn_swaps > 0) fleet.metrics.count("fleet.churn_swaps", shard.churn_swaps);
+  }
+  fleet.hm_ipc = harmonic_mean(fleet.merged.ipcs());
+  return fleet;
+}
+
+FleetResult run_fleet(const FleetConfig& cfg, const std::vector<std::string>& benchmarks,
+                      PlacementMode mode, const BatchOptions& opts) {
+  return run_fleet(cfg, plan_placement(benchmarks, mode, cfg.params, opts), opts);
+}
+
+}  // namespace cmm::analysis

@@ -1,0 +1,101 @@
+// Sharded fleet runner: many-core experiments over multi-LLC-domain
+// machines (MachineConfig::num_llc_domains > 1), one EpochDriver shard
+// per domain on the PR-1 thread pool, with a thin global coordinator
+// for cross-domain tenant placement and the PR-4 job-order metrics
+// merge.
+//
+// Determinism argument (see DESIGN.md, "Sharded multi-LLC fleet"):
+// domains share nothing — each owns a private LLC, CAT, and memory
+// controller, and the coordinator only acts at placement time (before
+// any cycle is simulated) and between churn slices (from a per-domain
+// RNG seeded by churn_seed ^ domain, never by thread id or schedule).
+// Every shard job owns all of its mutable state, so a fleet run is
+// bit-identical at any CMM_THREADS, and each shard is bit-identical to
+// a standalone run_mix() on the domain's machine — the property
+// test_fleet.cpp pins.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/run_harness.hpp"
+#include "obs/metrics_registry.hpp"
+
+namespace cmm::analysis {
+
+/// Cross-domain placement policy of the coordinator.
+enum class PlacementMode : std::uint8_t {
+  /// Tenant i lands on domain i % num_domains (slot-fill order).
+  RoundRobin,
+  /// Greedy balance on solo demand bandwidth: heaviest tenants first,
+  /// each onto the currently least-loaded domain (memoized solo runs;
+  /// deterministic ties by tenant index / domain id). This is the
+  /// coordinator exercising cross-domain knowledge the per-domain
+  /// policies don't have — the LFOC/CBP-style placement layer.
+  BandwidthBalanced,
+};
+
+struct FleetConfig {
+  /// params.machine describes the whole fleet (num_llc_domains >= 1).
+  RunParams params{};
+  std::string policy = "cmm_c";
+
+  // ---- Tenant churn (0 = steady-state run, bit-identical to run_mix
+  // per domain) ----
+
+  /// Slice length in cycles between churn decision points. The run is
+  /// driver.run(slice) repeated, with swaps between slices — the
+  /// service-mode pattern (detach + attach + reseed to baseline).
+  Cycle churn_slice = 0;
+  /// Probability (in 1/1000 units) that a domain swaps one tenant at a
+  /// slice boundary.
+  unsigned churn_per_mille = 250;
+  std::uint64_t churn_seed = 99;
+  /// Replacement tenants drawn on churn (index via the domain RNG).
+  /// Empty disables swaps even when churn_slice > 0.
+  std::vector<std::string> churn_catalog;
+};
+
+/// One domain's shard outcome, in local (per-domain) core order.
+struct DomainShardResult {
+  RunResult result;
+  double hm_ipc = 0.0;
+  std::uint64_t churn_swaps = 0;       // detach+attach pairs performed
+  std::uint64_t epochs_completed = 0;  // driver execution epochs
+};
+
+struct FleetResult {
+  std::vector<DomainShardResult> domains;
+  /// Domain-order concatenation: cores[global id] corresponds to
+  /// domains[domain_of(id)].result.cores[local id].
+  RunResult merged;
+  /// Job-order merge of the per-shard registries plus fleet.* counters.
+  obs::MetricsRegistry metrics;
+  BatchStats batch;
+  double hm_ipc = 0.0;  // harmonic mean over all fleet cores
+
+  std::uint64_t total_churn_swaps() const noexcept;
+};
+
+/// Place `benchmarks` (one per fleet core, global core order) onto
+/// domains. Returns one WorkloadMix per domain, local core order,
+/// named "fleet_d<d>". BandwidthBalanced runs the distinct solos as
+/// one memoized parallel batch first.
+std::vector<workloads::WorkloadMix> plan_placement(const std::vector<std::string>& benchmarks,
+                                                   PlacementMode mode, const RunParams& params,
+                                                   const BatchOptions& opts = {});
+
+/// Run one shard per domain (shard d simulates
+/// params.machine.domain_config(d) under `shard_mixes[d]`). Size of
+/// `shard_mixes` must equal num_llc_domains; each mix must have
+/// cores_per_domain() benchmarks.
+FleetResult run_fleet(const FleetConfig& cfg,
+                      const std::vector<workloads::WorkloadMix>& shard_mixes,
+                      const BatchOptions& opts = {});
+
+/// Placement + run in one call (benchmarks in global core order).
+FleetResult run_fleet(const FleetConfig& cfg, const std::vector<std::string>& benchmarks,
+                      PlacementMode mode = PlacementMode::RoundRobin,
+                      const BatchOptions& opts = {});
+
+}  // namespace cmm::analysis

@@ -28,8 +28,10 @@ double to_gbs(std::uint64_t bytes, Cycle cycles, double freq_ghz) {
   return static_cast<double>(bytes) / seconds / 1e9;
 }
 
-CoreRunStats make_stats(const std::string& benchmark, const sim::PmuCounters& delta,
-                        double freq_ghz) {
+}  // namespace
+
+CoreRunStats make_core_stats(const std::string& benchmark, const sim::PmuCounters& delta,
+                             double freq_ghz) {
   CoreRunStats s;
   s.benchmark = benchmark;
   s.counters = delta;
@@ -39,8 +41,6 @@ CoreRunStats make_stats(const std::string& benchmark, const sim::PmuCounters& de
   s.stalls_l2_pending = delta.stalls_l2_pending;
   return s;
 }
-
-}  // namespace
 
 std::vector<double> RunResult::ipcs() const {
   std::vector<double> v;
@@ -82,7 +82,7 @@ RunResult run_solo(const std::string& benchmark, const RunParams& params, bool p
   RunResult result;
   result.measured_cycles = params.run_cycles;
   result.cores.push_back(
-      make_stats(benchmark, after[0].delta_since(before[0]), machine.freq_ghz));
+      make_core_stats(benchmark, after[0].delta_since(before[0]), machine.freq_ghz));
   return result;
 }
 
@@ -97,7 +97,7 @@ RunResult run_mix(const workloads::WorkloadMix& mix, core::Policy& policy,
   RunResult result;
   const auto& exec = driver.execution_counters();
   for (CoreId c = 0; c < exec.size(); ++c) {
-    result.cores.push_back(make_stats(mix.benchmarks[c], exec[c], params.machine.freq_ghz));
+    result.cores.push_back(make_core_stats(mix.benchmarks[c], exec[c], params.machine.freq_ghz));
     result.measured_cycles = std::max<Cycle>(result.measured_cycles, exec[c].cycles);
   }
   return result;
@@ -135,7 +135,7 @@ FaultRunOutcome run_mix_with_faults(const workloads::WorkloadMix& mix, core::Pol
 
   const auto& exec = driver.execution_counters();
   for (CoreId c = 0; c < exec.size(); ++c) {
-    out.result.cores.push_back(make_stats(mix.benchmarks[c], exec[c], params.machine.freq_ghz));
+    out.result.cores.push_back(make_core_stats(mix.benchmarks[c], exec[c], params.machine.freq_ghz));
     out.result.measured_cycles = std::max<Cycle>(out.result.measured_cycles, exec[c].cycles);
   }
   // hm_ipc contract (see core::hm_ipc): a core with zero measured IPC
@@ -157,7 +157,7 @@ FaultRunOutcome run_mix_with_faults(const workloads::WorkloadMix& mix, core::Pol
   const WayMask full = full_mask(system.cat().llc_ways());
   out.hardware_baseline_at_end = true;
   for (CoreId c = 0; c < system.num_cores(); ++c) {
-    if (system.cat().core_mask(c) != full) out.hardware_baseline_at_end = false;
+    if (system.cat(system.domain_of(c)).core_mask(c) != full) out.hardware_baseline_at_end = false;
     if (!system.core(c).prefetch_msr().all_enabled()) out.hardware_baseline_at_end = false;
   }
   return out;

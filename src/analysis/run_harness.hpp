@@ -48,6 +48,11 @@ struct CoreRunStats {
   bool operator==(const CoreRunStats&) const = default;
 };
 
+/// Per-core stats from a measured PMU delta (shared by the mix, fault
+/// and fleet harnesses so every runner derives rates identically).
+CoreRunStats make_core_stats(const std::string& benchmark, const sim::PmuCounters& delta,
+                             double freq_ghz);
+
 struct RunResult {
   std::vector<CoreRunStats> cores;
   Cycle measured_cycles = 0;

@@ -11,7 +11,10 @@ std::string SoloRunCache::key_of(const std::string& benchmark, const RunParams& 
   os << benchmark << '|' << (prefetch_on ? 1 : 0) << '|' << ways << '|' << params.seed << '|'
      << params.warmup_cycles << '|' << params.run_cycles << '|';
   const auto& m = params.machine;
-  os << m.num_cores << '|';
+  // Domain topology is part of the key: an 8-core/1-LLC solo and an
+  // 8-core slice of a multi-domain fleet machine are different runs
+  // (per-domain memory controller state) and must never collide.
+  os << m.num_cores << '|' << m.num_llc_domains << '|';
   for (const auto& g : {m.l1d, m.l2, m.llc}) {
     os << g.size_bytes << '/' << g.ways << '/' << g.line_size << '|';
   }

@@ -1,0 +1,92 @@
+#include "common/simd.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace cmm::simd {
+namespace {
+
+bool cpu_supports(Backend b) noexcept {
+  switch (b) {
+    case Backend::Scalar:
+      return true;
+    case Backend::Sse2:
+#if CMM_SIMD_X86
+      return true;  // x86-64 baseline ISA
+#else
+      return false;
+#endif
+    case Backend::Avx2:
+#if CMM_SIMD_X86
+      return __builtin_cpu_supports("avx2") != 0;
+#else
+      return false;
+#endif
+    case Backend::Neon:
+#if CMM_SIMD_NEON
+      return true;  // aarch64 baseline ISA
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+Backend best_backend() noexcept {
+#if CMM_SIMD_X86
+  if (cpu_supports(Backend::Avx2)) return Backend::Avx2;
+  return Backend::Sse2;
+#elif CMM_SIMD_NEON
+  return Backend::Neon;
+#else
+  return Backend::Scalar;
+#endif
+}
+
+Backend resolve_startup_backend() noexcept {
+  if (const char* force = std::getenv("CMM_SIMD_FORCE"); force != nullptr && *force != '\0') {
+    Backend want = Backend::Scalar;
+    bool known = true;
+    if (std::strcmp(force, "scalar") == 0) {
+      want = Backend::Scalar;
+    } else if (std::strcmp(force, "sse2") == 0) {
+      want = Backend::Sse2;
+    } else if (std::strcmp(force, "avx2") == 0) {
+      want = Backend::Avx2;
+    } else if (std::strcmp(force, "neon") == 0) {
+      want = Backend::Neon;
+    } else {
+      known = false;  // unknown value (incl. "auto"): fall through to detection
+    }
+    if (known && cpu_supports(want)) return want;
+  }
+  return best_backend();
+}
+
+}  // namespace
+
+namespace detail {
+Backend g_backend = resolve_startup_backend();
+}  // namespace detail
+
+bool backend_supported(Backend b) noexcept { return cpu_supports(b); }
+
+const char* backend_name(Backend b) noexcept {
+  switch (b) {
+    case Backend::Scalar: return "scalar";
+    case Backend::Sse2: return "sse2";
+    case Backend::Avx2: return "avx2";
+    case Backend::Neon: return "neon";
+  }
+  return "unknown";
+}
+
+bool force_backend(Backend b) noexcept {
+  if (!cpu_supports(b)) return false;
+  detail::g_backend = b;
+  return true;
+}
+
+void reset_backend() noexcept { detail::g_backend = resolve_startup_backend(); }
+
+}  // namespace cmm::simd

@@ -1,0 +1,261 @@
+// Vectorized hot-path kernels for the SoA cache: tag compare (probe)
+// and CAT-masked LRU victim selection (fill). The SoA layout from the
+// kernel rewrite (contiguous per-set tag slices, invalid ways holding
+// the ~0 sentinel) was laid out for exactly this.
+//
+// Dispatch contract (see DESIGN.md "SIMD probe kernel"):
+//  - Every backend computes the *same function*, bit for bit:
+//      find_tag     -> lowest way whose tag equals the needle, or -1.
+//                      Tags are unique within a set (at most one way
+//                      holds a given line) and invalid ways hold the
+//                      kNoTag sentinel (~0), which fill() asserts can
+//                      never arrive as a real line address — so a
+//                      match-any scan is a find-lowest scan, and the
+//                      block-ordered early exit preserves
+//                      lowest-way-wins exactly.
+//      argmin_tick  -> lowest way among the mask's set bits holding the
+//                      minimal LRU tick (strict-< scan in ascending way
+//                      order, the scalar victim loop's semantics).
+//    Backend choice can therefore never change simulation results,
+//    only wall-clock — the differential suite (test_simd.cpp) pins it.
+//  - The backend is selected once at startup: compile-time gate
+//    (CMM_SIMD CMake option -> CMM_SIMD_ENABLED), then a runtime
+//    capability check (cpuid on x86), then the CMM_SIMD_FORCE
+//    environment variable ("scalar"|"sse2"|"avx2"|"neon"|"auto") and
+//    force_backend() for tests. Hot-path dispatch is one load + one
+//    well-predicted branch; AVX2 code is compiled via per-function
+//    target attributes so the rest of the binary keeps the default ISA.
+//  - Not thread-safe against force_backend(): the cache hot path reads
+//    the backend without synchronization, so tests toggle it only
+//    around single-threaded sections (the harness never toggles).
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+#include "common/types.hpp"
+
+#ifndef CMM_SIMD_ENABLED
+#define CMM_SIMD_ENABLED 1
+#endif
+
+#if CMM_SIMD_ENABLED && (defined(__x86_64__) || defined(__i386__)) && defined(__GNUC__)
+#define CMM_SIMD_X86 1
+#include <immintrin.h>
+#elif CMM_SIMD_ENABLED && defined(__aarch64__) && defined(__GNUC__)
+#define CMM_SIMD_NEON 1
+#include <arm_neon.h>
+#endif
+
+namespace cmm::simd {
+
+enum class Backend : std::uint8_t { Scalar, Sse2, Avx2, Neon };
+
+/// True when this build + this CPU can execute `b`.
+bool backend_supported(Backend b) noexcept;
+
+/// Human-readable backend name ("scalar", "sse2", "avx2", "neon").
+const char* backend_name(Backend b) noexcept;
+
+/// Force the dispatch to `b` (tests: forced-fallback coverage on AVX2
+/// runners, scalar-vs-SIMD differentials). Returns false — leaving the
+/// active backend unchanged — when `b` is not supported here.
+bool force_backend(Backend b) noexcept;
+
+/// Re-resolve the startup default (capability check + CMM_SIMD_FORCE).
+void reset_backend() noexcept;
+
+namespace detail {
+
+extern Backend g_backend;  // resolved once at startup; see simd.cpp
+
+inline int find_tag_scalar(const Addr* tags, std::uint32_t ways, Addr needle) noexcept {
+  for (std::uint32_t w = 0; w < ways; ++w) {
+    if (tags[w] == needle) return static_cast<int>(w);
+  }
+  return -1;
+}
+
+inline std::uint32_t argmin_tick_scalar(const std::uint64_t* ticks, WayMask mask) noexcept {
+  std::uint32_t best_way = 0;
+  std::uint64_t best = ~std::uint64_t{0};
+  for (WayMask m = mask; m != 0; m &= m - 1) {
+    const auto w = static_cast<std::uint32_t>(std::countr_zero(m));
+    if (ticks[w] < best) {
+      best = ticks[w];
+      best_way = w;
+    }
+  }
+  return best_way;
+}
+
+#if CMM_SIMD_X86
+
+// SSE2 is the x86-64 baseline ISA: no target attribute, no runtime
+// check needed. SSE2 has no 64-bit lane compare, so equality is two
+// 32-bit half-compares ANDed pairwise.
+inline int find_tag_sse2(const Addr* tags, std::uint32_t ways, Addr needle) noexcept {
+  const __m128i n = _mm_set1_epi64x(static_cast<long long>(needle));
+  std::uint32_t w = 0;
+  for (; w + 2 <= ways; w += 2) {
+    const __m128i t = _mm_loadu_si128(reinterpret_cast<const __m128i*>(tags + w));
+    const __m128i eq32 = _mm_cmpeq_epi32(t, n);
+    const __m128i swapped = _mm_shuffle_epi32(eq32, _MM_SHUFFLE(2, 3, 0, 1));
+    const int m = _mm_movemask_pd(_mm_castsi128_pd(_mm_and_si128(eq32, swapped)));
+    if (m != 0) return static_cast<int>(w + std::countr_zero(static_cast<unsigned>(m)));
+  }
+  if (w < ways && tags[w] == needle) return static_cast<int>(w);
+  return -1;
+}
+
+__attribute__((target("avx2"))) inline int find_tag_avx2(const Addr* tags, std::uint32_t ways,
+                                                         Addr needle) noexcept {
+  const __m256i n = _mm256_set1_epi64x(static_cast<long long>(needle));
+  std::uint32_t w = 0;
+  // 8 ways per iteration: the two compares are independent (good ILP)
+  // and share one branch. Blocks ascend and countr_zero picks the
+  // lowest set bit of the combined mask, so lowest-way-wins holds.
+  for (; w + 8 <= ways; w += 8) {
+    const __m256i t0 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(tags + w));
+    const __m256i t1 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(tags + w + 4));
+    const unsigned m =
+        static_cast<unsigned>(_mm256_movemask_pd(_mm256_castsi256_pd(_mm256_cmpeq_epi64(t0, n)))) |
+        (static_cast<unsigned>(
+             _mm256_movemask_pd(_mm256_castsi256_pd(_mm256_cmpeq_epi64(t1, n))))
+         << 4);
+    if (m != 0) return static_cast<int>(w + std::countr_zero(m));
+  }
+  if (w + 4 <= ways) {
+    const __m256i t = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(tags + w));
+    const int m = _mm256_movemask_pd(_mm256_castsi256_pd(_mm256_cmpeq_epi64(t, n)));
+    if (m != 0) return static_cast<int>(w + std::countr_zero(static_cast<unsigned>(m)));
+    w += 4;
+  }
+  for (; w < ways; ++w) {
+    if (tags[w] == needle) return static_cast<int>(w);
+  }
+  return -1;
+}
+
+// Per-4-bit-nibble lane masks: all-ones in lane i when mask bit i set.
+// Indexed by the mask nibble covering the current 4-way block.
+struct alignas(32) LaneMaskTable {
+  std::uint64_t rows[16][4];
+  constexpr LaneMaskTable() : rows{} {
+    for (unsigned nib = 0; nib < 16; ++nib) {
+      for (unsigned lane = 0; lane < 4; ++lane) {
+        rows[nib][lane] = ((nib >> lane) & 1u) ? ~std::uint64_t{0} : 0;
+      }
+    }
+  }
+};
+inline constexpr LaneMaskTable kLaneMasks{};
+
+// AVX2 has no unsigned 64-bit min, so the scan runs in the "biased"
+// domain (x ^ 0x8000...0 maps unsigned order onto signed order, and the
+// masked-out-lane sentinel ~0 maps onto signed max). Block order +
+// strict < keeps the scalar loop's lowest-way-wins tie-break.
+__attribute__((target("avx2"))) inline std::uint32_t argmin_tick_avx2(
+    const std::uint64_t* ticks, WayMask mask, std::uint32_t ways) noexcept {
+  constexpr std::uint64_t kSign = 0x8000000000000000ULL;
+  const __m256i sign = _mm256_set1_epi64x(static_cast<long long>(kSign));
+  const __m256i all_max = _mm256_set1_epi64x(-1);
+  std::uint64_t best = ~std::uint64_t{0};
+  std::uint32_t best_way = 0;
+  std::uint32_t w = 0;
+  for (; w + 4 <= ways; w += 4) {
+    const unsigned nib = (mask >> w) & 0xFu;
+    if (nib == 0) continue;
+    const __m256i lanes =
+        _mm256_load_si256(reinterpret_cast<const __m256i*>(kLaneMasks.rows[nib]));
+    const __m256i v = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(ticks + w));
+    const __m256i biased = _mm256_xor_si256(_mm256_blendv_epi8(all_max, v, lanes), sign);
+    // Horizontal min: swap 128-bit halves, then 64-bit lanes, taking
+    // the pairwise (signed) min each time — all lanes end up equal.
+    const __m256i h1 = _mm256_permute2x128_si256(biased, biased, 1);
+    const __m256i m1 =
+        _mm256_blendv_epi8(biased, h1, _mm256_cmpgt_epi64(biased, h1));
+    const __m256i h2 = _mm256_shuffle_epi32(m1, _MM_SHUFFLE(1, 0, 3, 2));
+    const __m256i m2 = _mm256_blendv_epi8(m1, h2, _mm256_cmpgt_epi64(m1, h2));
+    const std::uint64_t block_min =
+        static_cast<std::uint64_t>(_mm256_extract_epi64(m2, 0)) ^ kSign;
+    if (block_min < best) {
+      best = block_min;
+      const int eq = _mm256_movemask_pd(
+          _mm256_castsi256_pd(_mm256_cmpeq_epi64(biased, m2)));
+      best_way = w + static_cast<std::uint32_t>(std::countr_zero(static_cast<unsigned>(eq)));
+    }
+  }
+  // Tail ways (associativity not a multiple of 4).
+  for (; w < ways; ++w) {
+    if (((mask >> w) & 1u) == 0) continue;
+    if (ticks[w] < best) {
+      best = ticks[w];
+      best_way = w;
+    }
+  }
+  return best_way;
+}
+
+#endif  // CMM_SIMD_X86
+
+#if CMM_SIMD_NEON
+
+inline int find_tag_neon(const Addr* tags, std::uint32_t ways, Addr needle) noexcept {
+  const uint64x2_t n = vdupq_n_u64(needle);
+  std::uint32_t w = 0;
+  for (; w + 2 <= ways; w += 2) {
+    const uint64x2_t eq = vceqq_u64(vld1q_u64(tags + w), n);
+    if (vgetq_lane_u64(eq, 0) != 0) return static_cast<int>(w);
+    if (vgetq_lane_u64(eq, 1) != 0) return static_cast<int>(w + 1);
+  }
+  if (w < ways && tags[w] == needle) return static_cast<int>(w);
+  return -1;
+}
+
+#endif  // CMM_SIMD_NEON
+
+}  // namespace detail
+
+/// Active backend for this process (capability + CMM_SIMD_FORCE +
+/// force_backend test overrides).
+inline Backend active_backend() noexcept { return detail::g_backend; }
+
+/// Lowest way in [0, ways) with tags[way] == needle, or -1. All
+/// backends bit-identical (see dispatch contract above).
+inline int find_tag(const Addr* tags, std::uint32_t ways, Addr needle) noexcept {
+#if CMM_SIMD_X86
+  const Backend b = detail::g_backend;
+  if (b == Backend::Avx2) return detail::find_tag_avx2(tags, ways, needle);
+  if (b == Backend::Sse2) return detail::find_tag_sse2(tags, ways, needle);
+  return detail::find_tag_scalar(tags, ways, needle);
+#elif CMM_SIMD_NEON
+  if (detail::g_backend == Backend::Neon) return detail::find_tag_neon(tags, ways, needle);
+  return detail::find_tag_scalar(tags, ways, needle);
+#else
+  return detail::find_tag_scalar(tags, ways, needle);
+#endif
+}
+
+/// Way with the minimal ticks[] value among the set bits of `mask`
+/// (lowest way wins ties). Preconditions: mask != 0, mask's set bits
+/// all < ways. Dense masks (>= 8 allowed ways — the unpartitioned-LLC
+/// fill path) take the vector path; sparse CAT partitions stay on the
+/// O(popcount) bit-scan, which is already cheaper. Both paths compute
+/// the identical argmin, so the crossover is invisible to results.
+inline std::uint32_t argmin_tick(const std::uint64_t* ticks, WayMask mask,
+                                 std::uint32_t ways) noexcept {
+#if CMM_SIMD_X86
+  if (detail::g_backend == Backend::Avx2 && std::popcount(mask) >= 8) {
+    return detail::argmin_tick_avx2(ticks, mask, ways);
+  }
+#else
+  (void)ways;
+#endif
+#if !CMM_SIMD_X86
+  (void)ways;
+#endif
+  return detail::argmin_tick_scalar(ticks, mask);
+}
+
+}  // namespace cmm::simd

@@ -8,32 +8,43 @@
 namespace cmm::hw {
 
 void SimCatController::apply(const std::vector<WayMask>& per_core_masks) {
-  sim::CatModel& cat = system_->cat();
   if (per_core_masks.size() != system_->num_cores())
     throw std::invalid_argument("SimCatController: one mask per core required");
 
-  // Deduplicate masks into COS slots, like pqos allocating CLOSes.
-  std::vector<WayMask> distinct;
-  for (const WayMask m : per_core_masks) {
-    if (std::find(distinct.begin(), distinct.end(), m) == distinct.end()) distinct.push_back(m);
-  }
-  if (distinct.size() > cat.num_cos())
-    throw std::invalid_argument("SimCatController: more distinct masks than COS");
+  // Each LLC domain has its own CAT instance with its own 16 COS slots;
+  // deduplicate per domain, like pqos allocating CLOSes per socket. At
+  // one domain this degenerates to exactly the old global behaviour.
+  const std::uint32_t cpd = system_->config().cores_per_domain();
+  for (unsigned d = 0; d < system_->num_domains(); ++d) {
+    sim::CatModel& cat = system_->cat(d);
+    const CoreId lo = system_->config().domain_base(d);
 
-  for (unsigned cos = 0; cos < distinct.size(); ++cos) cat.set_cbm(cos, distinct[cos]);
-  for (CoreId c = 0; c < per_core_masks.size(); ++c) {
-    const auto it = std::find(distinct.begin(), distinct.end(), per_core_masks[c]);
-    cat.assign_core(c, static_cast<unsigned>(it - distinct.begin()));
+    std::vector<WayMask> distinct;
+    for (CoreId c = lo; c < lo + cpd; ++c) {
+      const WayMask m = per_core_masks[c];
+      if (std::find(distinct.begin(), distinct.end(), m) == distinct.end()) distinct.push_back(m);
+    }
+    if (distinct.size() > cat.num_cos())
+      throw std::invalid_argument("SimCatController: more distinct masks than COS");
+
+    for (unsigned cos = 0; cos < distinct.size(); ++cos) cat.set_cbm(cos, distinct[cos]);
+    for (CoreId c = lo; c < lo + cpd; ++c) {
+      const auto it = std::find(distinct.begin(), distinct.end(), per_core_masks[c]);
+      cat.assign_core(c, static_cast<unsigned>(it - distinct.begin()));
+    }
   }
 }
 
 std::vector<WayMask> SimCatController::current() const {
-  const sim::CatModel& cat = system_->cat();
   std::vector<WayMask> masks(system_->num_cores());
-  for (CoreId c = 0; c < masks.size(); ++c) masks[c] = cat.core_mask(c);
+  for (CoreId c = 0; c < masks.size(); ++c) {
+    masks[c] = system_->cat(system_->domain_of(c)).core_mask(c);
+  }
   return masks;
 }
 
-void SimCatController::reset() { system_->cat().reset(); }
+void SimCatController::reset() {
+  for (unsigned d = 0; d < system_->num_domains(); ++d) system_->cat(d).reset();
+}
 
 }  // namespace cmm::hw

@@ -69,10 +69,6 @@ LookupResult SetAssocCache::access(Addr line_addr, AccessType type, Cycle now) {
   return r;
 }
 
-bool SetAssocCache::contains(Addr line_addr) const {
-  return probe(set_index(line_addr), line_addr) >= 0;
-}
-
 FillResult SetAssocCache::fill(Addr line_addr, AccessType type, [[maybe_unused]] Cycle now,
                                Cycle ready_at, WayMask alloc_mask, CoreId owner) {
   FillResult result;
@@ -97,18 +93,11 @@ FillResult SetAssocCache::fill(Addr line_addr, AccessType type, [[maybe_unused]]
     victim = static_cast<std::uint32_t>(std::countr_zero(invalid_ways));
   } else {
     if (usable == 0) return result;  // mask beyond associativity
-    // Evict the LRU (oldest-timestamp) line, visiting only the mask's
-    // set bits (every in-mask way is valid here).
-    victim = ways_;
-    std::uint64_t oldest = std::numeric_limits<std::uint64_t>::max();
-    const std::uint64_t* lu = &last_used_[line_index(set, 0)];
-    for (WayMask m = usable; m != 0; m &= m - 1) {
-      const auto w = static_cast<std::uint32_t>(std::countr_zero(m));
-      if (lu[w] < oldest) {
-        oldest = lu[w];
-        victim = w;
-      }
-    }
+    // Evict the LRU (oldest-timestamp) line among the mask's set bits
+    // (every in-mask way is valid here). Dense masks take the SIMD
+    // masked-argmin; sparse CAT partitions keep the O(popcount)
+    // bit-scan — both are the identical argmin (simd.hpp contract).
+    victim = simd::argmin_tick(&last_used_[line_index(set, 0)], usable, ways_);
     const std::size_t vidx = line_index(set, victim);
     result.evicted_valid = true;
     result.evicted_line = tags_[vidx];

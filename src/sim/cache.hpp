@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "common/bitmask.hpp"
+#include "common/simd.hpp"
 #include "common/types.hpp"
 #include "sim/machine_config.hpp"
 
@@ -90,8 +91,13 @@ class SetAssocCache {
   /// line_shift). Demand hits mark prefetched lines as used.
   LookupResult access(Addr line_addr, AccessType type, Cycle now);
 
-  /// Probe without LRU update or usefulness side effects.
-  bool contains(Addr line_addr) const;
+  /// Probe without LRU update or usefulness side effects. Header-inline:
+  /// this is the pure-probe hot path (prefetcher sandboxes, occupancy
+  /// scans, the probe micro-benches) and must not pay a call on top of
+  /// the vector kernel.
+  bool contains(Addr line_addr) const noexcept {
+    return probe(set_index(line_addr), line_addr) >= 0;
+  }
 
   /// Allocate `line_addr`, choosing the victim only among ways allowed
   /// by `alloc_mask` (CAT). Invalid ways inside the mask are preferred;
@@ -154,16 +160,13 @@ class SetAssocCache {
   static constexpr Addr kNoTag = ~Addr{0};
 
   /// Way of `set` holding `line_addr`, or -1. Empty sets short-circuit
-  /// on the valid bitmask; otherwise an early-exit scan over the set's
-  /// contiguous tag slice (invalid ways hold kNoTag and can never
-  /// match). Ascending order keeps the lowest-way-wins probe order.
+  /// on the valid bitmask; otherwise a vectorized equality scan over the
+  /// set's contiguous tag slice (invalid ways hold kNoTag and can never
+  /// match — see simd.hpp for the dispatch contract). All backends
+  /// preserve lowest-way-wins probe order bit-for-bit.
   int probe(std::uint32_t set, Addr line_addr) const noexcept {
     if (valid_[set] == 0) return -1;
-    const Addr* tags = &tags_[line_index(set, 0)];
-    for (std::uint32_t w = 0; w < ways_; ++w) {
-      if (tags[w] == line_addr) return static_cast<int>(w);
-    }
-    return -1;
+    return simd::find_tag(&tags_[line_index(set, 0)], ways_, line_addr);
   }
 
   void touch(std::size_t idx) noexcept { last_used_[idx] = ++tick_; }

@@ -56,8 +56,41 @@ bool prefetcher_sets_valid(const std::vector<std::vector<PrefetcherKind>>& sets,
 }
 }  // namespace
 
+MachineConfig MachineConfig::fleet(unsigned domains, unsigned cores_per_domain,
+                                   unsigned scale_divisor) {
+  MachineConfig cfg = scaled(scale_divisor);
+  cfg.num_llc_domains = std::max(domains, 1u);
+  cfg.num_cores = cfg.num_llc_domains * std::max(cores_per_domain, 1u);
+  return cfg;
+}
+
+MachineConfig MachineConfig::domain_config(std::uint32_t d) const {
+  MachineConfig cfg = *this;
+  cfg.num_cores = cores_per_domain();
+  cfg.num_llc_domains = 1;
+  cfg.core_prefetchers.clear();
+  // Slice the per-core engine sets to this domain's core block; absent
+  // outer entries fall back to the default set anyway.
+  const std::size_t lo = domain_base(d);
+  const std::size_t hi = lo + cores_per_domain();
+  for (std::size_t c = lo; c < hi && c < core_prefetchers.size(); ++c) {
+    cfg.core_prefetchers.push_back(core_prefetchers[c]);
+  }
+  // Drop trailing empties so "no per-core overrides" round-trips to the
+  // canonical empty outer vector (keeps solo_cache keys canonical).
+  while (!cfg.core_prefetchers.empty() && cfg.core_prefetchers.back().empty()) {
+    cfg.core_prefetchers.pop_back();
+  }
+  return cfg;
+}
+
 bool MachineConfig::valid() const noexcept {
-  return num_cores > 0 && num_cores <= 64 && geometry_valid(l1d) && geometry_valid(l2) &&
+  // Per-domain core count is capped where the old global cap was: every
+  // domain is exactly the machine the rest of the stack already
+  // handles. The global cap bounds fleet experiments at 256 cores.
+  return num_cores > 0 && num_cores <= 256 && num_llc_domains > 0 &&
+         num_cores % num_llc_domains == 0 && num_cores / num_llc_domains <= 64 &&
+         geometry_valid(l1d) && geometry_valid(l2) &&
          geometry_valid(llc) && llc.ways <= 32 && l1_latency < l2_latency &&
          l2_latency < llc_latency && llc_latency < dram_base_latency &&
          dram_peak_bytes_per_cycle > 0.0 && bandwidth_window > 0 && quantum > 0 &&

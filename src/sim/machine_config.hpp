@@ -28,6 +28,18 @@ struct CacheGeometry {
 struct MachineConfig {
   std::uint32_t num_cores = 8;
 
+  /// Number of LLC/bandwidth domains (multi-socket or multi-CCX fleet
+  /// topologies). Cores are split evenly across domains in contiguous
+  /// id blocks: domain d owns cores [d*cores_per_domain(),
+  /// (d+1)*cores_per_domain()). Each domain gets a private instance of
+  /// the `llc` geometry, its own 16-COS CAT, and its own memory
+  /// controller with the full `dram_peak_bytes_per_cycle` — domains
+  /// share nothing, which is what makes fleet runs shardable with
+  /// bit-exact determinism (see DESIGN.md). 1 (the default) is the
+  /// paper's single-socket box and is bit-identical to the pre-domain
+  /// code.
+  std::uint32_t num_llc_domains = 1;
+
   CacheGeometry l1d{32 * 1024, 8, 64};
   CacheGeometry l2{256 * 1024, 8, 64};
   CacheGeometry llc{20 * 1024 * 1024, 20, 64};
@@ -101,6 +113,25 @@ struct MachineConfig {
   /// Workload working sets must be scaled by the same divisor — see
   /// workloads::BenchmarkSpec::scaled().
   static MachineConfig scaled(unsigned divisor = 8);
+
+  /// Multi-domain fleet machine: `domains` capacity-scaled sockets of
+  /// `cores_per_domain` cores each (so 8 x 8 = the 64-core CI fleet).
+  static MachineConfig fleet(unsigned domains, unsigned cores_per_domain = 8,
+                             unsigned scale_divisor = 16);
+
+  // ---- Domain topology helpers ----
+  std::uint32_t cores_per_domain() const noexcept { return num_cores / num_llc_domains; }
+  std::uint32_t domain_of(CoreId core) const noexcept { return core / cores_per_domain(); }
+  /// First global core id of domain `d`.
+  CoreId domain_base(std::uint32_t d) const noexcept { return d * cores_per_domain(); }
+
+  /// The single-domain machine a fleet shard simulates: same caches,
+  /// latencies, knobs and per-core prefetcher sets (sliced to the
+  /// domain's cores), but num_cores = cores_per_domain() and
+  /// num_llc_domains = 1. A domain of a 1-domain machine is the machine
+  /// itself — this is the identity there, which is the keystone of the
+  /// shard-equals-monolith equivalence argument.
+  MachineConfig domain_config(std::uint32_t d) const;
 
   bool valid() const noexcept;
 };

@@ -4,16 +4,22 @@
 
 namespace cmm::sim {
 
-MulticoreSystem::MulticoreSystem(const MachineConfig& cfg)
-    : cfg_(cfg), llc_(cfg.llc), cat_(cfg.num_cores, cfg.llc.ways), mem_(cfg, cfg.num_cores),
-      pmu_(cfg.num_cores) {
+MulticoreSystem::MulticoreSystem(const MachineConfig& cfg) : cfg_(cfg), pmu_(cfg.num_cores) {
   if (!cfg.valid()) throw std::invalid_argument("MulticoreSystem: invalid MachineConfig");
+  domains_.reserve(cfg.num_llc_domains);
+  for (std::uint32_t d = 0; d < cfg.num_llc_domains; ++d) {
+    domains_.push_back(std::make_unique<LlcDomain>(cfg_));
+  }
   cores_.reserve(cfg.num_cores);
   for (CoreId id = 0; id < cfg.num_cores; ++id) {
-    cores_.push_back(std::make_unique<CoreModel>(id, cfg_, llc_, cat_, mem_, pmu_));
+    LlcDomain& dom = *domains_[cfg_.domain_of(id)];
+    cores_.push_back(std::make_unique<CoreModel>(id, cfg_, dom.llc, dom.cat, dom.mem, pmu_));
   }
   idle_.assign(cfg.num_cores, false);
   if (cfg_.inclusive_llc) {
+    // Back-invalidation only ever targets a core of the evicting
+    // domain: owners are recorded at fill time, and only the domain's
+    // own cores fill its LLC.
     for (auto& core : cores_) {
       core->set_eviction_listener([this](Addr line, CoreId owner) {
         if (owner >= cores_.size()) return;
@@ -34,7 +40,7 @@ std::size_t MulticoreSystem::attach_core(CoreId id, std::shared_ptr<OpSource> so
   // the idle loop) left in the private caches and prefetcher engines,
   // then reclaim its LLC footprint.
   core.reset_microarch();
-  const std::size_t dropped = llc_.invalidate_owner(id);
+  const std::size_t dropped = llc(cfg_.domain_of(id)).invalidate_owner(id);
   core.set_op_source(std::move(source));
   idle_.at(id) = false;
   return dropped;
@@ -43,7 +49,7 @@ std::size_t MulticoreSystem::attach_core(CoreId id, std::shared_ptr<OpSource> so
 std::size_t MulticoreSystem::detach_core(CoreId id) {
   auto& core = *cores_.at(id);
   core.reset_microarch();
-  const std::size_t dropped = llc_.invalidate_owner(id);
+  const std::size_t dropped = llc(cfg_.domain_of(id)).invalidate_owner(id);
   core.set_op_source(std::make_shared<IdleOpSource>(cfg_.idle_cpi));
   idle_.at(id) = true;
   return dropped;
@@ -66,7 +72,7 @@ void MulticoreSystem::run(Cycle cycles) {
 }
 
 void MulticoreSystem::reset_microarch() {
-  llc_.flush();
+  for (auto& dom : domains_) dom->llc.flush();
   for (auto& core : cores_) core->reset_microarch();
 }
 

@@ -1,7 +1,11 @@
-// The simulated socket: N CoreModels sharing one LLC, one CAT instance,
-// and one memory controller. Cores are advanced round-robin in fixed
-// cycle quanta so that contention on the shared structures interleaves
-// at fine grain without event-queue overhead.
+// The simulated machine: N CoreModels grouped into LLC domains, each
+// domain owning a private LLC, CAT instance, and memory controller
+// (num_llc_domains == 1 — the default — is the paper's single socket
+// and behaves exactly as before). Cores are advanced round-robin in
+// fixed cycle quanta so that contention on the shared structures
+// interleaves at fine grain without event-queue overhead. Domains
+// share nothing, so a multi-domain machine is observationally
+// equivalent to its per-domain shards (see DESIGN.md, fleet runner).
 #pragma once
 
 #include <memory>
@@ -52,14 +56,23 @@ class MulticoreSystem {
   CoreModel& core(CoreId id) { return *cores_.at(id); }
   const CoreModel& core(CoreId id) const { return *cores_.at(id); }
 
-  SetAssocCache& llc() noexcept { return llc_; }
-  const SetAssocCache& llc() const noexcept { return llc_; }
+  // Per-domain shared structures. The argument defaults to domain 0 so
+  // every pre-domain call site (and every single-domain machine, where
+  // domain 0 is the only one) keeps working unchanged. CatModel and
+  // MemoryController are constructed with the GLOBAL core count, so
+  // global core ids index any domain's instance directly — no id
+  // remapping anywhere in the stack.
+  unsigned num_domains() const noexcept { return cfg_.num_llc_domains; }
+  std::uint32_t domain_of(CoreId id) const noexcept { return cfg_.domain_of(id); }
 
-  CatModel& cat() noexcept { return cat_; }
-  const CatModel& cat() const noexcept { return cat_; }
+  SetAssocCache& llc(unsigned d = 0) { return domains_.at(d)->llc; }
+  const SetAssocCache& llc(unsigned d = 0) const { return domains_.at(d)->llc; }
 
-  MemoryController& memory() noexcept { return mem_; }
-  const MemoryController& memory() const noexcept { return mem_; }
+  CatModel& cat(unsigned d = 0) { return domains_.at(d)->cat; }
+  const CatModel& cat(unsigned d = 0) const { return domains_.at(d)->cat; }
+
+  MemoryController& memory(unsigned d = 0) { return domains_.at(d)->mem; }
+  const MemoryController& memory(unsigned d = 0) const { return domains_.at(d)->mem; }
 
   Pmu& pmu() noexcept { return pmu_; }
   const Pmu& pmu() const noexcept { return pmu_; }
@@ -99,11 +112,19 @@ class MulticoreSystem {
   void reset_microarch();
 
  private:
+  /// One LLC/bandwidth domain: a private LLC + CAT + memory controller
+  /// shared only by the domain's core block.
+  struct LlcDomain {
+    LlcDomain(const MachineConfig& cfg)
+        : llc(cfg.llc), cat(cfg.num_cores, cfg.llc.ways), mem(cfg, cfg.num_cores) {}
+    SetAssocCache llc;
+    CatModel cat;
+    MemoryController mem;
+  };
+
   MachineConfig cfg_;
-  SetAssocCache llc_;
-  CatModel cat_;
-  MemoryController mem_;
-  Pmu pmu_;
+  std::vector<std::unique_ptr<LlcDomain>> domains_;
+  Pmu pmu_;  // global: per-core slots indexed by global core id
   std::vector<std::unique_ptr<CoreModel>> cores_;
   std::vector<bool> idle_;  // core runs the hotplug idle loop
   Cycle global_cycle_ = 0;

@@ -71,6 +71,24 @@ TEST(SoloRunCache, KeyCoversMachineConfigAndCycles) {
   EXPECT_EQ(base, SoloRunCache::key_of("lbm", fast_params(), true, 0));
 }
 
+// Domain topology is part of the machine: a solo on the 8-core/1-LLC
+// box and a solo on a fleet machine slice must never share an entry,
+// and a fleet machine with a different domain count is a different key
+// even at the same total core count.
+TEST(SoloRunCache, KeyCoversDomainTopology) {
+  const auto params = fast_params();
+  RunParams fleet2 = params;
+  fleet2.machine = sim::MachineConfig::fleet(2, params.machine.num_cores / 2, 32);
+  RunParams fleet4 = params;
+  fleet4.machine = sim::MachineConfig::fleet(4, params.machine.num_cores / 4, 32);
+
+  ASSERT_EQ(fleet2.machine.num_cores, params.machine.num_cores);
+  const auto base = SoloRunCache::key_of("lbm", params, true, 0);
+  EXPECT_NE(base, SoloRunCache::key_of("lbm", fleet2, true, 0));
+  EXPECT_NE(SoloRunCache::key_of("lbm", fleet2, true, 0),
+            SoloRunCache::key_of("lbm", fleet4, true, 0));
+}
+
 TEST(SoloRunCache, ConcurrentSameKeyComputesExactlyOnce) {
   SoloRunCache cache;
   const auto params = fast_params();
