@@ -6,10 +6,10 @@ simulated-time stamp "t" and an execution-epoch index "epoch"; resource
 configurations appear as a per-core prefetch bit string plus a list of
 decimal way masks. Event types and their fields:
 
-    epoch_start       t epoch len policy prefetch masks
+    epoch_start       t epoch len policy prefetch masks [throttle]
     detector_verdict  t epoch core pga pmr ptr agg
-    sample_result     t epoch sample hm_ipc prefetch masks
-    config_applied    t epoch source prefetch masks
+    sample_result     t epoch sample hm_ipc prefetch masks [throttle]
+    config_applied    t epoch source prefetch masks [throttle]
     degradation_step  t epoch step core detail note
     fault_retry       t epoch attempt backoff what
     tenant_attach     t epoch core tenant slo solo_ipc
@@ -41,12 +41,14 @@ import time
 
 # type -> {field: allowed types}; every event also carries t/epoch.
 SCHEMA = {
-    "epoch_start": {"len": int, "policy": str, "prefetch": str, "masks": list},
+    "epoch_start": {"len": int, "policy": str, "prefetch": str, "masks": list,
+                    "throttle": list},
     "detector_verdict": {"core": int, "pga": (int, float), "pmr": (int, float),
                          "ptr": (int, float), "agg": bool},
     "sample_result": {"sample": int, "hm_ipc": (int, float), "prefetch": str,
-                      "masks": list},
-    "config_applied": {"source": str, "prefetch": str, "masks": list},
+                      "masks": list, "throttle": list},
+    "config_applied": {"source": str, "prefetch": str, "masks": list,
+                       "throttle": list},
     "degradation_step": {"step": str, "core": int, "detail": int, "note": str},
     "fault_retry": {"attempt": int, "backoff": int, "what": str},
     "tenant_attach": {"core": int, "tenant": str, "slo": (int, float),
@@ -60,6 +62,11 @@ SCHEMA = {
 
 APPLY_SOURCES = {"initial", "sample", "final", "watchdog", "reseed"}
 
+# Fields the sink emits only when meaningful: per-core MBA throttle
+# levels appear only while some core is bandwidth-regulated, so their
+# absence is valid on every config-bearing event.
+OPTIONAL_FIELDS = {"throttle"}
+
 
 def validate_event(ev, lineno):
     """Return a list of schema violations for one parsed event."""
@@ -72,6 +79,8 @@ def validate_event(ev, lineno):
             errors.append(f"line {lineno}: {etype}.{field} missing or not an integer")
     for field, ftypes in SCHEMA[etype].items():
         value = ev.get(field)
+        if value is None and field in OPTIONAL_FIELDS:
+            continue
         if value is None or not isinstance(value, ftypes) or (
                 isinstance(value, bool) and ftypes is not bool):
             errors.append(f"line {lineno}: {etype}.{field} missing or wrong type")
@@ -85,6 +94,10 @@ def validate_event(ev, lineno):
         if not all(isinstance(m, int) and not isinstance(m, bool) and m >= 0
                    for m in ev["masks"]):
             errors.append(f"line {lineno}: {etype}.masks has a non-integer entry")
+    if isinstance(ev.get("throttle"), list):
+        if not all(isinstance(l, int) and not isinstance(l, bool) and l >= 0
+                   for l in ev["throttle"]):
+            errors.append(f"line {lineno}: {etype}.throttle has a non-integer entry")
     return errors
 
 
@@ -116,7 +129,11 @@ def load_trace(path):
 def fmt_config(ev):
     masks = ev.get("masks") or []
     mask0 = f"0x{masks[0]:x}" if masks else "-"
-    return f"{ev.get('prefetch') or '-'} / {mask0}"
+    text = f"{ev.get('prefetch') or '-'} / {mask0}"
+    throttle = ev.get("throttle")
+    if throttle:
+        text += " bp=" + "".join(str(min(l, 9)) for l in throttle)
+    return text
 
 
 def report(events, out=sys.stdout):
@@ -334,7 +351,7 @@ def self_test():
         {"type": "sample_result", "t": 2080000, "epoch": 0, "sample": 1,
          "hm_ipc": 1.02, "prefetch": "0111", "masks": [15, 15, 15, 15]},
         {"type": "config_applied", "t": 2080000, "epoch": 0, "source": "final",
-         "prefetch": "0111", "masks": [3, 15, 15, 15]},
+         "prefetch": "0111", "masks": [3, 15, 15, 15], "throttle": [0, 0, 1, 0]},
         {"type": "degradation_step", "t": 2090000, "epoch": 0,
          "step": "sample_partial_discarded", "core": -1, "detail": 5000, "note": ""},
         {"type": "fault_retry", "t": 2090000, "epoch": 0, "attempt": 1,
@@ -363,6 +380,8 @@ def self_test():
                 f.write(json.dumps(ev) + "\n")
         events, errors = load_trace(good)
         expect("valid trace has no schema errors", not errors and len(events) == 14)
+        expect("throttle-free events are valid (field is optional)",
+               not any("throttle" in e for e in errors))
 
         buf = io.StringIO()
         report(events, out=buf)
@@ -370,6 +389,7 @@ def self_test():
         expect("timeline row shows the winning hm_ipc", "1.0200" in text)
         expect("timeline row shows the Agg core", " 0 " in text.splitlines()[2])
         expect("final config column shows applied masks", "0x3" in text)
+        expect("final config column shows BP throttle levels", "bp=0010" in text)
         expect("summary counts degradation steps",
                "sample_partial_discarded: 1" in text)
         expect("summary counts tenant lifecycle",
@@ -389,6 +409,15 @@ def self_test():
                any("recovery_probe.ok" in e for e in errors))
         expect("unknown apply source is flagged",
                any("hotpatch" in e for e in errors))
+
+        bp_bad = os.path.join(d, "bp_bad.jsonl")
+        with open(bp_bad, "w", encoding="utf-8") as f:
+            f.write(json.dumps({"type": "config_applied", "t": 1, "epoch": 0,
+                                "source": "final", "prefetch": "1",
+                                "masks": [1], "throttle": ["high"]}) + "\n")
+        _, errors = load_trace(bp_bad)
+        expect("non-integer throttle level is flagged",
+               any("throttle has a non-integer entry" in e for e in errors))
 
         # Follow mode against a file that grows while we tail it.
         import threading

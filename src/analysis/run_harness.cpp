@@ -64,7 +64,12 @@ std::uint64_t RunResult::total_stalls() const {
 RunResult run_solo(const std::string& benchmark, const RunParams& params, bool prefetch_on,
                    unsigned ways) {
   sim::MachineConfig machine = params.machine;
+  // A solo characterisation run exercises exactly one core on one
+  // LLC/bandwidth domain; collapsing a fleet machine's idle domains
+  // keeps the config valid (num_cores % num_llc_domains) without
+  // changing what the run measures.
   machine.num_cores = 1;
+  machine.num_llc_domains = 1;
 
   sim::MulticoreSystem system(machine);
   system.core(0).prefetch_msr().set_all(prefetch_on);
@@ -114,12 +119,14 @@ FaultRunOutcome run_mix_with_faults(const workloads::WorkloadMix& mix, core::Pol
   hw::SimMsrDevice sim_msr(system);
   hw::SimPmuReader sim_pmu(system);
   hw::SimCatController sim_cat(system);
+  hw::SimMbaController sim_mba(system);
   hw::FaultInjector injector(plan);
   hw::FaultInjectingMsrDevice msr(sim_msr, injector);
   hw::FaultInjectingPmuReader pmu(sim_pmu, injector);
   hw::FaultInjectingCatController cat(sim_cat, injector);
+  hw::FaultInjectingMbaController mba(sim_mba, injector);
 
-  core::EpochDriver driver(system, policy, msr, pmu, cat, params.epochs);
+  core::EpochDriver driver(system, policy, msr, pmu, cat, mba, params.epochs);
 
   FaultRunOutcome out;
   try {
@@ -132,6 +139,7 @@ FaultRunOutcome run_mix_with_faults(const workloads::WorkloadMix& mix, core::Pol
   out.health = driver.health();
   out.prefetch_available = driver.prefetch_available();
   out.cat_available = driver.cat_available();
+  out.mba_available = driver.mba_available();
 
   const auto& exec = driver.execution_counters();
   for (CoreId c = 0; c < exec.size(); ++c) {
@@ -159,6 +167,9 @@ FaultRunOutcome run_mix_with_faults(const workloads::WorkloadMix& mix, core::Pol
   for (CoreId c = 0; c < system.num_cores(); ++c) {
     if (system.cat(system.domain_of(c)).core_mask(c) != full) out.hardware_baseline_at_end = false;
     if (!system.core(c).prefetch_msr().all_enabled()) out.hardware_baseline_at_end = false;
+    if (system.memory(system.domain_of(c)).throttle_level(c) != 0) {
+      out.hardware_baseline_at_end = false;
+    }
   }
   return out;
 }
@@ -290,6 +301,15 @@ std::unique_ptr<core::Policy> make_policy(const std::string& name,
     o.variant = (name == "cmm_a")   ? CmmVariant::A
                 : (name == "cmm_b") ? CmmVariant::B
                                     : CmmVariant::C;
+    return std::make_unique<CmmPolicy>(o);
+  }
+  if (name == "cmm_bp") {
+    // CMM-a's PT x CP decision plus the BP (memory-bandwidth
+    // regulation) coordinate-descent pass.
+    CmmPolicy::Options o;
+    o.detector = detector;
+    o.variant = CmmVariant::A;
+    o.bp_enabled = true;
     return std::make_unique<CmmPolicy>(o);
   }
   throw std::invalid_argument("unknown policy: " + name);

@@ -87,7 +87,8 @@ struct FaultRunOutcome {
   std::string error;               // exception text when !completed
   bool prefetch_available = true;  // degradation-ladder state at end of run
   bool cat_available = true;
-  bool hardware_baseline_at_end = false;  // all prefetchers on + full masks
+  bool mba_available = true;
+  bool hardware_baseline_at_end = false;  // prefetchers on, full masks, no throttle
   double hm_ipc = 0.0;             // harmonic-mean IPC over execution counters
 };
 

@@ -18,12 +18,16 @@ std::vector<CoreId> detect_aggressive(const std::vector<CoreMetrics>& metrics,
 
   for (CoreId c = 0; c < metrics.size(); ++c) {
     const CoreMetrics& m = metrics[c];
+    // Each step is written as >= so a NaN metric (0/0 from a zeroed or
+    // quarantined sample) fails the comparison and the core is NOT
+    // flagged aggressive — the negated `!(x < t)` form silently passed
+    // NaN through all three steps.
     // Step 1: prefetch generation ability above the cross-core mean.
-    const bool step1 = !(m.pga < cfg.pga_floor || m.pga < cfg.pga_rel_mean * mean_pga);
+    const bool step1 = m.pga >= cfg.pga_floor && m.pga >= cfg.pga_rel_mean * mean_pga;
     // Step 2: drop high-L2-locality prefetching (hits absorbed by L2).
-    const bool step2 = !(m.l2_pmr < cfg.pmr_threshold);
+    const bool step2 = m.l2_pmr >= cfg.pmr_threshold;
     // Step 3: require real prefetch bandwidth pressure on the LLC.
-    const bool step3 = !(m.l2_ptr < cfg.ptr_threshold_per_sec);
+    const bool step3 = m.l2_ptr >= cfg.ptr_threshold_per_sec;
     const bool is_agg = step1 && step2 && step3;
     if (trace.on()) {
       trace.emit(obs::DetectorVerdict{trace.now(), trace.epoch(), c, m.pga, m.l2_pmr,

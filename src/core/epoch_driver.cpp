@@ -9,7 +9,12 @@ namespace cmm::core {
 
 namespace {
 obs::ConfigView view_of(const ResourceConfig& cfg) {
-  return {&cfg.prefetch_on, &cfg.way_masks};
+  return {&cfg.prefetch_on, &cfg.way_masks, &cfg.throttle_levels};
+}
+
+bool all_zero(const std::vector<std::uint8_t>& levels) {
+  return std::all_of(levels.begin(), levels.end(),
+                     [](std::uint8_t l) { return l == 0; });
 }
 }  // namespace
 
@@ -20,9 +25,11 @@ EpochDriver::EpochDriver(sim::MulticoreSystem& system, Policy& policy, const Epo
       owned_msr_(std::make_unique<hw::SimMsrDevice>(system)),
       owned_cat_(std::make_unique<hw::SimCatController>(system)),
       owned_pmu_(std::make_unique<hw::SimPmuReader>(system)),
+      owned_mba_(std::make_unique<hw::SimMbaController>(system)),
       msr_(owned_msr_.get()),
       cat_(owned_cat_.get()),
       pmu_(owned_pmu_.get()),
+      mba_(owned_mba_.get()),
       retry_(logging_retry(cfg.retry)),
       prefetch_(*msr_, retry_),
       probe_prefetch_(*msr_, RetryPolicy{.max_attempts = 1}) {
@@ -34,9 +41,27 @@ EpochDriver::EpochDriver(sim::MulticoreSystem& system, Policy& policy, hw::MsrDe
     : system_(system),
       policy_(policy),
       cfg_(cfg),
+      owned_mba_(std::make_unique<hw::SimMbaController>(system)),
       msr_(&msr),
       cat_(&cat),
       pmu_(&pmu),
+      mba_(owned_mba_.get()),
+      retry_(logging_retry(cfg.retry)),
+      prefetch_(*msr_, retry_),
+      probe_prefetch_(*msr_, RetryPolicy{.max_attempts = 1}) {
+  init();
+}
+
+EpochDriver::EpochDriver(sim::MulticoreSystem& system, Policy& policy, hw::MsrDevice& msr,
+                         hw::PmuReader& pmu, hw::CatController& cat, hw::MbaController& mba,
+                         const EpochConfig& cfg)
+    : system_(system),
+      policy_(policy),
+      cfg_(cfg),
+      msr_(&msr),
+      cat_(&cat),
+      pmu_(&pmu),
+      mba_(&mba),
       retry_(logging_retry(cfg.retry)),
       prefetch_(*msr_, retry_),
       probe_prefetch_(*msr_, RetryPolicy{.max_attempts = 1}) {
@@ -48,6 +73,7 @@ void EpochDriver::init() {
   exec_accum_.assign(cores, sim::PmuCounters{});
   core_prefetch_ok_.assign(cores, true);
   applied_prefetch_.assign(cores, true);  // hardware reset state: all enabled
+  applied_throttle_.assign(cores, 0);     // hardware reset state: unregulated
   last_snapshot_.assign(cores, sim::PmuCounters{});
   prefetch_probe_.assign(cores, ProbeState{});
 
@@ -97,7 +123,7 @@ RetryPolicy EpochDriver::logging_retry(RetryPolicy base) {
 
 void EpochDriver::notify_policy_degraded() noexcept {
   try {
-    policy_.notify_degraded(prefetch_ok_, cat_ok_);
+    policy_.notify_degraded(prefetch_ok_, cat_ok_, mba_ok_);
   } catch (...) {
     // A notification must never take the control loop down.
   }
@@ -164,6 +190,26 @@ void EpochDriver::run_recovery_probes() {
     }
   }
 
+  // MBA axis: re-apply the levels the hardware is believed to hold
+  // (usually all-zero after the fallback's best-effort reset).
+  if (!mba_ok_ && epoch >= mba_probe_.next_epoch) {
+    bool ok = false;
+    try {
+      mba_->apply(applied_throttle_);
+      ok = true;
+    } catch (...) {
+    }
+    record_health(HealthEventKind::RecoveryProbe, kInvalidCore, ok ? 1 : 0, "mba");
+    reschedule(mba_probe_, ok);
+    if (mba_probe_.streak >= needed) {
+      mba_ok_ = true;
+      mba_probe_ = ProbeState{};
+      applied_throttle_ = mba_->current();
+      record_health(HealthEventKind::MbaRestored);
+      notify_policy_degraded();
+    }
+  }
+
   // CAT axis: re-apply the masks the hardware currently holds.
   if (!cat_ok_ && epoch >= cat_probe_.next_epoch) {
     bool ok = false;
@@ -215,6 +261,23 @@ void EpochDriver::mark_cat_dead(const char* what) {
   check_management_lost();
 }
 
+void EpochDriver::mark_mba_dead(const char* what) {
+  mba_ok_ = false;
+  arm_probe(mba_probe_);
+  // Best-effort: lift any residual regulation so no core stays paced by
+  // a ladder the controller can no longer manage (success recorded in
+  // the event's detail field). PT+CP management continues unaffected.
+  bool reset_ok = false;
+  try {
+    with_retry(retry_, [&] { mba_->reset(); });
+    applied_throttle_.assign(applied_throttle_.size(), 0);
+    reset_ok = true;
+  } catch (...) {
+  }
+  record_health(HealthEventKind::MbaOffline, kInvalidCore, reset_ok ? 1 : 0, what);
+  notify_policy_degraded();
+}
+
 void EpochDriver::apply(const ResourceConfig& cfg, std::string_view source) {
   // `effective` tracks what actually lands on hardware; with every knob
   // healthy it equals `cfg` bit for bit.
@@ -243,6 +306,25 @@ void EpochDriver::apply(const ResourceConfig& cfg, std::string_view source) {
     }
   } else {
     effective.way_masks = current_.way_masks;  // unchanged on hardware
+  }
+
+  // BP axis: touch the MBA HAL only when the desired ladder state
+  // differs from what hardware already holds. An all-zero (or absent)
+  // request on an unregulated machine therefore issues no HAL call at
+  // all — the fault-injector call stream, and with it every rate-0 and
+  // fault-campaign bit-identity invariant, is unchanged from pre-BP.
+  std::vector<std::uint8_t> desired = cfg.throttle_levels;
+  desired.resize(applied_throttle_.size(), 0);
+  if (mba_ok_ && desired != applied_throttle_) {
+    try {
+      with_retry(retry_, [&] { mba_->apply(desired); });
+      applied_throttle_ = desired;
+    } catch (const HwFault& f) {
+      mark_mba_dead(f.what());
+    }
+  }
+  if (!cfg.throttle_levels.empty() || !all_zero(applied_throttle_)) {
+    effective.throttle_levels = applied_throttle_;
   }
 
   current_ = effective;
@@ -337,16 +419,31 @@ void EpochDriver::watchdog_restore(const std::string& cause) {
       mark_cat_dead(f.what());
     }
   }
+  // BP axis: lift regulation, but only when some is actually applied —
+  // an unregulated machine (every pre-BP run) must not grow a HAL call.
+  if (mba_ok_ && !all_zero(applied_throttle_)) {
+    try {
+      with_retry(retry_, [&] { mba_->reset(); });
+      applied_throttle_.assign(applied_throttle_.size(), 0);
+    } catch (const HwFault& f) {
+      mark_mba_dead(f.what());
+    }
+  }
 
   const auto masks = cat_->current();
   const WayMask full = full_mask(cat_->llc_ways());
   const bool baseline =
       std::all_of(masks.begin(), masks.end(), [full](WayMask m) { return m == full; }) &&
-      std::all_of(applied_prefetch_.begin(), applied_prefetch_.end(), [](bool on) { return on; });
+      std::all_of(applied_prefetch_.begin(), applied_prefetch_.end(),
+                  [](bool on) { return on; }) &&
+      all_zero(applied_throttle_);
   record_health(HealthEventKind::WatchdogRestore, kInvalidCore, baseline ? 1 : 0, cause);
 
   current_.prefetch_on = applied_prefetch_;
   current_.way_masks = masks;
+  if (!current_.throttle_levels.empty() || !all_zero(applied_throttle_)) {
+    current_.throttle_levels = applied_throttle_;
+  }
   if (trace_.on()) {
     trace_.emit(obs::ConfigApplied{system_.now(), tctx_.epoch, "watchdog", view_of(current_)});
   }

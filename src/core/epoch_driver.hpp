@@ -32,6 +32,7 @@
 #include "obs/metrics_registry.hpp"
 #include "obs/trace.hpp"
 #include "hw/cat_controller.hpp"
+#include "hw/mba_controller.hpp"
 #include "hw/msr_device.hpp"
 #include "hw/pmu_reader.hpp"
 #include "sim/multicore_system.hpp"
@@ -85,8 +86,14 @@ class EpochDriver {
   /// HAL-injection constructor: drive the given devices (which must
   /// outlive the driver) instead of sim-bound ones — the seam the
   /// fault-injecting decorators and a real-hardware port plug into.
+  /// Without an MbaController the driver owns a sim-bound one.
   EpochDriver(sim::MulticoreSystem& system, Policy& policy, hw::MsrDevice& msr,
               hw::PmuReader& pmu, hw::CatController& cat, const EpochConfig& cfg = {});
+
+  /// Full three-axis injection constructor (PT + CP + BP devices).
+  EpochDriver(sim::MulticoreSystem& system, Policy& policy, hw::MsrDevice& msr,
+              hw::PmuReader& pmu, hw::CatController& cat, hw::MbaController& mba,
+              const EpochConfig& cfg = {});
 
   /// Run `total_cycles` of simulated time under the schedule. Can be
   /// called repeatedly; state carries over.
@@ -106,6 +113,7 @@ class EpochDriver {
   /// Degradation-ladder state: knobs still believed usable.
   bool prefetch_available() const noexcept { return prefetch_ok_; }
   bool cat_available() const noexcept { return cat_ok_; }
+  bool mba_available() const noexcept { return mba_ok_; }
   bool core_prefetch_available(CoreId core) const { return core_prefetch_ok_.at(core); }
 
   /// Execution epochs completed so far (the trace epoch stamp).
@@ -176,6 +184,7 @@ class EpochDriver {
   void watchdog_restore(const std::string& cause);
   void mark_core_prefetch_dead(CoreId core, const char* what);
   void mark_cat_dead(const char* what);
+  void mark_mba_dead(const char* what);
   void check_management_lost();
   void notify_policy_degraded() noexcept;
 
@@ -197,13 +206,16 @@ class EpochDriver {
   Policy& policy_;
   EpochConfig cfg_;
 
-  // Owned sim-bound HAL (null when the injection constructor is used).
+  // Owned sim-bound HAL (null when the injection constructor is used;
+  // the MBA device is owned unless the three-axis overload supplies it).
   std::unique_ptr<hw::SimMsrDevice> owned_msr_;
   std::unique_ptr<hw::SimCatController> owned_cat_;
   std::unique_ptr<hw::SimPmuReader> owned_pmu_;
+  std::unique_ptr<hw::SimMbaController> owned_mba_;
   hw::MsrDevice* msr_;
   hw::CatController* cat_;
   hw::PmuReader* pmu_;
+  hw::MbaController* mba_;
   RetryPolicy retry_;  // cfg_.retry with the HealthLog-recording hook
   hw::PrefetchControl prefetch_;
   hw::PrefetchControl probe_prefetch_;  // single-attempt: probes never burn retries
@@ -223,12 +235,15 @@ class EpochDriver {
   HealthLog health_;
   bool prefetch_ok_ = true;
   bool cat_ok_ = true;
+  bool mba_ok_ = true;
   bool management_lost_logged_ = false;
   std::vector<bool> core_prefetch_ok_;  // per-core prefetch MSR usable
   std::vector<bool> applied_prefetch_;  // prefetch state actually on hardware
+  std::vector<std::uint8_t> applied_throttle_;  // MBA levels on hardware
   std::vector<sim::PmuCounters> last_snapshot_;  // last successful PMU read
   std::vector<ProbeState> prefetch_probe_;  // per-core probation clocks
   ProbeState cat_probe_;
+  ProbeState mba_probe_;
 };
 
 }  // namespace cmm::core

@@ -28,6 +28,8 @@ std::string_view to_string(HealthEventKind kind) noexcept {
     case HealthEventKind::TenantRejected: return "tenant_rejected";
     case HealthEventKind::TenantQueued: return "tenant_queued";
     case HealthEventKind::SloBreach: return "slo_breach";
+    case HealthEventKind::MbaOffline: return "mba_offline";
+    case HealthEventKind::MbaRestored: return "mba_restored";
   }
   return "unknown";
 }

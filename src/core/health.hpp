@@ -41,10 +41,13 @@ enum class HealthEventKind : std::uint8_t {
   TenantRejected,       // admission denied (projected pressure breach)
   TenantQueued,         // admission deferred; tenant waits for headroom
   SloBreach,            // a tenant's epoch IPC fell under its SLO floor
+  // ---- BP axis (memory-bandwidth regulation) ----
+  MbaOffline,           // MBA programming lost -> PT+CP-only
+  MbaRestored,          // MBA axis healed; BP regulation resumes
 };
 
 inline constexpr std::size_t kNumHealthEventKinds =
-    static_cast<std::size_t>(HealthEventKind::SloBreach) + 1;
+    static_cast<std::size_t>(HealthEventKind::MbaRestored) + 1;
 
 std::string_view to_string(HealthEventKind kind) noexcept;
 

@@ -22,10 +22,17 @@ namespace cmm::core {
 
 /// One resource allocation across the machine: per-core prefetcher
 /// enable (the paper's PT treats the four prefetchers per core as one
-/// unit) and per-core LLC way masks (CAT).
+/// unit), per-core LLC way masks (CAT), and per-core memory-bandwidth
+/// throttle levels (MBA, the BP axis).
+///
+/// `throttle_levels` empty — the default, and what `baseline()`
+/// returns — means level 0 (unregulated) on every core. PT/CP-only
+/// policies never touch the field, so their configs stay bit-identical
+/// to the pre-BP struct, including under the defaulted operator==.
 struct ResourceConfig {
   std::vector<bool> prefetch_on;
   std::vector<WayMask> way_masks;
+  std::vector<std::uint8_t> throttle_levels;
 
   static ResourceConfig baseline(unsigned cores, unsigned ways);
   bool operator==(const ResourceConfig&) const = default;
@@ -67,6 +74,16 @@ class Policy {
   virtual void notify_degraded(bool prefetch_available, bool cat_available) {
     (void)prefetch_available;
     (void)cat_available;
+  }
+
+  /// Three-axis variant the driver actually calls; the default forwards
+  /// to the two-axis overload so pre-BP policies keep working unchanged
+  /// (they never produce throttle levels, so a dead MBA knob cannot
+  /// affect them anyway).
+  virtual void notify_degraded(bool prefetch_available, bool cat_available,
+                               bool mba_available) {
+    (void)mba_available;
+    notify_degraded(prefetch_available, cat_available);
   }
 
   /// Observability wiring from the EpochDriver: the handle shares the

@@ -42,6 +42,14 @@ void CmmPolicy::begin_profiling(const std::vector<sim::PmuCounters>& epoch_delta
   combo_hm_.clear();
   next_combo_ = 0;
   num_groups_ = 0;
+  probe_bw_.assign(cores_, 0.0);
+  bp_candidates_.clear();
+  bp_levels_.clear();
+  bp_base_ = ResourceConfig{};
+  bp_cand_idx_ = 0;
+  bp_trial_level_ = 0;
+  bp_best_obj_ = 0.0;
+  bp_base_sampled_ = false;
 
   if (!prefetch_available_) {
     // CP-only rung of the degradation ladder: probes and throttle
@@ -81,6 +89,46 @@ ResourceConfig CmmPolicy::throttle_config(const std::vector<bool>& combo) const 
   return cfg;
 }
 
+ResourceConfig CmmPolicy::best_ptcp_config() const {
+  ResourceConfig cfg;
+  cfg.prefetch_on.assign(cores_, true);
+  cfg.way_masks = partition_masks_;
+  if (!combo_hm_.empty() && !combos_.empty()) {
+    const std::size_t measured = std::min(combo_hm_.size(), combos_.size());
+    std::size_t best = 0;
+    for (std::size_t k = 1; k < measured; ++k) {
+      if (combo_hm_[k] > combo_hm_[best]) best = k;
+    }
+    cfg = throttle_config(combos_[best]);
+  }
+  return cfg;
+}
+
+void CmmPolicy::enter_bp_search(ResourceConfig base) {
+  bp_candidates_.clear();
+  if (opts_.bp_enabled && mba_available_ && opts_.bp_max_level > 0) {
+    std::vector<CoreId> order(cores_);
+    for (CoreId c = 0; c < cores_; ++c) order[c] = c;
+    std::stable_sort(order.begin(), order.end(),
+                     [&](CoreId a, CoreId b) { return probe_bw_[a] > probe_bw_[b]; });
+    for (const CoreId c : order) {
+      if (bp_candidates_.size() >= opts_.bp_max_cores) break;
+      if (probe_bw_[c] > 0.0) bp_candidates_.push_back(c);
+    }
+  }
+  if (bp_candidates_.empty()) {
+    phase_ = Phase::Done;
+    return;
+  }
+  bp_base_ = std::move(base);
+  bp_levels_.assign(cores_, 0);
+  bp_cand_idx_ = 0;
+  bp_trial_level_ = 0;  // first BpSearch sample re-measures the base
+  bp_best_obj_ = 0.0;
+  bp_base_sampled_ = false;
+  phase_ = Phase::BpSearch;
+}
+
 std::optional<ResourceConfig> CmmPolicy::next_sample() {
   // Probes toggle only prefetchers; the partition currently in force
   // stays applied so the probe does not flush protected LLC state.
@@ -99,6 +147,15 @@ std::optional<ResourceConfig> CmmPolicy::next_sample() {
     case Phase::ThrottleSearch:
       if (next_combo_ < combos_.size()) return throttle_config(combos_[next_combo_]);
       return std::nullopt;
+    case Phase::BpSearch: {
+      if (!bp_base_sampled_) return bp_base_;  // reference: PT+CP, no BP
+      if (bp_cand_idx_ >= bp_candidates_.size()) return std::nullopt;
+      ResourceConfig cfg = bp_base_;
+      cfg.throttle_levels = bp_levels_;
+      cfg.throttle_levels.resize(cores_, 0);
+      cfg.throttle_levels[bp_candidates_[bp_cand_idx_]] = bp_trial_level_;
+      return cfg;
+    }
     case Phase::Done:
       return std::nullopt;
   }
@@ -111,6 +168,14 @@ void CmmPolicy::report_sample(const SampleStats& stats) {
       probe_metrics_ = compute_all_metrics(stats.per_core, opts_.detector.freq_ghz);
       agg_set_ = detect_aggressive(probe_metrics_, opts_.detector, trace_);
       for (CoreId c = 0; c < cores_; ++c) ipc_on_[c] = stats.per_core[c].ipc();
+      for (CoreId c = 0; c < cores_; ++c) {
+        const auto& d = stats.per_core[c];
+        if (d.cycles != 0) {
+          probe_bw_[c] =
+              static_cast<double>(d.dram_demand_bytes + d.dram_prefetch_bytes) /
+              static_cast<double>(d.cycles);
+        }
+      }
 
       if (agg_set_.empty()) {
         // Fig. 6(d): no aggressive cores — throttling is meaningless;
@@ -120,7 +185,7 @@ void CmmPolicy::report_sample(const SampleStats& stats) {
                                ? dunn_allocate(epoch_stalls_, cores_, ways_, opts_.dunn_k_min,
                                                opts_.dunn_k_max)
                                : std::vector<WayMask>(cores_, full_mask(ways_));
-        phase_ = Phase::Done;
+        enter_bp_search(best_ptcp_config());  // Done when BP is off
       } else {
         phase_ = Phase::ProbeOff;
       }
@@ -136,7 +201,7 @@ void CmmPolicy::report_sample(const SampleStats& stats) {
       partition_masks_ = build_partition_masks();
 
       if (unfriendly_cores_.empty()) {
-        phase_ = Phase::Done;  // nothing to throttle: CP only
+        enter_bp_search(best_ptcp_config());  // nothing to PT-throttle: CP (+BP)
         return;
       }
       if (unfriendly_cores_.size() <= opts_.max_exhaustive) {
@@ -155,7 +220,31 @@ void CmmPolicy::report_sample(const SampleStats& stats) {
     case Phase::ThrottleSearch: {
       combo_hm_.push_back(sample_objective_value(opts_.objective, stats.per_core));
       ++next_combo_;
-      if (next_combo_ >= combos_.size()) phase_ = Phase::Done;
+      if (next_combo_ >= combos_.size()) enter_bp_search(best_ptcp_config());
+      return;
+    }
+    case Phase::BpSearch: {
+      const double obj = sample_objective_value(opts_.objective, stats.per_core);
+      if (!bp_base_sampled_) {
+        // The no-BP reference this pass must beat: any level is kept
+        // only on a strict improvement, so the chosen config never
+        // ranks below plain CMM's on the sampled objective.
+        bp_base_sampled_ = true;
+        bp_best_obj_ = obj;
+        bp_trial_level_ = 1;
+        return;
+      }
+      if (obj > bp_best_obj_) {
+        bp_best_obj_ = obj;
+        bp_levels_[bp_candidates_[bp_cand_idx_]] = bp_trial_level_;
+      }
+      if (bp_trial_level_ < opts_.bp_max_level) {
+        ++bp_trial_level_;
+      } else {
+        ++bp_cand_idx_;
+        bp_trial_level_ = 1;
+        if (bp_cand_idx_ >= bp_candidates_.size()) phase_ = Phase::Done;
+      }
       return;
     }
     case Phase::Done:
@@ -165,18 +254,10 @@ void CmmPolicy::report_sample(const SampleStats& stats) {
 
 ResourceConfig CmmPolicy::final_config() {
   phase_ = Phase::Done;
-  ResourceConfig cfg;
-  cfg.prefetch_on.assign(cores_, true);
-  cfg.way_masks = partition_masks_;
-
-  if (!combo_hm_.empty() && !combos_.empty()) {
-    const std::size_t measured = std::min(combo_hm_.size(), combos_.size());
-    std::size_t best = 0;
-    for (std::size_t k = 1; k < measured; ++k) {
-      if (combo_hm_[k] > combo_hm_[best]) best = k;
-    }
-    cfg = throttle_config(combos_[best]);
-  }
+  ResourceConfig cfg = best_ptcp_config();
+  const bool any_bp = std::any_of(bp_levels_.begin(), bp_levels_.end(),
+                                  [](std::uint8_t l) { return l != 0; });
+  if (any_bp) cfg.throttle_levels = bp_levels_;
   current_ = cfg;
   return current_;
 }

@@ -8,6 +8,16 @@
 //          (unfriendly cores keep the full cache but get throttled)
 //   CMM-c: friendly -> partition 1, unfriendly -> partition 2
 //
+// With `bp_enabled` ("cmm_bp") a third axis joins the search: after the
+// PT x CP decision is fixed, a short coordinate-descent pass tries
+// MBA-style per-core memory-bandwidth throttle levels on the heaviest
+// DRAM consumers (ranked by the ProbeOn interval's bytes/cycle) and
+// keeps a level only when it improves the sampled objective over the
+// PT+CP base — so BP can never lose to plain CMM on the sampled
+// objective, by construction. The staged search costs
+// 1 + bp_max_cores * bp_max_level extra sampling intervals, inside the
+// driver's max_samples_per_epoch budget.
+//
 // Prefetch-friendly cores always keep their prefetchers ON — they live
 // on prefetching, not on LLC space. Only unfriendly cores are throttle
 // candidates, searched group-level by hm_ipc over sampling intervals
@@ -35,12 +45,18 @@ class CmmPolicy final : public Policy {
     unsigned dunn_k_max = 4;
     double partition_scale = 1.5;  // ways per partitioned core
     SampleObjective objective = SampleObjective::HmIpc;
+
+    // ---- BP axis (memory-bandwidth regulation) ----
+    bool bp_enabled = false;   // off: bit-identical to plain CMM
+    unsigned bp_max_level = 3; // deepest throttle level tried (<= MBA ladder)
+    unsigned bp_max_cores = 2; // candidates searched (heaviest DRAM users)
   };
 
   CmmPolicy() = default;
   explicit CmmPolicy(const Options& opts) : opts_(opts) {}
 
   std::string_view name() const noexcept override {
+    if (opts_.bp_enabled) return "cmm_bp";
     switch (opts_.variant) {
       case CmmVariant::A: return "cmm_a";
       case CmmVariant::B: return "cmm_b";
@@ -64,23 +80,42 @@ class CmmPolicy final : public Policy {
     cat_available_ = cat_available;
   }
 
+  /// MBA gone: skip the BP pass (the driver would drop the levels
+  /// anyway; skipping saves the wasted sampling intervals).
+  void notify_degraded(bool prefetch_available, bool cat_available,
+                       bool mba_available) override {
+    mba_available_ = mba_available;
+    notify_degraded(prefetch_available, cat_available);
+  }
+
   const std::vector<CoreId>& agg_set() const noexcept { return agg_set_; }
   const std::vector<CoreId>& friendly_cores() const noexcept { return friendly_cores_; }
   const std::vector<CoreId>& unfriendly_cores() const noexcept { return unfriendly_cores_; }
   /// Partition masks chosen this round (introspection / fig06 bench).
   const std::vector<WayMask>& partition_masks() const noexcept { return partition_masks_; }
 
+  /// BP levels accepted for the next execution epoch (empty or
+  /// all-zero when the pass found no winning throttle).
+  const std::vector<std::uint8_t>& bp_levels() const noexcept { return bp_levels_; }
+
  private:
-  enum class Phase : std::uint8_t { ProbeOn, ProbeOff, ThrottleSearch, Done };
+  enum class Phase : std::uint8_t { ProbeOn, ProbeOff, ThrottleSearch, BpSearch, Done };
 
   std::vector<WayMask> build_partition_masks() const;
   ResourceConfig throttle_config(const std::vector<bool>& combo) const;
+  /// Best PT x CP configuration seen this profiling epoch (the one
+  /// final_config() would return today).
+  ResourceConfig best_ptcp_config() const;
+  /// Enter BpSearch on top of `base`, or Done when BP is off / MBA is
+  /// dead / no core moved DRAM bytes during the ProbeOn interval.
+  void enter_bp_search(ResourceConfig base);
 
   Options opts_;
   unsigned cores_ = 0;
   unsigned ways_ = 0;
   bool prefetch_available_ = true;
   bool cat_available_ = true;
+  bool mba_available_ = true;
 
   Phase phase_ = Phase::Done;
   std::vector<CoreId> agg_set_;
@@ -97,6 +132,16 @@ class CmmPolicy final : public Policy {
   std::vector<std::vector<bool>> combos_;
   std::size_t next_combo_ = 0;
   std::vector<double> combo_hm_;
+
+  // ---- BP coordinate-descent state ----
+  std::vector<double> probe_bw_;        // per-core DRAM bytes/cycle (ProbeOn)
+  std::vector<CoreId> bp_candidates_;   // heaviest consumers, descending
+  std::vector<std::uint8_t> bp_levels_; // accepted levels, per core
+  ResourceConfig bp_base_;              // PT+CP config the levels ride on
+  std::size_t bp_cand_idx_ = 0;
+  std::uint8_t bp_trial_level_ = 0;     // 0 = base (no-BP) reference sample
+  double bp_best_obj_ = 0.0;
+  bool bp_base_sampled_ = false;
 
   ResourceConfig current_;
 };

@@ -12,6 +12,8 @@ std::string_view to_string(FaultOp op) noexcept {
     case FaultOp::PmuRead: return "pmu_read";
     case FaultOp::CatApply: return "cat_apply";
     case FaultOp::CatReset: return "cat_reset";
+    case FaultOp::MbaApply: return "mba_apply";
+    case FaultOp::MbaReset: return "mba_reset";
   }
   return "unknown";
 }
@@ -24,14 +26,17 @@ FaultPlan FaultPlan::transient_everywhere(double rate, std::uint64_t seed) {
   plan.pmu_read_fail_p = rate;
   plan.cat_apply_fail_p = rate;
   plan.cat_reset_fail_p = rate;
+  plan.mba_apply_fail_p = rate;
+  plan.mba_reset_fail_p = rate;
   plan.transient_fraction = 1.0;
   return plan;
 }
 
 bool FaultPlan::enabled() const noexcept {
   return msr_read_fail_p > 0.0 || msr_write_fail_p > 0.0 || pmu_read_fail_p > 0.0 ||
-         cat_apply_fail_p > 0.0 || cat_reset_fail_p > 0.0 || pmu_wrap_p > 0.0 ||
-         pmu_garbage_p > 0.0 || !offline_cores.empty();
+         cat_apply_fail_p > 0.0 || cat_reset_fail_p > 0.0 || mba_apply_fail_p > 0.0 ||
+         mba_reset_fail_p > 0.0 || pmu_wrap_p > 0.0 || pmu_garbage_p > 0.0 ||
+         !offline_cores.empty();
 }
 
 double FaultInjector::fail_probability(FaultOp op) const noexcept {
@@ -41,6 +46,8 @@ double FaultInjector::fail_probability(FaultOp op) const noexcept {
     case FaultOp::PmuRead: return plan_.pmu_read_fail_p;
     case FaultOp::CatApply: return plan_.cat_apply_fail_p;
     case FaultOp::CatReset: return plan_.cat_reset_fail_p;
+    case FaultOp::MbaApply: return plan_.mba_apply_fail_p;
+    case FaultOp::MbaReset: return plan_.mba_reset_fail_p;
   }
   return 0.0;
 }

@@ -26,13 +26,22 @@
 #include "common/retry.hpp"
 #include "common/rng.hpp"
 #include "hw/cat_controller.hpp"
+#include "hw/mba_controller.hpp"
 #include "hw/msr_device.hpp"
 #include "hw/pmu_reader.hpp"
 
 namespace cmm::hw {
 
 /// HAL operations a FaultPlan can target.
-enum class FaultOp : std::uint8_t { MsrRead, MsrWrite, PmuRead, CatApply, CatReset };
+enum class FaultOp : std::uint8_t {
+  MsrRead,
+  MsrWrite,
+  PmuRead,
+  CatApply,
+  CatReset,
+  MbaApply,
+  MbaReset,
+};
 
 std::string_view to_string(FaultOp op) noexcept;
 
@@ -45,6 +54,8 @@ struct FaultPlan {
   double pmu_read_fail_p = 0.0;
   double cat_apply_fail_p = 0.0;
   double cat_reset_fail_p = 0.0;
+  double mba_apply_fail_p = 0.0;
+  double mba_reset_fail_p = 0.0;
 
   /// An injected throwing fault is Transient with this probability,
   /// Persistent otherwise. Persistent faults are sticky per (op, core).
@@ -153,6 +164,29 @@ class FaultInjectingPmuReader final : public PmuReader {
 
  private:
   const PmuReader* inner_;
+  FaultInjector* faults_;
+};
+
+/// MbaController decorator.
+class FaultInjectingMbaController final : public MbaController {
+ public:
+  FaultInjectingMbaController(MbaController& inner, FaultInjector& faults)
+      : inner_(&inner), faults_(&faults) {}
+
+  void apply(const std::vector<std::uint8_t>& per_core_levels) override {
+    faults_->maybe_fault(FaultOp::MbaApply, kInvalidCore);
+    inner_->apply(per_core_levels);
+  }
+  std::vector<std::uint8_t> current() const override { return inner_->current(); }
+  void reset() override {
+    faults_->maybe_fault(FaultOp::MbaReset, kInvalidCore);
+    inner_->reset();
+  }
+  unsigned num_levels() const override { return inner_->num_levels(); }
+  unsigned num_cores() const override { return inner_->num_cores(); }
+
+ private:
+  MbaController* inner_;
   FaultInjector* faults_;
 };
 

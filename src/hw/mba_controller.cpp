@@ -1,0 +1,31 @@
+#include "hw/mba_controller.hpp"
+
+#include <stdexcept>
+
+namespace cmm::hw {
+
+void SimMbaController::apply(const std::vector<std::uint8_t>& per_core_levels) {
+  if (per_core_levels.size() != system_->num_cores())
+    throw std::invalid_argument("SimMbaController: one level per core required");
+  // Each core's delay register lives on its LLC domain's controller;
+  // global core ids index any domain's instance directly (controllers
+  // are constructed with the global core count, like CAT).
+  for (CoreId c = 0; c < per_core_levels.size(); ++c) {
+    system_->memory(system_->domain_of(c)).set_throttle_level(c, per_core_levels[c]);
+  }
+}
+
+std::vector<std::uint8_t> SimMbaController::current() const {
+  std::vector<std::uint8_t> levels(system_->num_cores());
+  for (CoreId c = 0; c < levels.size(); ++c) {
+    levels[c] = system_->memory(system_->domain_of(c)).throttle_level(c);
+  }
+  return levels;
+}
+
+void SimMbaController::reset() {
+  const std::vector<std::uint8_t> zeros(system_->num_cores(), 0);
+  apply(zeros);
+}
+
+}  // namespace cmm::hw

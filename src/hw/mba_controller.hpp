@@ -1,0 +1,50 @@
+// MBA programming interface (Intel Memory Bandwidth Allocation
+// equivalent, the BP axis of the {PT x CP x BP} space). The controller
+// expresses regulation as one delay-injection level per core, mirroring
+// the per-core MBA delay MSRs resctrl programs; the simulated
+// implementation routes each core's level to its LLC domain's
+// MemoryController. Level 0 everywhere is the hardware reset state and
+// leaves the memory model bit-identical to an unregulated machine.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sim/multicore_system.hpp"
+
+namespace cmm::hw {
+
+class MbaController {
+ public:
+  virtual ~MbaController() = default;
+
+  /// Apply one throttle level per core (size must equal core count).
+  /// Levels beyond the ladder are clamped by the implementation.
+  virtual void apply(const std::vector<std::uint8_t>& per_core_levels) = 0;
+
+  /// Current level of each core.
+  virtual std::vector<std::uint8_t> current() const = 0;
+
+  /// Remove all regulation (level 0 everywhere).
+  virtual void reset() = 0;
+
+  virtual unsigned num_levels() const = 0;
+  virtual unsigned num_cores() const = 0;
+};
+
+class SimMbaController final : public MbaController {
+ public:
+  explicit SimMbaController(sim::MulticoreSystem& system) : system_(&system) {}
+
+  void apply(const std::vector<std::uint8_t>& per_core_levels) override;
+  std::vector<std::uint8_t> current() const override;
+  void reset() override;
+  unsigned num_levels() const override { return sim::MemoryController::kNumThrottleLevels; }
+  unsigned num_cores() const override { return system_->num_cores(); }
+
+ private:
+  sim::MulticoreSystem* system_;
+};
+
+}  // namespace cmm::hw

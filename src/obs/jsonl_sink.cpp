@@ -70,6 +70,23 @@ void append_config(std::string& out, const ConfigView& config) {
     }
   }
   out += ']';
+  // "throttle" is emitted only when regulation is actually in force:
+  // level-0-everywhere configs (every pre-BP run) keep their exact
+  // pre-BP byte stream, which the trace-determinism suite memcmps.
+  if (config.throttle_levels != nullptr) {
+    bool any = false;
+    for (const std::uint8_t lvl : *config.throttle_levels) any = any || lvl != 0;
+    if (any) {
+      out += ",\"throttle\":[";
+      bool first = true;
+      for (const std::uint8_t lvl : *config.throttle_levels) {
+        if (!first) out += ',';
+        first = false;
+        append_u64(out, lvl);
+      }
+      out += ']';
+    }
+  }
 }
 
 void append_header(std::string& out, std::string_view type, Cycle time, std::uint64_t epoch) {

@@ -45,6 +45,10 @@ namespace cmm::obs {
 struct ConfigView {
   const std::vector<bool>* prefetch_on = nullptr;
   const std::vector<WayMask>* way_masks = nullptr;
+  // BP axis (MBA throttle levels). Null or all-zero means unregulated;
+  // sinks only serialize the field when some level is nonzero, so
+  // pre-BP traces stay byte-identical.
+  const std::vector<std::uint8_t>* throttle_levels = nullptr;
 };
 
 struct EpochStart {

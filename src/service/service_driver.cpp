@@ -28,6 +28,7 @@ ServiceDriver::ServiceDriver(const ServiceConfig& cfg, std::unique_ptr<core::Pol
       sim_msr_(system_),
       sim_pmu_(system_),
       sim_cat_(system_),
+      sim_mba_(system_),
       metrics_(metrics),
       tenants_(cfg.params.machine.num_cores) {
   tick_cycles_ = cfg_.tick_cycles != 0
@@ -44,17 +45,23 @@ ServiceDriver::ServiceDriver(const ServiceConfig& cfg, std::unique_ptr<core::Pol
     f_msr_ = std::make_unique<hw::FaultInjectingMsrDevice>(sim_msr_, *injector_);
     f_pmu_ = std::make_unique<hw::FaultInjectingPmuReader>(sim_pmu_, *injector_);
     f_cat_ = std::make_unique<hw::FaultInjectingCatController>(sim_cat_, *injector_);
+    f_mba_ = std::make_unique<hw::FaultInjectingMbaController>(sim_mba_, *injector_);
     driver_ = std::make_unique<core::EpochDriver>(system_, *policy_, *f_msr_, *f_pmu_, *f_cat_,
-                                                  epochs);
+                                                  *f_mba_, epochs);
   } else {
     driver_ = std::make_unique<core::EpochDriver>(system_, *policy_, sim_msr_, sim_pmu_,
-                                                  sim_cat_, epochs);
+                                                  sim_cat_, sim_mba_, epochs);
   }
   if (cfg_.health_capacity > 0) driver_->set_health_capacity(cfg_.health_capacity);
 }
 
 double ServiceDriver::peak_gbs() const noexcept {
-  return cfg_.params.machine.dram_peak_bytes_per_cycle * cfg_.params.machine.freq_ghz;
+  // dram_peak_bytes_per_cycle is *per LLC domain* (each domain owns its
+  // own MemoryController); the machine's aggregate peak scales with the
+  // domain count. Ignoring the factor under-admitted multi-domain
+  // fleets: tenants were queued against a single domain's bandwidth.
+  return cfg_.params.machine.dram_peak_bytes_per_cycle * cfg_.params.machine.freq_ghz *
+         static_cast<double>(cfg_.params.machine.num_llc_domains);
 }
 
 double ServiceDriver::projected_pressure(double extra_gbs) const noexcept {

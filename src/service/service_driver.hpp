@@ -140,10 +140,13 @@ class ServiceDriver {
   sim::MulticoreSystem& system() noexcept { return system_; }
   const hw::FaultInjector* injector() const noexcept { return injector_.get(); }
 
+  /// Aggregate DRAM peak (GB/s) the admission budget is drawn against:
+  /// per-domain peak x domain count.
+  double peak_gbs() const noexcept;
+
  private:
   /// Projected DRAM pressure (GB/s) with `extra_gbs` added.
   double projected_pressure(double extra_gbs) const noexcept;
-  double peak_gbs() const noexcept;
 
   /// Lowest-index idle core, or kInvalidCore.
   CoreId free_core() const noexcept;
@@ -167,10 +170,12 @@ class ServiceDriver {
   hw::SimMsrDevice sim_msr_;
   hw::SimPmuReader sim_pmu_;
   hw::SimCatController sim_cat_;
+  hw::SimMbaController sim_mba_;
   std::unique_ptr<hw::FaultInjector> injector_;
   std::unique_ptr<hw::FaultInjectingMsrDevice> f_msr_;
   std::unique_ptr<hw::FaultInjectingPmuReader> f_pmu_;
   std::unique_ptr<hw::FaultInjectingCatController> f_cat_;
+  std::unique_ptr<hw::FaultInjectingMbaController> f_mba_;
   std::unique_ptr<core::EpochDriver> driver_;
 
   obs::MetricsRegistry* metrics_ = nullptr;

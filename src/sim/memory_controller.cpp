@@ -5,6 +5,18 @@
 
 namespace cmm::sim {
 
+namespace {
+// Multiplicative delay-injection ladder, roughly geometric like Intel
+// MBA's throttle percentiles: each step slows the throttled core's
+// DRAM requests enough to visibly pace its issue rate without ever
+// starving it outright.
+constexpr double kThrottleFactors[MemoryController::kNumThrottleLevels] = {1.0, 1.5, 2.5, 4.0};
+}  // namespace
+
+double MemoryController::throttle_factor(std::uint8_t level) noexcept {
+  return kThrottleFactors[std::min<unsigned>(level, kNumThrottleLevels - 1)];
+}
+
 MemoryController::MemoryController(const MachineConfig& cfg, unsigned num_cores)
     : window_(cfg.bandwidth_window),
       queueing_enabled_(cfg.bandwidth_queueing),
@@ -12,7 +24,20 @@ MemoryController::MemoryController(const MachineConfig& cfg, unsigned num_cores)
       freq_ghz_(cfg.freq_ghz),
       base_latency_(cfg.dram_base_latency),
       line_size_(cfg.llc.line_size),
-      per_core_(num_cores) {}
+      per_core_(num_cores),
+      throttle_(num_cores, 0),
+      core_window_bytes_(num_cores, 0),
+      last_core_bpc_(num_cores, 0.0) {}
+
+void MemoryController::set_throttle_level(CoreId core, std::uint8_t level) {
+  throttle_.at(core) =
+      static_cast<std::uint8_t>(std::min<unsigned>(level, kNumThrottleLevels - 1));
+}
+
+bool MemoryController::unthrottled() const noexcept {
+  return std::all_of(throttle_.begin(), throttle_.end(),
+                     [](std::uint8_t l) { return l == 0; });
+}
 
 void MemoryController::roll_window(Cycle now) {
   if (now < window_start_ + window_) return;
@@ -24,13 +49,20 @@ void MemoryController::roll_window(Cycle now) {
   const double capacity = peak_bpc_ * static_cast<double>(window_);
   if (full_windows == 1) {
     last_util_ = static_cast<double>(window_bytes_) / capacity;
+    const double inv_window = 1.0 / static_cast<double>(window_);
+    for (CoreId c = 0; c < last_core_bpc_.size(); ++c) {
+      last_core_bpc_[c] = static_cast<double>(core_window_bytes_[c]) * inv_window;
+    }
   } else {
-    // Traffic was spread over several windows with no rollover call in
-    // between (idle stretch): attribute it to the whole span.
-    last_util_ = static_cast<double>(window_bytes_) /
-                 (capacity * static_cast<double>(full_windows));
+    // An idle stretch spanned several windows with no rollover call in
+    // between. All accumulated traffic belongs to the *first* of those
+    // windows; the most recent complete window — the one the queue
+    // model keys on — was empty, so the delay decays to zero.
+    last_util_ = 0.0;
+    std::fill(last_core_bpc_.begin(), last_core_bpc_.end(), 0.0);
   }
   window_bytes_ = 0;
+  std::fill(core_window_bytes_.begin(), core_window_bytes_.end(), 0);
   window_start_ += full_windows * window_;
 
   // Queueing delay: convex in utilisation, saturating. At u = 0.5 the
@@ -46,9 +78,14 @@ void MemoryController::roll_window(Cycle now) {
       std::min(factor, 6.0) * static_cast<double>(base_latency_));
 }
 
+void MemoryController::account_window_bytes(CoreId core) {
+  window_bytes_ += line_size_;
+  core_window_bytes_.at(core) += line_size_;
+}
+
 Cycle MemoryController::request(CoreId core, AccessType type, Cycle now) {
   roll_window(now);
-  window_bytes_ += line_size_;
+  account_window_bytes(core);
 
   MemoryTraffic& t = per_core_.at(core);
   if (type == AccessType::Prefetch) {
@@ -62,12 +99,17 @@ Cycle MemoryController::request(CoreId core, AccessType type, Cycle now) {
     total_.demand_bytes += line_size_;
     ++total_.demand_requests;
   }
-  return base_latency_ + queue_delay_;
+  // Level 0 is the exact pre-BP expression: no multiply, no rounding —
+  // the bit-identity invariant the regulation layer is built on.
+  const std::uint8_t level = throttle_[core];
+  if (level == 0) return base_latency_ + queue_delay_;
+  return static_cast<Cycle>(throttle_factor(level) *
+                            static_cast<double>(base_latency_ + queue_delay_));
 }
 
 void MemoryController::writeback(CoreId core, Cycle now) {
   roll_window(now);
-  window_bytes_ += line_size_;
+  account_window_bytes(core);
   MemoryTraffic& t = per_core_.at(core);
   t.writeback_bytes += line_size_;
   ++t.writeback_requests;
@@ -76,6 +118,9 @@ void MemoryController::writeback(CoreId core, Cycle now) {
 }
 
 void MemoryController::reset_stats() {
+  // Counters only — see the header contract: timing state (window
+  // accumulation, utilisation, queue delay, throttle levels) must
+  // survive so a mid-run reset never changes subsequent latencies.
   for (auto& t : per_core_) t.reset();
   total_.reset();
 }

@@ -6,6 +6,14 @@
 // The model is deliberately coarse (M/D/1-flavoured): the paper's
 // effects depend on *relative* bandwidth pressure, not on DRAM page
 // policy details.
+//
+// BP axis (MBA-style regulation): each core carries a throttle level
+// drawn from a small delay-injection ladder. Level 0 — the reset state
+// — is bit-identical to the unregulated controller; higher levels
+// multiply that core's request latency, which slows its issue rate and
+// thereby lowers the shared window utilisation everyone else queues
+// behind. This mirrors Intel MBA, which also regulates per-core request
+// pacing rather than enforcing a hard bandwidth cap.
 #pragma once
 
 #include <cstdint>
@@ -32,10 +40,19 @@ struct MemoryTraffic {
 
 class MemoryController {
  public:
+  /// Delay-injection ladder (MBA throttle levels). Level 0 is
+  /// unthrottled; the factors are multiplicative on the throttled
+  /// core's total request latency.
+  static constexpr unsigned kNumThrottleLevels = 4;
+
+  /// Latency multiplier of `level` (clamped to the ladder).
+  static double throttle_factor(std::uint8_t level) noexcept;
+
   MemoryController(const MachineConfig& cfg, unsigned num_cores);
 
   /// Issue one line-sized request at `now` from `core`. Returns the
-  /// total DRAM latency (base + queueing) for this request.
+  /// total DRAM latency (base + queueing, scaled by the core's
+  /// throttle level) for this request.
   Cycle request(CoreId core, AccessType type, Cycle now);
 
   /// Fire-and-forget writeback of one dirty line: consumes bandwidth
@@ -49,12 +66,36 @@ class MemoryController {
   /// Queueing delay currently being applied on top of the base latency.
   Cycle current_queue_delay() const noexcept { return queue_delay_; }
 
+  // ---- BP axis: per-core throttle levels ----
+
+  /// Set `core`'s delay-injection level (clamped to the ladder). Level
+  /// 0 restores the unthrottled fast path, which is bit-identical to
+  /// the pre-BP controller.
+  void set_throttle_level(CoreId core, std::uint8_t level);
+  std::uint8_t throttle_level(CoreId core) const { return throttle_.at(core); }
+
+  /// All-zero throttle state (the hardware reset state).
+  bool unthrottled() const noexcept;
+
+  // ---- Per-core bandwidth telemetry ----
+
+  /// Bytes/cycle `core` moved during the most recent *complete*
+  /// accounting window (0 after an idle stretch). This is the live
+  /// bandwidth signal the BP control layer ranks cores by; the
+  /// cumulative `core_traffic()` counters only give run-total rates.
+  double core_last_window_bpc(CoreId core) const { return last_core_bpc_.at(core); }
+
   const MemoryTraffic& core_traffic(CoreId core) const { return per_core_.at(core); }
   const MemoryTraffic& total_traffic() const noexcept { return total_; }
 
-  /// Average bytes/cycle for `core` over [since, now] given its traffic
-  /// snapshot delta — helper for bandwidth reporting lives in analysis;
-  /// the controller only accumulates.
+  /// Clear the cumulative per-core/total traffic counters.
+  ///
+  /// Contract: a stats reset never perturbs timing state. The queueing
+  /// window (`window_start_`, accumulated window bytes), the last
+  /// window's utilisation, the current queue delay, and the throttle
+  /// levels are all left untouched, so the latency of every subsequent
+  /// request is bit-identical to a run that never reset. Counters are
+  /// observation, not state.
   void reset_stats();
 
   /// Peak bytes per cycle (for utilisation math in reports).
@@ -63,6 +104,7 @@ class MemoryController {
 
  private:
   void roll_window(Cycle now);
+  void account_window_bytes(CoreId core);
 
   Cycle window_;
   bool queueing_enabled_;
@@ -78,6 +120,10 @@ class MemoryController {
   std::uint32_t line_size_;
   std::vector<MemoryTraffic> per_core_;
   MemoryTraffic total_;
+
+  std::vector<std::uint8_t> throttle_;          // per-core ladder level
+  std::vector<std::uint64_t> core_window_bytes_;  // bytes this window
+  std::vector<double> last_core_bpc_;             // previous complete window
 };
 
 }  // namespace cmm::sim

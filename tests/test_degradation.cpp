@@ -139,8 +139,9 @@ TEST(DegradationLadder, PolicyThrowTriggersWatchdogBaselineRestore) {
   const auto& health = run.driver.health();
   ASSERT_TRUE(health.has(HealthEventKind::WatchdogRestore));
   for (const auto& e : health.events()) {
-    if (e.kind == HealthEventKind::WatchdogRestore)
+    if (e.kind == HealthEventKind::WatchdogRestore) {
       EXPECT_EQ(e.detail, 1u);  // restore reached full baseline
+    }
   }
 
   // Hardware state below the fault layer: everything back to reset.
@@ -199,6 +200,123 @@ TEST(DegradationLadder, ZeroRatePlanIsBitIdenticalToPlainRun) {
   EXPECT_TRUE(faulted.completed);
   EXPECT_TRUE(faulted.health.empty());
   EXPECT_EQ(faulted.result, plain);
+}
+
+// -------------------------------------------------------- MBA (BP) axis
+
+/// Emits a fixed nonzero throttle ladder from the first epoch on;
+/// exercises the MBA HAL without depending on the CMM search accepting
+/// a level.
+class ThrottlingStubPolicy final : public Policy {
+ public:
+  std::string_view name() const noexcept override { return "throttle_stub"; }
+  ResourceConfig initial_config(unsigned cores, unsigned ways) override {
+    cores_ = cores;
+    ways_ = ways;
+    return ResourceConfig::baseline(cores, ways);
+  }
+  void begin_profiling(const std::vector<sim::PmuCounters>&) override {}
+  std::optional<ResourceConfig> next_sample() override { return std::nullopt; }
+  void report_sample(const SampleStats&) override {}
+  ResourceConfig final_config() override {
+    ResourceConfig c = ResourceConfig::baseline(cores_, ways_);
+    c.throttle_levels.assign(cores_, 0);
+    c.throttle_levels[0] = 1;
+    if (cores_ > 1) c.throttle_levels[1] = 2;
+    return c;
+  }
+
+ private:
+  unsigned cores_ = 0;
+  unsigned ways_ = 0;
+};
+
+/// FaultedRun with the BP axis plugged in (three-axis driver ctor).
+struct MbaFaultedRun {
+  std::unique_ptr<sim::MulticoreSystem> sys;
+  std::unique_ptr<Policy> policy;
+  hw::SimMsrDevice sim_msr;
+  hw::SimPmuReader sim_pmu;
+  hw::SimCatController sim_cat;
+  hw::SimMbaController sim_mba;
+  hw::FaultInjector injector;
+  hw::FaultInjectingMsrDevice msr;
+  hw::FaultInjectingPmuReader pmu;
+  hw::FaultInjectingCatController cat;
+  hw::FaultInjectingMbaController mba;
+  EpochDriver driver;
+
+  MbaFaultedRun(const hw::FaultPlan& plan, std::unique_ptr<Policy> pol,
+                const EpochConfig& e = epochs())
+      : sys(make_system()),
+        policy(std::move(pol)),
+        sim_msr(*sys),
+        sim_pmu(*sys),
+        sim_cat(*sys),
+        sim_mba(*sys),
+        injector(plan),
+        msr(sim_msr, injector),
+        pmu(sim_pmu, injector),
+        cat(sim_cat, injector),
+        mba(sim_mba, injector),
+        driver(*sys, *policy, msr, pmu, cat, mba, e) {}
+};
+
+TEST(DegradationLadder, PersistentMbaFaultDegradesToPtCp) {
+  hw::FaultPlan plan;
+  plan.mba_apply_fail_p = 1.0;
+  plan.transient_fraction = 0.0;
+
+  MbaFaultedRun run(plan, std::make_unique<ThrottlingStubPolicy>());
+  run.driver.run(600'000);
+
+  const auto& health = run.driver.health();
+  EXPECT_TRUE(health.has(HealthEventKind::MbaOffline));
+  EXPECT_FALSE(run.driver.mba_available());
+  // Losing the bandwidth knob never takes down the other two axes.
+  EXPECT_TRUE(run.driver.prefetch_available());
+  EXPECT_TRUE(run.driver.cat_available());
+  EXPECT_FALSE(health.has(HealthEventKind::ManagementLost));
+
+  // The fallback's best-effort reset (healthy under this plan) plus the
+  // fail-before-mutate decorator leave the sim unregulated.
+  for (CoreId c = 0; c < run.sys->num_cores(); ++c) {
+    EXPECT_EQ(run.sys->memory(run.sys->domain_of(c)).throttle_level(c), 0u);
+  }
+}
+
+TEST(DegradationLadder, MbaFaultWithFailedResetStillLeavesSimUnthrottled) {
+  hw::FaultPlan plan;
+  plan.mba_apply_fail_p = 1.0;
+  plan.mba_reset_fail_p = 1.0;
+  plan.transient_fraction = 0.0;
+
+  MbaFaultedRun run(plan, std::make_unique<ThrottlingStubPolicy>());
+  run.driver.run(600'000);
+
+  EXPECT_TRUE(run.driver.health().has(HealthEventKind::MbaOffline));
+  // The decorator faults before forwarding, so no level ever reached
+  // the sim; even with reset also failing nothing is stuck throttled.
+  for (unsigned d = 0; d < cfg().num_llc_domains; ++d) {
+    EXPECT_TRUE(run.sys->memory(d).unthrottled());
+  }
+}
+
+TEST(DegradationLadder, LegacyPolicyNeverTouchesMba) {
+  // A policy that never emits throttle levels must produce zero MBA HAL
+  // calls — even a 100%-lethal MBA plan cannot fire, so the run is
+  // indistinguishable from one without the BP axis.
+  hw::FaultPlan plan;
+  plan.mba_apply_fail_p = 1.0;
+  plan.mba_reset_fail_p = 1.0;
+  plan.transient_fraction = 0.0;
+
+  MbaFaultedRun run(plan, cmm_a(cfg().freq_ghz));
+  run.driver.run(600'000);
+
+  EXPECT_FALSE(run.driver.health().has(HealthEventKind::MbaOffline));
+  EXPECT_TRUE(run.driver.mba_available());
+  EXPECT_TRUE(run.driver.health().empty());
 }
 
 TEST(DegradationLadder, SameSeedReproducesHealthLogAndResults) {

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "core/detector.hpp"
 
 namespace cmm::core {
@@ -80,6 +82,32 @@ TEST(Detector, FloorBlocksAdjacentOnlyChasers) {
       core_with(0.6, 0.95, 40e6),
   };
   EXPECT_TRUE(detect_aggressive(metrics, cfg()).empty());
+}
+
+// Regression: the steps were written as `!(metric < threshold)`, which
+// a NaN metric (0/0 from a zeroed, quarantined, or idle-core sample)
+// passed — a core that executed nothing could be flagged aggressive and
+// dragged into a partition. NaN must fail every step.
+TEST(Detector, NanMetricsAreNotAggressive) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const std::vector<CoreMetrics> metrics{
+      core_with(nan, nan, nan),       // fully zeroed sample
+      core_with(nan, 0.95, 150e6),    // NaN PGA
+      core_with(8.0, nan, 150e6),     // NaN PMR
+      core_with(8.0, 0.95, nan),      // NaN PTR
+      core_with(8.0, 0.95, 150e6),    // genuinely aggressive
+  };
+  // NaN in one core's PGA poisons the cross-core mean, so even the
+  // healthy core is (conservatively) not flagged.
+  EXPECT_TRUE(detect_aggressive(metrics, cfg()).empty());
+
+  // With ordered metrics everywhere, only the per-core NaNs filter.
+  const std::vector<CoreMetrics> ordered{
+      core_with(8.0, nan, 150e6),
+      core_with(8.0, 0.95, nan),
+      core_with(8.0, 0.95, 150e6),
+  };
+  EXPECT_EQ(detect_aggressive(ordered, cfg()), (std::vector<CoreId>{2}));
 }
 
 TEST(ClassifyFriendly, SpeedupThreshold) {

@@ -103,6 +103,43 @@ TEST(FaultInjector, PersistentFaultsAreStickyPerOpAndCore) {
   EXPECT_NO_THROW(injector.maybe_fault(FaultOp::MsrRead, 1));
 }
 
+TEST(FaultInjector, MbaDecoratorFaultsBeforeForwarding) {
+  sim::MulticoreSystem sys(cfg());
+  SimMbaController inner(sys);
+
+  FaultPlan plan;
+  plan.mba_apply_fail_p = 1.0;
+  plan.transient_fraction = 0.0;
+  FaultInjector injector(plan);
+  FaultInjectingMbaController mba(inner, injector);
+
+  EXPECT_THROW(mba.apply({1, 1, 1, 1}), HwFault);
+  // Fail-before-mutate: the sim register bank never saw the levels.
+  EXPECT_TRUE(sys.memory().unthrottled());
+  // Reads pass through; reset has its own (zero-rate) op here.
+  EXPECT_EQ(mba.current(), (std::vector<std::uint8_t>(4, 0)));
+  EXPECT_EQ(mba.num_levels(), inner.num_levels());
+  EXPECT_EQ(mba.num_cores(), 4u);
+  inner.apply({2, 0, 0, 0});
+  EXPECT_NO_THROW(mba.reset());
+  EXPECT_TRUE(sys.memory().unthrottled());
+}
+
+TEST(FaultInjector, MbaResetFaultLeavesRegistersIntact) {
+  sim::MulticoreSystem sys(cfg());
+  SimMbaController inner(sys);
+
+  FaultPlan plan;
+  plan.mba_reset_fail_p = 1.0;
+  plan.transient_fraction = 0.0;
+  FaultInjector injector(plan);
+  FaultInjectingMbaController mba(inner, injector);
+
+  EXPECT_NO_THROW(mba.apply({0, 3, 0, 0}));
+  EXPECT_THROW(mba.reset(), HwFault);
+  EXPECT_EQ(sys.memory().throttle_level(1), 3u);  // stuck, as a real dead knob would be
+}
+
 TEST(FaultInjector, WrapCorruptionIsDetectedByPmuDelta) {
   auto sys_ptr = make_loaded_system();
   auto& sys = *sys_ptr;

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "hw/cat_controller.hpp"
+#include "hw/mba_controller.hpp"
 #include "hw/msr_device.hpp"
 #include "hw/pmu_reader.hpp"
 #include "workloads/benchmark_specs.hpp"
@@ -76,6 +77,54 @@ TEST(CatController, ResetRestoresFullMasks) {
   cat.apply({contiguous_mask(0, 2), contiguous_mask(0, 2), full_mask(20), full_mask(20)});
   cat.reset();
   for (const WayMask m : cat.current()) EXPECT_EQ(m, full_mask(20));
+}
+
+TEST(MbaController, ApplyAndReadBack) {
+  sim::MulticoreSystem sys(cfg());
+  SimMbaController mba(sys);
+  EXPECT_EQ(mba.num_cores(), 4u);
+  EXPECT_EQ(mba.num_levels(), sim::MemoryController::kNumThrottleLevels);
+
+  const std::vector<std::uint8_t> levels{0, 1, 3, 0};
+  mba.apply(levels);
+  EXPECT_EQ(mba.current(), levels);
+  // Levels land in the sim memory controller's delay registers.
+  EXPECT_EQ(sys.memory().throttle_level(1), 1u);
+  EXPECT_EQ(sys.memory().throttle_level(2), 3u);
+  EXPECT_FALSE(sys.memory().unthrottled());
+}
+
+TEST(MbaController, SizeMismatchThrows) {
+  sim::MulticoreSystem sys(cfg());
+  SimMbaController mba(sys);
+  EXPECT_THROW(mba.apply({1, 1}), std::invalid_argument);
+}
+
+TEST(MbaController, ResetClearsAllRegulation) {
+  sim::MulticoreSystem sys(cfg());
+  SimMbaController mba(sys);
+  mba.apply({2, 2, 2, 2});
+  mba.reset();
+  EXPECT_EQ(mba.current(), (std::vector<std::uint8_t>(4, 0)));
+  EXPECT_TRUE(sys.memory().unthrottled());
+}
+
+TEST(MbaController, MultiDomainRoutesToOwningController) {
+  // 2 domains x 4 cores: core 5's register lives on domain 1's memory
+  // controller; domain 0's stays untouched.
+  sim::MulticoreSystem sys(sim::MachineConfig::fleet(2, 4));
+  SimMbaController mba(sys);
+  std::vector<std::uint8_t> levels(8, 0);
+  levels[1] = 2;
+  levels[5] = 3;
+  mba.apply(levels);
+  EXPECT_EQ(sys.memory(0).throttle_level(1), 2u);
+  EXPECT_EQ(sys.memory(1).throttle_level(5), 3u);
+  EXPECT_EQ(sys.memory(1).throttle_level(1), 0u);  // domain 1 never saw core 1's level
+  EXPECT_EQ(mba.current(), levels);
+  mba.reset();
+  EXPECT_TRUE(sys.memory(0).unthrottled());
+  EXPECT_TRUE(sys.memory(1).unthrottled());
 }
 
 TEST(PmuReader, SnapshotAndDelta) {

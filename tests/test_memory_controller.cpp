@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "sim/memory_controller.hpp"
 
 namespace cmm::sim {
@@ -86,6 +88,106 @@ TEST(MemoryController, ResetStats) {
   mem.reset_stats();
   EXPECT_EQ(mem.total_traffic().total_bytes(), 0u);
   EXPECT_EQ(mem.core_traffic(0).demand_bytes, 0u);
+}
+
+// Regression: the multi-window rollover used to average the stale
+// traffic over the whole idle span, leaving a nonzero queue delay even
+// though the most recent complete window — the one the queue model keys
+// on — was empty.
+TEST(MemoryController, MultiWindowRolloverZeroesStaleDelay) {
+  MemoryController mem(cfg(), 1);
+  // Saturate window [0, 1000): 500 requests x 64 B = capacity.
+  for (Cycle t = 0; t < 1000; t += 2) mem.request(0, AccessType::DemandLoad, t);
+  // Next arrival two complete windows later; [1000, 2000) was empty.
+  mem.request(0, AccessType::DemandLoad, 2500);
+  EXPECT_EQ(mem.current_queue_delay(), 0u);
+  EXPECT_DOUBLE_EQ(mem.last_window_utilization(), 0.0);
+}
+
+TEST(MemoryController, SingleWindowRolloverKeepsUtilization) {
+  MemoryController mem(cfg(), 1);
+  for (Cycle t = 0; t < 1000; t += 2) mem.request(0, AccessType::DemandLoad, t);
+  // Exactly one complete window behind: its full utilisation applies.
+  mem.request(0, AccessType::DemandLoad, 1500);
+  EXPECT_DOUBLE_EQ(mem.last_window_utilization(), 1.0);
+  EXPECT_EQ(mem.current_queue_delay(), 6u * 180u);  // saturation cap
+}
+
+TEST(MemoryController, ResetStatsDoesNotPerturbTiming) {
+  MemoryController plain(cfg(), 2);
+  MemoryController reset_mid(cfg(), 2);
+  const auto drive = [](MemoryController& m, bool reset) {
+    std::vector<Cycle> latencies;
+    for (Cycle t = 0; t < 5000; t += 3) {
+      const CoreId core = static_cast<CoreId>(t % 2);
+      const AccessType type = (t % 5 == 0) ? AccessType::Prefetch : AccessType::DemandLoad;
+      latencies.push_back(m.request(core, type, t));
+      if (reset && t == 2499) m.reset_stats();
+    }
+    return latencies;
+  };
+  // Same request stream; one run resets counters mid-flight. Every
+  // subsequent latency must be bit-identical (header contract).
+  EXPECT_EQ(drive(plain, false), drive(reset_mid, true));
+}
+
+TEST(MemoryController, QueueingDisabledMeansNoDelay) {
+  MachineConfig c = cfg();
+  c.bandwidth_queueing = false;
+  MemoryController mem(c, 1);
+  for (Cycle t = 0; t < 1000; ++t) mem.request(0, AccessType::DemandLoad, t);
+  mem.request(0, AccessType::DemandLoad, 1200);  // rolls the saturated window
+  EXPECT_EQ(mem.current_queue_delay(), 0u);
+  EXPECT_EQ(mem.request(0, AccessType::DemandLoad, 1300), 180u);
+}
+
+TEST(MemoryController, PerCoreWindowBandwidthAttribution) {
+  MemoryController mem(cfg(), 2);
+  for (Cycle t = 0; t < 1000; t += 10) mem.request(0, AccessType::DemandLoad, t);
+  for (Cycle t = 5; t < 1000; t += 100) mem.request(1, AccessType::Prefetch, t);
+  mem.request(0, AccessType::DemandLoad, 1100);  // close window [0, 1000)
+  EXPECT_DOUBLE_EQ(mem.core_last_window_bpc(0), 100.0 * 64.0 / 1000.0);
+  EXPECT_DOUBLE_EQ(mem.core_last_window_bpc(1), 10.0 * 64.0 / 1000.0);
+  // An idle stretch zeroes the per-core signal along with the delay.
+  mem.request(0, AccessType::DemandLoad, 10'000);
+  EXPECT_DOUBLE_EQ(mem.core_last_window_bpc(0), 0.0);
+}
+
+TEST(MemoryController, WritebacksConsumeWindowBandwidth) {
+  MemoryController mem(cfg(), 1);
+  for (Cycle t = 0; t < 1000; ++t) mem.writeback(0, t);  // 64 kB >> capacity
+  mem.request(0, AccessType::DemandLoad, 1100);
+  EXPECT_GT(mem.current_queue_delay(), 0u);
+  EXPECT_EQ(mem.total_traffic().writeback_requests, 1000u);
+  EXPECT_EQ(mem.core_traffic(0).writeback_bytes, 64'000u);
+}
+
+TEST(MemoryController, ThrottleLadderScalesLatency) {
+  MemoryController mem(cfg(), 2);
+  EXPECT_TRUE(mem.unthrottled());
+  mem.set_throttle_level(0, 1);
+  EXPECT_FALSE(mem.unthrottled());
+  EXPECT_EQ(mem.throttle_level(0), 1);
+  EXPECT_EQ(mem.request(0, AccessType::DemandLoad, 0), 270u);  // 1.5x base
+  EXPECT_EQ(mem.request(1, AccessType::DemandLoad, 1), 180u);  // neighbour unaffected
+  mem.set_throttle_level(0, 3);
+  EXPECT_EQ(mem.request(0, AccessType::DemandLoad, 2), 720u);  // 4x base
+  mem.set_throttle_level(0, 99);  // clamped to the ladder top
+  EXPECT_EQ(mem.throttle_level(0), MemoryController::kNumThrottleLevels - 1);
+  mem.set_throttle_level(0, 0);
+  EXPECT_TRUE(mem.unthrottled());
+  EXPECT_EQ(mem.request(0, AccessType::DemandLoad, 3), 180u);
+}
+
+TEST(MemoryController, ThrottleFactorsMonotonic) {
+  EXPECT_DOUBLE_EQ(MemoryController::throttle_factor(0), 1.0);
+  for (unsigned l = 1; l < MemoryController::kNumThrottleLevels; ++l) {
+    EXPECT_GT(MemoryController::throttle_factor(static_cast<std::uint8_t>(l)),
+              MemoryController::throttle_factor(static_cast<std::uint8_t>(l - 1)));
+  }
+  EXPECT_DOUBLE_EQ(
+      MemoryController::throttle_factor(200),
+      MemoryController::throttle_factor(MemoryController::kNumThrottleLevels - 1));
 }
 
 }  // namespace

@@ -53,6 +53,10 @@ TEST(CmmPolicy, Names) {
   EXPECT_EQ(make_cmm(CmmVariant::A).name(), "cmm_a");
   EXPECT_EQ(make_cmm(CmmVariant::B).name(), "cmm_b");
   EXPECT_EQ(make_cmm(CmmVariant::C).name(), "cmm_c");
+  CmmPolicy::Options o;
+  o.detector = test::test_detector();
+  o.bp_enabled = true;
+  EXPECT_EQ(CmmPolicy(o).name(), "cmm_bp");
 }
 
 TEST(CmmPolicy, ClassifiesFriendlyAndUnfriendly) {
@@ -188,6 +192,115 @@ TEST(CmmPolicy, GroupLevelThrottlingForManyUnfriendly) {
   EXPECT_EQ(cmm.unfriendly_cores().size(), 6u);
   // 2 probes + at most 2^3 group combos.
   EXPECT_LE(outcome.samples.size(), 2u + 8u);
+}
+
+// ------------------------------------------------------ BP (MBA) axis
+
+CmmPolicy make_cmm_bp(unsigned bp_max_level = 3, unsigned bp_max_cores = 2) {
+  CmmPolicy::Options o;
+  o.detector = test::test_detector();
+  o.variant = CmmVariant::A;
+  o.bp_enabled = true;
+  o.bp_max_level = bp_max_level;
+  o.bp_max_cores = bp_max_cores;
+  return CmmPolicy(o);
+}
+
+unsigned lvl(const ResourceConfig& cfg, CoreId c) {
+  return c < cfg.throttle_levels.size() ? cfg.throttle_levels[c] : 0u;
+}
+
+/// Core 2 is a bandwidth hog: marginally prefetch-unfriendly, dominant
+/// DRAM traffic. Regulating it at level 1 lifts everyone else by 1.5x
+/// at a small cost to itself; level 2+ overshoots and tanks the hog.
+/// Regulating core 0 (the runner-up candidate) only hurts core 0.
+double bp_ipc(CoreId c, const ResourceConfig& cfg) {
+  double v = (c == 2) ? (cfg.prefetch_on[2] ? 1.05 : 1.0) : 1.0;
+  const unsigned hog = lvl(cfg, 2);
+  if (hog == 1) v *= (c == 2) ? 0.95 : 1.5;
+  if (hog >= 2) v *= (c == 2) ? 0.3 : 1.5;
+  if (lvl(cfg, 0) != 0 && c == 0) v *= 0.2;
+  return v;
+}
+
+sim::PmuCounters bp_counters(CoreId c, const ResourceConfig& cfg) {
+  if (c == 2 && cfg.prefetch_on[2]) {
+    sim::PmuCounters ctr = aggressive_counters(1.0);
+    ctr.dram_prefetch_bytes = 200'000 * 64;  // ~6 B/cycle: clearly the top consumer
+    return ctr;
+  }
+  return quiet_counters(1.0);
+}
+
+test::ProfilingOutcome drive_bp(CmmPolicy& cmm) {
+  cmm.initial_config(kCores, kWays);
+  cmm.begin_profiling(std::vector<sim::PmuCounters>(kCores));
+  return run_profiling(cmm, kCores, bp_ipc, bp_counters);
+}
+
+TEST(CmmPolicy, BpSearchKeepsOnlyImprovingLevel) {
+  CmmPolicy cmm = make_cmm_bp();
+  const auto outcome = drive_bp(cmm);
+
+  std::vector<std::uint8_t> expected(kCores, 0);
+  expected[2] = 1;
+  EXPECT_EQ(outcome.final.throttle_levels, expected);
+  EXPECT_EQ(cmm.bp_levels(), expected);
+
+  // probe on/off + 2 throttle combos + BP base + 3 levels x 2 candidates.
+  EXPECT_EQ(outcome.samples.size(), 11u);
+  // The BP pass re-measures the unregulated PT+CP config first...
+  EXPECT_TRUE(outcome.samples[4].config.throttle_levels.empty());
+  // ...then trials exactly one candidate level at a time on top of the
+  // accepted ladder (coordinate descent, not a cartesian sweep).
+  EXPECT_EQ(lvl(outcome.samples[5].config, 2), 1u);
+  for (std::size_t s = 8; s < 11; ++s) {
+    EXPECT_EQ(lvl(outcome.samples[s].config, 2), 1u);  // hog's accepted level rides along
+    EXPECT_EQ(lvl(outcome.samples[s].config, 0), static_cast<unsigned>(s - 7));
+  }
+}
+
+TEST(CmmPolicy, BpRejectedWhenNothingImproves) {
+  // Same machine but regulation helps nobody: every trial is rejected
+  // and the final config carries no throttle field at all (empty, not
+  // all-zero), preserving pre-BP bit-identity.
+  CmmPolicy cmm = make_cmm_bp();
+  cmm.initial_config(kCores, kWays);
+  cmm.begin_profiling(std::vector<sim::PmuCounters>(kCores));
+  const auto outcome = run_profiling(
+      cmm, kCores,
+      [](CoreId c, const ResourceConfig& cfg) {
+        double v = (c == 2) ? (cfg.prefetch_on[2] ? 1.05 : 1.0) : 1.0;
+        for (CoreId i = 0; i < cfg.throttle_levels.size(); ++i) {
+          if (cfg.throttle_levels[i] != 0) v *= 0.8;  // any regulation hurts
+        }
+        return v;
+      },
+      bp_counters);
+  EXPECT_TRUE(outcome.final.throttle_levels.empty());
+  EXPECT_EQ(cmm.bp_levels(), std::vector<std::uint8_t>(kCores, 0));
+}
+
+TEST(CmmPolicy, BpNeuteredMatchesPlainCmm) {
+  // bp_max_level = 0 can never start a BP pass: sample stream and final
+  // config must be bit-identical to plain cmm_a on the same machine.
+  CmmPolicy plain = make_cmm(CmmVariant::A);
+  const auto base = drive_bp(plain);
+
+  CmmPolicy off = make_cmm_bp(/*bp_max_level=*/0);
+  const auto neutered = drive_bp(off);
+
+  EXPECT_EQ(neutered.final, base.final);
+  EXPECT_EQ(neutered.samples.size(), base.samples.size());
+  EXPECT_TRUE(neutered.final.throttle_levels.empty());
+}
+
+TEST(CmmPolicy, BpSkippedWhenMbaDegraded) {
+  CmmPolicy cmm = make_cmm_bp();
+  cmm.notify_degraded(/*prefetch=*/true, /*cat=*/true, /*mba=*/false);
+  const auto outcome = drive_bp(cmm);
+  EXPECT_TRUE(outcome.final.throttle_levels.empty());
+  EXPECT_EQ(outcome.samples.size(), 4u);  // probes + 2 combos, no BP pass
 }
 
 }  // namespace

@@ -260,6 +260,113 @@ TEST(RecoveryLadder, SameSeedReproducesRecoveryTraffic) {
   EXPECT_FALSE(a.driver.health().empty());
 }
 
+// ------------------------------------------------ MBA (BP) recovery
+
+/// Emits a fixed nonzero throttle ladder each epoch so the MBA HAL is
+/// exercised every epoch (the CMM search would only throttle when its
+/// samples justify it, which makes fault timing workload-dependent).
+class ThrottlingStubPolicy final : public Policy {
+ public:
+  std::string_view name() const noexcept override { return "throttle_stub"; }
+  ResourceConfig initial_config(unsigned cores, unsigned ways) override {
+    cores_ = cores;
+    ways_ = ways;
+    return ResourceConfig::baseline(cores, ways);
+  }
+  void begin_profiling(const std::vector<sim::PmuCounters>&) override {}
+  std::optional<ResourceConfig> next_sample() override { return std::nullopt; }
+  void report_sample(const SampleStats&) override {}
+  ResourceConfig final_config() override {
+    ResourceConfig c = ResourceConfig::baseline(cores_, ways_);
+    c.throttle_levels.assign(cores_, 0);
+    c.throttle_levels[0] = 1;
+    return c;
+  }
+
+ private:
+  unsigned cores_ = 0;
+  unsigned ways_ = 0;
+};
+
+struct MbaFaultedRun {
+  std::unique_ptr<sim::MulticoreSystem> sys;
+  std::unique_ptr<Policy> policy;
+  hw::SimMsrDevice sim_msr;
+  hw::SimPmuReader sim_pmu;
+  hw::SimCatController sim_cat;
+  hw::SimMbaController sim_mba;
+  hw::FaultInjector injector;
+  hw::FaultInjectingMsrDevice msr;
+  hw::FaultInjectingPmuReader pmu;
+  hw::FaultInjectingCatController cat;
+  hw::FaultInjectingMbaController mba;
+  EpochDriver driver;
+
+  MbaFaultedRun(const hw::FaultPlan& plan, const EpochConfig& epochs)
+      : sys(make_system()),
+        policy(std::make_unique<ThrottlingStubPolicy>()),
+        sim_msr(*sys),
+        sim_pmu(*sys),
+        sim_cat(*sys),
+        sim_mba(*sys),
+        injector(plan),
+        msr(sim_msr, injector),
+        pmu(sim_pmu, injector),
+        cat(sim_cat, injector),
+        mba(sim_mba, injector),
+        driver(*sys, *policy, msr, pmu, cat, mba, epochs) {}
+};
+
+TEST(RecoveryLadder, MbaHealsAndRecoversWithHysteresis) {
+  hw::FaultPlan plan;
+  plan.seed = 5;
+  plan.mba_apply_fail_p = 0.5;
+  plan.transient_fraction = 0.0;
+  plan.repair_after_calls = 40;
+
+  MbaFaultedRun run(plan, probing_epochs());
+  run.driver.run(3'000'000);
+
+  const auto& health = run.driver.health();
+  ASSERT_TRUE(health.has(HealthEventKind::MbaOffline));
+  ASSERT_TRUE(health.has(HealthEventKind::MbaRestored)) << health.summary_json();
+
+  // Same rung contract as the other axes: strict down/up alternation.
+  expect_alternating(
+      ladder_seq(health, HealthEventKind::MbaOffline, HealthEventKind::MbaRestored),
+      HealthEventKind::MbaOffline, HealthEventKind::MbaRestored);
+
+  // Probes of the MBA axis are tagged so traces can tell the axes apart.
+  bool saw_mba_probe = false;
+  for (const auto& e : health.events()) {
+    if (e.kind == HealthEventKind::RecoveryProbe && e.note == "mba") saw_mba_probe = true;
+  }
+  EXPECT_TRUE(saw_mba_probe);
+
+  // Availability at the end matches the rung parity.
+  EXPECT_EQ(run.driver.mba_available(),
+            health.count(HealthEventKind::MbaOffline) ==
+                health.count(HealthEventKind::MbaRestored));
+}
+
+TEST(RecoveryLadder, MbaProbesDisabledByDefaultStaysDegraded) {
+  hw::FaultPlan plan;
+  plan.mba_apply_fail_p = 1.0;
+  plan.transient_fraction = 0.0;
+  plan.repair_after_calls = 10;  // would heal, but nothing probes
+
+  EpochConfig e;
+  e.execution_epoch = 200'000;
+  e.sampling_interval = 10'000;  // probe_period_epochs stays 0
+
+  MbaFaultedRun run(plan, e);
+  run.driver.run(1'000'000);
+
+  EXPECT_TRUE(run.driver.health().has(HealthEventKind::MbaOffline));
+  EXPECT_FALSE(run.driver.health().has(HealthEventKind::MbaRestored));
+  EXPECT_FALSE(run.driver.mba_available());
+}
+
 // ---------------------------------------------------- HealthLog ring
 
 TEST(HealthLogRing, CapacityTrimsOldestButTotalsStayExact) {

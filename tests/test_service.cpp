@@ -8,6 +8,7 @@
 #include <sstream>
 
 #include "analysis/run_harness.hpp"
+#include "analysis/solo_cache.hpp"
 #include "hw/pmu_reader.hpp"
 #include "obs/jsonl_sink.hpp"
 #include "service/service_driver.hpp"
@@ -170,6 +171,30 @@ TEST(ServiceDriver, AdmissionGuardsProjectedPressure) {
   EXPECT_EQ(r.decision, AdmissionDecision::Queued);
   EXPECT_EQ(svc.active_tenants(), 0u);
   EXPECT_EQ(svc.queue_depth(), 1u);
+}
+
+TEST(ServiceDriver, AdmissionBudgetScalesWithDomainCount) {
+  // Regression: peak_gbs() ignored num_llc_domains, so multi-domain
+  // fleets were admission-controlled against a single domain's DRAM
+  // peak and tenants that fit comfortably were queued.
+  auto cfg = fast_cfg();
+  cfg.params.machine = sim::MachineConfig::fleet(2, 4, 32);
+
+  const auto solo = analysis::run_solo_cached("lbm", cfg.params, /*prefetch_on=*/true);
+  const double solo_gbs = solo->cores.front().total_gbs();
+  ASSERT_GT(solo_gbs, 0.0);
+
+  // Budget = 0.75x the tenant's demand *per domain*: one domain's peak
+  // can't absorb it, the two-domain aggregate can.
+  const double single_domain_gbs =
+      cfg.params.machine.dram_peak_bytes_per_cycle * cfg.params.machine.freq_ghz;
+  cfg.admission_headroom = 0.75 * solo_gbs / single_domain_gbs;
+
+  ServiceDriver svc(cfg, cmm_policy(cfg));
+  EXPECT_DOUBLE_EQ(svc.peak_gbs(), 2.0 * single_domain_gbs);
+  const auto r = svc.attach({"lbm", 0.0, 42});
+  EXPECT_EQ(r.decision, AdmissionDecision::Admitted);
+  EXPECT_EQ(svc.queue_depth(), 0u);
 }
 
 TEST(ServiceDriver, ImpossibleSloIsBreachedAndRecorded) {
