@@ -16,6 +16,8 @@ decimal way masks. Event types and their fields:
     tenant_detach     t epoch core tenant epochs_served mean_ipc
     slo_breach        t epoch core tenant ipc floor
     recovery_probe    t epoch axis core ok
+    tenant_migrated   t epoch core_from core_to domain_from domain_to tenant gain
+    migration_rejected t epoch core_from core_to tenant reason gain
 
 The report reconstructs the paper's Fig. 4 timeline — one row per
 execution epoch: configuration in force, cores flagged Agg by the
@@ -24,8 +26,14 @@ Fig. 5 detector, number of sampling intervals, the winning candidate
 per-policy decision summary covering service-mode tenant lifecycle
 and recovery-ladder traffic.
 
+For hierarchical-fleet traces (bench/fleet_migrate with CMM_FLEET_TRACE)
+the report adds a cross-domain migration timeline — one row per
+accepted move — plus per-domain occupancy flow (tenants in/out) and a
+rejection tally by cost-model reason.
+
 --follow tails a live soak trace (bench/soak_churn with CMM_SOAK_TRACE)
-and prints a rolling SLO/health summary line as events stream in.
+and prints a rolling SLO/health summary line as events stream in;
+migration events roll into the same summary.
 
 Usage:
     trace_report.py TRACE.jsonl              # validate + report
@@ -58,9 +66,14 @@ SCHEMA = {
     "slo_breach": {"core": int, "tenant": str, "ipc": (int, float),
                    "floor": (int, float)},
     "recovery_probe": {"axis": str, "core": int, "ok": bool},
+    "tenant_migrated": {"core_from": int, "core_to": int, "domain_from": int,
+                        "domain_to": int, "tenant": str, "gain": (int, float)},
+    "migration_rejected": {"core_from": int, "core_to": int, "tenant": str,
+                           "reason": str, "gain": (int, float)},
 }
 
 APPLY_SOURCES = {"initial", "sample", "final", "watchdog", "reseed"}
+REJECT_REASONS = {"no_gain", "bandwidth", "cooldown"}
 
 # Fields the sink emits only when meaningful: per-core MBA throttle
 # levels appear only while some core is bandwidth-regulated, so their
@@ -87,6 +100,9 @@ def validate_event(ev, lineno):
     if etype == "config_applied" and ev.get("source") not in APPLY_SOURCES:
         errors.append(f"line {lineno}: config_applied.source {ev.get('source')!r} "
                       f"not in {sorted(APPLY_SOURCES)}")
+    if etype == "migration_rejected" and ev.get("reason") not in REJECT_REASONS:
+        errors.append(f"line {lineno}: migration_rejected.reason "
+                      f"{ev.get('reason')!r} not in {sorted(REJECT_REASONS)}")
     if "prefetch" in SCHEMA[etype] and isinstance(ev.get("prefetch"), str):
         if not all(c in "01" for c in ev["prefetch"]):
             errors.append(f"line {lineno}: {etype}.prefetch is not a bit string")
@@ -141,7 +157,14 @@ def report(events, out=sys.stdout):
     policies = set()
     service = {"tenant_attach": 0, "tenant_detach": 0, "slo_breach": 0,
                "recovery_probe": 0, "probe_ok": 0}
+    migrations, rejections = [], []
     for ev in events:
+        if ev["type"] == "tenant_migrated":
+            migrations.append(ev)
+            continue
+        if ev["type"] == "migration_rejected":
+            rejections.append(ev)
+            continue
         e = epochs.setdefault(ev["epoch"], {
             "start": None, "verdicts": [], "samples": [], "applied": [],
             "degradations": [], "retries": 0})
@@ -211,6 +234,39 @@ def report(events, out=sys.stdout):
         print(f"    recovery probes   : {service['recovery_probe']} "
               f"({service['probe_ok']} ok)", file=out)
 
+    if migrations or rejections:
+        reasons = {}
+        for ev in rejections:
+            reasons[ev["reason"]] = reasons.get(ev["reason"], 0) + 1
+        reason_text = ", ".join(f"{r}={reasons[r]}" for r in sorted(reasons)) or "-"
+        print("  fleet coordinator:", file=out)
+        print(f"    migrations        : {len(migrations)}", file=out)
+        print(f"    rejections        : {len(rejections)} ({reason_text})", file=out)
+
+        # Per-domain occupancy flow: how many tenants each LLC domain
+        # gained and lost over the run.
+        flow = {}
+        for ev in migrations:
+            src = flow.setdefault(ev["domain_from"], [0, 0])
+            dst = flow.setdefault(ev["domain_to"], [0, 0])
+            src[0] += 1
+            dst[1] += 1
+        for d in sorted(flow):
+            out_n, in_n = flow[d]
+            print(f"      domain {d}: out={out_n} in={in_n} net={in_n - out_n:+d}",
+                  file=out)
+
+        print("\nmigration timeline:", file=out)
+        mig_header = (f"{'t':>10}  {'epoch':>5}  {'tenant':<12}  {'move':<16}  "
+                      f"{'gain':>8}")
+        print(mig_header, file=out)
+        print("-" * len(mig_header), file=out)
+        for ev in migrations:
+            move = (f"d{ev['domain_from']}:c{ev['core_from']} -> "
+                    f"d{ev['domain_to']}:c{ev['core_to']}")
+            print(f"{ev['t']:>10}  {ev['epoch']:>5}  {ev['tenant']:<12}  {move:<16}  "
+                  f"{ev['gain']:>8.4f}", file=out)
+
 
 class FollowState:
     """Rolling summary over a live (still-being-written) soak trace."""
@@ -226,6 +282,8 @@ class FollowState:
         self.probes = 0
         self.probes_ok = 0
         self.degradations = 0
+        self.migrations = 0
+        self.rejections = 0
         self.errors = 0
 
     def feed(self, line, lineno):
@@ -258,6 +316,10 @@ class FollowState:
                 self.probes_ok += 1
         elif etype == "degradation_step":
             self.degradations += 1
+        elif etype == "tenant_migrated":
+            self.migrations += 1
+        elif etype == "migration_rejected":
+            self.rejections += 1
 
     def summary_line(self):
         resident = ",".join(self.tenants[c] for c in sorted(self.tenants)) or "-"
@@ -265,7 +327,9 @@ class FollowState:
                 f"tenants={len(self.tenants)}[{resident}] "
                 f"churn={self.attaches}/{self.detaches} breaches={self.breaches} "
                 f"probes={self.probes_ok}/{self.probes} "
-                f"degradations={self.degradations} schema_errors={self.errors}")
+                f"degradations={self.degradations} "
+                f"migrations={self.migrations}/{self.rejections} "
+                f"schema_errors={self.errors}")
 
 
 def follow(path, out=sys.stdout, poll=0.5, idle_timeout=None):
@@ -366,6 +430,14 @@ def self_test():
          "core": -1, "ok": True},
         {"type": "tenant_detach", "t": 2400000, "epoch": 2, "core": 2,
          "tenant": "lbm", "epochs_served": 7, "mean_ipc": 0.75},
+        {"type": "tenant_migrated", "t": 2500000, "epoch": 2, "core_from": 1,
+         "core_to": 6, "domain_from": 0, "domain_to": 1, "tenant": "milc",
+         "gain": 0.042},
+        {"type": "tenant_migrated", "t": 2500000, "epoch": 2, "core_from": 6,
+         "core_to": 1, "domain_from": 1, "domain_to": 0, "tenant": "namd",
+         "gain": 0.042},
+        {"type": "migration_rejected", "t": 2600000, "epoch": 3, "core_from": 0,
+         "core_to": 7, "tenant": "lbm", "reason": "cooldown", "gain": 0.0},
     ]
     checks = []
 
@@ -379,7 +451,7 @@ def self_test():
             for ev in sample:
                 f.write(json.dumps(ev) + "\n")
         events, errors = load_trace(good)
-        expect("valid trace has no schema errors", not errors and len(events) == 14)
+        expect("valid trace has no schema errors", not errors and len(events) == 17)
         expect("throttle-free events are valid (field is optional)",
                not any("throttle" in e for e in errors))
 
@@ -396,6 +468,14 @@ def self_test():
                "tenant attaches   : 1" in text and "tenant detaches   : 1" in text)
         expect("summary counts SLO breaches", "SLO breaches      : 1" in text)
         expect("summary counts recovery probes", "recovery probes   : 1 (1 ok)" in text)
+        expect("summary counts coordinator traffic",
+               "migrations        : 2" in text
+               and "rejections        : 1 (cooldown=1)" in text)
+        expect("per-domain occupancy flow is reported",
+               "domain 0: out=1 in=1 net=+0" in text
+               and "domain 1: out=1 in=1 net=+0" in text)
+        expect("migration timeline shows the move",
+               "d0:c1 -> d1:c6" in text and "0.0420" in text)
 
         svc_bad = os.path.join(d, "svc_bad.jsonl")
         with open(svc_bad, "w", encoding="utf-8") as f:
@@ -409,6 +489,20 @@ def self_test():
                any("recovery_probe.ok" in e for e in errors))
         expect("unknown apply source is flagged",
                any("hotpatch" in e for e in errors))
+
+        mig_bad = os.path.join(d, "mig_bad.jsonl")
+        with open(mig_bad, "w", encoding="utf-8") as f:
+            f.write(json.dumps({"type": "migration_rejected", "t": 1, "epoch": 0,
+                                "core_from": 0, "core_to": 1, "tenant": "lbm",
+                                "reason": "vibes", "gain": 0.1}) + "\n")
+            f.write(json.dumps({"type": "tenant_migrated", "t": 2, "epoch": 0,
+                                "core_from": 0, "core_to": 1, "domain_from": 0,
+                                "tenant": "lbm", "gain": 0.1}) + "\n")  # no domain_to
+        _, errors = load_trace(mig_bad)
+        expect("unknown rejection reason is flagged",
+               any("vibes" in e for e in errors))
+        expect("tenant_migrated missing field is flagged",
+               any("tenant_migrated.domain_to" in e for e in errors))
 
         bp_bad = os.path.join(d, "bp_bad.jsonl")
         with open(bp_bad, "w", encoding="utf-8") as f:
@@ -431,6 +525,7 @@ def self_test():
             with open(live, "a", encoding="utf-8") as f:
                 f.write(json.dumps(sample[11]) + "\n")  # slo_breach
                 f.write(json.dumps(sample[13]) + "\n")  # tenant_detach
+                f.write(json.dumps(sample[14]) + "\n")  # tenant_migrated
 
         writer = threading.Thread(target=append_later)
         writer.start()
@@ -443,6 +538,8 @@ def self_test():
         expect("follow rolled up the late-arriving events",
                "follow done:" in ftext and "breaches=1" in ftext
                and "churn=1/1" in ftext and "tenants=0[-]" in ftext.splitlines()[-1])
+        expect("follow counts migrations",
+               "migrations=1/0" in ftext.splitlines()[-1])
 
         bad = os.path.join(d, "bad.jsonl")
         with open(bad, "w", encoding="utf-8") as f:

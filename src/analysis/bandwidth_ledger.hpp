@@ -1,0 +1,99 @@
+// One fleet-wide DRAM-bandwidth ledger, shared by service-mode
+// admission control and the hierarchical fleet coordinator so both
+// draw on a single budget: the coordinator's migration feasibility
+// check and the ServiceDriver's admission check cannot disagree about
+// how much of the machine's bandwidth is already spoken for.
+//
+// The ledger is a slot table (one slot per core) rather than a running
+// sum: every query re-sums the committed entries in ascending slot
+// order with the candidate's demand first. That is the exact
+// floating-point summation order the pre-ledger ServiceDriver used, so
+// single-driver admission decisions stay bit-identical — a running sum
+// would drift (a + b - a != b in floats) after enough churn and could
+// flip a borderline admission.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace cmm::analysis {
+
+class BandwidthLedger {
+ public:
+  BandwidthLedger() = default;
+
+  /// `domain_peak_gbs` is one LLC domain's DRAM peak (each domain owns
+  /// its own MemoryController); `slots` is the fleet core count.
+  BandwidthLedger(double domain_peak_gbs, std::uint32_t domains, std::size_t slots)
+      : domain_peak_gbs_(domain_peak_gbs), domains_(domains), slots_(slots) {}
+
+  double domain_peak_gbs() const noexcept { return domain_peak_gbs_; }
+  double total_peak_gbs() const noexcept {
+    return domain_peak_gbs_ * static_cast<double>(domains_);
+  }
+  std::size_t num_slots() const noexcept { return slots_.size(); }
+
+  /// Record `gbs` of committed demand for the tenant on `slot`
+  /// (overwrites any previous entry for that slot).
+  void commit(std::size_t slot, std::uint32_t domain, double gbs) {
+    slots_.at(slot) = Entry{domain, gbs};
+  }
+
+  void release(std::size_t slot) { slots_.at(slot).reset(); }
+
+  /// Re-home an existing commitment (live migration moves the demand,
+  /// not its size).
+  void move(std::size_t from_slot, std::size_t to_slot, std::uint32_t to_domain) {
+    auto& src = slots_.at(from_slot);
+    if (!src.has_value()) return;
+    slots_.at(to_slot) = Entry{to_domain, src->gbs};
+    src.reset();
+  }
+
+  /// Fleet-wide committed demand plus `extra`, summed `extra` first
+  /// then ascending slot order (the bit-compatibility contract above).
+  double projected(double extra = 0.0) const noexcept {
+    double sum = extra;
+    for (const auto& e : slots_) {
+      if (e.has_value()) sum += e->gbs;
+    }
+    return sum;
+  }
+
+  /// Committed demand homed on domain `d`.
+  double domain_load(std::uint32_t d) const noexcept {
+    double sum = 0.0;
+    for (const auto& e : slots_) {
+      if (e.has_value() && e->domain == d) sum += e->gbs;
+    }
+    return sum;
+  }
+
+  /// Fleet-wide admission gate at `headroom` fraction of total peak.
+  bool admissible(double extra_gbs, double headroom) const noexcept {
+    return projected(extra_gbs) <= headroom * total_peak_gbs();
+  }
+
+  /// Per-domain feasibility gate: would `extra_gbs` more demand on
+  /// domain `d` stay under `headroom` of that domain's own peak? The
+  /// coordinator's check before routing a migration into `d`.
+  bool domain_admissible(std::uint32_t d, double extra_gbs, double headroom) const noexcept {
+    return domain_load(d) + extra_gbs <= headroom * domain_peak_gbs_;
+  }
+
+ private:
+  struct Entry {
+    std::uint32_t domain = 0;
+    double gbs = 0.0;
+  };
+
+  double domain_peak_gbs_ = 0.0;
+  std::uint32_t domains_ = 1;
+  std::vector<std::optional<Entry>> slots_;
+};
+
+}  // namespace cmm::analysis

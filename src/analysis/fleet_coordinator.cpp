@@ -1,0 +1,219 @@
+#include "analysis/fleet_coordinator.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cmm::analysis {
+
+namespace {
+
+/// Harmonic mean over strictly positive values (the fleet objective).
+double hm(const std::vector<double>& values) {
+  double inv = 0.0;
+  for (const double v : values) inv += 1.0 / v;
+  return static_cast<double>(values.size()) / inv;
+}
+
+}  // namespace
+
+FleetCoordinator::FleetCoordinator(const CoordinatorConfig& cfg)
+    : cfg_(cfg),
+      trace_(cfg.sink),
+      ledger_(cfg.domain_peak_gbs, cfg.domains,
+              static_cast<std::size_t>(cfg.domains) * cfg.cores_per_domain) {
+  if (cfg_.domains == 0 || cfg_.cores_per_domain == 0)
+    throw std::invalid_argument("FleetCoordinator: empty fleet");
+  prev_.assign(cfg_.domains, std::vector<sim::PmuCounters>(cfg_.cores_per_domain));
+  cooldown_until_.assign(static_cast<std::size_t>(cfg_.domains) * cfg_.cores_per_domain, 0);
+}
+
+double FleetCoordinator::slowdown(double gbs) const noexcept {
+  // Mirror of MemoryController::roll_window: queueing delay grows as
+  // min(u^2/(1-u) * 0.6, 6) times the base latency. Used as a relative
+  // slowdown factor — only the ranking of candidate placements
+  // matters, not absolute latency.
+  const double u = std::min(cfg_.domain_peak_gbs > 0.0 ? gbs / cfg_.domain_peak_gbs : 0.0, 0.98);
+  const double factor = std::min(u * u / (1.0 - u) * 0.6, 6.0);
+  return 1.0 + factor;
+}
+
+std::vector<MigrationRecord> FleetCoordinator::plan_round(
+    const std::vector<DomainTelemetry>& fleet) {
+  const std::uint32_t domains = cfg_.domains;
+  const std::uint32_t cpd = cfg_.cores_per_domain;
+  if (fleet.size() != domains)
+    throw std::invalid_argument("FleetCoordinator: one telemetry entry per domain required");
+
+  // 1. Per-slot slice rates from the snapshot deltas, plus per-domain
+  // offered load. The ledger is refreshed with measured demand so a
+  // ServiceDriver sharing it admits against live fleet pressure.
+  std::vector<double> ipc(static_cast<std::size_t>(domains) * cpd, 0.0);
+  std::vector<double> gbs(ipc.size(), 0.0);
+  std::vector<double> dom_gbs(domains, 0.0);
+  bool measurable = true;
+  for (std::uint32_t d = 0; d < domains; ++d) {
+    const auto& counters = fleet[d].summary.exec_counters;
+    if (counters.size() != cpd || fleet[d].running.size() != cpd)
+      throw std::invalid_argument("FleetCoordinator: telemetry shape mismatch");
+    for (std::uint32_t c = 0; c < cpd; ++c) {
+      const std::size_t g = static_cast<std::size_t>(d) * cpd + c;
+      const sim::PmuCounters delta = counters[c].delta_since(prev_[d][c]);
+      if (delta.cycles == 0 || delta.instructions == 0) {
+        measurable = false;
+        continue;
+      }
+      ipc[g] = delta.ipc();
+      const auto bytes = delta.dram_demand_bytes + delta.dram_prefetch_bytes +
+                         delta.dram_writeback_bytes;
+      gbs[g] = static_cast<double>(bytes) / static_cast<double>(delta.cycles) * cfg_.freq_ghz;
+      dom_gbs[d] += gbs[g];
+      ledger_.commit(g, d, gbs[g]);
+    }
+    prev_[d] = counters;
+  }
+
+  std::vector<MigrationRecord> records;
+  ++round_;
+  // A slot without execution-epoch progress this slice (slice shorter
+  // than the epoch schedule) gives no signal to decide on — skip the
+  // round rather than migrate on garbage.
+  if (!measurable) return records;
+
+  const Cycle now = fleet.front().summary.now;
+  const std::uint64_t epoch = fleet.front().summary.epoch;
+  std::vector<std::string> tenant(ipc.size());
+  for (std::uint32_t d = 0; d < domains; ++d)
+    for (std::uint32_t c = 0; c < cpd; ++c)
+      tenant[static_cast<std::size_t>(d) * cpd + c] = fleet[d].running[c];
+
+  double hm_cur = hm(ipc);
+  for (unsigned accepted_this_round = 0; accepted_this_round < cfg_.migration_budget;
+       ++accepted_this_round) {
+    // Most- and least-loaded domains (ties: lowest id).
+    std::uint32_t dmax = 0, dmin = 0;
+    for (std::uint32_t d = 1; d < domains; ++d) {
+      if (dom_gbs[d] > dom_gbs[dmax]) dmax = d;
+      if (dom_gbs[d] < dom_gbs[dmin]) dmin = d;
+    }
+    if (dmax == dmin) break;  // single domain or perfectly flat
+
+    // Best candidate swap: heaviest-vs-lightest tenant pairs between
+    // the extreme domains, scored by predicted fleet hm_ipc under the
+    // queueing model. Deterministic order; ties break by tenant name,
+    // then global core index (the placement tie-break contract).
+    const double s_max_old = slowdown(dom_gbs[dmax]);
+    const double s_min_old = slowdown(dom_gbs[dmin]);
+    bool found = false;
+    bool all_cooling = true;
+    std::size_t best_a = 0, best_b = 0;
+    double best_hm = 0.0;
+    for (std::uint32_t ca = 0; ca < cpd; ++ca) {
+      const std::size_t a = static_cast<std::size_t>(dmax) * cpd + ca;
+      for (std::uint32_t cb = 0; cb < cpd; ++cb) {
+        const std::size_t b = static_cast<std::size_t>(dmin) * cpd + cb;
+        if (gbs[a] <= gbs[b]) continue;  // must move demand downhill
+        if (round_ < cooldown_until_[a] || round_ < cooldown_until_[b]) continue;
+        all_cooling = false;
+        const double load_max = dom_gbs[dmax] - gbs[a] + gbs[b];
+        const double load_min = dom_gbs[dmin] + gbs[a] - gbs[b];
+        const double s_max_new = slowdown(load_max);
+        const double s_min_new = slowdown(load_min);
+        std::vector<double> pred = ipc;
+        for (std::uint32_t c = 0; c < cpd; ++c) {
+          pred[static_cast<std::size_t>(dmax) * cpd + c] *= s_max_old / s_max_new;
+          pred[static_cast<std::size_t>(dmin) * cpd + c] *= s_min_old / s_min_new;
+        }
+        // The swapped pair lands under the *other* domain's new load.
+        pred[a] = ipc[a] * s_max_old / s_min_new;
+        pred[b] = ipc[b] * s_min_old / s_max_new;
+        const double hm_new = hm(pred);
+        const bool better =
+            !found || hm_new > best_hm ||
+            (hm_new == best_hm && (tenant[a] < tenant[best_a] ||
+                                   (tenant[a] == tenant[best_a] &&
+                                    (a < best_a || (a == best_a && b < best_b)))));
+        if (better) {
+          found = true;
+          best_hm = hm_new;
+          best_a = a;
+          best_b = b;
+        }
+      }
+    }
+    if (!found) {
+      if (!all_cooling) break;  // no downhill pair at all: nothing to report
+      // Every candidate is pinned by hysteresis — record the
+      // heaviest/lightest pair so the trace explains the stall.
+      std::size_t a = static_cast<std::size_t>(dmax) * cpd;
+      std::size_t b = static_cast<std::size_t>(dmin) * cpd;
+      for (std::uint32_t c = 1; c < cpd; ++c) {
+        if (gbs[dmax * cpd + c] > gbs[a]) a = static_cast<std::size_t>(dmax) * cpd + c;
+        if (gbs[dmin * cpd + c] < gbs[b]) b = static_cast<std::size_t>(dmin) * cpd + c;
+      }
+      MigrationRecord rec{round_, static_cast<CoreId>(a), static_cast<CoreId>(b),
+                          tenant[a], tenant[b], 0.0, false, "cooldown"};
+      ++rejected_;
+      if (trace_.on()) {
+        trace_.emit(obs::MigrationRejected{now, epoch, rec.from_core, rec.to_core,
+                                           rec.tenant_a, "cooldown", 0.0});
+      }
+      records.push_back(std::move(rec));
+      break;
+    }
+
+    const double gain = hm_cur > 0.0 ? (best_hm - hm_cur) / hm_cur : 0.0;
+    MigrationRecord rec{round_,   static_cast<CoreId>(best_a), static_cast<CoreId>(best_b),
+                        tenant[best_a], tenant[best_b],        gain,
+                        false,    {}};
+    if (gain < cfg_.min_gain) {
+      rec.reason = "no_gain";
+      ++rejected_;
+      if (trace_.on()) {
+        trace_.emit(obs::MigrationRejected{now, epoch, rec.from_core, rec.to_core,
+                                           rec.tenant_a, "no_gain", gain});
+      }
+      records.push_back(std::move(rec));
+      break;
+    }
+    // Per-domain feasibility from the shared ledger: the demand moving
+    // into the lighter domain must fit under its own peak headroom.
+    if (!ledger_.domain_admissible(dmin, gbs[best_a] - gbs[best_b],
+                                   cfg_.bandwidth_headroom)) {
+      rec.reason = "bandwidth";
+      ++rejected_;
+      if (trace_.on()) {
+        trace_.emit(obs::MigrationRejected{now, epoch, rec.from_core, rec.to_core,
+                                           rec.tenant_a, "bandwidth", gain});
+      }
+      records.push_back(std::move(rec));
+      break;
+    }
+
+    // Accept: update the working model so a second swap this round is
+    // planned against the post-swap fleet, pin both slots, re-home the
+    // ledger commitments.
+    rec.accepted = true;
+    rec.reason = "accepted";
+    ++accepted_;
+    dom_gbs[dmax] += gbs[best_b] - gbs[best_a];
+    dom_gbs[dmin] += gbs[best_a] - gbs[best_b];
+    std::swap(gbs[best_a], gbs[best_b]);
+    std::swap(ipc[best_a], ipc[best_b]);
+    std::swap(tenant[best_a], tenant[best_b]);
+    ledger_.commit(best_a, dmax, gbs[best_a]);
+    ledger_.commit(best_b, dmin, gbs[best_b]);
+    cooldown_until_[best_a] = round_ + cfg_.cooldown_rounds;
+    cooldown_until_[best_b] = round_ + cfg_.cooldown_rounds;
+    hm_cur = best_hm;
+    if (trace_.on()) {
+      trace_.emit(obs::TenantMigrated{now, epoch, rec.from_core, rec.to_core, dmax, dmin,
+                                      rec.tenant_a, gain});
+      trace_.emit(obs::TenantMigrated{now, epoch, rec.to_core, rec.from_core, dmin, dmax,
+                                      rec.tenant_b, gain});
+    }
+    records.push_back(std::move(rec));
+  }
+  return records;
+}
+
+}  // namespace cmm::analysis

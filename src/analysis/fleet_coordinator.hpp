@@ -1,0 +1,128 @@
+// Hierarchical CMM, level two: the cross-domain control plane above
+// the per-domain EpochDriver loops. The per-domain policies (level
+// one) optimise prefetch/partition/throttle for whatever tenants they
+// were dealt; the FleetCoordinator periodically re-deals the tenants
+// themselves, migrating workloads between LLC domains when measured
+// telemetry says the fleet-wide objective would improve — the
+// LFOC-style insight that cross-tenant grouping dominates what any
+// single-domain controller can recover.
+//
+// Decision model (one "round", run between shard slices):
+//   1. Diff each domain's DomainSummary against the previous round for
+//      per-core slice IPC and DRAM bandwidth; sum to per-domain load.
+//   2. Consider swapping the tenants of the most- and least-loaded
+//      domains (pairwise swap: fleet cores are all occupied, so a move
+//      is always an exchange). Predict each candidate's fleet-wide
+//      harmonic-mean IPC by scaling measured per-core IPCs with the
+//      same convex queueing curve the simulated MemoryController
+//      applies: slowdown(u) = 1 + min(u^2/(1-u) * 0.6, 6).
+//   3. Accept the best candidate only under strict improvement
+//      (predicted relative gain >= min_gain), per-domain bandwidth
+//      feasibility (shared BandwidthLedger), and hysteresis (recently
+//      migrated slots are pinned for cooldown_rounds); at most
+//      migration_budget swaps per round.
+//
+// Everything the coordinator reads is a pure function of the seeded
+// simulation and it runs serially between slices, so its decisions —
+// and the TenantMigrated/MigrationRejected events it emits — are
+// bit-identical at any CMM_THREADS.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/bandwidth_ledger.hpp"
+#include "core/epoch_driver.hpp"
+#include "obs/trace.hpp"
+
+namespace cmm::analysis {
+
+/// Per-domain input to one coordinator round: the driver's telemetry
+/// snapshot plus the tenant names resident on the domain's cores
+/// (local core order).
+struct DomainTelemetry {
+  core::DomainSummary summary;
+  std::vector<std::string> running;
+};
+
+struct CoordinatorConfig {
+  std::uint32_t domains = 1;
+  std::uint32_t cores_per_domain = 1;
+  /// One LLC domain's DRAM peak in GB/s (each domain owns a private
+  /// MemoryController with the full machine peak).
+  double domain_peak_gbs = 0.0;
+  double freq_ghz = 1.0;
+  /// Accepted migrations per round; further candidates wait for the
+  /// next round's fresh telemetry.
+  unsigned migration_budget = 1;
+  /// Strict-improvement acceptance: predicted relative fleet-hm_ipc
+  /// gain must reach this, or the candidate is rejected ("no_gain").
+  double min_gain = 0.005;
+  /// Hysteresis: both slots of an accepted swap are pinned for this
+  /// many rounds so tenants cannot ping-pong between domains.
+  unsigned cooldown_rounds = 2;
+  /// Per-domain feasibility: measured demand routed into a domain must
+  /// stay under this fraction of the domain's peak.
+  double bandwidth_headroom = 0.95;
+  /// Serial, coordinator-owned sink for TenantMigrated /
+  /// MigrationRejected events (borrowed; null = no events). Shard
+  /// sinks would interleave nondeterministically — this one never can,
+  /// because the coordinator runs between slices on one thread.
+  obs::TraceSink* sink = nullptr;
+};
+
+/// One candidate the coordinator ruled on. Core ids are global fleet
+/// ids; a swap moves tenant_a from_core -> to_core and tenant_b the
+/// other way.
+struct MigrationRecord {
+  std::uint64_t round = 0;
+  CoreId from_core = kInvalidCore;
+  CoreId to_core = kInvalidCore;
+  std::string tenant_a;
+  std::string tenant_b;
+  double predicted_gain = 0.0;
+  bool accepted = false;
+  std::string reason;  // "accepted" | "no_gain" | "bandwidth" | "cooldown"
+};
+
+class FleetCoordinator {
+ public:
+  explicit FleetCoordinator(const CoordinatorConfig& cfg);
+
+  /// Run one coordinator round over the fleet's telemetry (one entry
+  /// per domain, domain order). Returns every candidate ruled on this
+  /// round; the caller executes the accepted ones (the coordinator
+  /// plans, the fleet runner moves streams). Pure in the telemetry: no
+  /// RNG, no wall clock, no thread-dependent state.
+  std::vector<MigrationRecord> plan_round(const std::vector<DomainTelemetry>& fleet);
+
+  std::uint64_t rounds() const noexcept { return round_; }
+  std::uint64_t accepted() const noexcept { return accepted_; }
+  std::uint64_t rejected() const noexcept { return rejected_; }
+
+  /// The shared bandwidth ledger (measured per-slot demand, refreshed
+  /// every round). ServiceDriver admission can be pointed at this
+  /// instance so admission and migration draw on one budget.
+  BandwidthLedger& ledger() noexcept { return ledger_; }
+  const BandwidthLedger& ledger() const noexcept { return ledger_; }
+
+ private:
+  /// The MemoryController's queueing curve as a relative slowdown
+  /// factor at offered load `gbs` (see memory_controller.cpp).
+  double slowdown(double gbs) const noexcept;
+
+  CoordinatorConfig cfg_;
+  obs::Trace trace_;
+  BandwidthLedger ledger_;
+  std::uint64_t round_ = 0;
+  std::uint64_t accepted_ = 0;
+  std::uint64_t rejected_ = 0;
+  /// Cumulative exec counters at the previous round, per domain.
+  std::vector<std::vector<sim::PmuCounters>> prev_;
+  /// Hysteresis clocks: global slot is immovable while round_ <
+  /// cooldown_until_[slot].
+  std::vector<std::uint64_t> cooldown_until_;
+};
+
+}  // namespace cmm::analysis

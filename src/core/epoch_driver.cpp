@@ -570,4 +570,20 @@ void EpochDriver::run(Cycle total_cycles) {
   }
 }
 
+DomainSummary EpochDriver::domain_summary() const {
+  DomainSummary s;
+  s.epoch = tctx_.epoch;
+  s.now = system_.now();
+  s.exec_counters = exec_accum_;
+  s.throttle_levels = applied_throttle_;
+  s.prefetch_available = prefetch_ok_;
+  s.cat_available = cat_ok_;
+  s.mba_available = mba_ok_;
+  return s;
+}
+
+void EpochDriver::notify_membership_change(const std::vector<CoreId>& cores) {
+  guarded([&] { policy_.notify_membership_change(cores); }, "notify_membership_change");
+}
+
 }  // namespace cmm::core

@@ -71,6 +71,22 @@ struct EpochConfig {
   obs::MetricsRegistry* metrics = nullptr;
 };
 
+/// Point-in-time telemetry snapshot of one domain's control loop — the
+/// signal the hierarchical fleet coordinator consumes between shard
+/// slices. Everything here is a pure function of the (deterministic)
+/// simulation, so coordinator decisions derived from it are
+/// bit-identical at any thread count. Counters are cumulative; the
+/// consumer diffs consecutive snapshots for per-slice rates.
+struct DomainSummary {
+  std::uint64_t epoch = 0;  // execution epochs completed
+  Cycle now = 0;            // simulated time of the snapshot
+  std::vector<sim::PmuCounters> exec_counters;  // per-core, execution epochs only
+  std::vector<std::uint8_t> throttle_levels;    // BP levels on hardware (may be empty)
+  bool prefetch_available = true;
+  bool cat_available = true;
+  bool mba_available = true;
+};
+
 /// One line of the Fig. 4 timeline, for tests and the fig04 bench.
 struct EpochLogEntry {
   enum class Kind : std::uint8_t { Execution, Sample } kind = Kind::Execution;
@@ -138,6 +154,17 @@ class EpochDriver {
 
   /// Cap the HealthLog ring (see HealthLog::set_capacity).
   void set_health_capacity(std::size_t n) { health_.set_capacity(n); }
+
+  // ---- Hierarchical-coordinator hooks ----
+
+  /// Telemetry snapshot for the fleet coordinator (cumulative exec
+  /// counters + BP levels + axis availability, stamped with sim time).
+  DomainSummary domain_summary() const;
+
+  /// The tenants on `cores` changed underneath the driver (live
+  /// migration). Forwarded to the policy under the watchdog so a
+  /// throwing policy degrades instead of killing the coordinator loop.
+  void notify_membership_change(const std::vector<CoreId>& cores);
 
   /// Trace handle stamped with this driver's simulated time / epoch,
   /// for the service layer's typed tenant events.

@@ -86,6 +86,15 @@ class Policy {
     notify_degraded(prefetch_available, cat_available);
   }
 
+  /// Membership notification from the driver: the tenants on `cores`
+  /// changed underneath the policy (live migration or hotplug churn by
+  /// the fleet coordinator). Measurements already taken this profiling
+  /// epoch straddle two different programs on those cores, so policies
+  /// with in-flight search state should discard it. The default
+  /// ignores the event — safe for stateless-per-epoch policies, whose
+  /// next begin_profiling() starts from fresh deltas anyway.
+  virtual void notify_membership_change(const std::vector<CoreId>& cores) { (void)cores; }
+
   /// Observability wiring from the EpochDriver: the handle shares the
   /// driver's sink and time stamps so policy-side decisions (detector
   /// verdicts) land in the same event stream. Default handle is off.

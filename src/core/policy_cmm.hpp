@@ -88,6 +88,16 @@ class CmmPolicy final : public Policy {
     notify_degraded(prefetch_available, cat_available);
   }
 
+  /// Live migration swapped tenants mid-epoch: probe measurements and
+  /// partially searched combos mix two different programs on the moved
+  /// cores, so abort the in-flight profiling pass — final_config()
+  /// falls back to the best configuration measured so far, and the
+  /// next begin_profiling() re-converges from post-migration deltas.
+  void notify_membership_change(const std::vector<CoreId>& cores) override {
+    (void)cores;
+    if (phase_ != Phase::Done) phase_ = Phase::Done;
+  }
+
   const std::vector<CoreId>& agg_set() const noexcept { return agg_set_; }
   const std::vector<CoreId>& friendly_cores() const noexcept { return friendly_cores_; }
   const std::vector<CoreId>& unfriendly_cores() const noexcept { return unfriendly_cores_; }

@@ -265,6 +265,42 @@ void JsonlTraceSink::emit(const SloBreach& ev) {
   line(s);
 }
 
+void JsonlTraceSink::emit(const TenantMigrated& ev) {
+  std::string s;
+  append_header(s, "tenant_migrated", ev.time, ev.epoch);
+  s += ",\"core_from\":";
+  append_core(s, ev.from_core);
+  s += ",\"core_to\":";
+  append_core(s, ev.to_core);
+  s += ",\"domain_from\":";
+  append_u64(s, ev.from_domain);
+  s += ",\"domain_to\":";
+  append_u64(s, ev.to_domain);
+  s += ",\"tenant\":";
+  append_escaped(s, ev.tenant);
+  s += ",\"gain\":";
+  append_double(s, ev.predicted_gain);
+  s += '}';
+  line(s);
+}
+
+void JsonlTraceSink::emit(const MigrationRejected& ev) {
+  std::string s;
+  append_header(s, "migration_rejected", ev.time, ev.epoch);
+  s += ",\"core_from\":";
+  append_core(s, ev.from_core);
+  s += ",\"core_to\":";
+  append_core(s, ev.to_core);
+  s += ",\"tenant\":";
+  append_escaped(s, ev.tenant);
+  s += ",\"reason\":";
+  append_escaped(s, ev.reason);
+  s += ",\"gain\":";
+  append_double(s, ev.predicted_gain);
+  s += '}';
+  line(s);
+}
+
 void JsonlTraceSink::emit(const RecoveryProbe& ev) {
   std::string s;
   append_header(s, "recovery_probe", ev.time, ev.epoch);

@@ -45,6 +45,8 @@ class JsonlTraceSink final : public TraceSink {
   void emit(const TenantDetach& ev) override;
   void emit(const SloBreach& ev) override;
   void emit(const RecoveryProbe& ev) override;
+  void emit(const TenantMigrated& ev) override;
+  void emit(const MigrationRejected& ev) override;
 
   void flush() override;
 

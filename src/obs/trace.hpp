@@ -20,6 +20,11 @@
 //   SloBreach        a tenant's epoch IPC fell under its SLO floor
 //   RecoveryProbe    a probation re-probe of a degraded axis ran
 //
+// Hierarchical-coordinator events (cross-domain live migration, PR-10):
+//
+//   TenantMigrated     the coordinator moved a tenant between domains
+//   MigrationRejected  the round's best candidate failed the cost model
+//
 // All timestamps are monotonic *simulated* time, so traces are
 // bit-deterministic at any CMM_THREADS (every EpochDriver is driven by
 // exactly one thread; parallel batches give each run its own sink).
@@ -136,6 +141,34 @@ struct RecoveryProbe {
   bool ok = false;
 };
 
+/// One accepted cross-domain migration (emitted once per moved tenant,
+/// so a swap produces two events). Core ids are GLOBAL fleet ids; the
+/// domain fields are redundant with domain_of(core) but keep the trace
+/// self-describing for offline tooling.
+struct TenantMigrated {
+  Cycle time = 0;
+  std::uint64_t epoch = 0;
+  CoreId from_core = kInvalidCore;
+  CoreId to_core = kInvalidCore;
+  std::uint32_t from_domain = 0;
+  std::uint32_t to_domain = 0;
+  std::string_view tenant;
+  double predicted_gain = 0.0;  // relative fleet-hm_ipc gain the move was accepted on
+};
+
+/// The coordinator round's best migration candidate failed a gate of
+/// the cost model (strict-improvement threshold, bandwidth feasibility,
+/// hysteresis cooldown).
+struct MigrationRejected {
+  Cycle time = 0;
+  std::uint64_t epoch = 0;
+  CoreId from_core = kInvalidCore;
+  CoreId to_core = kInvalidCore;
+  std::string_view tenant;
+  std::string_view reason;  // "no_gain" | "bandwidth" | "cooldown"
+  double predicted_gain = 0.0;
+};
+
 /// Event consumer. Default implementations drop everything, so a sink
 /// overrides only the events it cares about. `enabled()` lets the
 /// Trace handle strip a disabled sink at wiring time (NullSink).
@@ -155,6 +188,8 @@ class TraceSink {
   virtual void emit(const TenantDetach&) {}
   virtual void emit(const SloBreach&) {}
   virtual void emit(const RecoveryProbe&) {}
+  virtual void emit(const TenantMigrated&) {}
+  virtual void emit(const MigrationRejected&) {}
 
   virtual void flush() {}
 };

@@ -30,6 +30,9 @@ ServiceDriver::ServiceDriver(const ServiceConfig& cfg, std::unique_ptr<core::Pol
       sim_cat_(system_),
       sim_mba_(system_),
       metrics_(metrics),
+      own_ledger_(cfg.params.machine.dram_peak_bytes_per_cycle * cfg.params.machine.freq_ghz,
+                  cfg.params.machine.num_llc_domains, cfg.params.machine.num_cores),
+      ledger_(cfg.shared_ledger != nullptr ? cfg.shared_ledger : &own_ledger_),
       tenants_(cfg.params.machine.num_cores) {
   tick_cycles_ = cfg_.tick_cycles != 0
                      ? cfg_.tick_cycles
@@ -60,20 +63,15 @@ double ServiceDriver::peak_gbs() const noexcept {
   // own MemoryController); the machine's aggregate peak scales with the
   // domain count. Ignoring the factor under-admitted multi-domain
   // fleets: tenants were queued against a single domain's bandwidth.
-  return cfg_.params.machine.dram_peak_bytes_per_cycle * cfg_.params.machine.freq_ghz *
-         static_cast<double>(cfg_.params.machine.num_llc_domains);
+  return ledger_->total_peak_gbs();
 }
 
 double ServiceDriver::projected_pressure(double extra_gbs) const noexcept {
-  double sum = extra_gbs;
-  for (const auto& t : tenants_) {
-    if (t.has_value()) sum += t->solo_gbs;
-  }
-  return sum;
+  return ledger_->projected(extra_gbs);
 }
 
 bool ServiceDriver::admissible(double solo_gbs) const noexcept {
-  return projected_pressure(solo_gbs) <= cfg_.admission_headroom * peak_gbs();
+  return ledger_->admissible(solo_gbs, cfg_.admission_headroom);
 }
 
 CoreId ServiceDriver::free_core() const noexcept {
@@ -113,6 +111,7 @@ CoreId ServiceDriver::install(const TenantSpec& spec, double solo_ipc, double so
   st.attach_tick = ticks_;
   st.last_counters = driver_->execution_counters()[core];
   tenants_[core] = std::move(st);
+  ledger_->commit(core, cfg_.params.machine.domain_of(core), solo_gbs);
   ++attaches_;
 
   driver_->record_service_event(core::HealthEventKind::TenantAttach, core, 0, spec.benchmark);
@@ -163,6 +162,7 @@ bool ServiceDriver::detach(CoreId core) {
 
   system_.detach_core(core);
   tenants_[core].reset();
+  ledger_->release(core);
   ++detaches_;
   if (cfg_.reseed_on_churn) reseed_baseline();
   drain_queue();

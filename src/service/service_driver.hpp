@@ -28,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/bandwidth_ledger.hpp"
 #include "analysis/run_harness.hpp"
 #include "core/epoch_driver.hpp"
 #include "hw/fault_injection.hpp"
@@ -79,6 +80,15 @@ struct ServiceConfig {
   /// Wrap the HAL in fault-injecting decorators even for a plan that
   /// can never fire (used by tests to pin rate-0 transparency).
   bool force_fault_decorators = false;
+
+  /// Draw admission against this externally owned bandwidth ledger
+  /// instead of a private one (e.g. FleetCoordinator::ledger(), so
+  /// multi-domain admission and migration share one budget: demand the
+  /// coordinator has already routed counts against new admissions).
+  /// Must outlive the driver and have at least num_cores slots. Null —
+  /// the default — keeps a private ledger, and every admission
+  /// decision is bit-identical to the pre-ledger driver.
+  analysis::BandwidthLedger* shared_ledger = nullptr;
 };
 
 /// Resident-tenant bookkeeping, exposed read-only for tests/reports.
@@ -141,8 +151,11 @@ class ServiceDriver {
   const hw::FaultInjector* injector() const noexcept { return injector_.get(); }
 
   /// Aggregate DRAM peak (GB/s) the admission budget is drawn against:
-  /// per-domain peak x domain count.
+  /// per-domain peak x domain count (ledger total).
   double peak_gbs() const noexcept;
+
+  /// The bandwidth ledger admission draws on (shared or private).
+  const analysis::BandwidthLedger& ledger() const noexcept { return *ledger_; }
 
  private:
   /// Projected DRAM pressure (GB/s) with `extra_gbs` added.
@@ -179,6 +192,12 @@ class ServiceDriver {
   std::unique_ptr<core::EpochDriver> driver_;
 
   obs::MetricsRegistry* metrics_ = nullptr;
+
+  // Admission currency: solo-GB/s commitments, one slot per core,
+  // homed on the core's LLC domain. Private unless cfg.shared_ledger
+  // points at a coordinator-owned instance.
+  analysis::BandwidthLedger own_ledger_;
+  analysis::BandwidthLedger* ledger_ = nullptr;
 
   std::vector<std::optional<TenantState>> tenants_;  // indexed by core
   std::deque<TenantSpec> queue_;

@@ -33,6 +33,19 @@ void CoreModel::set_op_source(std::shared_ptr<OpSource> source) {
   batch_pos_ = batch_len_ = 0;  // drop ops buffered from the old source
 }
 
+OpStreamState CoreModel::export_stream() const {
+  return OpStreamState{source_, op_batch_, batch_pos_, batch_len_, batch_traits_, now_frac_};
+}
+
+void CoreModel::import_stream(OpStreamState state) {
+  source_ = std::move(state.source);
+  op_batch_ = state.batch;
+  batch_pos_ = state.pos;
+  batch_len_ = state.len;
+  batch_traits_ = state.traits;
+  now_frac_ = state.frac;
+}
+
 void CoreModel::reset_microarch() {
   l1_.flush();
   l2_.flush();

@@ -70,6 +70,26 @@ class OpSource {
   }
 };
 
+/// Capacity of the per-core op-stream batch buffer (advance_to refills
+/// it via OpSource::next_batch so the inner loop runs without per-op
+/// virtual dispatch; OpStreamState transports it whole on migration).
+inline constexpr std::size_t kOpBatch = 64;
+
+/// Portable execution state of one tenant's op stream: the source plus
+/// the core-side consumption state — buffered-but-unconsumed ops, the
+/// traits they were produced under, and the sub-cycle accumulator.
+/// Live migration transplants this state whole: re-pointing only the
+/// source (set_op_source) drops up to kOpBatch-1 already-fetched ops,
+/// silently skipping that much of the tenant's program.
+struct OpStreamState {
+  std::shared_ptr<OpSource> source;
+  std::array<Op, kOpBatch> batch{};
+  std::size_t pos = 0;
+  std::size_t len = 0;
+  CoreTraits traits{};
+  double frac = 0.0;  // sub-cycle accumulator at export time
+};
+
 class CoreModel {
  public:
   CoreModel(CoreId id, const MachineConfig& cfg, SetAssocCache& llc, const CatModel& cat,
@@ -80,6 +100,15 @@ class CoreModel {
   CoreModel& operator=(const CoreModel&) = delete;
 
   void set_op_source(std::shared_ptr<OpSource> source);
+
+  /// Snapshot the op stream (source + buffered ops + sub-cycle phase)
+  /// without disturbing it — the exportable half of a live migration.
+  OpStreamState export_stream() const;
+
+  /// Install a previously exported stream, continuing it exactly where
+  /// export_stream left off (unlike set_op_source, which restarts
+  /// consumption at the source's next op and drops the buffer).
+  void import_stream(OpStreamState state);
 
   /// Invoked after each LLC eviction of a valid line (line address,
   /// owning core). MulticoreSystem installs a back-invalidation hook
@@ -178,11 +207,9 @@ class CoreModel {
   Cycle now_ = 0;
   double now_frac_ = 0.0;  // sub-cycle accumulator
 
-  // Op-stream batch buffer: advance_to refills it via
-  // OpSource::next_batch so the inner loop runs without per-op virtual
-  // dispatch; unconsumed ops carry over across advance_to calls (ops
-  // are time-independent, so prefetching them is behaviour-preserving).
-  static constexpr std::size_t kOpBatch = 64;
+  // Op-stream batch buffer: unconsumed ops carry over across
+  // advance_to calls (ops are time-independent, so prefetching them is
+  // behaviour-preserving) and across migrations (via OpStreamState).
   std::array<Op, kOpBatch> op_batch_{};
   std::size_t batch_pos_ = 0;
   std::size_t batch_len_ = 0;

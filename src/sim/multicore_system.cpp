@@ -55,6 +55,30 @@ std::size_t MulticoreSystem::detach_core(CoreId id) {
   return dropped;
 }
 
+OpStreamState MulticoreSystem::export_tenant(CoreId id) const {
+  return cores_.at(id)->export_stream();
+}
+
+std::size_t MulticoreSystem::attach_core_stream(CoreId id, OpStreamState state) {
+  auto& core = *cores_.at(id);
+  core.reset_microarch();
+  const std::size_t dropped = llc(cfg_.domain_of(id)).invalidate_owner(id);
+  core.import_stream(std::move(state));
+  idle_.at(id) = false;
+  return dropped;
+}
+
+void MulticoreSystem::swap_tenants(CoreId a, CoreId b) {
+  OpStreamState stream_a = cores_.at(a)->export_stream();
+  OpStreamState stream_b = cores_.at(b)->export_stream();
+  const bool idle_a = idle_.at(a);
+  const bool idle_b = idle_.at(b);
+  attach_core_stream(a, std::move(stream_b));
+  attach_core_stream(b, std::move(stream_a));
+  idle_.at(a) = idle_b;
+  idle_.at(b) = idle_a;
+}
+
 unsigned MulticoreSystem::num_idle_cores() const noexcept {
   unsigned n = 0;
   for (const bool b : idle_) n += b ? 1u : 0u;

@@ -101,6 +101,33 @@ class MulticoreSystem {
   /// (MachineConfig::idle_cpi) until the next attach_core.
   std::size_t detach_core(CoreId id);
 
+  // ---- Live tenant migration (hierarchical fleet coordinator) ----
+  //
+  // A migration moves a *stream*, not a core: the tenant's op source
+  // and its in-flight consumption state (OpStreamState: buffered ops,
+  // batch traits, sub-cycle phase) are transplanted onto the
+  // destination core, which starts microarchitecturally cold in its
+  // own domain — exactly like a hotplug attach, except the program
+  // continues where it left off instead of restarting. As with
+  // attach/detach, PMU counters are NOT reset (EpochDriver requires
+  // monotone counters); per-tenant accounting uses snapshots one level
+  // up. Only ever called between runs of the interleaved driver.
+
+  /// Snapshot the stream running on `id` (tenant or idle loop) without
+  /// disturbing it.
+  OpStreamState export_tenant(CoreId id) const;
+
+  /// Install a previously exported stream on `id`: cold-start the
+  /// core's microarchitectural state (reset + LLC footprint reclaim,
+  /// like attach_core), then continue the stream at its exported
+  /// position. Returns the number of LLC lines invalidated.
+  std::size_t attach_core_stream(CoreId id, OpStreamState state);
+
+  /// Exchange the tenants of two cores (same or different domains) in
+  /// one step — the coordinator's migration primitive on a fully
+  /// occupied machine. Both cores restart cold; both streams continue.
+  void swap_tenants(CoreId a, CoreId b);
+
   /// True when `id` currently runs the hotplug idle loop.
   bool core_idle(CoreId id) const { return idle_.at(id); }
   unsigned num_idle_cores() const noexcept;
